@@ -1,0 +1,128 @@
+// Command dqsim runs one simulation of the distributed database model
+// and prints its measurements.
+//
+// Usage:
+//
+//	dqsim -policy LERT -sites 6 -mpl 20 -think 350 -pio 0.5 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+	"dqalloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dqsim", flag.ContinueOnError)
+	var (
+		policyName = fs.String("policy", "LERT", "allocation policy: LOCAL, RANDOM, BNQ, BNQRD, LERT, WORK")
+		sites      = fs.Int("sites", 6, "number of DB sites")
+		disks      = fs.Int("disks", 2, "disks per site")
+		mpl        = fs.Int("mpl", 20, "terminals per site")
+		think      = fs.Float64("think", 350, "mean terminal think time")
+		pio        = fs.Float64("pio", 0.5, "probability a query is I/O-bound")
+		msgLen     = fs.Float64("msg", 1, "message length (transfer time units)")
+		infoPeriod = fs.Float64("info-period", 0, "load-info broadcast period (0 = perfect info)")
+		oracle     = fs.Bool("oracle", false, "give the allocator exact per-query demands")
+		tracePath  = fs.String("trace", "", "write a per-query CSV trace to this file")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		reps       = fs.Int("reps", 1, "replications (seeds seed, seed+1, ...)")
+		warmup     = fs.Float64("warmup", 5000, "warmup horizon")
+		measure    = fs.Float64("measure", 50000, "measured horizon")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kind, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	cfg := system.Default()
+	cfg.PolicyKind = kind
+	cfg.NumSites = *sites
+	cfg.NumDisks = *disks
+	cfg.MPL = *mpl
+	cfg.ThinkTime = *think
+	cfg.ClassProbs = []float64{*pio, 1 - *pio}
+	for i := range cfg.Classes {
+		cfg.Classes[i].MsgLength = *msgLen
+	}
+	if *infoPeriod > 0 {
+		cfg.InfoMode = system.InfoPeriodic
+		cfg.InfoPeriod = *infoPeriod
+	}
+	if *oracle {
+		cfg.EstimateMode = workload.EstimateActual
+	}
+	cfg.Seed = *seed
+	cfg.Warmup = *warmup
+	cfg.Measure = *measure
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer := system.NewTracer(f)
+		defer tracer.Flush()
+		cfg.Trace = tracer
+	}
+
+	for i := 0; i < *reps; i++ {
+		cfg.Seed = *seed + uint64(i)
+		sys, err := system.New(cfg)
+		if err != nil {
+			return err
+		}
+		printResults(sys.Run())
+	}
+	return nil
+}
+
+func parsePolicy(name string) (policy.Kind, error) {
+	switch strings.ToUpper(name) {
+	case "LOCAL":
+		return policy.Local, nil
+	case "RANDOM":
+		return policy.Random, nil
+	case "BNQ":
+		return policy.BNQ, nil
+	case "BNQRD":
+		return policy.BNQRD, nil
+	case "LERT":
+		return policy.LERT, nil
+	case "WORK":
+		return policy.Work, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func printResults(r system.Results) {
+	fmt.Printf("policy=%s seed=%d completed=%d\n", r.Policy, r.Seed, r.Completed)
+	fmt.Printf("  W (mean wait)      %10.3f\n", r.MeanWait)
+	fmt.Printf("  mean response      %10.3f\n", r.MeanResponse)
+	fmt.Printf("  fairness F         %+10.4f\n", r.Fairness)
+	fmt.Printf("  rho_cpu / rho_disk %10.3f / %.3f\n", r.CPUUtil, r.DiskUtil)
+	fmt.Printf("  subnet util        %10.3f\n", r.SubnetUtil)
+	fmt.Printf("  throughput         %10.4f q/unit\n", r.Throughput)
+	fmt.Printf("  remote fraction    %10.3f\n", r.RemoteFrac)
+	for _, c := range r.ByClass {
+		fmt.Printf("  class %-4s n=%-7d W=%8.3f resp=%8.3f exec=%7.3f normW=%6.3f\n",
+			c.Name, c.Completed, c.MeanWait, c.MeanResp, c.MeanExecService, c.NormWait)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"LOCAL": "LOCAL", "local": "LOCAL", "Random": "RANDOM",
+		"bnq": "BNQ", "BNQRD": "BNQRD", "lert": "LERT",
+	} {
+		kind, err := parsePolicy(name)
+		if err != nil {
+			t.Fatalf("parsePolicy(%q): %v", name, err)
+		}
+		if kind.String() != want {
+			t.Errorf("parsePolicy(%q) = %v, want %v", name, kind, want)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	err := run([]string{"-policy", "BNQ", "-warmup", "200", "-measure", "1500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-policy", "nope"}); err == nil {
+		t.Error("bad policy flag accepted")
+	}
+	if err := run([]string{"-sites", "0"}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunWithExtensionsFlags(t *testing.T) {
+	err := run([]string{
+		"-policy", "LERT", "-oracle", "-info-period", "50",
+		"-warmup", "200", "-measure", "1500", "-reps", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

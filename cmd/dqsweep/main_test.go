@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+func TestSetterKnownParams(t *testing.T) {
+	tests := []struct {
+		param string
+		value float64
+		check func(system.Config) bool
+	}{
+		{param: "think", value: 200, check: func(c system.Config) bool { return c.ThinkTime == 200 }},
+		{param: "mpl", value: 25, check: func(c system.Config) bool { return c.MPL == 25 }},
+		{param: "sites", value: 4, check: func(c system.Config) bool { return c.NumSites == 4 }},
+		{param: "pio", value: 0.3, check: func(c system.Config) bool { return c.ClassProbs[0] == 0.3 }},
+		{param: "msg", value: 2, check: func(c system.Config) bool { return c.Classes[0].MsgLength == 2 }},
+		{param: "info-period", value: 50, check: func(c system.Config) bool {
+			return c.InfoMode == system.InfoPeriodic && c.InfoPeriod == 50
+		}},
+		{param: "info-period", value: 0, check: func(c system.Config) bool {
+			return c.InfoMode == system.InfoPerfect
+		}},
+	}
+	for _, tt := range tests {
+		apply, err := setter(tt.param)
+		if err != nil {
+			t.Fatalf("setter(%q): %v", tt.param, err)
+		}
+		cfg := system.Default()
+		if err := apply(&cfg, tt.value); err != nil {
+			t.Fatalf("apply %q=%v: %v", tt.param, tt.value, err)
+		}
+		if !tt.check(cfg) {
+			t.Errorf("apply %q=%v did not take effect", tt.param, tt.value)
+		}
+	}
+}
+
+func TestSetterErrors(t *testing.T) {
+	if _, err := setter("bogus"); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	apply, err := setter("pio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := system.Default()
+	if err := apply(&cfg, 1.5); err == nil {
+		t.Error("pio > 1 accepted")
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	kinds, err := parsePolicies("local, BNQ ,lert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []policy.Kind{policy.Local, policy.BNQ, policy.LERT}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if _, err := parsePolicies("nothing-real"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := parsePolicies(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestRunSweepSmoke(t *testing.T) {
+	err := run([]string{
+		"-param", "think", "-from", "300", "-to", "350", "-step", "50",
+		"-policies", "LOCAL", "-reps", "1", "-warmup", "200", "-measure", "1500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-step", "0"}); err == nil {
+		t.Error("zero step accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package dqalloc is a reproduction of Carey, Livny & Lu, "Dynamic Task
+// Allocation in a Distributed Database System" (Univ. of Wisconsin CS TR
+// #556, 1984 / ICDCS 1985): a discrete-event simulation of a fully
+// replicated distributed database system with multi-class query
+// workloads, together with the paper's dynamic query allocation policies
+// (BNQ, BNQRD, LERT) and its exact mean-value-analysis study of optimal
+// allocations.
+//
+// This package is the public facade: it re-exports the configuration and
+// result types and provides one-call entry points. The building blocks
+// live in internal/ packages (see DESIGN.md for the map):
+//
+//   - internal/sim       — deterministic discrete-event kernel
+//   - internal/queue     — FCFS / processor-sharing / disk-array centers
+//   - internal/network   — polled token-ring subnet
+//   - internal/workload  — multi-class query model
+//   - internal/site      — the Figure-2 DB site
+//   - internal/policy    — the Figure 3–6 allocation algorithms
+//   - internal/loadinfo  — perfect and periodically-broadcast load views
+//   - internal/system    — the full Figure-1 closed system
+//   - internal/mva       — exact multiclass Mean Value Analysis
+//   - internal/optimal   — the Section-3 WIF/FIF study
+//   - internal/exper     — one harness per paper table
+//
+// # Quickstart
+//
+//	cfg := dqalloc.DefaultConfig()        // the paper's Table-7 baseline
+//	cfg.PolicyKind = dqalloc.LERT
+//	res, err := dqalloc.Run(cfg)
+//	// res.MeanWait is the paper's W̄; res.Fairness its F.
+package dqalloc
+
+import (
+	"fmt"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/site"
+	"dqalloc/internal/system"
+	"dqalloc/internal/workload"
+)
+
+// Re-exported model types. Config drives a run; Results carries the
+// paper's metrics (W̄, F, utilizations, subnet load).
+type (
+	// Config parameterizes one simulation run.
+	Config = system.Config
+	// Results holds one run's measurements.
+	Results = system.Results
+	// ClassResults is the per-class breakdown inside Results.
+	ClassResults = system.ClassResults
+	// Class describes one query class (Table 2 parameters).
+	Class = workload.Class
+	// PolicyKind selects a built-in allocation policy.
+	PolicyKind = policy.Kind
+	// Policy is the allocation-policy interface for custom strategies.
+	Policy = policy.Policy
+)
+
+// Built-in allocation policies (paper Section 4 plus baselines).
+const (
+	// Local executes every query at its arrival site.
+	Local = policy.Local
+	// Random picks a uniformly random site.
+	Random = policy.Random
+	// BNQ balances the number of queries per site (Figure 4).
+	BNQ = policy.BNQ
+	// BNQRD balances same-bound query counts (Figure 5).
+	BNQRD = policy.BNQRD
+	// LERT minimizes the estimated response time (Figure 6).
+	LERT = policy.LERT
+	// Work balances outstanding estimated work per resource (extension).
+	Work = policy.Work
+)
+
+// Demand-estimate modes (Section 1.2.2).
+const (
+	// EstimateClassMean exposes class-mean demands to the allocator.
+	EstimateClassMean = workload.EstimateClassMean
+	// EstimateActual exposes exact sampled demands (oracle ablation).
+	EstimateActual = workload.EstimateActual
+)
+
+// Load-information modes (Section 4.4).
+const (
+	// InfoPerfect gives allocators the live load table.
+	InfoPerfect = system.InfoPerfect
+	// InfoPeriodic gives allocators periodic snapshots (set InfoPeriod).
+	InfoPeriodic = system.InfoPeriodic
+)
+
+// Disk service distributions.
+const (
+	// DiskUniform is the paper's Table-7 simulation setting.
+	DiskUniform = site.DiskUniform
+	// DiskExponential is the Section-3 analytical setting (product form).
+	DiskExponential = site.DiskExponential
+)
+
+// DefaultConfig returns the paper's baseline configuration: 6 sites, 2
+// disks per site, 20 terminals per site with mean think time 350, a
+// 50/50 I/O-bound / CPU-bound mix (per-page CPU 0.05 / 1.0, 20 reads),
+// msg_length 1, LERT allocation with perfect load information.
+func DefaultConfig() Config { return system.Default() }
+
+// Run executes one simulation of cfg and returns its measurements.
+func Run(cfg Config) (Results, error) {
+	sys, err := system.New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// Replications runs cfg reps times with consecutive seeds starting at
+// cfg.Seed and returns all results. Use stats from the replications to
+// build confidence intervals.
+func Replications(cfg Config, reps int) ([]Results, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("dqalloc: reps %d < 1", reps)
+	}
+	out := make([]Results, 0, reps)
+	base := cfg.Seed
+	for i := 0; i < reps; i++ {
+		cfg.Seed = base + uint64(i)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package dqalloc
+
+import "testing"
+
+func TestRunFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "LERT" || res.Completed == 0 || res.MeanWait <= 0 {
+		t.Errorf("unexpected results: %+v", res)
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSites = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestReplicationsVarySeeds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.Measure = 4000
+	rs, err := Replications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	if rs[0].Seed == rs[1].Seed || rs[0].MeanWait == rs[1].MeanWait {
+		t.Error("replications did not vary seeds")
+	}
+}
+
+func TestReplicationsRejectsZero(t *testing.T) {
+	if _, err := Replications(DefaultConfig(), 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestPolicyConstantsDistinct(t *testing.T) {
+	kinds := []PolicyKind{Local, Random, BNQ, BNQRD, LERT}
+	seen := make(map[PolicyKind]bool, len(kinds))
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate policy kind %v", k)
+		}
+		seen[k] = true
+	}
+}

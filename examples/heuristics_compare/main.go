@@ -1,0 +1,50 @@
+// heuristics_compare reproduces the core of the paper's Section 5
+// comparison: the four allocation strategies (LOCAL, BNQ, BNQRD, LERT)
+// on the same workload with common random numbers, at three load levels.
+// It prints the paper's headline ordering — information-based policies
+// (BNQRD, LERT) beat the count-based BNQ, which beats processing locally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqalloc"
+	"dqalloc/internal/stats"
+)
+
+func main() {
+	policies := []dqalloc.PolicyKind{dqalloc.Local, dqalloc.BNQ, dqalloc.BNQRD, dqalloc.LERT}
+	const reps = 3
+
+	for _, think := range []float64{150, 350, 450} {
+		fmt.Printf("think_time = %.0f\n", think)
+		var wLocal float64
+		for _, kind := range policies {
+			cfg := dqalloc.DefaultConfig()
+			cfg.ThinkTime = think
+			cfg.PolicyKind = kind
+			cfg.Warmup = 3000
+			cfg.Measure = 30000
+
+			runs, err := dqalloc.Replications(cfg, reps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			waits := make([]float64, len(runs))
+			for i, r := range runs {
+				waits[i] = r.MeanWait
+			}
+			ci := stats.MeanCI(waits)
+			if kind == dqalloc.Local {
+				wLocal = ci.Mean
+				fmt.Printf("  %-6s W̄ = %6.2f ± %.2f (baseline)\n", kind, ci.Mean, ci.HalfWide)
+				continue
+			}
+			impr := (wLocal - ci.Mean) / wLocal * 100
+			fmt.Printf("  %-6s W̄ = %6.2f ± %.2f (%5.1f%% better than LOCAL)\n",
+				kind, ci.Mean, ci.HalfWide, impr)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// limited_info asks the question the paper defers in Section 4.4 from
+// the opposite direction: instead of broadcasting global load state, how
+// far do a handful of random probes per decision go? It compares
+// full-information LERT against probing variants and the classic
+// threshold policy, which needs no load exchange at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqalloc"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+)
+
+func main() {
+	const (
+		warmup  = 3000
+		measure = 30000
+		reps    = 3
+	)
+
+	meanWait := func(cfg dqalloc.Config) float64 {
+		cfg.Warmup = warmup
+		cfg.Measure = measure
+		runs, err := dqalloc.Replications(cfg, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range runs {
+			sum += r.MeanWait
+		}
+		return sum / float64(len(runs))
+	}
+
+	local := dqalloc.DefaultConfig()
+	local.PolicyKind = dqalloc.Local
+	wLocal := meanWait(local)
+
+	full := dqalloc.DefaultConfig()
+	full.PolicyKind = dqalloc.LERT
+	wFull := meanWait(full)
+
+	fmt.Printf("no information  (LOCAL):          W̄ = %6.2f\n", wLocal)
+	fmt.Printf("full information (LERT):          W̄ = %6.2f\n\n", wFull)
+
+	gain := wLocal - wFull
+	for _, k := range []int{1, 2, 3} {
+		cfg := dqalloc.DefaultConfig()
+		probe, err := policy.NewProbeKind(policy.LERT, k, rng.NewStream(uint64(40+k)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CustomPolicy = probe
+		w := meanWait(cfg)
+		fmt.Printf("%-18s W̄ = %6.2f  (%3.0f%% of the full-information gain)\n",
+			probe.Name()+":", w, (wLocal-w)/gain*100)
+	}
+
+	cfg := dqalloc.DefaultConfig()
+	thresh, err := policy.NewThreshold(3, 2, rng.NewStream(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.CustomPolicy = thresh
+	w := meanWait(cfg)
+	fmt.Printf("%-18s W̄ = %6.2f  (%3.0f%% of the full-information gain, zero exchange)\n",
+		thresh.Name()+":", w, (wLocal-w)/gain*100)
+}

@@ -1,0 +1,61 @@
+// staleness explores the question the paper defers to future work
+// (Section 4.4): how fresh does load information have to be for the
+// dynamic policies to keep their advantage? It sweeps the broadcast
+// period of the load-information exchange and reports how LERT and BNQ
+// degrade toward (and past) the LOCAL baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqalloc"
+)
+
+func main() {
+	const (
+		reps    = 3
+		warmup  = 3000
+		measure = 30000
+	)
+
+	meanWait := func(cfg dqalloc.Config) float64 {
+		cfg.Warmup = warmup
+		cfg.Measure = measure
+		runs, err := dqalloc.Replications(cfg, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range runs {
+			sum += r.MeanWait
+		}
+		return sum / float64(len(runs))
+	}
+
+	base := dqalloc.DefaultConfig()
+	base.PolicyKind = dqalloc.Local
+	wLocal := meanWait(base)
+	fmt.Printf("LOCAL baseline: W̄ = %.2f\n\n", wLocal)
+	fmt.Println("info age      BNQ W̄   (vs LOCAL)   LERT W̄   (vs LOCAL)")
+
+	for _, period := range []float64{0, 10, 50, 100, 200, 400, 800} {
+		label := "perfect"
+		if period > 0 {
+			label = fmt.Sprintf("T=%.0f", period)
+		}
+		line := fmt.Sprintf("%-10s", label)
+		for _, kind := range []dqalloc.PolicyKind{dqalloc.BNQ, dqalloc.LERT} {
+			cfg := dqalloc.DefaultConfig()
+			cfg.PolicyKind = kind
+			if period > 0 {
+				cfg.InfoMode = dqalloc.InfoPeriodic
+				cfg.InfoPeriod = period
+			}
+			w := meanWait(cfg)
+			line += fmt.Sprintf("  %7.2f  (%+6.1f%%)", w, (wLocal-w)/wLocal*100)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\npositive percentages = still better than processing locally")
+}

@@ -1,0 +1,3 @@
+module dqalloc
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package dquery realizes the paper's eventual goal (Section 6.2): "to
+// integrate these ideas into an actual distributed query processing
+// algorithm". It models distributed left-deep join queries that are
+// decomposed — exactly as the introduction describes — into subqueries
+// (one scan per base relation plus a join per stage) and data moves,
+// over partially replicated base relations, and compares the classic
+// static plan choice (minimize data shipped, ignore load) against
+// dynamic, load-aware subquery allocation.
+//
+// The static strategy reproduces the failure mode the paper calls out in
+// Section 1.1: "if everyone were to submit the same query ... the same
+// execution plan will be selected for each query, and only the few sites
+// chosen for this plan will be busy."
+package dquery
+
+import (
+	"fmt"
+
+	"dqalloc/internal/workload"
+)
+
+// Relation is one base relation of the distributed database.
+type Relation struct {
+	// Name labels the relation in reports.
+	Name string
+	// Pages is the number of disk pages a full scan reads.
+	Pages int
+	// Selectivity is the fraction of pages surviving the scan and shipped
+	// to the join site.
+	Selectivity float64
+	// Copies lists the sites storing a copy, sorted ascending.
+	Copies []int
+}
+
+// Validate reports the first relation error, if any.
+func (r Relation) Validate(numSites int) error {
+	switch {
+	case r.Pages < 1:
+		return fmt.Errorf("dquery: relation %q has %d pages", r.Name, r.Pages)
+	case r.Selectivity <= 0 || r.Selectivity > 1:
+		return fmt.Errorf("dquery: relation %q selectivity %v outside (0,1]", r.Name, r.Selectivity)
+	case len(r.Copies) == 0:
+		return fmt.Errorf("dquery: relation %q has no copies", r.Name)
+	}
+	for i, s := range r.Copies {
+		if s < 0 || s >= numSites {
+			return fmt.Errorf("dquery: relation %q copy at invalid site %d", r.Name, s)
+		}
+		if i > 0 && r.Copies[i-1] >= s {
+			return fmt.Errorf("dquery: relation %q copies not sorted/distinct", r.Name)
+		}
+	}
+	return nil
+}
+
+// OutPages returns the number of pages the scan ships to the join site.
+func (r Relation) OutPages() int {
+	return clampPages(float64(r.Pages) * r.Selectivity)
+}
+
+// clampPages rounds a page count and floors it at one page.
+func clampPages(v float64) int {
+	out := int(v + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Plan is the full set of allocation decisions for one left-deep join
+// query over n relations: one scan site per relation and one join site
+// per stage (stage j joins the previous stage's output — or scan 0 for
+// j = 0 — with scan j+1).
+type Plan struct {
+	ScanSites []int
+	JoinSites []int
+}
+
+// Validate checks the plan against the catalog.
+func (p Plan) Validate(rels []Relation, numSites int) error {
+	if len(p.ScanSites) != len(rels) {
+		return fmt.Errorf("dquery: plan has %d scan sites for %d relations", len(p.ScanSites), len(rels))
+	}
+	if len(p.JoinSites) != len(rels)-1 {
+		return fmt.Errorf("dquery: plan has %d join sites for %d relations", len(p.JoinSites), len(rels))
+	}
+	for i, s := range p.ScanSites {
+		if !siteIn(s, rels[i].Copies) {
+			return fmt.Errorf("dquery: scan of %q planned at site %d without a copy", rels[i].Name, s)
+		}
+	}
+	for j, s := range p.JoinSites {
+		if s < 0 || s >= numSites {
+			return fmt.Errorf("dquery: join stage %d at invalid site %d", j, s)
+		}
+	}
+	return nil
+}
+
+// JoinQuery is one distributed query joining two or more base relations
+// in left-deep order.
+type JoinQuery struct {
+	ID   uint64
+	Home int
+	// Relations indexes the catalog, in join order.
+	Relations []int
+	// Plan holds the chosen sites.
+	Plan Plan
+
+	// SubmitTime and bookkeeping for metrics.
+	SubmitTime  float64
+	ExecService float64 // disk+CPU service received across all subqueries
+
+	// stageWait counts the inputs each join stage still awaits (2 for
+	// stage 0; the later stages await the previous output plus one scan).
+	stageWait []int
+	// stageOut is each stage's output page count (filled as it is known).
+	stageOut []int
+	// scanOf maps a scan subquery to its relation position.
+	scanOf map[*workload.Query]int
+	// joinOf maps a join subquery to its stage.
+	joinOf map[*workload.Query]int
+}

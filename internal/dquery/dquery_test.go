@@ -1,0 +1,359 @@
+package dquery
+
+import (
+	"testing"
+
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/rng"
+)
+
+func TestRelationValidate(t *testing.T) {
+	ok := Relation{Name: "A", Pages: 10, Selectivity: 0.5, Copies: []int{0, 2}}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid relation rejected: %v", err)
+	}
+	bad := []Relation{
+		{Name: "p", Pages: 0, Selectivity: 0.5, Copies: []int{0}},
+		{Name: "s0", Pages: 10, Selectivity: 0, Copies: []int{0}},
+		{Name: "s2", Pages: 10, Selectivity: 1.5, Copies: []int{0}},
+		{Name: "nc", Pages: 10, Selectivity: 0.5},
+		{Name: "oor", Pages: 10, Selectivity: 0.5, Copies: []int{7}},
+		{Name: "dup", Pages: 10, Selectivity: 0.5, Copies: []int{1, 1}},
+		{Name: "uns", Pages: 10, Selectivity: 0.5, Copies: []int{2, 0}},
+	}
+	for _, r := range bad {
+		if r.Validate(4) == nil {
+			t.Errorf("invalid relation %q accepted", r.Name)
+		}
+	}
+}
+
+func TestOutPages(t *testing.T) {
+	r := Relation{Pages: 20, Selectivity: 0.3}
+	if r.OutPages() != 6 {
+		t.Errorf("OutPages = %d, want 6", r.OutPages())
+	}
+	tiny := Relation{Pages: 2, Selectivity: 0.1}
+	if tiny.OutPages() != 1 {
+		t.Errorf("OutPages floor = %d, want 1", tiny.OutPages())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	rels := []Relation{
+		{Name: "A", Pages: 10, Selectivity: 0.5, Copies: []int{0, 1}},
+		{Name: "B", Pages: 10, Selectivity: 0.5, Copies: []int{2}},
+	}
+	good := Plan{ScanSites: []int{0, 2}, JoinSites: []int{3}}
+	if err := good.Validate(rels, 4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{ScanSites: []int{0}, JoinSites: []int{3}},    // scan arity
+		{ScanSites: []int{0, 2}, JoinSites: nil},      // join arity
+		{ScanSites: []int{3, 2}, JoinSites: []int{0}}, // no copy
+		{ScanSites: []int{0, 2}, JoinSites: []int{9}}, // join site range
+	}
+	for i, p := range bad {
+		if p.Validate(rels, 4) == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestStaticStrategyDeterministic(t *testing.T) {
+	s, err := NewStrategy(Static, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.5, Copies: []int{0, 1}},
+		{Name: "B", Pages: 10, Selectivity: 0.5, Copies: []int{2, 3}},
+	}
+	env := &PlanEnv{NumSites: 4, NumDisks: 2, DiskTime: 1, JoinSelectivity: 0.5}
+	p1 := s.Plan(rels, 0, env)
+	p2 := s.Plan(rels, 3, env)
+	if p1.ScanSites[0] != p2.ScanSites[0] || p1.JoinSites[0] != p2.JoinSites[0] {
+		t.Errorf("static plans differ across arrivals: %+v vs %+v", p1, p2)
+	}
+	// Larger output (A: 10 pages out) hosts the join.
+	if p1.JoinSites[0] != p1.ScanSites[0] {
+		t.Errorf("join at %d, want larger input's site %d", p1.JoinSites[0], p1.ScanSites[0])
+	}
+}
+
+func TestStaticStrategyColocates(t *testing.T) {
+	s, err := NewStrategy(Static, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.5, Copies: []int{0, 1}},
+		{Name: "B", Pages: 10, Selectivity: 0.5, Copies: []int{1, 2}},
+	}
+	p := s.Plan(rels, 0, &PlanEnv{NumSites: 4, NumDisks: 2, DiskTime: 1, JoinSelectivity: 0.5})
+	if p.ScanSites[0] != 1 || p.ScanSites[1] != 1 || p.JoinSites[0] != 1 {
+		t.Errorf("common-site plan = %+v, want everything at site 1", p)
+	}
+}
+
+// loadedView pins specific per-site counts for strategy tests.
+type loadedView struct{ io, cpu []int }
+
+func (v loadedView) NumQueries(s int) int    { return v.io[s] + v.cpu[s] }
+func (v loadedView) NumIOQueries(s int) int  { return v.io[s] }
+func (v loadedView) NumCPUQueries(s int) int { return v.cpu[s] }
+
+var _ loadinfo.View = loadedView{}
+
+func idleEnv(sites int) *PlanEnv {
+	return &PlanEnv{
+		View:            loadedView{io: make([]int, sites), cpu: make([]int, sites)},
+		NumSites:        sites,
+		NumDisks:        2,
+		DiskTime:        1,
+		ScanCPUTime:     0.05,
+		JoinCPUTime:     1,
+		PageNetTime:     0.1,
+		JoinSelectivity: 0.5,
+	}
+}
+
+func TestDynamicStrategyAvoidsLoadedCopy(t *testing.T) {
+	s, err := NewStrategy(Dynamic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.3, Copies: []int{0, 1}},
+		{Name: "B", Pages: 20, Selectivity: 0.3, Copies: []int{2, 3}},
+	}
+	env := idleEnv(4)
+	env.View = loadedView{io: []int{9, 0, 0, 9}, cpu: []int{0, 0, 0, 0}}
+	p := s.Plan(rels, 0, env)
+	if p.ScanSites[0] != 1 {
+		t.Errorf("scan A at loaded site %d, want 1", p.ScanSites[0])
+	}
+	if p.ScanSites[1] != 2 {
+		t.Errorf("scan B at loaded site %d, want 2", p.ScanSites[1])
+	}
+}
+
+func TestDynamicJoinSiteBalancesShippingAndLoad(t *testing.T) {
+	s, err := NewStrategy(Dynamic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.3, Copies: []int{0}},
+		{Name: "B", Pages: 20, Selectivity: 0.3, Copies: []int{1}},
+	}
+	env := idleEnv(4)
+	p := s.Plan(rels, 3, env)
+	if p.JoinSites[0] != 0 && p.JoinSites[0] != 1 {
+		t.Errorf("idle-system join at %d, want a scan site", p.JoinSites[0])
+	}
+	// Heavily load both scan sites' CPUs: the join should move off them.
+	env.View = loadedView{io: make([]int, 4), cpu: []int{9, 9, 0, 0}}
+	p = s.Plan(rels, 3, env)
+	if p.JoinSites[0] == 0 || p.JoinSites[0] == 1 {
+		t.Errorf("join stayed at CPU-loaded site %d", p.JoinSites[0])
+	}
+}
+
+func TestThreeWayPlansLegal(t *testing.T) {
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.3, Copies: []int{0, 1}},
+		{Name: "B", Pages: 15, Selectivity: 0.4, Copies: []int{2, 3}},
+		{Name: "C", Pages: 10, Selectivity: 0.5, Copies: []int{4, 5}},
+	}
+	env := idleEnv(6)
+	for _, kind := range []StrategyKind{Static, Dynamic, RandomPlan} {
+		s, err := NewStrategy(kind, rng.NewStream(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			p := s.Plan(rels, 0, env)
+			if err := p.Validate(rels, 6); err != nil {
+				t.Fatalf("%v produced illegal 3-way plan: %v", kind, err)
+			}
+			if len(p.JoinSites) != 2 {
+				t.Fatalf("%v: %d join stages, want 2", kind, len(p.JoinSites))
+			}
+		}
+	}
+}
+
+func TestStageOutEstimate(t *testing.T) {
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.5, Copies: []int{0}}, // out 10
+		{Name: "B", Pages: 20, Selectivity: 0.5, Copies: []int{1}}, // out 10
+		{Name: "C", Pages: 20, Selectivity: 0.5, Copies: []int{2}}, // out 10
+	}
+	env := idleEnv(4)
+	// Stage 0: 0.5·(10+10) = 10; stage 1: 0.5·(10+10) = 10.
+	if got := env.stageOutEstimate(rels, 0); got != 10 {
+		t.Errorf("stage 0 out = %d, want 10", got)
+	}
+	if got := env.stageOutEstimate(rels, 1); got != 10 {
+		t.Errorf("stage 1 out = %d, want 10", got)
+	}
+}
+
+func TestRandomStrategyLegalPlans(t *testing.T) {
+	s, err := NewStrategy(RandomPlan, rng.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{
+		{Name: "A", Pages: 20, Selectivity: 0.3, Copies: []int{0, 2}},
+		{Name: "B", Pages: 20, Selectivity: 0.3, Copies: []int{1, 3}},
+	}
+	for i := 0; i < 200; i++ {
+		p := s.Plan(rels, 0, idleEnv(4))
+		if err := p.Validate(rels, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewStrategyErrors(t *testing.T) {
+	if _, err := NewStrategy(RandomPlan, nil); err == nil {
+		t.Error("RANDOM without stream accepted")
+	}
+	if _, err := NewStrategy(StrategyKind(99), nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestStrategyKindString(t *testing.T) {
+	if Static.String() != "STATIC" || Dynamic.String() != "DYNAMIC" ||
+		RandomPlan.String() != "RANDOM" || StrategyKind(0).String() != "unknown" {
+		t.Error("StrategyKind.String mismatch")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSites = 0 },
+		func(c *Config) { c.NumDisks = 0 },
+		func(c *Config) { c.MPL = 0 },
+		func(c *Config) { c.DiskTime = 0 },
+		func(c *Config) { c.DiskTimeDev = 1 },
+		func(c *Config) { c.ThinkTime = -1 },
+		func(c *Config) { c.ScanCPUTime = -1 },
+		func(c *Config) { c.PageNetTime = -1 },
+		func(c *Config) { c.Relations = c.Relations[:1] },
+		func(c *Config) { c.HotProb = 2 },
+		func(c *Config) { c.Measure = 0 },
+		func(c *Config) { c.Relations[0].Copies = []int{99} },
+		func(c *Config) { c.RelationsPerQuery = 1 },
+		func(c *Config) { c.RelationsPerQuery = 99 },
+		func(c *Config) { c.JoinSelectivity = 1.5 },
+	}
+	for i, mutate := range mutations {
+		cfg := Default()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func runJoin(t *testing.T, kind StrategyKind, hot float64, width int) Results {
+	t.Helper()
+	cfg := Default()
+	cfg.Strategy = kind
+	cfg.HotProb = hot
+	cfg.RelationsPerQuery = width
+	cfg.Warmup = 2000
+	cfg.Measure = 20000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run()
+}
+
+func TestJoinSystemCompletes(t *testing.T) {
+	for _, kind := range []StrategyKind{Static, Dynamic, RandomPlan} {
+		r := runJoin(t, kind, 0.5, 2)
+		if r.Completed == 0 {
+			t.Errorf("%v: no joins completed", kind)
+		}
+		if r.MeanResponse <= 0 {
+			t.Errorf("%v: degenerate response %v", kind, r.MeanResponse)
+		}
+		if r.P95Response < r.MeanResponse {
+			t.Errorf("%v: p95 %v below mean %v", kind, r.P95Response, r.MeanResponse)
+		}
+	}
+}
+
+func TestThreeWayJoinCompletes(t *testing.T) {
+	for _, kind := range []StrategyKind{Static, Dynamic} {
+		r := runJoin(t, kind, 0.3, 3)
+		if r.Completed == 0 {
+			t.Errorf("%v: no 3-way joins completed", kind)
+		}
+	}
+}
+
+func TestWiderJoinsTakeLonger(t *testing.T) {
+	two := runJoin(t, Dynamic, 0, 2)
+	three := runJoin(t, Dynamic, 0, 3)
+	if three.MeanResponse <= two.MeanResponse {
+		t.Errorf("3-way joins (resp %v) not slower than 2-way (%v)",
+			three.MeanResponse, two.MeanResponse)
+	}
+}
+
+func TestDynamicBeatsStaticOnHotSpot(t *testing.T) {
+	// The Section-1.1 scenario: everyone submits (nearly) the same query.
+	// The static plan convoys on one site; dynamic allocation spreads the
+	// subqueries.
+	static := runJoin(t, Static, 0.9, 2)
+	dynamic := runJoin(t, Dynamic, 0.9, 2)
+	if dynamic.MeanResponse >= static.MeanResponse {
+		t.Errorf("dynamic response %v not below static %v on hot workload",
+			dynamic.MeanResponse, static.MeanResponse)
+	}
+	// Convoy indicator: static's hottest CPU far above its mean.
+	if static.MaxCPUUtil < 1.5*static.CPUUtil {
+		t.Errorf("static hot-site CPU %v not a convoy (mean %v)",
+			static.MaxCPUUtil, static.CPUUtil)
+	}
+	if dynamic.MaxCPUUtil >= static.MaxCPUUtil {
+		t.Errorf("dynamic hottest site %v not cooler than static %v",
+			dynamic.MaxCPUUtil, static.MaxCPUUtil)
+	}
+}
+
+func TestDynamicBeatsStaticOnThreeWayHotSpot(t *testing.T) {
+	static := runJoin(t, Static, 0.9, 3)
+	dynamic := runJoin(t, Dynamic, 0.9, 3)
+	if dynamic.MeanResponse >= static.MeanResponse {
+		t.Errorf("3-way: dynamic response %v not below static %v",
+			dynamic.MeanResponse, static.MeanResponse)
+	}
+}
+
+func TestDynamicBeatsRandomOnUniform(t *testing.T) {
+	random := runJoin(t, RandomPlan, 0, 2)
+	dynamic := runJoin(t, Dynamic, 0, 2)
+	if dynamic.MeanResponse >= random.MeanResponse {
+		t.Errorf("dynamic response %v not below random %v", dynamic.MeanResponse, random.MeanResponse)
+	}
+}
+
+func TestJoinSystemDeterministic(t *testing.T) {
+	a := runJoin(t, Dynamic, 0.5, 2)
+	b := runJoin(t, Dynamic, 0.5, 2)
+	if a.MeanResponse != b.MeanResponse || a.Completed != b.Completed {
+		t.Error("same-seed join runs differ")
+	}
+}

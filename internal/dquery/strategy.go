@@ -1,0 +1,238 @@
+package dquery
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/rng"
+)
+
+// PlanEnv carries what a strategy may consult when planning a join query.
+type PlanEnv struct {
+	// View exposes per-site subquery counts (scan = I/O-bound, join =
+	// CPU-bound with the default class demands).
+	View loadinfo.View
+	// NumSites and NumDisks describe the homogeneous hardware.
+	NumSites int
+	NumDisks int
+	DiskTime float64
+	// ScanCPUTime and JoinCPUTime are the per-page CPU demands.
+	ScanCPUTime float64
+	JoinCPUTime float64
+	// PageNetTime is the network time to ship one page.
+	PageNetTime float64
+	// JoinSelectivity is the output fraction of each join stage.
+	JoinSelectivity float64
+}
+
+// stageOutEstimate predicts the output pages of join stage j for the
+// given relation chain (used by planners; the runtime uses the same
+// formula, so estimates are exact in this model).
+func (env *PlanEnv) stageOutEstimate(rels []Relation, j int) int {
+	left := rels[0].OutPages()
+	for k := 0; k <= j; k++ {
+		left = clampPages(env.JoinSelectivity * float64(left+rels[k+1].OutPages()))
+	}
+	return left
+}
+
+// Strategy plans the scan and join sites of a join query.
+type Strategy interface {
+	// Name returns the strategy's short name.
+	Name() string
+	// Plan chooses sites for the left-deep join of rels submitted at
+	// home.
+	Plan(rels []Relation, home int, env *PlanEnv) Plan
+}
+
+// StrategyKind enumerates the built-in strategies.
+type StrategyKind int
+
+const (
+	// Static is the classic load-oblivious plan: fixed copy choice and
+	// join sites minimizing the data shipped (Section 1.1's baseline).
+	Static StrategyKind = iota + 1
+	// Dynamic allocates each subquery with load information, in the
+	// spirit of the paper's LERT heuristic.
+	Dynamic
+	// RandomPlan picks uniformly among legal plans.
+	RandomPlan
+)
+
+// String returns the strategy name.
+func (k StrategyKind) String() string {
+	switch k {
+	case Static:
+		return "STATIC"
+	case Dynamic:
+		return "DYNAMIC"
+	case RandomPlan:
+		return "RANDOM"
+	default:
+		return "unknown"
+	}
+}
+
+// NewStrategy builds a strategy of the given kind. stream drives
+// RandomPlan and may be nil otherwise.
+func NewStrategy(kind StrategyKind, stream *rng.Stream) (Strategy, error) {
+	switch kind {
+	case Static:
+		return staticStrategy{}, nil
+	case Dynamic:
+		return dynamicStrategy{}, nil
+	case RandomPlan:
+		if stream == nil {
+			return nil, fmt.Errorf("dquery: RANDOM strategy needs a stream")
+		}
+		return &randomStrategy{stream: stream}, nil
+	default:
+		return nil, fmt.Errorf("dquery: unknown strategy %d", kind)
+	}
+}
+
+// staticStrategy reproduces a 1980s optimizer: it always picks the first
+// copy of each relation and runs every join where the largest scan
+// output already sits, minimizing bytes shipped with no regard for load.
+// Every instance of the same query gets the same plan.
+type staticStrategy struct{}
+
+func (staticStrategy) Name() string { return "STATIC" }
+
+func (staticStrategy) Plan(rels []Relation, _ int, _ *PlanEnv) Plan {
+	p := Plan{
+		ScanSites: make([]int, len(rels)),
+		JoinSites: make([]int, len(rels)-1),
+	}
+	// If one site holds every relation, run everything there.
+	if site, ok := commonSite(rels); ok {
+		for i := range p.ScanSites {
+			p.ScanSites[i] = site
+		}
+		for j := range p.JoinSites {
+			p.JoinSites[j] = site
+		}
+		return p
+	}
+	biggest := 0
+	for i, r := range rels {
+		p.ScanSites[i] = r.Copies[0]
+		if r.OutPages() > rels[biggest].OutPages() {
+			biggest = i
+		}
+	}
+	for j := range p.JoinSites {
+		p.JoinSites[j] = p.ScanSites[biggest]
+	}
+	return p
+}
+
+// commonSite finds a site holding a copy of every relation, if any.
+func commonSite(rels []Relation) (int, bool) {
+	for _, s := range rels[0].Copies {
+		all := true
+		for _, r := range rels[1:] {
+			if !siteIn(s, r.Copies) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func siteIn(site int, sites []int) bool {
+	for _, s := range sites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// dynamicStrategy applies the paper's LERT idea per subquery: each scan
+// runs at the copy site with the least estimated response time for an
+// I/O-bound task, and each join stage runs at the site minimizing
+// estimated shipping plus load-scaled join time given its input sizes.
+type dynamicStrategy struct{}
+
+func (dynamicStrategy) Name() string { return "DYNAMIC" }
+
+func (dynamicStrategy) Plan(rels []Relation, _ int, env *PlanEnv) Plan {
+	p := Plan{
+		ScanSites: make([]int, len(rels)),
+		JoinSites: make([]int, len(rels)-1),
+	}
+	for i, r := range rels {
+		p.ScanSites[i] = bestScanSite(r, env)
+	}
+	// Plan stages left to right: stage j's left input comes from the
+	// previous stage's site (or scan 0), its right input from scan j+1.
+	leftSite := p.ScanSites[0]
+	leftPages := rels[0].OutPages()
+	for j := range p.JoinSites {
+		rightSite := p.ScanSites[j+1]
+		rightPages := rels[j+1].OutPages()
+		joinPages := float64(leftPages + rightPages)
+
+		best, bestCost := -1, math.Inf(1)
+		for s := 0; s < env.NumSites; s++ {
+			ship := 0.0
+			if s != leftSite {
+				ship += float64(leftPages) * env.PageNetTime
+			}
+			if s != rightSite {
+				ship += float64(rightPages) * env.PageNetTime
+			}
+			cpu := joinPages * env.JoinCPUTime * (1 + float64(env.View.NumCPUQueries(s)))
+			io := joinPages * env.DiskTime * (1 + float64(env.View.NumIOQueries(s))/float64(env.NumDisks))
+			if cost := ship + cpu + io; cost < bestCost {
+				best, bestCost = s, cost
+			}
+		}
+		p.JoinSites[j] = best
+		leftSite = best
+		leftPages = clampPages(env.JoinSelectivity * joinPages)
+	}
+	return p
+}
+
+// bestScanSite estimates the scan's response time at each copy holder.
+func bestScanSite(r Relation, env *PlanEnv) int {
+	pages := float64(r.Pages)
+	best, bestCost := r.Copies[0], math.Inf(1)
+	for _, s := range r.Copies {
+		io := pages * env.DiskTime * (1 + float64(env.View.NumIOQueries(s))/float64(env.NumDisks))
+		cpu := pages * env.ScanCPUTime * (1 + float64(env.View.NumCPUQueries(s)))
+		if cost := io + cpu; cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// randomStrategy picks uniformly among legal plans — the no-information
+// baseline.
+type randomStrategy struct {
+	stream *rng.Stream
+}
+
+func (p *randomStrategy) Name() string { return "RANDOM" }
+
+func (p *randomStrategy) Plan(rels []Relation, _ int, env *PlanEnv) Plan {
+	plan := Plan{
+		ScanSites: make([]int, len(rels)),
+		JoinSites: make([]int, len(rels)-1),
+	}
+	for i, r := range rels {
+		plan.ScanSites[i] = r.Copies[p.stream.Intn(len(r.Copies))]
+	}
+	for j := range plan.JoinSites {
+		plan.JoinSites[j] = p.stream.Intn(env.NumSites)
+	}
+	return plan
+}

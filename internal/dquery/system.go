@@ -1,0 +1,495 @@
+package dquery
+
+import (
+	"fmt"
+
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/network"
+	"dqalloc/internal/queue"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/site"
+	"dqalloc/internal/stats"
+	"dqalloc/internal/workload"
+)
+
+// Config parameterizes one distributed-join simulation.
+type Config struct {
+	// NumSites, NumDisks and MPL mirror the main model's site parameters.
+	NumSites int
+	NumDisks int
+	MPL      int
+
+	// DiskTime, DiskTimeDev and ThinkTime mirror the main model.
+	DiskTime    float64
+	DiskTimeDev float64
+	ThinkTime   float64
+
+	// ScanCPUTime and JoinCPUTime are per-page CPU demands: scans are
+	// I/O-bound, joins CPU-bound, giving the two-class structure of the
+	// paper's workload.
+	ScanCPUTime float64
+	JoinCPUTime float64
+	// PageNetTime is the network time to ship one page.
+	PageNetTime float64
+
+	// Relations is the base-relation catalog; queries join
+	// RelationsPerQuery distinct relations in left-deep order.
+	Relations []Relation
+	// RelationsPerQuery is the join width (2 = the classic two-way join;
+	// larger values exercise the full pipeline). Zero means 2.
+	RelationsPerQuery int
+	// JoinSelectivity is the output fraction of each join stage (the
+	// fraction of combined input pages surviving). Zero means 0.5.
+	JoinSelectivity float64
+	// HotProb is the probability a query joins the first
+	// RelationsPerQuery relations of the catalog — the "everyone submits
+	// the same query" hot spot of Section 1.1. The rest join a uniformly
+	// random distinct set.
+	HotProb float64
+
+	// Strategy selects the planning strategy.
+	Strategy StrategyKind
+
+	// Seed, Warmup and Measure mirror the main model.
+	Seed    uint64
+	Warmup  float64
+	Measure float64
+}
+
+// Default returns a 6-site catalog of eight 20-page relations with two
+// copies each (round-robin placement), two-way joins, a half-hot
+// workload, and demand parameters matching the main model's two classes.
+func Default() Config {
+	cfg := Config{
+		NumSites:          6,
+		NumDisks:          2,
+		MPL:               6,
+		DiskTime:          1,
+		DiskTimeDev:       0.2,
+		ThinkTime:         300,
+		ScanCPUTime:       0.05,
+		JoinCPUTime:       1.0,
+		PageNetTime:       0.1,
+		RelationsPerQuery: 2,
+		JoinSelectivity:   0.5,
+		HotProb:           0.5,
+		Strategy:          Dynamic,
+		Seed:              1,
+		Warmup:            3000,
+		Measure:           30000,
+	}
+	for i := 0; i < 8; i++ {
+		cfg.Relations = append(cfg.Relations, Relation{
+			Name:        fmt.Sprintf("R%d", i),
+			Pages:       20,
+			Selectivity: 0.3,
+			Copies:      sortedPair(i%cfg.NumSites, (i+1)%cfg.NumSites),
+		})
+	}
+	return cfg
+}
+
+func sortedPair(a, b int) []int {
+	if a < b {
+		return []int{a, b}
+	}
+	return []int{b, a}
+}
+
+// width returns the effective relations-per-query.
+func (c Config) width() int {
+	if c.RelationsPerQuery == 0 {
+		return 2
+	}
+	return c.RelationsPerQuery
+}
+
+// joinSel returns the effective join selectivity.
+func (c Config) joinSel() float64 {
+	if c.JoinSelectivity == 0 {
+		return 0.5
+	}
+	return c.JoinSelectivity
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSites < 1:
+		return fmt.Errorf("dquery: NumSites %d < 1", c.NumSites)
+	case c.NumDisks < 1:
+		return fmt.Errorf("dquery: NumDisks %d < 1", c.NumDisks)
+	case c.MPL < 1:
+		return fmt.Errorf("dquery: MPL %d < 1", c.MPL)
+	case c.DiskTime <= 0:
+		return fmt.Errorf("dquery: DiskTime %v must be positive", c.DiskTime)
+	case c.DiskTimeDev < 0 || c.DiskTimeDev >= 1:
+		return fmt.Errorf("dquery: DiskTimeDev %v outside [0,1)", c.DiskTimeDev)
+	case c.ThinkTime < 0:
+		return fmt.Errorf("dquery: negative ThinkTime")
+	case c.ScanCPUTime < 0 || c.JoinCPUTime < 0:
+		return fmt.Errorf("dquery: negative CPU demand")
+	case c.PageNetTime < 0:
+		return fmt.Errorf("dquery: negative PageNetTime")
+	case c.width() < 2:
+		return fmt.Errorf("dquery: RelationsPerQuery %d < 2", c.width())
+	case len(c.Relations) < c.width():
+		return fmt.Errorf("dquery: need at least %d relations, have %d", c.width(), len(c.Relations))
+	case c.joinSel() <= 0 || c.joinSel() > 1:
+		return fmt.Errorf("dquery: JoinSelectivity %v outside (0,1]", c.joinSel())
+	case c.HotProb < 0 || c.HotProb > 1:
+		return fmt.Errorf("dquery: HotProb %v outside [0,1]", c.HotProb)
+	case c.Warmup < 0 || c.Measure <= 0:
+		return fmt.Errorf("dquery: invalid horizons")
+	}
+	for _, r := range c.Relations {
+		if err := r.Validate(c.NumSites); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results holds one distributed-join run's measurements.
+type Results struct {
+	// Strategy is the planning strategy's name.
+	Strategy string
+	// Completed counts join queries finishing in the measured window.
+	Completed uint64
+	// MeanResponse is the mean end-to-end response time of a join query.
+	MeanResponse float64
+	// P95Response approximates the 95th percentile response time.
+	P95Response float64
+	// CPUUtil and DiskUtil are site means; MaxCPUUtil is the hottest
+	// site's CPU utilization — the convoy indicator for static plans.
+	CPUUtil    float64
+	DiskUtil   float64
+	MaxCPUUtil float64
+	// SubnetUtil is the ring's busy fraction; PagesShipped the total
+	// pages moved between sites.
+	SubnetUtil   float64
+	PagesShipped float64
+	// Throughput is completed joins per time unit.
+	Throughput float64
+}
+
+// System simulates the distributed-join workload. Build with New, run
+// once with Run.
+type System struct {
+	cfg   Config
+	sched *sim.Scheduler
+	sites []*site.Site
+	ring  *network.Ring
+	table *loadinfo.Table
+	strat Strategy
+	env   *PlanEnv
+
+	think   *rng.Stream
+	pairs   *rng.Stream
+	classes []workload.Class
+
+	ctx    map[*workload.Query]*JoinQuery
+	nextID uint64
+
+	measuring bool
+	startAt   float64
+	responses stats.Welford
+	respHist  *stats.Histogram
+	shipped   float64
+}
+
+// New assembles a distributed-join system from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, sched: sim.New(), ctx: make(map[*workload.Query]*JoinQuery)}
+	root := rng.NewStream(cfg.Seed)
+	s.think = root.Child(1)
+	s.pairs = root.Child(2)
+
+	var err error
+	s.strat, err = NewStrategy(cfg.Strategy, root.Child(3))
+	if err != nil {
+		return nil, err
+	}
+
+	s.ring = network.NewRing(s.sched, cfg.NumSites, cfg.PageNetTime)
+	s.table = loadinfo.NewTable(cfg.NumSites)
+	s.env = &PlanEnv{
+		View:            s.table,
+		NumSites:        cfg.NumSites,
+		NumDisks:        cfg.NumDisks,
+		DiskTime:        cfg.DiskTime,
+		ScanCPUTime:     cfg.ScanCPUTime,
+		JoinCPUTime:     cfg.JoinCPUTime,
+		PageNetTime:     cfg.PageNetTime,
+		JoinSelectivity: cfg.joinSel(),
+	}
+
+	s.classes = []workload.Class{
+		{Name: "scan", PageCPUTime: cfg.ScanCPUTime, NumReads: 1, MsgLength: 1},
+		{Name: "join", PageCPUTime: cfg.JoinCPUTime, NumReads: 1, MsgLength: 1},
+	}
+	siteCfg := site.Config{
+		NumDisks:      cfg.NumDisks,
+		DiskTime:      cfg.DiskTime,
+		DiskTimeDev:   cfg.DiskTimeDev,
+		DiskSelection: queue.SelectRandom,
+		Classes:       s.classes,
+	}
+	s.sites = make([]*site.Site, cfg.NumSites)
+	for i := range s.sites {
+		s.sites[i], err = site.New(i, s.sched, siteCfg, root.Child(uint64(100+i)), s.onSubqueryDone)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.respHist = stats.NewHistogram(0, 2000, 400)
+	return s, nil
+}
+
+// Run executes the simulation and returns its measurements.
+func (s *System) Run() Results {
+	for home := 0; home < s.cfg.NumSites; home++ {
+		for t := 0; t < s.cfg.MPL; t++ {
+			s.startThink(home)
+		}
+	}
+	if s.cfg.Warmup > 0 {
+		s.sched.At(s.cfg.Warmup, s.beginMeasurement)
+	} else {
+		s.beginMeasurement()
+	}
+	end := s.cfg.Warmup + s.cfg.Measure
+	s.sched.RunUntil(end)
+	return s.collect(end)
+}
+
+func (s *System) beginMeasurement() {
+	now := s.sched.Now()
+	s.measuring = true
+	s.startAt = now
+	for _, st := range s.sites {
+		st.ResetStats(now)
+	}
+	s.ring.ResetStats(now)
+}
+
+func (s *System) startThink(home int) {
+	s.sched.After(s.think.Exp(s.cfg.ThinkTime), func() { s.submit(home) })
+}
+
+// submit samples a relation set, plans it, and launches every scan.
+func (s *System) submit(home int) {
+	relIdx := s.sampleRelations()
+	n := len(relIdx)
+	jq := &JoinQuery{
+		ID:         s.nextID,
+		Home:       home,
+		Relations:  relIdx,
+		SubmitTime: s.sched.Now(),
+		stageWait:  make([]int, n-1),
+		stageOut:   make([]int, n-1),
+		scanOf:     make(map[*workload.Query]int, n),
+		joinOf:     make(map[*workload.Query]int, n-1),
+	}
+	s.nextID++
+	for j := range jq.stageWait {
+		jq.stageWait[j] = 2
+	}
+
+	rels := s.rels(relIdx)
+	plan := s.strat.Plan(rels, home, s.env)
+	if err := plan.Validate(rels, s.cfg.NumSites); err != nil {
+		panic(fmt.Sprintf("dquery: strategy %s produced an illegal plan: %v", s.strat.Name(), err))
+	}
+	jq.Plan = plan
+
+	for i := range rels {
+		s.launchScan(jq, i, rels[i], plan.ScanSites[i])
+	}
+}
+
+// rels resolves catalog indexes to relations.
+func (s *System) rels(idx []int) []Relation {
+	out := make([]Relation, len(idx))
+	for i, v := range idx {
+		out[i] = s.cfg.Relations[v]
+	}
+	return out
+}
+
+// sampleRelations draws the joined relations: the hot set with
+// probability HotProb, otherwise a uniformly random distinct set.
+func (s *System) sampleRelations() []int {
+	k := s.cfg.width()
+	out := make([]int, k)
+	if s.pairs.Bernoulli(s.cfg.HotProb) {
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := s.pairs.Perm(len(s.cfg.Relations))
+	copy(out, perm[:k])
+	return out
+}
+
+// launchScan starts the scan of relation position i at the chosen site.
+func (s *System) launchScan(jq *JoinQuery, i int, rel Relation, siteID int) {
+	q := &workload.Query{
+		Class:      0,
+		Home:       jq.Home,
+		Exec:       siteID,
+		ReadsTotal: rel.Pages,
+		EstReads:   float64(rel.Pages),
+		EstPageCPU: s.cfg.ScanCPUTime,
+	}
+	s.ctx[q] = jq
+	jq.scanOf[q] = i
+	s.table.Assign(siteID, s.classes[0].Bound(s.cfg.DiskTime, s.cfg.NumDisks))
+	s.sites[siteID].Execute(q)
+}
+
+// onSubqueryDone routes scan and join completions.
+func (s *System) onSubqueryDone(q *workload.Query) {
+	jq, ok := s.ctx[q]
+	if !ok {
+		panic("dquery: completion for unknown subquery")
+	}
+	delete(s.ctx, q)
+	jq.ExecService += q.Service
+	bound := s.classes[q.Class].Bound(s.cfg.DiskTime, s.cfg.NumDisks)
+	s.table.Complete(q.Exec, bound)
+
+	if q.Class == 0 {
+		i := jq.scanOf[q]
+		delete(jq.scanOf, q)
+		s.scanFinished(jq, i, q.Exec)
+		return
+	}
+	stage := jq.joinOf[q]
+	delete(jq.joinOf, q)
+	s.joinFinished(jq, stage)
+}
+
+// scanFinished ships scan i's output to its consuming join stage: scan 0
+// feeds stage 0's left input, scan i (i >= 1) feeds stage i-1's right
+// input.
+func (s *System) scanFinished(jq *JoinQuery, i, fromSite int) {
+	stage := 0
+	if i >= 1 {
+		stage = i - 1
+	}
+	out := s.cfg.Relations[jq.Relations[i]].OutPages()
+	s.deliverInput(jq, stage, fromSite, out)
+}
+
+// deliverInput moves `pages` of intermediate data to the stage's join
+// site (over the ring when remote) and counts the arrival.
+func (s *System) deliverInput(jq *JoinQuery, stage, fromSite, pages int) {
+	dest := jq.Plan.JoinSites[stage]
+	if fromSite == dest {
+		s.inputArrived(jq, stage)
+		return
+	}
+	if s.measuring {
+		s.shipped += float64(pages)
+	}
+	s.ring.Send(network.Message{
+		From:      fromSite,
+		To:        dest,
+		Size:      float64(pages),
+		OnDeliver: func() { s.inputArrived(jq, stage) },
+	})
+}
+
+// inputArrived counts down a stage's inputs and launches the join when
+// both are present.
+func (s *System) inputArrived(jq *JoinQuery, stage int) {
+	jq.stageWait[stage]--
+	if jq.stageWait[stage] > 0 {
+		return
+	}
+	pages := s.stageInput(jq, stage)
+	join := &workload.Query{
+		Class:      1,
+		Home:       jq.Home,
+		Exec:       jq.Plan.JoinSites[stage],
+		ReadsTotal: pages,
+		EstReads:   float64(pages),
+		EstPageCPU: s.cfg.JoinCPUTime,
+	}
+	s.ctx[join] = jq
+	jq.joinOf[join] = stage
+	s.table.Assign(join.Exec, s.classes[1].Bound(s.cfg.DiskTime, s.cfg.NumDisks))
+	s.sites[join.Exec].Execute(join)
+}
+
+// stageInput returns the combined input pages of a join stage.
+func (s *System) stageInput(jq *JoinQuery, stage int) int {
+	left := s.cfg.Relations[jq.Relations[0]].OutPages()
+	if stage > 0 {
+		left = jq.stageOut[stage-1]
+	}
+	right := s.cfg.Relations[jq.Relations[stage+1]].OutPages()
+	return left + right
+}
+
+// joinFinished records the stage output and either feeds the next stage
+// or returns the final result home.
+func (s *System) joinFinished(jq *JoinQuery, stage int) {
+	out := clampPages(s.cfg.joinSel() * float64(s.stageInput(jq, stage)))
+	jq.stageOut[stage] = out
+	from := jq.Plan.JoinSites[stage]
+	if stage+1 < len(jq.Plan.JoinSites) {
+		s.deliverInput(jq, stage+1, from, out)
+		return
+	}
+	if from == jq.Home {
+		s.complete(jq)
+		return
+	}
+	s.ring.Send(network.Message{
+		From:      from,
+		To:        jq.Home,
+		Size:      1, // one result page
+		OnDeliver: func() { s.complete(jq) },
+	})
+}
+
+func (s *System) complete(jq *JoinQuery) {
+	if s.measuring {
+		resp := s.sched.Now() - jq.SubmitTime
+		s.responses.Add(resp)
+		s.respHist.Add(resp)
+	}
+	s.startThink(jq.Home)
+}
+
+func (s *System) collect(end float64) Results {
+	r := Results{
+		Strategy:     s.strat.Name(),
+		Completed:    s.responses.Count(),
+		MeanResponse: s.responses.Mean(),
+		P95Response:  s.respHist.Quantile(0.95),
+		SubnetUtil:   s.ring.Utilization(end),
+		PagesShipped: s.shipped,
+	}
+	for _, st := range s.sites {
+		u := st.CPUUtilization(end)
+		r.CPUUtil += u
+		if u > r.MaxCPUUtil {
+			r.MaxCPUUtil = u
+		}
+		r.DiskUtil += st.DiskUtilization(end)
+	}
+	r.CPUUtil /= float64(len(s.sites))
+	r.DiskUtil /= float64(len(s.sites))
+	if span := end - s.startAt; span > 0 {
+		r.Throughput = float64(r.Completed) / span
+	}
+	return r
+}

@@ -1,0 +1,231 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/system"
+)
+
+// ReplicationRow is one row of the partial-replication sweep: waiting
+// time under nearest-copy ("static") and LERT allocation with k copies
+// per object.
+type ReplicationRow struct {
+	Copies     int
+	WStatic    float64 // LOCAL policy = nearest copy holder
+	WLERT      float64
+	Impr       float64 // ΔW̄ (%) of LERT over static
+	SubnetLERT float64
+	RemoteLERT float64
+}
+
+// ReplicationSweep varies the number of copies per object from 1 to the
+// number of sites on the Table-7 baseline — the future-work environment
+// of Section 6.2 and a direct probe of the Table-11 observation that
+// "there is an optimal value for the number of copies of data items".
+func ReplicationSweep(r Runner, numObjects int) ([]ReplicationRow, error) {
+	base := system.Default()
+	rows := make([]ReplicationRow, 0, base.NumSites)
+	for copies := 1; copies <= base.NumSites; copies++ {
+		placement, err := replica.NewRoundRobin(base.NumSites, numObjects, copies)
+		if err != nil {
+			return nil, fmt.Errorf("exper: replication sweep: %w", err)
+		}
+		cfg := base
+		cfg.Placement = placement
+		aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.Local, policy.LERT})
+		if err != nil {
+			return nil, fmt.Errorf("exper: replication sweep copies %d: %w", copies, err)
+		}
+		static, lert := aggs[0], aggs[1]
+		rows = append(rows, ReplicationRow{
+			Copies:     copies,
+			WStatic:    static.MeanWait.Mean,
+			WLERT:      lert.MeanWait.Mean,
+			Impr:       Improvement(static.MeanWait.Mean, lert.MeanWait.Mean),
+			SubnetLERT: lert.SubnetUtil,
+			RemoteLERT: lert.RemoteFrac,
+		})
+	}
+	return rows, nil
+}
+
+// MigrationRow compares a policy with and without mid-execution
+// migration.
+type MigrationRow struct {
+	Policy        string
+	WPlain        float64
+	WMigration    float64
+	Impr          float64 // ΔW̄ (%) from enabling migration
+	MigrationsPer float64 // migrations per completed query
+}
+
+// MigrationAblation measures what mid-execution migration (future work
+// Section 6.2) adds on top of each allocation policy.
+func MigrationAblation(r Runner, kinds []policy.Kind) ([]MigrationRow, error) {
+	rows := make([]MigrationRow, 0, len(kinds))
+	for _, kind := range kinds {
+		plain := system.Default()
+		plain.PolicyKind = kind
+		aggPlain, err := r.Run(plain)
+		if err != nil {
+			return nil, fmt.Errorf("exper: migration ablation %v: %w", kind, err)
+		}
+
+		mig := plain
+		mig.Migration = system.DefaultMigration()
+		// Aggregate migration counts across replications by hand: the
+		// Runner exposes means, so run once more at the base seed for the
+		// per-query rate.
+		aggMig, err := r.Run(mig)
+		if err != nil {
+			return nil, fmt.Errorf("exper: migration ablation %v: %w", kind, err)
+		}
+		mig.Seed = r.BaseSeed
+		if r.Warmup > 0 {
+			mig.Warmup = r.Warmup
+		}
+		if r.Measure > 0 {
+			mig.Measure = r.Measure
+		}
+		sys, err := system.New(mig)
+		if err != nil {
+			return nil, err
+		}
+		one := sys.Run()
+		rate := 0.0
+		if one.Completed > 0 {
+			rate = float64(one.Migrations) / float64(one.Completed)
+		}
+		rows = append(rows, MigrationRow{
+			Policy:        kind.String(),
+			WPlain:        aggPlain.MeanWait.Mean,
+			WMigration:    aggMig.MeanWait.Mean,
+			Impr:          Improvement(aggPlain.MeanWait.Mean, aggMig.MeanWait.Mean),
+			MigrationsPer: rate,
+		})
+	}
+	return rows, nil
+}
+
+// HeterogeneityRow compares policies on one hardware profile.
+type HeterogeneityRow struct {
+	Profile string
+	WLocal  float64
+	WBNQ    float64
+	WLERT   float64
+	// LERTEdge is LERT's improvement over BNQ (%) — the payoff of a
+	// speed-aware cost function.
+	LERTEdge float64
+}
+
+// HeterogeneitySweep relaxes the paper's homogeneity assumption: it
+// compares the policies on uniform hardware and on a mixed profile with
+// one double-speed and one half-speed CPU. Count-based policies treat a
+// slow site like any other; LERT's cost function scales with site speed.
+func HeterogeneitySweep(r Runner) ([]HeterogeneityRow, error) {
+	profiles := []struct {
+		name   string
+		speeds []float64
+	}{
+		{name: "uniform", speeds: nil},
+		{name: "one-fast-one-slow", speeds: []float64{2, 1, 1, 1, 1, 0.5}},
+		{name: "two-tier", speeds: []float64{2, 2, 2, 0.5, 0.5, 0.5}},
+	}
+	rows := make([]HeterogeneityRow, 0, len(profiles))
+	for _, p := range profiles {
+		cfg := system.Default()
+		cfg.CPUSpeeds = p.speeds
+		aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.Local, policy.BNQ, policy.LERT})
+		if err != nil {
+			return nil, fmt.Errorf("exper: heterogeneity %s: %w", p.name, err)
+		}
+		rows = append(rows, HeterogeneityRow{
+			Profile:  p.name,
+			WLocal:   aggs[0].MeanWait.Mean,
+			WBNQ:     aggs[1].MeanWait.Mean,
+			WLERT:    aggs[2].MeanWait.Mean,
+			LERTEdge: Improvement(aggs[1].MeanWait.Mean, aggs[2].MeanWait.Mean),
+		})
+	}
+	return rows, nil
+}
+
+// ProbeRow is one point of the limited-information sweep: waiting times
+// when the allocator sees only the arrival site plus k random probes.
+type ProbeRow struct {
+	Probes    int
+	WProbeBNQ float64
+	WProbeRT  float64 // probing LERT
+	WThresh   float64 // threshold policy (T=3) with k probes
+}
+
+// ProbeSweep measures how much of the full-information benefit survives
+// when the allocator probes only k sites per decision — the flip side of
+// the Section-4.4 information-exchange question. Compare against the
+// perfect-information W̄ from Table 8 and the LOCAL baseline.
+func ProbeSweep(r Runner, ks []int) ([]ProbeRow, error) {
+	rows := make([]ProbeRow, 0, len(ks))
+	for _, k := range ks {
+		row := ProbeRow{Probes: k}
+		for i, build := range []func(stream *rng.Stream) (policy.Policy, error){
+			func(st *rng.Stream) (policy.Policy, error) { return policy.NewProbeKind(policy.BNQ, k, st) },
+			func(st *rng.Stream) (policy.Policy, error) { return policy.NewProbeKind(policy.LERT, k, st) },
+			func(st *rng.Stream) (policy.Policy, error) { return policy.NewThreshold(3, k, st) },
+		} {
+			cfg := system.Default()
+			pol, err := build(rng.NewStream(900 + uint64(k)))
+			if err != nil {
+				return nil, fmt.Errorf("exper: probe sweep k=%d: %w", k, err)
+			}
+			cfg.CustomPolicy = pol
+			agg, err := r.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("exper: probe sweep k=%d: %w", k, err)
+			}
+			switch i {
+			case 0:
+				row.WProbeBNQ = agg.MeanWait.Mean
+			case 1:
+				row.WProbeRT = agg.MeanWait.Mean
+			case 2:
+				row.WThresh = agg.MeanWait.Mean
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StalenessRow is one point of the load-information staleness sweep.
+type StalenessRow struct {
+	Period float64 // 0 = perfect information
+	WBNQ   float64
+	WLERT  float64
+}
+
+// StalenessSweep measures BNQ and LERT under increasingly stale load
+// information (broadcast period sweep) — the information-exchange
+// dimension the paper defers in Section 4.4.
+func StalenessSweep(r Runner, periods []float64) ([]StalenessRow, error) {
+	rows := make([]StalenessRow, 0, len(periods))
+	for _, period := range periods {
+		cfg := system.Default()
+		if period > 0 {
+			cfg.InfoMode = system.InfoPeriodic
+			cfg.InfoPeriod = period
+		}
+		aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.BNQ, policy.LERT})
+		if err != nil {
+			return nil, fmt.Errorf("exper: staleness sweep period %v: %w", period, err)
+		}
+		rows = append(rows, StalenessRow{
+			Period: period,
+			WBNQ:   aggs[0].MeanWait.Mean,
+			WLERT:  aggs[1].MeanWait.Mean,
+		})
+	}
+	return rows, nil
+}

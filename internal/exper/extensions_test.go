@@ -1,0 +1,126 @@
+package exper
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+func TestReplicationSweepShape(t *testing.T) {
+	rows, err := ReplicationSweep(tiny(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (copies 1..6)", len(rows))
+	}
+	// With a single copy there is no allocation freedom: LERT ≈ static.
+	if rows[0].Impr > 5 || rows[0].Impr < -5 {
+		t.Errorf("copies=1: improvement %v, want ~0 (no freedom)", rows[0].Impr)
+	}
+	// Full replication must give LERT a solid edge.
+	last := rows[len(rows)-1]
+	if last.Impr < 10 {
+		t.Errorf("copies=6: improvement %v, want substantial", last.Impr)
+	}
+	// More copies -> more allocation freedom -> LERT waiting should not
+	// get dramatically worse; check monotone-ish trend loosely via the
+	// endpoints.
+	if last.WLERT >= rows[0].WLERT {
+		t.Errorf("W̄_LERT at full replication (%v) not below single copy (%v)",
+			last.WLERT, rows[0].WLERT)
+	}
+}
+
+func TestMigrationAblationShape(t *testing.T) {
+	rows, err := MigrationAblation(tiny(), []policy.Kind{policy.Local, policy.LERT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	local, lert := rows[0], rows[1]
+	if local.Policy != "LOCAL" || lert.Policy != "LERT" {
+		t.Fatalf("row order = %q/%q", local.Policy, lert.Policy)
+	}
+	// Migration must rescue the LOCAL baseline substantially...
+	if local.Impr <= 5 {
+		t.Errorf("migration on LOCAL improved only %v%%", local.Impr)
+	}
+	// ...and fire much less often when allocation is already good.
+	if lert.MigrationsPer >= local.MigrationsPer {
+		t.Errorf("migration rate under LERT (%v) not below LOCAL (%v)",
+			lert.MigrationsPer, local.MigrationsPer)
+	}
+}
+
+func TestHeterogeneitySweepShape(t *testing.T) {
+	rows, err := HeterogeneitySweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Profile != "uniform" {
+		t.Errorf("first profile = %q", rows[0].Profile)
+	}
+	for _, row := range rows {
+		if row.WLERT >= row.WLocal {
+			t.Errorf("%s: LERT (W̄=%v) not better than LOCAL (W̄=%v)",
+				row.Profile, row.WLERT, row.WLocal)
+		}
+	}
+	// The speed-aware edge must be bigger on mixed hardware.
+	if rows[1].LERTEdge <= rows[0].LERTEdge {
+		t.Errorf("LERT edge on mixed hardware (%v%%) not above uniform (%v%%)",
+			rows[1].LERTEdge, rows[0].LERTEdge)
+	}
+}
+
+func TestProbeSweepShape(t *testing.T) {
+	rows, err := ProbeSweep(tiny(), []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// More probes cannot hurt (5 probes = full coverage on 6 sites).
+	if rows[1].WProbeBNQ >= rows[0].WProbeBNQ {
+		t.Errorf("probe-5 BNQ (W̄=%v) not better than probe-1 (W̄=%v)",
+			rows[1].WProbeBNQ, rows[0].WProbeBNQ)
+	}
+	// Even one probe must beat never transferring.
+	local := system.Default()
+	local.PolicyKind = policy.Local
+	agg, err := tiny().Run(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].WProbeRT >= agg.MeanWait.Mean {
+		t.Errorf("probe-1 LERT (W̄=%v) not better than LOCAL (W̄=%v)",
+			rows[0].WProbeRT, agg.MeanWait.Mean)
+	}
+	if rows[0].WThresh >= agg.MeanWait.Mean {
+		t.Errorf("threshold policy (W̄=%v) not better than LOCAL (W̄=%v)",
+			rows[0].WThresh, agg.MeanWait.Mean)
+	}
+}
+
+func TestStalenessSweepShape(t *testing.T) {
+	rows, err := StalenessSweep(tiny(), []float64{0, 100, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Very stale information must be worse than perfect information.
+	if rows[2].WLERT <= rows[0].WLERT {
+		t.Errorf("LERT with period 800 (W̄=%v) not worse than perfect (W̄=%v)",
+			rows[2].WLERT, rows[0].WLERT)
+	}
+}

@@ -1,0 +1,225 @@
+// Package exper defines one reproduction harness per table of the
+// paper's evaluation: the analytical WIF/FIF grids of Tables 5–6 and the
+// simulation studies of Tables 8–12 (plus the msg_length variant reported
+// in the prose of Section 5.2). Each harness returns typed rows carrying
+// the same quantities the paper prints.
+package exper
+
+import (
+	"fmt"
+	"sync"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/stats"
+	"dqalloc/internal/system"
+)
+
+// Runner fixes the replication discipline for the simulation studies:
+// every configuration is run Reps times with seeds BaseSeed, BaseSeed+1,
+// …, and results are averaged. Policies being compared share the same
+// seed sequence (common random numbers), which sharpens the improvement
+// estimates the paper's tables report.
+type Runner struct {
+	// Reps is the number of independent replications per configuration.
+	Reps int
+	// BaseSeed is the first replication's seed.
+	BaseSeed uint64
+	// Warmup and Measure override the configuration's horizons when
+	// positive.
+	Warmup, Measure float64
+	// Parallel runs replications on separate goroutines. Results are
+	// identical to the serial order (each replication owns its seed and
+	// its entire model); only wall-clock time changes. Not available for
+	// configurations carrying a CustomPolicy, which may be stateful.
+	Parallel bool
+}
+
+// Quick returns a runner sized for tests and demos (a few seconds per
+// table).
+func Quick() Runner {
+	return Runner{Reps: 2, BaseSeed: 1, Warmup: 2000, Measure: 20000}
+}
+
+// Full returns the runner used for the numbers recorded in
+// EXPERIMENTS.md.
+func Full() Runner {
+	return Runner{Reps: 5, BaseSeed: 1, Warmup: 5000, Measure: 60000}
+}
+
+// Validate reports the first runner error, if any.
+func (r Runner) Validate() error {
+	if r.Reps < 1 {
+		return fmt.Errorf("exper: Reps %d < 1", r.Reps)
+	}
+	if r.Warmup < 0 || r.Measure < 0 {
+		return fmt.Errorf("exper: negative horizon")
+	}
+	return nil
+}
+
+// Aggregate summarizes the replications of one configuration.
+type Aggregate struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// MeanWait is W̄ with a 95% replication confidence interval.
+	MeanWait stats.CI
+	// Fairness is F with a 95% replication confidence interval.
+	Fairness stats.CI
+	// MeanResponse, CPUUtil, DiskUtil, SubnetUtil, Throughput and
+	// RemoteFrac are replication means.
+	MeanResponse float64
+	CPUUtil      float64
+	DiskUtil     float64
+	SubnetUtil   float64
+	Throughput   float64
+	RemoteFrac   float64
+	// Completed is the total completions across replications.
+	Completed uint64
+}
+
+// Run executes cfg across the runner's replications and aggregates.
+func (r Runner) Run(cfg system.Config) (Aggregate, error) {
+	if err := r.Validate(); err != nil {
+		return Aggregate{}, err
+	}
+	if r.Warmup > 0 {
+		cfg.Warmup = r.Warmup
+	}
+	if r.Measure > 0 {
+		cfg.Measure = r.Measure
+	}
+	results, err := r.replicate(cfg)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	waits := make([]float64, 0, r.Reps)
+	fairs := make([]float64, 0, r.Reps)
+	agg := Aggregate{Policy: cfg.PolicyName()}
+	for _, res := range results {
+		waits = append(waits, res.MeanWait)
+		fairs = append(fairs, res.Fairness)
+		agg.MeanResponse += res.MeanResponse
+		agg.CPUUtil += res.CPUUtil
+		agg.DiskUtil += res.DiskUtil
+		agg.SubnetUtil += res.SubnetUtil
+		agg.Throughput += res.Throughput
+		agg.RemoteFrac += res.RemoteFrac
+		agg.Completed += res.Completed
+	}
+	n := float64(r.Reps)
+	agg.MeanWait = stats.MeanCI(waits)
+	agg.Fairness = stats.MeanCI(fairs)
+	agg.MeanResponse /= n
+	agg.CPUUtil /= n
+	agg.DiskUtil /= n
+	agg.SubnetUtil /= n
+	agg.Throughput /= n
+	agg.RemoteFrac /= n
+	return agg, nil
+}
+
+// replicate runs the configuration once per replication seed, serially
+// or — when Parallel is set and the config has no (possibly stateful)
+// custom policy — on one goroutine per replication. Each replication
+// builds its own System, so there is no shared mutable state.
+func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
+	results := make([]system.Results, r.Reps)
+	if !r.Parallel || cfg.CustomPolicy != nil {
+		for i := range results {
+			cfg.Seed = r.BaseSeed + uint64(i)
+			sys, err := system.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = sys.Run()
+		}
+		return results, nil
+	}
+
+	// Build (and validate) every system up front so errors surface
+	// before any goroutine starts.
+	systems := make([]*system.System, r.Reps)
+	for i := range systems {
+		cfg.Seed = r.BaseSeed + uint64(i)
+		sys, err := system.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+	}
+	var wg sync.WaitGroup
+	for i, sys := range systems {
+		i, sys := i, sys
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = sys.Run()
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// RunToPrecision keeps adding replications (beyond Reps, up to maxReps)
+// until the 95% confidence interval of W̄ is narrower than relWidth of
+// its mean. It returns the final aggregate and the number of
+// replications used. Use this when a table cell must be statistically
+// solid rather than fixed-budget.
+func (r Runner) RunToPrecision(cfg system.Config, relWidth float64, maxReps int) (Aggregate, int, error) {
+	if err := r.Validate(); err != nil {
+		return Aggregate{}, 0, err
+	}
+	if relWidth <= 0 {
+		return Aggregate{}, 0, fmt.Errorf("exper: relWidth %v must be positive", relWidth)
+	}
+	if maxReps < r.Reps {
+		maxReps = r.Reps
+	}
+	reps := r.Reps
+	if reps < 2 {
+		reps = 2 // a CI needs at least two samples
+	}
+	for {
+		rr := r
+		rr.Reps = reps
+		agg, err := rr.Run(cfg)
+		if err != nil {
+			return Aggregate{}, 0, err
+		}
+		if agg.MeanWait.Mean == 0 ||
+			agg.MeanWait.HalfWide/agg.MeanWait.Mean <= relWidth ||
+			reps >= maxReps {
+			return agg, reps, nil
+		}
+		reps *= 2
+		if reps > maxReps {
+			reps = maxReps
+		}
+	}
+}
+
+// RunPolicies runs the same configuration under several policies with
+// common random numbers and returns the aggregates in order.
+func (r Runner) RunPolicies(cfg system.Config, kinds []policy.Kind) ([]Aggregate, error) {
+	out := make([]Aggregate, 0, len(kinds))
+	for _, k := range kinds {
+		c := cfg
+		c.PolicyKind = k
+		c.CustomPolicy = nil
+		agg, err := r.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// Improvement returns the paper's percentage improvement
+// ΔW̄_{X,REF}/W̄_REF × 100 of x over ref (positive = x waits less).
+func Improvement(ref, x float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return (ref - x) / ref * 100
+}

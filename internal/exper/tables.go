@@ -1,0 +1,310 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// comparedPolicies is the policy set of Tables 8 and 9.
+var comparedPolicies = []policy.Kind{policy.Local, policy.BNQ, policy.BNQRD, policy.LERT}
+
+// ImprovementRow is one row of Table 8 or Table 9: the LOCAL baseline and
+// the percentage improvements of the dynamic policies.
+type ImprovementRow struct {
+	// X is the swept parameter's value (think_time for Table 8, mpl for
+	// Table 9).
+	X float64
+	// RhoC is ρ_c, the CPU utilization under LOCAL.
+	RhoC float64
+	// WLocal is W̄_LOCAL.
+	WLocal float64
+	// VsLocal holds ΔW̄_{X,LOCAL}/W̄_LOCAL (%) for BNQ, BNQRD, LERT.
+	VsLocal [3]float64
+	// VsBNQ holds ΔW̄_{X,BNQ}/W̄_BNQ (%) for BNQRD, LERT.
+	VsBNQ [2]float64
+}
+
+// improvementRow measures one configuration under the four compared
+// policies and assembles the paper's improvement percentages.
+func (r Runner) improvementRow(cfg system.Config, x float64) (ImprovementRow, error) {
+	aggs, err := r.RunPolicies(cfg, comparedPolicies)
+	if err != nil {
+		return ImprovementRow{}, err
+	}
+	local, bnq, bnqrd, lert := aggs[0], aggs[1], aggs[2], aggs[3]
+	return ImprovementRow{
+		X:      x,
+		RhoC:   local.CPUUtil,
+		WLocal: local.MeanWait.Mean,
+		VsLocal: [3]float64{
+			Improvement(local.MeanWait.Mean, bnq.MeanWait.Mean),
+			Improvement(local.MeanWait.Mean, bnqrd.MeanWait.Mean),
+			Improvement(local.MeanWait.Mean, lert.MeanWait.Mean),
+		},
+		VsBNQ: [2]float64{
+			Improvement(bnq.MeanWait.Mean, bnqrd.MeanWait.Mean),
+			Improvement(bnq.MeanWait.Mean, lert.MeanWait.Mean),
+		},
+	}, nil
+}
+
+// Table8ThinkTimes is the think-time sweep of Table 8.
+var Table8ThinkTimes = []float64{150, 200, 250, 300, 350, 400, 450}
+
+// Table8 reproduces "Waiting time versus think time".
+func Table8(r Runner) ([]ImprovementRow, error) {
+	rows := make([]ImprovementRow, 0, len(Table8ThinkTimes))
+	for _, think := range Table8ThinkTimes {
+		cfg := system.Default()
+		cfg.ThinkTime = think
+		row, err := r.improvementRow(cfg, think)
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 8 think %v: %w", think, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MsgLengthRow is the msg_length = 2.0 variant the paper reports in prose
+// after Table 8 ("the values of ΔW̄_{X,BNQ}/W̄_BNQ changed to 16.43 and
+// 24.12 for X = BNQRD and LERT").
+type MsgLengthRow struct {
+	MsgLength  float64
+	VsBNQRD    float64 // ΔW̄_{BNQRD,BNQ}/W̄_BNQ (%)
+	VsLERT     float64 // ΔW̄_{LERT,BNQ}/W̄_BNQ (%)
+	WBNQ       float64
+	WLERT      float64
+	SubnetBNQ  float64
+	SubnetLERT float64
+}
+
+// TableMsgLength runs the msg_length variant at think_time 350.
+func TableMsgLength(r Runner, msgLength float64) (MsgLengthRow, error) {
+	cfg := system.Default()
+	for i := range cfg.Classes {
+		cfg.Classes[i].MsgLength = msgLength
+	}
+	aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.BNQ, policy.BNQRD, policy.LERT})
+	if err != nil {
+		return MsgLengthRow{}, fmt.Errorf("exper: msg length %v: %w", msgLength, err)
+	}
+	bnq, bnqrd, lert := aggs[0], aggs[1], aggs[2]
+	return MsgLengthRow{
+		MsgLength:  msgLength,
+		VsBNQRD:    Improvement(bnq.MeanWait.Mean, bnqrd.MeanWait.Mean),
+		VsLERT:     Improvement(bnq.MeanWait.Mean, lert.MeanWait.Mean),
+		WBNQ:       bnq.MeanWait.Mean,
+		WLERT:      lert.MeanWait.Mean,
+		SubnetBNQ:  bnq.SubnetUtil,
+		SubnetLERT: lert.SubnetUtil,
+	}, nil
+}
+
+// Table9MPLs is the multiprogramming-level sweep of Table 9.
+var Table9MPLs = []int{15, 20, 25, 30, 35}
+
+// Table9 reproduces "Waiting time versus mpl".
+func Table9(r Runner) ([]ImprovementRow, error) {
+	rows := make([]ImprovementRow, 0, len(Table9MPLs))
+	for _, mpl := range Table9MPLs {
+		cfg := system.Default()
+		cfg.MPL = mpl
+		row, err := r.improvementRow(cfg, float64(mpl))
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 9 mpl %d: %w", mpl, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table10Targets is the response-time column of Table 10.
+var Table10Targets = []float64{40, 50, 60, 70, 80}
+
+// CapacityRow is one row of Table 10: the maximum mpl at which each
+// policy still meets the expected-response-time target.
+type CapacityRow struct {
+	Target   float64
+	MaxLocal int
+	MaxLERT  int
+}
+
+// Table10 reproduces "Maximum mpl versus response time": for each target
+// it searches the largest mpl whose mean response time stays within the
+// target, for LOCAL and for LERT.
+func Table10(r Runner) ([]CapacityRow, error) {
+	const maxMPL = 60
+	search := func(kind policy.Kind, target float64) (int, error) {
+		// Mean response grows with mpl, so binary search the threshold.
+		resp := make(map[int]float64)
+		eval := func(mpl int) (float64, error) {
+			if v, ok := resp[mpl]; ok {
+				return v, nil
+			}
+			cfg := system.Default()
+			cfg.MPL = mpl
+			cfg.PolicyKind = kind
+			agg, err := r.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			resp[mpl] = agg.MeanResponse
+			return agg.MeanResponse, nil
+		}
+		lo, hi := 1, maxMPL // invariant: lo meets the target (or nothing does)
+		v, err := eval(lo)
+		if err != nil {
+			return 0, err
+		}
+		if v > target {
+			return 0, nil
+		}
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			v, err := eval(mid)
+			if err != nil {
+				return 0, err
+			}
+			if v <= target {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo, nil
+	}
+
+	rows := make([]CapacityRow, 0, len(Table10Targets))
+	for _, target := range Table10Targets {
+		maxLocal, err := search(policy.Local, target)
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 10 target %v: %w", target, err)
+		}
+		maxLERT, err := search(policy.LERT, target)
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 10 target %v: %w", target, err)
+		}
+		rows = append(rows, CapacityRow{Target: target, MaxLocal: maxLocal, MaxLERT: maxLERT})
+	}
+	return rows, nil
+}
+
+// Table11Sites is the system-size sweep of Table 11.
+var Table11Sites = []int{2, 4, 6, 8, 10}
+
+// SitesRow is one row of Table 11: improvements over LOCAL and subnet
+// utilizations for BNQ and LERT at one system size.
+type SitesRow struct {
+	NumSites   int
+	WLocal     float64
+	ImprBNQ    float64 // ΔW̄_{BNQ,LOCAL}/W̄_LOCAL (%)
+	ImprLERT   float64 // ΔW̄_{LERT,LOCAL}/W̄_LOCAL (%)
+	SubnetBNQ  float64 // subnet utilization under BNQ (%)
+	SubnetLERT float64 // subnet utilization under LERT (%)
+}
+
+// Table11 reproduces "Waiting time and subnet utilization versus number
+// of sites".
+func Table11(r Runner) ([]SitesRow, error) {
+	rows := make([]SitesRow, 0, len(Table11Sites))
+	for _, n := range Table11Sites {
+		cfg := system.Default()
+		cfg.NumSites = n
+		aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.Local, policy.BNQ, policy.LERT})
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 11 sites %d: %w", n, err)
+		}
+		local, bnq, lert := aggs[0], aggs[1], aggs[2]
+		rows = append(rows, SitesRow{
+			NumSites:   n,
+			WLocal:     local.MeanWait.Mean,
+			ImprBNQ:    Improvement(local.MeanWait.Mean, bnq.MeanWait.Mean),
+			ImprLERT:   Improvement(local.MeanWait.Mean, lert.MeanWait.Mean),
+			SubnetBNQ:  bnq.SubnetUtil * 100,
+			SubnetLERT: lert.SubnetUtil * 100,
+		})
+	}
+	return rows, nil
+}
+
+// Table12Probs is the class-mix sweep of Table 12.
+var Table12Probs = []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// FairnessRow is one row of Table 12: waiting time and fairness versus
+// the I/O-bound class probability.
+type FairnessRow struct {
+	ClassIOProb float64
+	UtilRatio   float64 // ρ_d / ρ_c under LOCAL
+	WLocal      float64
+	ImprBNQ     float64 // ΔW̄_{BNQ,LOCAL}/W̄_LOCAL (%)
+	ImprLERT    float64
+	FLocal      float64
+	// FImprBNQ and FImprLERT are ΔF_{X,LOCAL}/F_LOCAL (%): the reduction
+	// in the magnitude of the class bias (negative = fairness worsened).
+	FImprBNQ  float64
+	FImprLERT float64
+}
+
+// Table12 reproduces "W̄ and F versus class_io_prob".
+func Table12(r Runner) ([]FairnessRow, error) {
+	rows := make([]FairnessRow, 0, len(Table12Probs))
+	for _, pio := range Table12Probs {
+		cfg := system.Default()
+		cfg.ClassProbs = []float64{pio, 1 - pio}
+		aggs, err := r.RunPolicies(cfg, []policy.Kind{policy.Local, policy.BNQ, policy.LERT})
+		if err != nil {
+			return nil, fmt.Errorf("exper: table 12 p_io %v: %w", pio, err)
+		}
+		local, bnq, lert := aggs[0], aggs[1], aggs[2]
+		row := FairnessRow{
+			ClassIOProb: pio,
+			WLocal:      local.MeanWait.Mean,
+			ImprBNQ:     Improvement(local.MeanWait.Mean, bnq.MeanWait.Mean),
+			ImprLERT:    Improvement(local.MeanWait.Mean, lert.MeanWait.Mean),
+			FLocal:      local.Fairness.Mean,
+		}
+		if local.CPUUtil > 0 {
+			row.UtilRatio = local.DiskUtil / local.CPUUtil
+		}
+		row.FImprBNQ = fairnessImprovement(local.Fairness.Mean, bnq.Fairness.Mean)
+		row.FImprLERT = fairnessImprovement(local.Fairness.Mean, lert.Fairness.Mean)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fairnessImprovement returns the percentage reduction in |F| relative
+// to the LOCAL case, matching the paper's ΔF_{X,LOCAL}/F_LOCAL column
+// (which can be negative when dynamic allocation overshoots the bias).
+func fairnessImprovement(fLocal, fX float64) float64 {
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	if abs(fLocal) == 0 {
+		return 0
+	}
+	return (abs(fLocal) - abs(fX)) / abs(fLocal) * 100
+}
+
+// CrossoverMPL interpolates Table 9-style data to find where two response
+// curves cross a target; exported for the capacity-planning example.
+// Rows must be sorted by X.
+func CrossoverMPL(rows []ImprovementRow, wLimit float64) (float64, bool) {
+	sorted := append([]ImprovementRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if a.WLocal <= wLimit && b.WLocal >= wLimit && b.WLocal != a.WLocal {
+			t := (wLimit - a.WLocal) / (b.WLocal - a.WLocal)
+			return a.X + t*(b.X-a.X), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,66 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/optimal"
+)
+
+// FactorCell is one cell of Table 5 or 6: the improvement factor for one
+// arrival condition A(L, i).
+type FactorCell struct {
+	// LoadIndex identifies the load matrix (0-based column group).
+	LoadIndex int
+	// Class is the arriving query's class (0-based; the paper prints 1/2).
+	Class int
+	// Value is the WIF or FIF.
+	Value float64
+}
+
+// FactorRow is one row of Table 5 or 6: a CPU-demand ratio and its twelve
+// cells (six load matrices × two arrival classes).
+type FactorRow struct {
+	Ratio optimal.CPURatio
+	Cells []FactorCell
+}
+
+// FactorKind selects which factor a grid reports.
+type FactorKind int
+
+const (
+	// WIFKind selects the Waiting Improvement Factor (Table 5).
+	WIFKind FactorKind = iota + 1
+	// FIFKind selects the Fairness Improvement Factor (Table 6).
+	FIFKind
+)
+
+// Table5 computes the Waiting Improvement Factor grid of Table 5.
+func Table5() ([]FactorRow, error) { return factorGrid(WIFKind) }
+
+// Table6 computes the Fairness Improvement Factor grid of Table 6.
+func Table6() ([]FactorRow, error) { return factorGrid(FIFKind) }
+
+func factorGrid(kind FactorKind) ([]FactorRow, error) {
+	matrices := optimal.PaperLoadMatrices()
+	var rows []FactorRow
+	for _, ratio := range optimal.PaperCPURatios() {
+		p := optimal.PaperParams(ratio.CPU1, ratio.CPU2)
+		row := FactorRow{Ratio: ratio}
+		for li, l := range matrices {
+			for class := 0; class < 2; class++ {
+				a, err := optimal.Evaluate(p, l, class)
+				if err != nil {
+					return nil, fmt.Errorf("exper: table 5/6 ratio %s L%d class %d: %w",
+						ratio.Label(), li+1, class+1, err)
+				}
+				v := a.WIF()
+				if kind == FIFKind {
+					v = a.FIF()
+				}
+				row.Cells = append(row.Cells, FactorCell{LoadIndex: li, Class: class, Value: v})
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,262 @@
+// Package mva implements exact multiclass Mean Value Analysis for closed
+// product-form queuing networks (Reiser & Lavenberg, "Mean Value Analysis
+// of Closed Multichain Queuing Networks", JACM 1980 — the paper's [Reis78]
+// reference). The paper uses this algorithm for its Section 3 study of
+// optimal single-allocation decisions; we additionally use it to cross-
+// validate the discrete-event simulator.
+//
+// Supported stations are single-server queueing centers (FCFS with class-
+// independent exponential service, or processor sharing with arbitrary
+// per-class demands) and delay (infinite-server) centers. These are
+// exactly the centers of the paper's DB-site model.
+package mva
+
+import (
+	"fmt"
+	"math"
+)
+
+// StationKind distinguishes queueing from delay stations.
+type StationKind int
+
+const (
+	// Queueing is a single-server station with queueing (FCFS or PS; both
+	// obey the same exact-MVA arrival theorem in product-form networks).
+	Queueing StationKind = iota + 1
+	// Delay is an infinite-server station (pure think/service time, no
+	// queueing).
+	Delay
+)
+
+// String returns the kind name.
+func (k StationKind) String() string {
+	switch k {
+	case Queueing:
+		return "queueing"
+	case Delay:
+		return "delay"
+	default:
+		return "unknown"
+	}
+}
+
+// Station is one service center with per-class service demands
+// (visit ratio × mean service time per visit).
+type Station struct {
+	Name   string
+	Kind   StationKind
+	Demand []float64
+}
+
+// Network is a closed multiclass queuing network under construction.
+type Network struct {
+	classes  int
+	stations []Station
+}
+
+// NewNetwork returns an empty network with the given number of classes.
+func NewNetwork(classes int) *Network {
+	if classes <= 0 {
+		panic("mva: need at least one class")
+	}
+	return &Network{classes: classes}
+}
+
+// Classes returns the number of customer classes.
+func (n *Network) Classes() int { return n.classes }
+
+// Stations returns the number of stations added so far.
+func (n *Network) Stations() int { return len(n.stations) }
+
+// AddStation appends a station. demand must have one non-negative entry
+// per class.
+func (n *Network) AddStation(name string, kind StationKind, demand ...float64) error {
+	if kind != Queueing && kind != Delay {
+		return fmt.Errorf("mva: invalid station kind %d", kind)
+	}
+	if len(demand) != n.classes {
+		return fmt.Errorf("mva: station %q has %d demands for %d classes", name, len(demand), n.classes)
+	}
+	for _, d := range demand {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("mva: station %q has invalid demand %v", name, d)
+		}
+	}
+	n.stations = append(n.stations, Station{Name: name, Kind: kind, Demand: append([]float64(nil), demand...)})
+	return nil
+}
+
+// Solution holds the exact steady-state metrics at the full population.
+type Solution struct {
+	// Population is the per-class population the network was solved at.
+	Population []int
+	// Throughput is the per-class cycle throughput X_r.
+	Throughput []float64
+	// Residence[m][r] is class r's mean residence time per cycle at
+	// station m (waiting plus service).
+	Residence [][]float64
+	// QueueLen[m] is station m's mean total queue length.
+	QueueLen []float64
+	// QueueLenByClass[m][r] is the per-class decomposition of QueueLen.
+	QueueLenByClass [][]float64
+
+	demands [][]float64 // station × class, for waiting-time derivation
+}
+
+// ResponseTime returns class r's total residence time per cycle across
+// all stations.
+func (s *Solution) ResponseTime(r int) float64 {
+	total := 0.0
+	for m := range s.Residence {
+		total += s.Residence[m][r]
+	}
+	return total
+}
+
+// ServiceDemand returns class r's total service demand per cycle.
+func (s *Solution) ServiceDemand(r int) float64 {
+	total := 0.0
+	for m := range s.demands {
+		total += s.demands[m][r]
+	}
+	return total
+}
+
+// WaitingTime returns class r's mean queueing time per cycle: residence
+// minus pure service demand. This is the paper's "expected waiting time
+// per cycle".
+func (s *Solution) WaitingTime(r int) float64 {
+	return s.ResponseTime(r) - s.ServiceDemand(r)
+}
+
+// NormalizedWaiting returns class r's waiting time per cycle divided by
+// its service demand per cycle — the Ŵ of Section 3.
+func (s *Solution) NormalizedWaiting(r int) float64 {
+	d := s.ServiceDemand(r)
+	if d == 0 {
+		return 0
+	}
+	return s.WaitingTime(r) / d
+}
+
+// Utilization returns station m's utilization: Σ_r X_r · D_{m,r}.
+func (s *Solution) Utilization(m int) float64 {
+	u := 0.0
+	for r, x := range s.Throughput {
+		u += x * s.demands[m][r]
+	}
+	return u
+}
+
+// Solve runs the exact MVA recursion up to the given per-class
+// population. Population entries must be non-negative; the lattice of
+// intermediate populations is evaluated in lexicographic order so every
+// n − e_r precedes n.
+func (n *Network) Solve(pop []int) (*Solution, error) {
+	if len(pop) != n.classes {
+		return nil, fmt.Errorf("mva: population has %d classes, network has %d", len(pop), n.classes)
+	}
+	for r, p := range pop {
+		if p < 0 {
+			return nil, fmt.Errorf("mva: negative population for class %d", r)
+		}
+	}
+	if len(n.stations) == 0 {
+		return nil, fmt.Errorf("mva: network has no stations")
+	}
+
+	nClasses := n.classes
+	nStations := len(n.stations)
+
+	// Mixed-radix addressing over the population lattice.
+	dims := make([]int, nClasses)
+	stride := make([]int, nClasses)
+	total := 1
+	for r := 0; r < nClasses; r++ {
+		dims[r] = pop[r] + 1
+		stride[r] = total
+		total *= dims[r]
+	}
+
+	// queueLen[idx] = per-station mean queue lengths at population idx.
+	queueLen := make([][]float64, total)
+	queueLen[0] = make([]float64, nStations)
+
+	vec := make([]int, nClasses)
+	residence := make([][]float64, nStations)
+	for m := range residence {
+		residence[m] = make([]float64, nClasses)
+	}
+	throughput := make([]float64, nClasses)
+
+	for idx := 1; idx < total; idx++ {
+		// Decode idx into the population vector.
+		rem := idx
+		for r := 0; r < nClasses; r++ {
+			vec[r] = rem % dims[r]
+			rem /= dims[r]
+		}
+
+		for r := 0; r < nClasses; r++ {
+			throughput[r] = 0
+			if vec[r] == 0 {
+				for m := range n.stations {
+					residence[m][r] = 0
+				}
+				continue
+			}
+			prev := queueLen[idx-stride[r]]
+			sum := 0.0
+			for m, st := range n.stations {
+				d := st.Demand[r]
+				if st.Kind == Queueing {
+					residence[m][r] = d * (1 + prev[m])
+				} else {
+					residence[m][r] = d
+				}
+				sum += residence[m][r]
+			}
+			if sum > 0 {
+				throughput[r] = float64(vec[r]) / sum
+			}
+		}
+
+		ql := make([]float64, nStations)
+		for m := range n.stations {
+			for r := 0; r < nClasses; r++ {
+				ql[m] += throughput[r] * residence[m][r]
+			}
+		}
+		queueLen[idx] = ql
+	}
+
+	sol := &Solution{
+		Population:      append([]int(nil), pop...),
+		Throughput:      make([]float64, nClasses),
+		Residence:       make([][]float64, nStations),
+		QueueLen:        make([]float64, nStations),
+		QueueLenByClass: make([][]float64, nStations),
+		demands:         make([][]float64, nStations),
+	}
+	if total == 1 {
+		// Empty network: zero everything, demands still reported.
+		for m, st := range n.stations {
+			sol.Residence[m] = make([]float64, nClasses)
+			sol.QueueLenByClass[m] = make([]float64, nClasses)
+			sol.demands[m] = append([]float64(nil), st.Demand...)
+		}
+		return sol, nil
+	}
+	copy(sol.Throughput, throughput)
+	for m, st := range n.stations {
+		sol.Residence[m] = append([]float64(nil), residence[m]...)
+		sol.QueueLen[m] = queueLen[total-1][m]
+		byClass := make([]float64, nClasses)
+		for r := 0; r < nClasses; r++ {
+			byClass[r] = throughput[r] * residence[m][r]
+		}
+		sol.QueueLenByClass[m] = byClass
+		sol.demands[m] = append([]float64(nil), st.Demand...)
+	}
+	return sol, nil
+}

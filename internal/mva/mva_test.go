@@ -1,0 +1,282 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleStationSingleClass(t *testing.T) {
+	// One queueing station, N customers cycling through it: everyone
+	// queues at the single station, so R(N) = N·D and X = 1/D.
+	net := NewNetwork(1)
+	if err := net.AddStation("cpu", Queueing, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		sol, err := net.Solve([]int{n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(sol.ResponseTime(0), float64(n)*2, 1e-9) {
+			t.Errorf("N=%d: R = %v, want %v", n, sol.ResponseTime(0), float64(n)*2)
+		}
+		if !almostEqual(sol.Throughput[0], 0.5, 1e-9) {
+			t.Errorf("N=%d: X = %v, want 0.5", n, sol.Throughput[0])
+		}
+		if !almostEqual(sol.WaitingTime(0), float64(n-1)*2, 1e-9) {
+			t.Errorf("N=%d: W = %v, want %v", n, sol.WaitingTime(0), float64(n-1)*2)
+		}
+	}
+}
+
+func TestInteractiveSystemSmall(t *testing.T) {
+	// Terminal (delay Z=4) + CPU (D=1), N=2. Hand recursion:
+	// N=1: R=1, X=1/(4+1)=0.2, Q=0.2.
+	// N=2: R=1·(1+0.2)=1.2, X=2/(4+1.2)=0.384615…, Q=0.4615…
+	net := NewNetwork(1)
+	if err := net.AddStation("think", Delay, 4.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("cpu", Queueing, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Throughput[0], 2.0/5.2, 1e-9) {
+		t.Errorf("X = %v, want %v", sol.Throughput[0], 2.0/5.2)
+	}
+	if !almostEqual(sol.Residence[1][0], 1.2, 1e-9) {
+		t.Errorf("CPU residence = %v, want 1.2", sol.Residence[1][0])
+	}
+}
+
+func TestLittlesLawAcrossStations(t *testing.T) {
+	// Total mean queue lengths (including delay-station customers) must
+	// equal the total population.
+	net := NewNetwork(2)
+	if err := net.AddStation("think", Delay, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("cpu", Queueing, 1.0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk1", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk2", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for m := range sol.QueueLen {
+		total += sol.QueueLen[m]
+	}
+	if !almostEqual(total, 7, 1e-9) {
+		t.Errorf("Σ queue lengths = %v, want population 7", total)
+	}
+}
+
+// TestPopulationConservationQuick is the same invariant as a property
+// test over random demands and populations.
+func TestPopulationConservationQuick(t *testing.T) {
+	f := func(d1, d2, d3 uint8, n1, n2 uint8) bool {
+		net := NewNetwork(2)
+		toDemand := func(v uint8) float64 { return 0.1 + float64(v%40)/10 }
+		if err := net.AddStation("a", Queueing, toDemand(d1), toDemand(d2)); err != nil {
+			return false
+		}
+		if err := net.AddStation("b", Queueing, toDemand(d3), toDemand(d1)); err != nil {
+			return false
+		}
+		if err := net.AddStation("z", Delay, toDemand(d2)*5, toDemand(d3)*5); err != nil {
+			return false
+		}
+		pop := []int{int(n1 % 6), int(n2 % 6)}
+		sol, err := net.Solve(pop)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for m := range sol.QueueLen {
+			total += sol.QueueLen[m]
+		}
+		return almostEqual(total, float64(pop[0]+pop[1]), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	net := NewNetwork(2)
+	if err := net.AddStation("cpu", Queueing, 1.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 2; m++ {
+		u := sol.Utilization(m)
+		if u < 0 || u > 1+1e-9 {
+			t.Errorf("station %d utilization = %v outside [0,1]", m, u)
+		}
+	}
+	// CPU is the bottleneck; with 8 customers it should be nearly
+	// saturated.
+	if sol.Utilization(0) < 0.95 {
+		t.Errorf("bottleneck utilization = %v, want > 0.95", sol.Utilization(0))
+	}
+}
+
+func TestSymmetricClassesEqualMetrics(t *testing.T) {
+	net := NewNetwork(2)
+	if err := net.AddStation("cpu", Queueing, 1.0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Throughput[0], sol.Throughput[1], 1e-12) {
+		t.Errorf("symmetric classes: X = %v vs %v", sol.Throughput[0], sol.Throughput[1])
+	}
+	if !almostEqual(sol.WaitingTime(0), sol.WaitingTime(1), 1e-12) {
+		t.Errorf("symmetric classes: W = %v vs %v", sol.WaitingTime(0), sol.WaitingTime(1))
+	}
+}
+
+func TestEmptyPopulation(t *testing.T) {
+	net := NewNetwork(2)
+	if err := net.AddStation("cpu", Queueing, 1.0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput[0] != 0 || sol.QueueLen[0] != 0 {
+		t.Errorf("empty network: X=%v Q=%v, want zeros", sol.Throughput[0], sol.QueueLen[0])
+	}
+}
+
+func TestOneClassEmpty(t *testing.T) {
+	net := NewNetwork(2)
+	if err := net.AddStation("cpu", Queueing, 1.0, 7.0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := net.Solve([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty class contributes nothing; the populated class behaves as
+	// single-class.
+	if sol.Throughput[1] != 0 {
+		t.Errorf("empty class throughput = %v, want 0", sol.Throughput[1])
+	}
+	if !almostEqual(sol.ResponseTime(0), 3.0, 1e-9) {
+		t.Errorf("R = %v, want 3 (N·D single station)", sol.ResponseTime(0))
+	}
+}
+
+func TestMoreLoadMoreWaiting(t *testing.T) {
+	// Waiting time must be monotone in the competing population.
+	net := NewNetwork(2)
+	if err := net.AddStation("cpu", Queueing, 0.05, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk1", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("disk2", Queueing, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for other := 0; other <= 5; other++ {
+		sol, err := net.Solve([]int{1, other})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := sol.WaitingTime(0)
+		if w <= prev {
+			t.Errorf("waiting not increasing: W(%d) = %v <= %v", other, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	net := NewNetwork(2)
+	if err := net.AddStation("bad-kind", StationKind(0), 1, 1); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if err := net.AddStation("bad-arity", Queueing, 1); err == nil {
+		t.Error("wrong demand arity accepted")
+	}
+	if err := net.AddStation("bad-demand", Queueing, -1, 1); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if err := net.AddStation("nan", Queueing, math.NaN(), 1); err == nil {
+		t.Error("NaN demand accepted")
+	}
+	if err := net.AddStation("ok", Queueing, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Solve([]int{1}); err == nil {
+		t.Error("wrong population arity accepted")
+	}
+	if _, err := net.Solve([]int{-1, 0}); err == nil {
+		t.Error("negative population accepted")
+	}
+	empty := NewNetwork(1)
+	if _, err := empty.Solve([]int{1}); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestStationKindString(t *testing.T) {
+	if Queueing.String() != "queueing" || Delay.String() != "delay" ||
+		StationKind(0).String() != "unknown" {
+		t.Error("StationKind.String mismatch")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	net := NewNetwork(3)
+	if net.Classes() != 3 || net.Stations() != 0 {
+		t.Error("fresh network accessors wrong")
+	}
+	if err := net.AddStation("s", Delay, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stations() != 1 {
+		t.Error("Stations() != 1 after AddStation")
+	}
+}
+
+func BenchmarkSolvePaperSite(b *testing.B) {
+	net := NewNetwork(2)
+	_ = net.AddStation("cpu", Queueing, 0.05, 1.0)
+	_ = net.AddStation("disk1", Queueing, 0.5, 0.5)
+	_ = net.AddStation("disk2", Queueing, 0.5, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Solve([]int{3, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

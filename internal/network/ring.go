@@ -1,0 +1,158 @@
+// Package network models the paper's communications subnetwork (Section
+// 2): "a simple token-ring style local network" with a single outgoing
+// message queue per site, round-robin polling for send requests, a
+// transmission cost linear in message length, and negligible polling
+// overhead.
+package network
+
+import (
+	"dqalloc/internal/sim"
+	"dqalloc/internal/stats"
+)
+
+// Message is one transfer over the ring: a query descriptor being shipped
+// to a remote execution site, or a result page set returning home.
+type Message struct {
+	From int     // sending site
+	To   int     // receiving site
+	Size float64 // message length in bytes
+
+	// OnDeliver runs at the instant the transmission completes. It must
+	// not be nil.
+	OnDeliver func()
+
+	enqueuedAt float64
+}
+
+// Ring is the polled token-ring medium shared by all sites. Exactly one
+// message is in flight at a time; after each transmission the ring resumes
+// polling at the next site, giving sites round-robin access.
+type Ring struct {
+	sched   *sim.Scheduler
+	perByte float64
+
+	queues    [][]Message
+	pending   int
+	cursor    int // next site to poll
+	busy      bool
+	util      stats.TimeWeighted
+	qlen      stats.TimeWeighted
+	delivered uint64
+	bytes     float64
+	waits     stats.Welford // ring queueing delay per message (excl. transmission)
+}
+
+// NewRing builds a ring connecting numSites sites, with a transmission
+// time of perByte time units per byte of message length.
+func NewRing(sched *sim.Scheduler, numSites int, perByte float64) *Ring {
+	if numSites <= 0 {
+		panic("network: ring needs at least one site")
+	}
+	if perByte < 0 {
+		panic("network: negative per-byte cost")
+	}
+	return &Ring{
+		sched:   sched,
+		perByte: perByte,
+		queues:  make([][]Message, numSites),
+	}
+}
+
+// TransmitTime returns the time the ring needs to transmit size bytes,
+// excluding any queueing.
+func (r *Ring) TransmitTime(size float64) float64 { return size * r.perByte }
+
+// Send places a message in the sender's outgoing queue. Delivery happens
+// after the ring polls the sender and transmits the message.
+func (r *Ring) Send(m Message) {
+	if m.OnDeliver == nil {
+		panic("network: message without OnDeliver")
+	}
+	if m.From < 0 || m.From >= len(r.queues) || m.To < 0 || m.To >= len(r.queues) {
+		panic("network: message endpoint out of range")
+	}
+	now := r.sched.Now()
+	m.enqueuedAt = now
+	r.queues[m.From] = append(r.queues[m.From], m)
+	r.pending++
+	r.qlen.Set(now, float64(r.pending))
+	if !r.busy {
+		r.poll()
+	}
+}
+
+// Pending returns the number of messages waiting or in flight.
+func (r *Ring) Pending() int { return r.pending }
+
+// Delivered returns the number of completed transmissions.
+func (r *Ring) Delivered() uint64 { return r.delivered }
+
+// BytesCarried returns the total bytes transmitted.
+func (r *Ring) BytesCarried() float64 { return r.bytes }
+
+// Utilization returns the fraction of time the ring was transmitting over
+// the stats window ending at t. This is the paper's "subnet utilization"
+// (Table 11).
+func (r *Ring) Utilization(t float64) float64 { return r.util.MeanAt(t) }
+
+// MeanPending returns the time-average number of queued messages over the
+// stats window ending at t.
+func (r *Ring) MeanPending(t float64) float64 { return r.qlen.MeanAt(t) }
+
+// MeanWait returns the mean ring queueing delay per delivered message,
+// excluding transmission time.
+func (r *Ring) MeanWait() float64 { return r.waits.Mean() }
+
+// ResetStats restarts the measurement windows at t.
+func (r *Ring) ResetStats(t float64) {
+	r.util.Reset(t)
+	r.qlen.Reset(t)
+	r.delivered = 0
+	r.bytes = 0
+	r.waits.Reset()
+}
+
+// poll scans sites round-robin from the cursor and transmits the first
+// pending message found. Polling overhead is negligible per the paper, so
+// the scan itself takes zero simulated time.
+func (r *Ring) poll() {
+	if r.pending == 0 {
+		return
+	}
+	n := len(r.queues)
+	for i := 0; i < n; i++ {
+		s := (r.cursor + i) % n
+		if len(r.queues[s]) == 0 {
+			continue
+		}
+		m := r.queues[s][0]
+		copy(r.queues[s], r.queues[s][1:])
+		r.queues[s][len(r.queues[s])-1] = Message{}
+		r.queues[s] = r.queues[s][:len(r.queues[s])-1]
+		r.cursor = (s + 1) % n
+		r.transmit(m)
+		return
+	}
+}
+
+func (r *Ring) transmit(m Message) {
+	now := r.sched.Now()
+	r.busy = true
+	r.util.Set(now, 1)
+	r.waits.Add(now - m.enqueuedAt)
+	r.sched.After(r.TransmitTime(m.Size), func() { r.complete(m) })
+}
+
+func (r *Ring) complete(m Message) {
+	now := r.sched.Now()
+	r.pending--
+	r.qlen.Set(now, float64(r.pending))
+	r.delivered++
+	r.bytes += m.Size
+	r.busy = false
+	r.util.Set(now, 0)
+	// Resume polling before delivering so that a delivery action that
+	// immediately sends again observes a consistent ring state.
+	r.poll()
+	m.OnDeliver()
+}

@@ -1,0 +1,176 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/sim"
+)
+
+func TestRingDeliversWithLinearCost(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 4, 0.5)
+	var deliveredAt float64 = -1
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 2, Size: 6, OnDeliver: func() { deliveredAt = s.Now() }})
+	})
+	s.Run()
+	if deliveredAt != 3 { // 6 bytes * 0.5 per byte
+		t.Errorf("delivered at %v, want 3", deliveredAt)
+	}
+	if r.Delivered() != 1 || r.BytesCarried() != 6 {
+		t.Errorf("delivered/bytes = %d/%v, want 1/6", r.Delivered(), r.BytesCarried())
+	}
+}
+
+func TestRingSerializesTransmissions(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	var times []float64
+	deliver := func() { times = append(times, s.Now()) }
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 1, Size: 2, OnDeliver: deliver})
+		r.Send(Message{From: 0, To: 1, Size: 2, OnDeliver: deliver})
+		r.Send(Message{From: 1, To: 0, Size: 2, OnDeliver: deliver})
+	})
+	s.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("delivery times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestRingRoundRobinFairness(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 3, 1)
+	var order []int
+	send := func(site int) {
+		r.Send(Message{From: site, To: (site + 1) % 3, Size: 1,
+			OnDeliver: func() { order = append(order, site) }})
+	}
+	s.At(0, func() {
+		// Two messages per site; round-robin must interleave sites
+		// rather than draining site 0 first.
+		send(0)
+		send(0)
+		send(1)
+		send(1)
+		send(2)
+		send(2)
+	})
+	s.Run()
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRingCursorAdvancesPastIdleSites(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 4, 1)
+	var order []int
+	send := func(site int) {
+		r.Send(Message{From: site, To: 0, Size: 1,
+			OnDeliver: func() { order = append(order, site) }})
+	}
+	s.At(0, func() { send(2); send(3); send(2) })
+	s.Run()
+	// Cursor starts at 0; sites 0 and 1 are idle, so 2 transmits first,
+	// then polling resumes at 3, then wraps to 2 again.
+	want := []int{2, 3, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRingUtilization(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 1, Size: 3, OnDeliver: func() {}})
+	})
+	s.RunUntil(10)
+	if got := r.Utilization(10); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.3", got)
+	}
+}
+
+func TestRingWaitExcludesTransmission(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 1, Size: 4, OnDeliver: func() {}}) // waits 0
+		r.Send(Message{From: 1, To: 0, Size: 4, OnDeliver: func() {}}) // waits 4
+	})
+	s.Run()
+	if got := r.MeanWait(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean ring wait = %v, want 2", got)
+	}
+}
+
+func TestRingDeliveryCanSendAgain(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	hops := 0
+	var bounce func()
+	bounce = func() {
+		hops++
+		if hops < 5 {
+			r.Send(Message{From: hops % 2, To: (hops + 1) % 2, Size: 1, OnDeliver: bounce})
+		}
+	}
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 1, Size: 1, OnDeliver: bounce})
+	})
+	s.Run()
+	if hops != 5 {
+		t.Errorf("hops = %d, want 5", hops)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", r.Pending())
+	}
+}
+
+func TestRingResetStats(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	s.At(0, func() {
+		r.Send(Message{From: 0, To: 1, Size: 5, OnDeliver: func() {}})
+	})
+	s.At(6, func() { r.ResetStats(6) })
+	s.RunUntil(12)
+	if got := r.Utilization(12); got != 0 {
+		t.Errorf("post-reset utilization = %v, want 0", got)
+	}
+	if r.Delivered() != 0 || r.BytesCarried() != 0 {
+		t.Error("post-reset counters not cleared")
+	}
+}
+
+func TestRingPanicsOnBadEndpoint(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range endpoint did not panic")
+		}
+	}()
+	r.Send(Message{From: 0, To: 5, Size: 1, OnDeliver: func() {}})
+}
+
+func TestRingPanicsOnNilDeliver(t *testing.T) {
+	s := sim.New()
+	r := NewRing(s, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil OnDeliver did not panic")
+		}
+	}()
+	r.Send(Message{From: 0, To: 1, Size: 1})
+}

@@ -1,0 +1,383 @@
+// Package optimal reproduces the paper's Section 3 study of optimal
+// single-allocation decisions. For an arrival A(L, i) — a class-i query
+// arriving at a system whose load distribution is the matrix L — it
+// evaluates every candidate allocation with exact MVA, locates the
+// optimal one, and computes the Waiting Improvement Factor (WIF, Table 5)
+// and Fairness Improvement Factor (FIF, Table 6) relative to the
+// "balance the number of queries" (BNQ) strategy.
+//
+// As in the paper, think times and read counts are taken as large:
+// each site is a saturated closed network whose queries cycle through its
+// disks and CPU forever, and metrics are per cycle.
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/mva"
+)
+
+// Params fixes the site hardware and per-cycle class demands for the
+// study (the paper uses 4 sites, 2 disks, disk_time 1, and a grid of
+// per-page CPU demand pairs).
+type Params struct {
+	// NumSites is the number of candidate DB sites.
+	NumSites int
+	// NumDisks is the number of disks per site.
+	NumDisks int
+	// DiskTime is the per-cycle disk demand (one page access per cycle).
+	DiskTime float64
+	// PageCPU is the per-cycle CPU demand of each class.
+	PageCPU []float64
+}
+
+// Validate reports the first parameter error, if any.
+func (p Params) Validate() error {
+	switch {
+	case p.NumSites < 1:
+		return fmt.Errorf("optimal: NumSites %d < 1", p.NumSites)
+	case p.NumDisks < 1:
+		return fmt.Errorf("optimal: NumDisks %d < 1", p.NumDisks)
+	case p.DiskTime <= 0:
+		return fmt.Errorf("optimal: DiskTime %v must be positive", p.DiskTime)
+	case len(p.PageCPU) == 0:
+		return fmt.Errorf("optimal: no classes")
+	}
+	for i, c := range p.PageCPU {
+		if c < 0 {
+			return fmt.Errorf("optimal: negative CPU demand for class %d", i)
+		}
+	}
+	return nil
+}
+
+// cycleDemand returns class r's total service demand per cycle.
+func (p Params) cycleDemand(r int) float64 { return p.PageCPU[r] + p.DiskTime }
+
+// LoadMatrix is the paper's L = [l_{i,j}]: the number of class-i queries
+// being served at site j. Rows are classes, columns sites.
+type LoadMatrix [][]int
+
+// Validate checks the matrix shape against the parameters.
+func (l LoadMatrix) Validate(p Params) error {
+	if len(l) != len(p.PageCPU) {
+		return fmt.Errorf("optimal: load matrix has %d classes, params have %d", len(l), len(p.PageCPU))
+	}
+	for i, row := range l {
+		if len(row) != p.NumSites {
+			return fmt.Errorf("optimal: class %d row has %d sites, want %d", i, len(row), p.NumSites)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("optimal: negative load l[%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// SiteTotals returns the query-count vector N = [n_1..n_S].
+func (l LoadMatrix) SiteTotals() []int {
+	if len(l) == 0 {
+		return nil
+	}
+	totals := make([]int, len(l[0]))
+	for _, row := range l {
+		for j, v := range row {
+			totals[j] += v
+		}
+	}
+	return totals
+}
+
+// ClassTotals returns the per-class query counts across all sites.
+func (l LoadMatrix) ClassTotals() []int {
+	totals := make([]int, len(l))
+	for i, row := range l {
+		for _, v := range row {
+			totals[i] += v
+		}
+	}
+	return totals
+}
+
+// QueryDifference returns the paper's QD: max |n_i − n_j| over sites.
+func (l LoadMatrix) QueryDifference() int {
+	totals := l.SiteTotals()
+	lo, hi := totals[0], totals[0]
+	for _, v := range totals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Outcome holds the per-cycle metrics of allocating the arrival to one
+// candidate site.
+type Outcome struct {
+	// Site is the candidate execution site.
+	Site int
+	// ArrivalWait is the new query's expected waiting time per cycle.
+	ArrivalWait float64
+	// ArrivalResponse is the new query's expected residence time per cycle.
+	ArrivalResponse float64
+	// Fairness is the system-wide |Ŵ_1 − Ŵ_2| after this allocation.
+	Fairness float64
+}
+
+// TieBreak selects how W̄_BNQ and F_BNQ are derived when several sites
+// tie on the minimal query count. The paper never specifies its
+// convention, and the all-tied cells of Tables 5–6 are sensitive to it;
+// exposing the alternatives quantifies that sensitivity (see
+// EXPERIMENTS.md).
+type TieBreak int
+
+const (
+	// TieAverage averages the metric over all tied sites — the default,
+	// modelling a BNQ that picks uniformly among minima.
+	TieAverage TieBreak = iota + 1
+	// TieFirst always picks the lowest-indexed tied site.
+	TieFirst
+	// TieBest charitably picks the tied site with the best metric value.
+	TieBest
+	// TieWorst adversarially picks the tied site with the worst value.
+	TieWorst
+)
+
+// String returns the convention name.
+func (tb TieBreak) String() string {
+	switch tb {
+	case TieAverage:
+		return "average"
+	case TieFirst:
+		return "first"
+	case TieBest:
+		return "best"
+	case TieWorst:
+		return "worst"
+	default:
+		return "unknown"
+	}
+}
+
+// Analysis is the full evaluation of one arrival A(L, i).
+type Analysis struct {
+	// Class is the arriving query's class.
+	Class int
+	// Outcomes holds one entry per candidate site.
+	Outcomes []Outcome
+	// BNQSites are the sites the minimal-QD (fewest queries) strategy
+	// may choose; metrics for BNQ average over them.
+	BNQSites []int
+	// WaitBNQ and WaitOpt are W̄_BNQ(L,i) and W̄_OPT(L,i).
+	WaitBNQ, WaitOpt float64
+	// FairBNQ and FairOpt are F_BNQ(L,i) and F_OPT(L,i).
+	FairBNQ, FairOpt float64
+	// OptWaitSite and OptFairSite are the allocations achieving WaitOpt
+	// and FairOpt (ties to the lowest index).
+	OptWaitSite, OptFairSite int
+}
+
+// WIF returns the Waiting Improvement Factor
+// (W̄_BNQ − W̄_OPT) / W̄_BNQ, zero when BNQ's waiting is zero.
+func (a *Analysis) WIF() float64 {
+	if a.WaitBNQ == 0 {
+		return 0
+	}
+	return (a.WaitBNQ - a.WaitOpt) / a.WaitBNQ
+}
+
+// FIF returns the Fairness Improvement Factor
+// (F_BNQ − F_OPT) / F_BNQ, zero when BNQ's unfairness is zero.
+func (a *Analysis) FIF() float64 {
+	if a.FairBNQ == 0 {
+		return 0
+	}
+	return (a.FairBNQ - a.FairOpt) / a.FairBNQ
+}
+
+// BNQMetrics recomputes W̄_BNQ and F_BNQ under an alternative tie-break
+// convention (Evaluate's stored values use TieAverage).
+func (a *Analysis) BNQMetrics(tb TieBreak) (wait, fair float64) {
+	switch tb {
+	case TieFirst:
+		o := a.Outcomes[a.BNQSites[0]]
+		return o.ArrivalWait, o.Fairness
+	case TieBest:
+		wait, fair = math.Inf(1), math.Inf(1)
+		for _, j := range a.BNQSites {
+			wait = math.Min(wait, a.Outcomes[j].ArrivalWait)
+			fair = math.Min(fair, a.Outcomes[j].Fairness)
+		}
+		return wait, fair
+	case TieWorst:
+		for _, j := range a.BNQSites {
+			wait = math.Max(wait, a.Outcomes[j].ArrivalWait)
+			fair = math.Max(fair, a.Outcomes[j].Fairness)
+		}
+		return wait, fair
+	default:
+		return a.WaitBNQ, a.FairBNQ
+	}
+}
+
+// WIFWith and FIFWith return the improvement factors under an
+// alternative tie-break convention.
+func (a *Analysis) WIFWith(tb TieBreak) float64 {
+	wait, _ := a.BNQMetrics(tb)
+	if wait == 0 {
+		return 0
+	}
+	return (wait - a.WaitOpt) / wait
+}
+
+// FIFWith is the FIF analogue of WIFWith.
+func (a *Analysis) FIFWith(tb TieBreak) float64 {
+	_, fair := a.BNQMetrics(tb)
+	if fair == 0 {
+		return 0
+	}
+	return (fair - a.FairOpt) / fair
+}
+
+// Evaluate analyzes the arrival of a class-`class` query at a system with
+// load distribution L, trying every candidate site.
+func Evaluate(p Params, l LoadMatrix, class int) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := l.Validate(p); err != nil {
+		return nil, err
+	}
+	if class < 0 || class >= len(p.PageCPU) {
+		return nil, fmt.Errorf("optimal: class %d out of range", class)
+	}
+
+	a := &Analysis{Class: class}
+	for j := 0; j < p.NumSites; j++ {
+		o, err := evaluateAllocation(p, l, class, j)
+		if err != nil {
+			return nil, err
+		}
+		a.Outcomes = append(a.Outcomes, o)
+	}
+
+	// BNQ candidates: sites with the minimal query count.
+	totals := l.SiteTotals()
+	minTotal := totals[0]
+	for _, v := range totals[1:] {
+		if v < minTotal {
+			minTotal = v
+		}
+	}
+	for j, v := range totals {
+		if v == minTotal {
+			a.BNQSites = append(a.BNQSites, j)
+		}
+	}
+
+	for _, j := range a.BNQSites {
+		a.WaitBNQ += a.Outcomes[j].ArrivalWait
+		a.FairBNQ += a.Outcomes[j].Fairness
+	}
+	a.WaitBNQ /= float64(len(a.BNQSites))
+	a.FairBNQ /= float64(len(a.BNQSites))
+
+	a.WaitOpt, a.FairOpt = math.Inf(1), math.Inf(1)
+	for j, o := range a.Outcomes {
+		if o.ArrivalWait < a.WaitOpt {
+			a.WaitOpt = o.ArrivalWait
+			a.OptWaitSite = j
+		}
+		if o.Fairness < a.FairOpt {
+			a.FairOpt = o.Fairness
+			a.OptFairSite = j
+		}
+	}
+	return a, nil
+}
+
+// evaluateAllocation computes the arrival's waiting time and the
+// system-wide fairness when the new class-`class` query is placed at site
+// `target`.
+func evaluateAllocation(p Params, l LoadMatrix, class, target int) (Outcome, error) {
+	nClasses := len(p.PageCPU)
+
+	// Per-site populations after the allocation.
+	waits := make([][]float64, p.NumSites) // [site][class] waiting per cycle
+	for j := 0; j < p.NumSites; j++ {
+		pop := make([]int, nClasses)
+		for r := 0; r < nClasses; r++ {
+			pop[r] = l[r][j]
+		}
+		if j == target {
+			pop[class]++
+		}
+		sol, err := solveSite(p, pop)
+		if err != nil {
+			return Outcome{}, err
+		}
+		w := make([]float64, nClasses)
+		for r := 0; r < nClasses; r++ {
+			if pop[r] > 0 {
+				w[r] = sol.WaitingTime(r)
+			}
+		}
+		waits[j] = w
+	}
+
+	o := Outcome{Site: target, ArrivalWait: waits[target][class]}
+	o.ArrivalResponse = o.ArrivalWait + p.cycleDemand(class)
+
+	// System-wide normalized expected waiting per class: the average over
+	// every query of that class (including the arrival) of its per-cycle
+	// waiting divided by its per-cycle demand.
+	norm := make([]float64, nClasses)
+	counts := make([]int, nClasses)
+	for j := 0; j < p.NumSites; j++ {
+		for r := 0; r < nClasses; r++ {
+			c := l[r][j]
+			if j == target && r == class {
+				c++
+			}
+			if c == 0 {
+				continue
+			}
+			norm[r] += float64(c) * waits[j][r] / p.cycleDemand(r)
+			counts[r] += c
+		}
+	}
+	for r := 0; r < nClasses; r++ {
+		if counts[r] > 0 {
+			norm[r] /= float64(counts[r])
+		}
+	}
+	if nClasses >= 2 {
+		o.Fairness = math.Abs(norm[0] - norm[1])
+	}
+	return o, nil
+}
+
+// solveSite runs exact MVA on one site: a PS CPU plus NumDisks FCFS disks
+// with equal visit probabilities.
+func solveSite(p Params, pop []int) (*mva.Solution, error) {
+	net := mva.NewNetwork(len(p.PageCPU))
+	if err := net.AddStation("cpu", mva.Queueing, p.PageCPU...); err != nil {
+		return nil, err
+	}
+	perDisk := make([]float64, len(p.PageCPU))
+	for r := range perDisk {
+		perDisk[r] = p.DiskTime / float64(p.NumDisks)
+	}
+	for d := 0; d < p.NumDisks; d++ {
+		if err := net.AddStation(fmt.Sprintf("disk%d", d), mva.Queueing, perDisk...); err != nil {
+			return nil, err
+		}
+	}
+	return net.Solve(pop)
+}

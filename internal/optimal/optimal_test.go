@@ -1,0 +1,235 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadMatrixHelpers(t *testing.T) {
+	l := LoadMatrix{{2, 1, 0, 0}, {0, 0, 1, 1}}
+	totals := l.SiteTotals()
+	want := []int{2, 1, 1, 1}
+	for j := range want {
+		if totals[j] != want[j] {
+			t.Fatalf("SiteTotals = %v, want %v", totals, want)
+		}
+	}
+	if qd := l.QueryDifference(); qd != 1 {
+		t.Errorf("QueryDifference = %d, want 1", qd)
+	}
+	ct := l.ClassTotals()
+	if ct[0] != 3 || ct[1] != 2 {
+		t.Errorf("ClassTotals = %v, want [3 2]", ct)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := PaperParams(0.05, 1.0)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper params rejected: %v", err)
+	}
+	bad := []Params{
+		{NumSites: 0, NumDisks: 2, DiskTime: 1, PageCPU: []float64{1, 1}},
+		{NumSites: 4, NumDisks: 0, DiskTime: 1, PageCPU: []float64{1, 1}},
+		{NumSites: 4, NumDisks: 2, DiskTime: 0, PageCPU: []float64{1, 1}},
+		{NumSites: 4, NumDisks: 2, DiskTime: 1},
+		{NumSites: 4, NumDisks: 2, DiskTime: 1, PageCPU: []float64{-1, 1}},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if err := (LoadMatrix{{1, 1}}).Validate(p); err == nil {
+		t.Error("wrong-shape matrix accepted")
+	}
+	if err := (LoadMatrix{{1, 1, 1, -1}, {0, 0, 0, 0}}).Validate(p); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := Evaluate(p, PaperLoadMatrices()[0], 5); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+}
+
+func TestEvaluateBalancedSymmetricLoad(t *testing.T) {
+	// All sites identical: every allocation is equivalent, so WIF = 0.
+	p := PaperParams(0.05, 1.0)
+	l := LoadMatrix{{1, 1, 1, 1}, {1, 1, 1, 1}}
+	a, err := Evaluate(p, l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BNQSites) != 4 {
+		t.Errorf("BNQ candidates = %v, want all 4 sites", a.BNQSites)
+	}
+	if a.WIF() > 1e-9 {
+		t.Errorf("WIF = %v on a symmetric load, want 0", a.WIF())
+	}
+	for _, o := range a.Outcomes[1:] {
+		if math.Abs(o.ArrivalWait-a.Outcomes[0].ArrivalWait) > 1e-9 {
+			t.Error("symmetric sites produced different arrival waits")
+		}
+	}
+}
+
+func TestOptimalPrefersComplementarySite(t *testing.T) {
+	// An I/O-bound arrival should prefer a site loaded with a CPU-bound
+	// query over a site loaded with an I/O-bound query: they compete for
+	// different resources.
+	p := PaperParams(0.05, 1.0)
+	l := LoadMatrix{
+		{1, 0, 0, 0}, // class 1 (io) query at site 0
+		{0, 1, 0, 0}, // class 2 (cpu) query at site 1
+	}
+	a, err := Evaluate(p, l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites 2 and 3 are empty: zero waiting, clearly optimal.
+	if a.WaitOpt > 1e-9 {
+		t.Errorf("W_OPT = %v, want 0 at an idle site", a.WaitOpt)
+	}
+	// Co-locating with the CPU-bound query must beat co-locating with the
+	// I/O-bound one.
+	if a.Outcomes[1].ArrivalWait >= a.Outcomes[0].ArrivalWait {
+		t.Errorf("wait with cpu-bound neighbor (%v) not below wait with io-bound neighbor (%v)",
+			a.Outcomes[1].ArrivalWait, a.Outcomes[0].ArrivalWait)
+	}
+}
+
+func TestWIFGrowsWithDemandRatio(t *testing.T) {
+	// Table 5, L = [[1,1,0,0],[0,0,1,1]], arrival class 1: at fixed cpu1,
+	// increasing the cpu2/cpu1 ratio increases WIF (paper: .14→.24 at
+	// cpu1=.05 and .20→.31 at cpu1=.10), and all values stay inside the
+	// paper's observed band (0–0.45).
+	l := PaperLoadMatrices()[0]
+	wif := func(cpu1, cpu2 float64) float64 {
+		a, err := Evaluate(PaperParams(cpu1, cpu2), l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := a.WIF()
+		if v < 0 || v > 0.45 {
+			t.Errorf("WIF(%v/%v) = %v outside the paper's band", cpu1, cpu2, v)
+		}
+		return v
+	}
+	if wif(0.05, 1.0) <= wif(0.05, 0.5) {
+		t.Error("WIF did not grow with ratio at cpu1 = .05")
+	}
+	if wif(0.10, 2.0) <= wif(0.10, 1.0) {
+		t.Error("WIF did not grow with ratio at cpu1 = .10")
+	}
+}
+
+func TestWIFNonNegativeAcrossPaperGrid(t *testing.T) {
+	// BNQ can never beat OPT: OPT minimizes over all sites including
+	// BNQ's choices. FIF likewise.
+	for _, ratio := range PaperCPURatios() {
+		p := PaperParams(ratio.CPU1, ratio.CPU2)
+		for li, l := range PaperLoadMatrices() {
+			for class := 0; class < 2; class++ {
+				a, err := Evaluate(p, l, class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.WIF() < -1e-12 || a.WIF() > 1 {
+					t.Errorf("ratio %s L%d class %d: WIF = %v outside [0,1]",
+						ratio.Label(), li+1, class+1, a.WIF())
+				}
+				if a.FIF() < -1e-12 || a.FIF() > 1 {
+					t.Errorf("ratio %s L%d class %d: FIF = %v outside [0,1]",
+						ratio.Label(), li+1, class+1, a.FIF())
+				}
+				if a.WaitOpt > a.WaitBNQ+1e-12 {
+					t.Error("W_OPT exceeds W_BNQ")
+				}
+			}
+		}
+	}
+}
+
+func TestFIFSubstantialOnPaperGrid(t *testing.T) {
+	// Table 6's headline: "in all cases a significant improvement in the
+	// fairness of the system can be achieved". Check the grid's mean FIF
+	// is large even if individual cells vary.
+	var sum float64
+	var n int
+	for _, ratio := range PaperCPURatios() {
+		p := PaperParams(ratio.CPU1, ratio.CPU2)
+		for _, l := range PaperLoadMatrices() {
+			for class := 0; class < 2; class++ {
+				a, err := Evaluate(p, l, class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += a.FIF()
+				n++
+			}
+		}
+	}
+	if mean := sum / float64(n); mean < 0.3 {
+		t.Errorf("mean FIF over the paper grid = %v, want substantial (> 0.3)", mean)
+	}
+}
+
+func TestWaitAndFairOptimaOftenDiffer(t *testing.T) {
+	// Section 3: "W_OPT and F_OPT were achieved by different allocations
+	// in about half of the cases". Verify the phenomenon occurs in a
+	// meaningful fraction of the grid.
+	differ, total := 0, 0
+	for _, ratio := range PaperCPURatios() {
+		p := PaperParams(ratio.CPU1, ratio.CPU2)
+		for _, l := range PaperLoadMatrices() {
+			for class := 0; class < 2; class++ {
+				a, err := Evaluate(p, l, class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total++
+				if a.OptWaitSite != a.OptFairSite {
+					differ++
+				}
+			}
+		}
+	}
+	frac := float64(differ) / float64(total)
+	if frac < 0.2 || frac > 0.9 {
+		t.Errorf("optima differ in %v of cases, paper observes about half", frac)
+	}
+}
+
+func TestHigherTotalLoadLowersWIF(t *testing.T) {
+	// Section 3: "an increase in the number of queries ... decreases the
+	// beneficial impact that resource demand estimates may have".
+	// Compare the 4-query L1 with the 5-query L3 for class-1 arrivals
+	// across the mid ratios (matrices whose BNQ choice is not a full tie,
+	// where the paper's unspecified tie-break dominates the cell).
+	ms := PaperLoadMatrices()
+	for _, ratio := range PaperCPURatios()[1:4] {
+		p := PaperParams(ratio.CPU1, ratio.CPU2)
+		light, err := Evaluate(p, ms[0], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy, err := Evaluate(p, ms[2], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heavy.WIF() >= light.WIF() {
+			t.Errorf("%s: WIF(L3) = %v >= WIF(L1) = %v; paper reports the opposite trend",
+				ratio.Label(), heavy.WIF(), light.WIF())
+		}
+	}
+}
+
+func TestCPURatioLabels(t *testing.T) {
+	for _, r := range PaperCPURatios() {
+		if r.Label() == "" {
+			t.Errorf("ratio %+v has no label", r)
+		}
+	}
+	if (CPURatio{CPU1: 9, CPU2: 9}).Label() != "" {
+		t.Error("unknown ratio got a label")
+	}
+}

@@ -1,0 +1,66 @@
+package optimal
+
+// This file fixes the exact grid of arrival conditions the paper analyzes
+// in Tables 5 and 6.
+
+// PaperParams returns the Section 3 setting (Table 4): four sites, two
+// disks per site, disk time 1, and the given per-class CPU demands.
+func PaperParams(cpu1, cpu2 float64) Params {
+	return Params{
+		NumSites: 4,
+		NumDisks: 2,
+		DiskTime: 1,
+		PageCPU:  []float64{cpu1, cpu2},
+	}
+}
+
+// CPURatio is one row of Tables 5/6: the pair of per-page CPU demands.
+type CPURatio struct {
+	CPU1, CPU2 float64
+}
+
+// Label returns the row label as printed in the paper, e.g. ".05/0.5".
+func (c CPURatio) Label() string {
+	switch {
+	case c.CPU1 == 0.05 && c.CPU2 == 0.5:
+		return ".05/0.5"
+	case c.CPU1 == 0.05 && c.CPU2 == 1.0:
+		return ".05/1.0"
+	case c.CPU1 == 0.10 && c.CPU2 == 1.0:
+		return ".10/1.0"
+	case c.CPU1 == 0.10 && c.CPU2 == 2.0:
+		return ".10/2.0"
+	case c.CPU1 == 0.50 && c.CPU2 == 2.0:
+		return ".50/2.0"
+	case c.CPU1 == 0.50 && c.CPU2 == 2.5:
+		return ".50/2.5"
+	default:
+		return ""
+	}
+}
+
+// PaperCPURatios returns the six cpu1/cpu2 rows of Tables 5 and 6.
+func PaperCPURatios() []CPURatio {
+	return []CPURatio{
+		{CPU1: 0.05, CPU2: 0.5},
+		{CPU1: 0.05, CPU2: 1.0},
+		{CPU1: 0.10, CPU2: 1.0},
+		{CPU1: 0.10, CPU2: 2.0},
+		{CPU1: 0.50, CPU2: 2.0},
+		{CPU1: 0.50, CPU2: 2.5},
+	}
+}
+
+// PaperLoadMatrices returns the six load distributions L heading the
+// columns of Tables 5 and 6 (row 1 = class 1 counts per site, row 2 =
+// class 2 counts per site).
+func PaperLoadMatrices() []LoadMatrix {
+	return []LoadMatrix{
+		{{1, 1, 0, 0}, {0, 0, 1, 1}},
+		{{1, 1, 1, 0}, {0, 0, 0, 1}},
+		{{2, 1, 0, 0}, {0, 0, 1, 1}},
+		{{2, 1, 1, 0}, {0, 0, 0, 1}},
+		{{2, 1, 2, 0}, {0, 0, 0, 1}},
+		{{2, 1, 1, 0}, {0, 1, 1, 2}},
+	}
+}

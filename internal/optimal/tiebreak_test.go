@@ -1,0 +1,94 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTieBreakString(t *testing.T) {
+	for tb, want := range map[TieBreak]string{
+		TieAverage: "average", TieFirst: "first", TieBest: "best",
+		TieWorst: "worst", TieBreak(0): "unknown",
+	} {
+		if tb.String() != want {
+			t.Errorf("TieBreak(%d).String() = %q, want %q", tb, tb.String(), want)
+		}
+	}
+}
+
+func TestTieBreakOrdering(t *testing.T) {
+	// For any arrival: best <= average <= worst, and first lies between
+	// best and worst.
+	for _, ratio := range PaperCPURatios() {
+		p := PaperParams(ratio.CPU1, ratio.CPU2)
+		for _, l := range PaperLoadMatrices() {
+			for class := 0; class < 2; class++ {
+				a, err := Evaluate(p, l, class)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wb, _ := a.BNQMetrics(TieBest)
+				wa, _ := a.BNQMetrics(TieAverage)
+				ww, _ := a.BNQMetrics(TieWorst)
+				wf, _ := a.BNQMetrics(TieFirst)
+				if wb > wa+1e-12 || wa > ww+1e-12 {
+					t.Fatalf("best %v <= average %v <= worst %v violated", wb, wa, ww)
+				}
+				if wf < wb-1e-12 || wf > ww+1e-12 {
+					t.Fatalf("first %v outside [best %v, worst %v]", wf, wb, ww)
+				}
+			}
+		}
+	}
+}
+
+func TestTieBreakDefaultMatchesEvaluate(t *testing.T) {
+	a, err := Evaluate(PaperParams(0.05, 1.0), PaperLoadMatrices()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, f := a.BNQMetrics(TieAverage)
+	if w != a.WaitBNQ || f != a.FairBNQ {
+		t.Error("TieAverage does not match Evaluate's stored metrics")
+	}
+	if a.WIFWith(TieAverage) != a.WIF() || a.FIFWith(TieAverage) != a.FIF() {
+		t.Error("factor helpers disagree with defaults")
+	}
+}
+
+func TestTieBreakSpreadOnAllTiedMatrix(t *testing.T) {
+	// L2 = [[1,1,1,0],[0,0,0,1]] ties every site; the tie-break choice
+	// should swing WIF substantially there — the sensitivity behind the
+	// Tables 5/6 divergent cells.
+	a, err := Evaluate(PaperParams(0.05, 0.5), PaperLoadMatrices()[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BNQSites) != 4 {
+		t.Fatalf("expected all-tied BNQ, got %v", a.BNQSites)
+	}
+	spread := a.WIFWith(TieWorst) - a.WIFWith(TieBest)
+	if spread < 0.1 {
+		t.Errorf("tie-break WIF spread = %v, expected substantial (> 0.1)", spread)
+	}
+	if a.WIFWith(TieBest) > 1e-9 {
+		t.Errorf("charitable tie-break should reach the optimum (WIF %v)", a.WIFWith(TieBest))
+	}
+}
+
+func TestTieBreakNonTiedMatrixInsensitive(t *testing.T) {
+	// L4 = [[2,1,1,0],[0,0,0,1]]: sites 1-3 tie but site 0 does not; the
+	// spread exists yet stays smaller than the fully-tied case... for
+	// WIF specifically verify worst >= first >= best holds with real
+	// separation available.
+	a, err := Evaluate(PaperParams(0.05, 1.0), PaperLoadMatrices()[3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BNQSites) != 3 {
+		t.Fatalf("BNQ sites = %v, want 3 tied", a.BNQSites)
+	}
+	if math.IsNaN(a.WIFWith(TieFirst)) {
+		t.Error("NaN WIF")
+	}
+}

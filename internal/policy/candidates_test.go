@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/workload"
+)
+
+func TestSelectorRespectsCandidates(t *testing.T) {
+	sel := NewSelector(bnqCost{}, 4)
+	env := testEnv(fixedView{io: []int{0, 9, 0, 0}, cpu: []int{0, 0, 0, 0}}, 4)
+	env.Candidates = []int{1, 3}
+	// Site 0 is idle but not a candidate; site 1 is loaded; site 3 idle.
+	for i := 0; i < 5; i++ {
+		if got := sel.Select(ioQuery(), 0, env); got != 3 {
+			t.Fatalf("selector chose %d, want candidate 3", got)
+		}
+	}
+}
+
+func TestSelectorKeepsCandidateArrival(t *testing.T) {
+	sel := NewSelector(bnqCost{}, 4)
+	env := testEnv(fixedView{io: []int{1, 1, 1, 1}, cpu: []int{0, 0, 0, 0}}, 4)
+	env.Candidates = []int{0, 2}
+	if got := sel.Select(ioQuery(), 0, env); got != 0 {
+		t.Errorf("tied candidate arrival not kept: chose %d", got)
+	}
+}
+
+func TestLocalFallsBackToNearestCopy(t *testing.T) {
+	p, err := New(Local, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(fixedView{io: make([]int, 6), cpu: make([]int, 6)}, 6)
+	env.NumSites = 6
+	env.Candidates = []int{1, 4}
+	tests := []struct {
+		arrival int
+		want    int
+	}{
+		{arrival: 1, want: 1}, // holds a copy
+		{arrival: 2, want: 4}, // downstream: 4 is 2 hops, 1 is 5 hops
+		{arrival: 5, want: 1}, // wraps: 1 is 2 hops, 4 is 5 hops
+		{arrival: 0, want: 1},
+	}
+	for _, tt := range tests {
+		if got := p.Select(ioQuery(), tt.arrival, env); got != tt.want {
+			t.Errorf("arrival %d -> %d, want %d", tt.arrival, got, tt.want)
+		}
+	}
+}
+
+func TestRandomStaysInCandidates(t *testing.T) {
+	p, err := New(Random, 6, rng.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(fixedView{io: make([]int, 6), cpu: make([]int, 6)}, 6)
+	env.NumSites = 6
+	env.Candidates = []int{2, 5}
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		counts[p.Select(ioQuery(), 0, env)]++
+	}
+	if len(counts) != 2 || counts[2] == 0 || counts[5] == 0 {
+		t.Errorf("random picks = %v, want both candidates only", counts)
+	}
+}
+
+func TestLERTWithCandidatesPricesNetwork(t *testing.T) {
+	p, err := New(LERT, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival holds a copy; the only other candidate is idle but the
+	// query is tiny, so the message cost should keep it local.
+	env := testEnv(fixedView{io: []int{1, 0, 9, 9}, cpu: []int{0, 0, 0, 0}}, 4)
+	env.Candidates = []int{0, 1}
+	q := &workload.Query{EstReads: 1, EstPageCPU: 0.05}
+	if got := p.Select(q, 0, env); got != 0 {
+		t.Errorf("LERT moved a tiny query to %d despite message cost", got)
+	}
+	big := &workload.Query{EstReads: 40, EstPageCPU: 0.05}
+	if got := p.Select(big, 0, env); got != 1 {
+		t.Errorf("LERT kept a big query local (got %d), idle candidate ignored", got)
+	}
+}
+
+func TestSelectorCandidateRotation(t *testing.T) {
+	sel := NewSelector(bnqCost{}, 4)
+	env := testEnv(fixedView{io: []int{9, 0, 0, 0}, cpu: []int{0, 0, 0, 0}}, 4)
+	env.Candidates = []int{1, 2, 3}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		seen[sel.Select(ioQuery(), 0, env)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("tied candidates never rotated: %v", seen)
+	}
+}

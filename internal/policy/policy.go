@@ -1,0 +1,317 @@
+// Package policy implements the paper's dynamic query allocation
+// algorithms (Section 4): the generic site-selection procedure of Figure
+// 3 and the cost functions of Figures 4–6 (BNQ, BNQRD, LERT), plus the
+// LOCAL and RANDOM baselines used in the evaluation.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/workload"
+)
+
+// Env carries everything a policy may consult when costing a site: the
+// load view, the (homogeneous) site hardware parameters, and the network
+// cost model.
+type Env struct {
+	// View exposes per-site query counts (possibly stale).
+	View loadinfo.View
+	// NumSites is the number of candidate DB sites.
+	NumSites int
+	// NumDisks and DiskTime describe each site's storage hardware.
+	NumDisks int
+	DiskTime float64
+	// NetTime returns the pure transmission time (no queueing) to ship
+	// query q from site `from` for execution at site `to` and return its
+	// results; it is zero when from == to.
+	NetTime func(q *workload.Query, from, to int) float64
+	// Candidates restricts the allocation to the listed sites (the sites
+	// holding a copy of the data the query references, in the partially
+	// replicated extension). nil means every site is a candidate — the
+	// paper's fully replicated environment. Must be non-empty when set.
+	Candidates []int
+	// CPUSpeeds gives each site's CPU speed factor in the heterogeneity
+	// extension. nil means the paper's homogeneous sites (speed 1
+	// everywhere). LERT consults this; the count-based policies cannot.
+	CPUSpeeds []float64
+}
+
+// cpuSpeed returns site's CPU speed factor (1 when homogeneous).
+func (e *Env) cpuSpeed(site int) float64 {
+	if e.CPUSpeeds == nil {
+		return 1
+	}
+	return e.CPUSpeeds[site]
+}
+
+// candidateAllowed reports whether site may execute the query under the
+// current candidate restriction.
+func (e *Env) candidateAllowed(site int) bool {
+	if e.Candidates == nil {
+		return true
+	}
+	for _, s := range e.Candidates {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryBound classifies a query with the rule of Section 4.2, using the
+// optimizer's demand estimates: if the per-disk I/O demand exceeds the
+// per-page CPU demand the query is I/O-bound, otherwise CPU-bound.
+func QueryBound(q *workload.Query, diskTime float64, numDisks int) workload.Bound {
+	if diskTime/float64(numDisks) > q.EstPageCPU {
+		return workload.IOBound
+	}
+	return workload.CPUBound
+}
+
+// Policy chooses the execution site for a newly submitted query.
+type Policy interface {
+	// Name returns the policy's short name as used in the paper's tables.
+	Name() string
+	// Select returns the chosen execution site for q, which arrived at
+	// site arrival.
+	Select(q *workload.Query, arrival int, env *Env) int
+}
+
+// Kind enumerates the built-in policies.
+type Kind int
+
+const (
+	// Local always executes queries at their arrival site (the paper's
+	// "LOCAL" reference case).
+	Local Kind = iota + 1
+	// Random picks a uniformly random site — a no-information baseline
+	// beyond the paper's set.
+	Random
+	// BNQ balances the number of queries at each site (Figure 4).
+	BNQ
+	// BNQRD balances the number of queries of the same bound (Figure 5).
+	BNQRD
+	// LERT routes to the least estimated response time (Figure 6).
+	LERT
+	// Work balances the outstanding *estimated work* per resource — an
+	// extension exploiting the paper's observation that load is a
+	// two-dimensional quantity (Section 1): the cost of a site is its
+	// bottleneck resource's backlog after accepting the query.
+	Work
+)
+
+// String returns the policy name used in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Local:
+		return "LOCAL"
+	case Random:
+		return "RANDOM"
+	case BNQ:
+		return "BNQ"
+	case BNQRD:
+		return "BNQRD"
+	case LERT:
+		return "LERT"
+	case Work:
+		return "WORK"
+	default:
+		return "unknown"
+	}
+}
+
+// New builds a policy of the given kind for a system of numSites sites.
+// stream drives randomized policies (Random) and may be nil otherwise.
+func New(kind Kind, numSites int, stream *rng.Stream) (Policy, error) {
+	if numSites <= 0 {
+		return nil, fmt.Errorf("policy: numSites %d must be positive", numSites)
+	}
+	switch kind {
+	case Local:
+		return localPolicy{}, nil
+	case Random:
+		if stream == nil {
+			return nil, fmt.Errorf("policy: RANDOM needs a random stream")
+		}
+		return &randomPolicy{stream: stream}, nil
+	case BNQ:
+		return NewSelector(bnqCost{}, numSites), nil
+	case BNQRD:
+		return NewSelector(bnqrdCost{}, numSites), nil
+	case LERT:
+		return NewSelector(lertCost{}, numSites), nil
+	case Work:
+		return NewSelector(workCost{}, numSites), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown kind %d", kind)
+	}
+}
+
+// localPolicy keeps every query at its arrival site.
+type localPolicy struct{}
+
+func (localPolicy) Name() string { return "LOCAL" }
+
+func (localPolicy) Select(_ *workload.Query, arrival int, env *Env) int {
+	if env.candidateAllowed(arrival) {
+		return arrival
+	}
+	// With partially replicated data the home site may hold no copy; the
+	// "local" behavior degrades to the nearest downstream copy holder,
+	// which spreads no-copy traffic evenly without load information.
+	best := env.Candidates[0]
+	bestDist := (best - arrival + env.NumSites) % env.NumSites
+	for _, s := range env.Candidates[1:] {
+		if d := (s - arrival + env.NumSites) % env.NumSites; d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	return best
+}
+
+// randomPolicy sends each query to a uniformly random candidate site.
+type randomPolicy struct {
+	stream *rng.Stream
+}
+
+func (p *randomPolicy) Name() string { return "RANDOM" }
+
+func (p *randomPolicy) Select(_ *workload.Query, _ int, env *Env) int {
+	if env.Candidates != nil {
+		return env.Candidates[p.stream.Intn(len(env.Candidates))]
+	}
+	return p.stream.Intn(env.NumSites)
+}
+
+// CostFunc estimates the processing cost of executing q at site s. All
+// the paper's allocation algorithms are expressed this way (Section 4:
+// "all of the allocation algorithms presented here can be viewed as
+// choosing the processing site with the minimum estimated processing
+// cost").
+type CostFunc interface {
+	Name() string
+	SiteCost(q *workload.Query, s, arrival int, env *Env) float64
+}
+
+// Selector realizes Figure 3: it keeps the arrival site unless a remote
+// site has strictly lower cost, scanning remote sites in round-robin
+// order (the paper's one noted detail: "the 'foreach' loop that examines
+// possible remote execution sites should scan these sites in a
+// round-robin fashion").
+type Selector struct {
+	cost   CostFunc
+	cursor []int // per-arrival-site scan start
+}
+
+var _ Policy = (*Selector)(nil)
+
+// NewSelector wraps a cost function in the Figure-3 selection loop for a
+// system of numSites sites.
+func NewSelector(cost CostFunc, numSites int) *Selector {
+	return &Selector{cost: cost, cursor: make([]int, numSites)}
+}
+
+// Name returns the wrapped cost function's name.
+func (sel *Selector) Name() string { return sel.cost.Name() }
+
+// Select implements function SelectSite of Figure 3, generalized to an
+// optional candidate set: the arrival site is kept unless a strictly
+// cheaper candidate exists; when the arrival site holds no copy, the
+// first candidate scanned seeds the minimum instead.
+func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
+	best := -1
+	minCost := math.Inf(1)
+	if env.candidateAllowed(arrival) {
+		best = arrival
+		minCost = sel.cost.SiteCost(q, arrival, arrival, env)
+	}
+	start := sel.cursor[arrival]
+	sel.cursor[arrival]++
+	if env.Candidates == nil {
+		n := env.NumSites
+		for i := 0; i < n; i++ {
+			remote := (start + i) % n
+			if remote == arrival {
+				continue
+			}
+			if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {
+				minCost = cur
+				best = remote
+			}
+		}
+		return best
+	}
+	n := len(env.Candidates)
+	for i := 0; i < n; i++ {
+		remote := env.Candidates[(start+i)%n]
+		if remote == arrival {
+			continue
+		}
+		if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {
+			minCost = cur
+			best = remote
+		}
+	}
+	return best
+}
+
+// bnqCost is Figure 4: the number of queries at the site.
+type bnqCost struct{}
+
+func (bnqCost) Name() string { return "BNQ" }
+
+func (bnqCost) SiteCost(_ *workload.Query, s, _ int, env *Env) float64 {
+	return float64(env.View.NumQueries(s))
+}
+
+// bnqrdCost is Figure 5: the number of queries of the same bound as q.
+type bnqrdCost struct{}
+
+func (bnqrdCost) Name() string { return "BNQRD" }
+
+func (bnqrdCost) SiteCost(q *workload.Query, s, _ int, env *Env) float64 {
+	if QueryBound(q, env.DiskTime, env.NumDisks) == workload.IOBound {
+		return float64(env.View.NumIOQueries(s))
+	}
+	return float64(env.View.NumCPUQueries(s))
+}
+
+// workCost balances outstanding estimated work in two dimensions: the
+// cost of placing q at s is the backlog of s's bottleneck resource after
+// accepting q (CPU work scaled by speed; disk work by the disk count).
+// It needs a WorkView; against a plain count view it degrades to BNQ.
+type workCost struct{}
+
+func (workCost) Name() string { return "WORK" }
+
+func (workCost) SiteCost(q *workload.Query, s, _ int, env *Env) float64 {
+	wv, ok := env.View.(loadinfo.WorkView)
+	if !ok {
+		return float64(env.View.NumQueries(s))
+	}
+	cpuBacklog := (wv.CPUWork(s) + q.EstCPUDemand()) / env.cpuSpeed(s)
+	ioBacklog := (wv.IOWork(s) + q.EstDiskDemand(env.DiskTime)) / float64(env.NumDisks)
+	return math.Max(cpuBacklog, ioBacklog)
+}
+
+// lertCost is Figure 6: the estimated response time of q at the site,
+// combining its service demands, the waiting implied by competing queries
+// of the same bound, and the message costs of remote execution.
+type lertCost struct{}
+
+func (lertCost) Name() string { return "LERT" }
+
+func (lertCost) SiteCost(q *workload.Query, s, arrival int, env *Env) float64 {
+	// In the heterogeneity extension the query's (and its competitors')
+	// CPU bursts shrink by the site's speed factor; the homogeneous case
+	// divides by 1 and reduces to Figure 6 verbatim.
+	cpuTime := q.EstCPUDemand() / env.cpuSpeed(s)
+	ioTime := q.EstDiskDemand(env.DiskTime)
+	netTime := env.NetTime(q, arrival, s)
+	cpuWait := cpuTime * float64(env.View.NumCPUQueries(s))
+	ioWait := ioTime * float64(env.View.NumIOQueries(s)) / float64(env.NumDisks)
+	return cpuTime + cpuWait + ioTime + ioWait + netTime
+}

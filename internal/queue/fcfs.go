@@ -1,0 +1,104 @@
+// Package queue implements the service centers of the paper's DB-site
+// model (Section 2): first-come-first-served single servers (the disks),
+// an event-driven processor-sharing server (the CPU), and a multi-disk
+// array with a pluggable disk-selection rule. Servers are generic over the
+// job type so that the same machinery serves queries, messages, and test
+// payloads.
+package queue
+
+import (
+	"dqalloc/internal/sim"
+	"dqalloc/internal/stats"
+)
+
+// FCFS is a single server with an unbounded FIFO queue. The caller samples
+// the service time and passes it at enqueue; the server invokes the
+// completion callback when the job's service finishes.
+type FCFS[T any] struct {
+	sched *sim.Scheduler
+	done  func(T)
+
+	queue  []fcfsEntry[T]
+	busy   bool
+	util   stats.TimeWeighted
+	qlen   stats.TimeWeighted
+	served uint64
+}
+
+type fcfsEntry[T any] struct {
+	job     T
+	service float64
+}
+
+// NewFCFS returns an idle FCFS server. done is called (from within the
+// simulation's event loop) each time a job completes service.
+func NewFCFS[T any](sched *sim.Scheduler, done func(T)) *FCFS[T] {
+	if done == nil {
+		panic("queue: nil completion callback")
+	}
+	return &FCFS[T]{sched: sched, done: done}
+}
+
+// Enqueue adds a job requiring the given service time. Service starts
+// immediately if the server is idle.
+func (f *FCFS[T]) Enqueue(job T, service float64) {
+	if service < 0 {
+		panic("queue: negative service time")
+	}
+	now := f.sched.Now()
+	f.queue = append(f.queue, fcfsEntry[T]{job: job, service: service})
+	f.qlen.Set(now, float64(len(f.queue)))
+	if !f.busy {
+		f.startNext()
+	}
+}
+
+// QueueLen returns the number of jobs present, including the one in
+// service.
+func (f *FCFS[T]) QueueLen() int { return len(f.queue) }
+
+// Busy reports whether a job is in service.
+func (f *FCFS[T]) Busy() bool { return f.busy }
+
+// Served returns the number of completed jobs.
+func (f *FCFS[T]) Served() uint64 { return f.served }
+
+// Utilization returns the busy fraction over the stats window ending at t.
+func (f *FCFS[T]) Utilization(t float64) float64 { return f.util.MeanAt(t) }
+
+// MeanQueueLen returns the time-average number of jobs present over the
+// stats window ending at t.
+func (f *FCFS[T]) MeanQueueLen(t float64) float64 { return f.qlen.MeanAt(t) }
+
+// ResetStats restarts the utilization and queue-length windows at t,
+// discarding the warmup transient.
+func (f *FCFS[T]) ResetStats(t float64) {
+	f.util.Reset(t)
+	f.qlen.Reset(t)
+	f.served = 0
+}
+
+func (f *FCFS[T]) startNext() {
+	now := f.sched.Now()
+	f.busy = true
+	f.util.Set(now, 1)
+	head := f.queue[0]
+	f.sched.After(head.service, func() { f.finish() })
+}
+
+func (f *FCFS[T]) finish() {
+	now := f.sched.Now()
+	head := f.queue[0]
+	copy(f.queue, f.queue[1:])
+	f.queue[len(f.queue)-1] = fcfsEntry[T]{}
+	f.queue = f.queue[:len(f.queue)-1]
+	f.qlen.Set(now, float64(len(f.queue)))
+	f.served++
+	if len(f.queue) > 0 {
+		f.startNext()
+	} else {
+		f.busy = false
+		f.util.Set(now, 0)
+	}
+	f.done(head.job)
+}

@@ -1,0 +1,152 @@
+package queue
+
+import (
+	"math"
+
+	"dqalloc/internal/sim"
+	"dqalloc/internal/stats"
+)
+
+// psEpsilon absorbs floating-point residue when deciding that a job's
+// remaining work has reached zero.
+const psEpsilon = 1e-9
+
+// PS is an egalitarian processor-sharing server: with n jobs present, each
+// receives service at rate 1/n. This models the paper's CPU (Section 2:
+// "the CPU is modeled as a PS server").
+//
+// The implementation is event-driven: whenever the active set changes, the
+// remaining work of every job is advanced and the next departure is
+// rescheduled. All departures that become due simultaneously are delivered
+// in arrival order.
+type PS[T any] struct {
+	sched *sim.Scheduler
+	done  func(T)
+
+	jobs       []*psJob[T]
+	lastUpdate float64
+	next       *sim.Event
+	util       stats.TimeWeighted
+	load       stats.TimeWeighted
+	served     uint64
+}
+
+type psJob[T any] struct {
+	job       T
+	remaining float64
+}
+
+// NewPS returns an idle processor-sharing server. done is called each time
+// a job's service requirement is exhausted.
+func NewPS[T any](sched *sim.Scheduler, done func(T)) *PS[T] {
+	if done == nil {
+		panic("queue: nil completion callback")
+	}
+	return &PS[T]{sched: sched, done: done}
+}
+
+// Enqueue adds a job with the given total service requirement. The job
+// immediately begins sharing the processor.
+func (p *PS[T]) Enqueue(job T, service float64) {
+	if service < 0 {
+		panic("queue: negative service time")
+	}
+	p.advance()
+	p.jobs = append(p.jobs, &psJob[T]{job: job, remaining: service})
+	now := p.sched.Now()
+	p.load.Set(now, float64(len(p.jobs)))
+	p.util.Set(now, 1)
+	p.reschedule()
+}
+
+// QueueLen returns the number of jobs sharing the processor.
+func (p *PS[T]) QueueLen() int { return len(p.jobs) }
+
+// Served returns the number of completed jobs.
+func (p *PS[T]) Served() uint64 { return p.served }
+
+// Utilization returns the fraction of time the processor was busy over
+// the stats window ending at t.
+func (p *PS[T]) Utilization(t float64) float64 { return p.util.MeanAt(t) }
+
+// MeanLoad returns the time-average number of jobs present over the stats
+// window ending at t.
+func (p *PS[T]) MeanLoad(t float64) float64 { return p.load.MeanAt(t) }
+
+// ResetStats restarts the measurement windows at t.
+func (p *PS[T]) ResetStats(t float64) {
+	p.util.Reset(t)
+	p.load.Reset(t)
+	p.served = 0
+}
+
+// advance applies elapsed processor sharing to every active job.
+func (p *PS[T]) advance() {
+	now := p.sched.Now()
+	n := len(p.jobs)
+	if n > 0 && now > p.lastUpdate {
+		each := (now - p.lastUpdate) / float64(n)
+		for _, j := range p.jobs {
+			j.remaining -= each
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+	}
+	p.lastUpdate = now
+}
+
+// reschedule cancels any pending departure event and schedules the next
+// one based on the smallest remaining requirement.
+func (p *PS[T]) reschedule() {
+	if p.next != nil {
+		p.sched.Cancel(p.next)
+		p.next = nil
+	}
+	if len(p.jobs) == 0 {
+		return
+	}
+	minRemaining := math.Inf(1)
+	for _, j := range p.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	delay := minRemaining * float64(len(p.jobs))
+	if delay < 0 {
+		delay = 0
+	}
+	p.next = p.sched.After(delay, func() { p.depart() })
+}
+
+// depart advances sharing and releases every job whose requirement is now
+// exhausted, preserving arrival order among simultaneous departures.
+func (p *PS[T]) depart() {
+	p.next = nil
+	p.advance()
+	now := p.sched.Now()
+
+	var finished []T
+	kept := p.jobs[:0]
+	for _, j := range p.jobs {
+		if j.remaining <= psEpsilon {
+			finished = append(finished, j.job)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(p.jobs); i++ {
+		p.jobs[i] = nil
+	}
+	p.jobs = kept
+
+	p.load.Set(now, float64(len(p.jobs)))
+	if len(p.jobs) == 0 {
+		p.util.Set(now, 0)
+	}
+	p.reschedule()
+	for _, job := range finished {
+		p.served++
+		p.done(job)
+	}
+}

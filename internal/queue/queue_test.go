@@ -1,0 +1,278 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+func TestFCFSServesInOrder(t *testing.T) {
+	s := sim.New()
+	var order []int
+	var times []float64
+	srv := NewFCFS(s, func(id int) {
+		order = append(order, id)
+		times = append(times, s.Now())
+	})
+	s.At(0, func() {
+		srv.Enqueue(1, 3)
+		srv.Enqueue(2, 2)
+		srv.Enqueue(3, 1)
+	})
+	s.Run()
+	wantOrder := []int{1, 2, 3}
+	wantTimes := []float64{3, 5, 6}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] || times[i] != wantTimes[i] {
+			t.Fatalf("completion %d = (%d, %v), want (%d, %v)",
+				i, order[i], times[i], wantOrder[i], wantTimes[i])
+		}
+	}
+	if srv.Served() != 3 {
+		t.Errorf("Served = %d, want 3", srv.Served())
+	}
+}
+
+func TestFCFSIdleThenBusy(t *testing.T) {
+	s := sim.New()
+	srv := NewFCFS(s, func(struct{}) {})
+	s.At(0, func() { srv.Enqueue(struct{}{}, 2) })
+	s.At(10, func() { srv.Enqueue(struct{}{}, 2) })
+	s.Run()
+	// Busy 4 out of 12 time units.
+	if got := srv.Utilization(12); math.Abs(got-4.0/12.0) > 1e-12 {
+		t.Errorf("utilization = %v, want %v", got, 4.0/12.0)
+	}
+	if srv.Busy() {
+		t.Error("server busy after all jobs done")
+	}
+	if srv.QueueLen() != 0 {
+		t.Errorf("queue length = %d, want 0", srv.QueueLen())
+	}
+}
+
+func TestFCFSZeroService(t *testing.T) {
+	s := sim.New()
+	done := 0
+	srv := NewFCFS(s, func(struct{}) { done++ })
+	s.At(1, func() { srv.Enqueue(struct{}{}, 0) })
+	s.Run()
+	if done != 1 || s.Now() != 1 {
+		t.Errorf("zero-service job: done=%d at t=%v, want 1 at t=1", done, s.Now())
+	}
+}
+
+func TestPSEqualShares(t *testing.T) {
+	s := sim.New()
+	var times = map[int]float64{}
+	srv := NewPS(s, func(id int) { times[id] = s.Now() })
+	s.At(0, func() {
+		srv.Enqueue(1, 2) // alone would finish at 2
+		srv.Enqueue(2, 1) // alone would finish at 1
+	})
+	s.Run()
+	// Sharing: job 2 gets 1 unit of work by time 2 (rate 1/2); job 1 then
+	// has 1 unit left served alone, finishing at 3.
+	if math.Abs(times[2]-2) > 1e-9 || math.Abs(times[1]-3) > 1e-9 {
+		t.Errorf("completion times = %v, want job2@2 job1@3", times)
+	}
+}
+
+func TestPSLateArrival(t *testing.T) {
+	s := sim.New()
+	times := map[int]float64{}
+	srv := NewPS(s, func(id int) { times[id] = s.Now() })
+	s.At(0, func() { srv.Enqueue(1, 2) })
+	s.At(1, func() { srv.Enqueue(2, 2) })
+	s.Run()
+	// Job 1: alone over [0,1) does 1 unit; shares until its last unit
+	// completes at t=3. Job 2 then has 1 unit left alone, finishing at 4.
+	if math.Abs(times[1]-3) > 1e-9 || math.Abs(times[2]-4) > 1e-9 {
+		t.Errorf("completion times = %v, want job1@3 job2@4", times)
+	}
+}
+
+func TestPSSimultaneousDepartures(t *testing.T) {
+	s := sim.New()
+	var order []int
+	srv := NewPS(s, func(id int) { order = append(order, id) })
+	s.At(0, func() {
+		srv.Enqueue(1, 1)
+		srv.Enqueue(2, 1)
+		srv.Enqueue(3, 1)
+	})
+	s.Run()
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3 (three jobs sharing)", s.Now())
+	}
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("departure order = %v, want arrival order", order)
+		}
+	}
+}
+
+func TestPSUtilizationWindow(t *testing.T) {
+	s := sim.New()
+	srv := NewPS(s, func(struct{}) {})
+	s.At(0, func() { srv.Enqueue(struct{}{}, 1) })
+	s.At(5, func() { srv.Enqueue(struct{}{}, 1) })
+	s.Run()
+	if got := srv.Utilization(10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.2", got)
+	}
+	if got := srv.MeanLoad(10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("mean load = %v, want 0.2", got)
+	}
+}
+
+// TestFCFSMM1 checks the FCFS server against the M/M/1 closed form:
+// with ρ = λ/μ < 1, the mean number in system is ρ/(1−ρ).
+func TestFCFSMM1(t *testing.T) {
+	s := sim.New()
+	arrivals := rng.NewStream(101)
+	services := rng.NewStream(102)
+	const (
+		lambda = 0.7
+		mu     = 1.0
+		horiz  = 400000.0
+	)
+	srv := NewFCFS(s, func(struct{}) {})
+	var nextArrival func()
+	nextArrival = func() {
+		srv.Enqueue(struct{}{}, services.Exp(1/mu))
+		s.After(arrivals.Exp(1/lambda), nextArrival)
+	}
+	s.After(arrivals.Exp(1/lambda), nextArrival)
+	s.RunUntil(horiz)
+	rho := lambda / mu
+	wantN := rho / (1 - rho)
+	if got := srv.MeanQueueLen(horiz); math.Abs(got-wantN) > 0.15 {
+		t.Errorf("M/M/1 mean jobs = %v, want ~%v", got, wantN)
+	}
+	if got := srv.Utilization(horiz); math.Abs(got-rho) > 0.02 {
+		t.Errorf("M/M/1 utilization = %v, want ~%v", got, rho)
+	}
+}
+
+// TestPSMM1 checks the PS server against the M/M/1-PS closed form, which
+// shares the ρ/(1−ρ) mean-jobs law with FCFS.
+func TestPSMM1(t *testing.T) {
+	s := sim.New()
+	arrivals := rng.NewStream(201)
+	services := rng.NewStream(202)
+	const (
+		lambda = 0.6
+		mu     = 1.0
+		horiz  = 400000.0
+	)
+	srv := NewPS(s, func(struct{}) {})
+	var nextArrival func()
+	nextArrival = func() {
+		srv.Enqueue(struct{}{}, services.Exp(1/mu))
+		s.After(arrivals.Exp(1/lambda), nextArrival)
+	}
+	s.After(arrivals.Exp(1/lambda), nextArrival)
+	s.RunUntil(horiz)
+	rho := lambda / mu
+	wantN := rho / (1 - rho)
+	if got := srv.MeanLoad(horiz); math.Abs(got-wantN) > 0.12 {
+		t.Errorf("M/M/1-PS mean jobs = %v, want ~%v", got, wantN)
+	}
+}
+
+func TestDiskArrayShortestQueue(t *testing.T) {
+	s := sim.New()
+	arr := NewDiskArray[int](s, 2, SelectShortestQueue, nil, func(int) {})
+	s.At(0, func() {
+		arr.Enqueue(1, 10) // disk 0
+		arr.Enqueue(2, 10) // disk 1
+		arr.Enqueue(3, 10) // ties -> disk 0
+		if got := arr.QueueLen(); got != 3 {
+			t.Errorf("QueueLen = %d, want 3", got)
+		}
+		if arr.disks[0].QueueLen() != 2 || arr.disks[1].QueueLen() != 1 {
+			t.Errorf("shortest-queue placement = %d/%d, want 2/1",
+				arr.disks[0].QueueLen(), arr.disks[1].QueueLen())
+		}
+	})
+	s.Run()
+	if arr.Served() != 3 {
+		t.Errorf("Served = %d, want 3", arr.Served())
+	}
+}
+
+func TestDiskArrayRandomBalance(t *testing.T) {
+	s := sim.New()
+	arr := NewDiskArray[int](s, 4, SelectRandom, rng.NewStream(7), func(int) {})
+	counts := make([]int, 4)
+	s.At(0, func() {
+		for i := 0; i < 4000; i++ {
+			d := arr.choose()
+			counts[d]++
+		}
+	})
+	s.Run()
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("disk %d chosen %d/4000 times, want ~1000", i, c)
+		}
+	}
+}
+
+func TestDiskArrayUtilization(t *testing.T) {
+	s := sim.New()
+	arr := NewDiskArray[int](s, 2, SelectShortestQueue, nil, func(int) {})
+	s.At(0, func() {
+		arr.Enqueue(1, 5)  // disk 0 busy [0,5)
+		arr.Enqueue(2, 10) // disk 1 busy [0,10)
+	})
+	s.Run()
+	if got := arr.Utilization(10); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("array utilization = %v, want 0.75", got)
+	}
+}
+
+func TestDiskSelectionString(t *testing.T) {
+	if SelectRandom.String() != "random" ||
+		SelectShortestQueue.String() != "shortest-queue" ||
+		DiskSelection(0).String() != "unknown" {
+		t.Error("DiskSelection.String mismatch")
+	}
+}
+
+func TestResetStatsDiscardsTransient(t *testing.T) {
+	s := sim.New()
+	srv := NewFCFS(s, func(struct{}) {})
+	s.At(0, func() { srv.Enqueue(struct{}{}, 9) })
+	s.At(10, func() { srv.ResetStats(10) })
+	s.RunUntil(20)
+	if got := srv.Utilization(20); got != 0 {
+		t.Errorf("post-reset utilization = %v, want 0", got)
+	}
+	if srv.Served() != 0 {
+		t.Errorf("post-reset served = %d, want 0", srv.Served())
+	}
+}
+
+func BenchmarkPSChurn(b *testing.B) {
+	s := sim.New()
+	services := rng.NewStream(1)
+	srv := NewPS(s, func(struct{}) {})
+	arrivals := rng.NewStream(2)
+	n := 0
+	var next func()
+	next = func() {
+		if n >= b.N {
+			return
+		}
+		n++
+		srv.Enqueue(struct{}{}, services.Exp(1))
+		s.After(arrivals.Exp(1.25), next)
+	}
+	b.ResetTimer()
+	s.After(0, next)
+	s.Run()
+}

@@ -1,0 +1,129 @@
+// Package replica models partially replicated data — the environment the
+// paper's future-work section (6.2) targets: "dynamically allocating
+// subqueries of distributed queries to sites in an environment with only
+// partially replicated data".
+//
+// The database is divided into objects (relations/fragments); each object
+// is stored at a subset of the sites. A query references one object and
+// may only execute at sites holding a copy, so the allocation policies
+// choose among that candidate set instead of all sites. The paper's
+// fully-replicated study is the special case copies = numSites.
+package replica
+
+import (
+	"fmt"
+
+	"dqalloc/internal/rng"
+)
+
+// Placement records which sites hold a copy of each object.
+type Placement struct {
+	numSites int
+	sites    [][]int // object -> sorted candidate sites
+}
+
+// NewRoundRobin places numObjects objects with copiesPer copies each,
+// assigning copies to consecutive sites round-robin: object o lives at
+// sites o, o+1, …, o+copiesPer−1 (mod numSites). This spreads copies
+// evenly and deterministically.
+func NewRoundRobin(numSites, numObjects, copiesPer int) (*Placement, error) {
+	if err := validate(numSites, numObjects, copiesPer); err != nil {
+		return nil, err
+	}
+	p := &Placement{numSites: numSites, sites: make([][]int, numObjects)}
+	for o := 0; o < numObjects; o++ {
+		cand := make([]int, copiesPer)
+		for c := 0; c < copiesPer; c++ {
+			cand[c] = (o + c) % numSites
+		}
+		sortInts(cand)
+		p.sites[o] = cand
+	}
+	return p, nil
+}
+
+// NewRandom places numObjects objects with copiesPer copies each at
+// uniformly random distinct sites drawn from stream.
+func NewRandom(numSites, numObjects, copiesPer int, stream *rng.Stream) (*Placement, error) {
+	if err := validate(numSites, numObjects, copiesPer); err != nil {
+		return nil, err
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("replica: nil random stream")
+	}
+	p := &Placement{numSites: numSites, sites: make([][]int, numObjects)}
+	for o := 0; o < numObjects; o++ {
+		perm := stream.Perm(numSites)
+		cand := append([]int(nil), perm[:copiesPer]...)
+		sortInts(cand)
+		p.sites[o] = cand
+	}
+	return p, nil
+}
+
+// Full returns the fully-replicated placement: every object at every
+// site (the paper's main environment).
+func Full(numSites, numObjects int) (*Placement, error) {
+	return NewRoundRobin(numSites, numObjects, numSites)
+}
+
+func validate(numSites, numObjects, copiesPer int) error {
+	switch {
+	case numSites < 1:
+		return fmt.Errorf("replica: numSites %d < 1", numSites)
+	case numObjects < 1:
+		return fmt.Errorf("replica: numObjects %d < 1", numObjects)
+	case copiesPer < 1:
+		return fmt.Errorf("replica: copiesPer %d < 1", copiesPer)
+	case copiesPer > numSites:
+		return fmt.Errorf("replica: copiesPer %d exceeds numSites %d", copiesPer, numSites)
+	}
+	return nil
+}
+
+// NumSites returns the number of sites the placement spans.
+func (p *Placement) NumSites() int { return p.numSites }
+
+// NumObjects returns the number of placed objects.
+func (p *Placement) NumObjects() int { return len(p.sites) }
+
+// Candidates returns the sites holding a copy of the object, sorted
+// ascending. The returned slice is shared: callers must not mutate it.
+func (p *Placement) Candidates(object int) []int {
+	if object < 0 || object >= len(p.sites) {
+		panic(fmt.Sprintf("replica: object %d out of range [0,%d)", object, len(p.sites)))
+	}
+	return p.sites[object]
+}
+
+// Holds reports whether site stores a copy of object.
+func (p *Placement) Holds(site, object int) bool {
+	for _, s := range p.Candidates(object) {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// CopiesPerSite returns, for each site, how many objects it stores —
+// useful for checking placement balance.
+func (p *Placement) CopiesPerSite() []int {
+	counts := make([]int, p.numSites)
+	for _, cand := range p.sites {
+		for _, s := range cand {
+			counts[s]++
+		}
+	}
+	return counts
+}
+
+// sortInts sorts a small int slice in place (insertion sort: candidate
+// sets are tiny and this avoids pulling in sort for a hot path).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

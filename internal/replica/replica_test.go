@@ -1,0 +1,124 @@
+package replica
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dqalloc/internal/rng"
+)
+
+func TestRoundRobinPlacement(t *testing.T) {
+	p, err := NewRoundRobin(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSites() != 4 || p.NumObjects() != 4 {
+		t.Fatalf("dims = %d/%d", p.NumSites(), p.NumObjects())
+	}
+	// Object 0 -> sites {0,1}; object 3 wraps -> {0,3}.
+	c0 := p.Candidates(0)
+	if len(c0) != 2 || c0[0] != 0 || c0[1] != 1 {
+		t.Errorf("Candidates(0) = %v, want [0 1]", c0)
+	}
+	c3 := p.Candidates(3)
+	if len(c3) != 2 || c3[0] != 0 || c3[1] != 3 {
+		t.Errorf("Candidates(3) = %v, want [0 3]", c3)
+	}
+	if !p.Holds(1, 0) || p.Holds(2, 0) {
+		t.Error("Holds mismatch for object 0")
+	}
+}
+
+func TestRoundRobinBalance(t *testing.T) {
+	// With numObjects a multiple of numSites, every site stores the same
+	// number of copies.
+	p, err := NewRoundRobin(6, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, c := range p.CopiesPerSite() {
+		if c != 30 {
+			t.Errorf("site %d stores %d copies, want 30", s, c)
+		}
+	}
+}
+
+func TestRandomPlacementProperties(t *testing.T) {
+	stream := rng.NewStream(11)
+	f := func(rawSites, rawObjects, rawCopies uint8) bool {
+		numSites := int(rawSites%8) + 1
+		numObjects := int(rawObjects%20) + 1
+		copies := int(rawCopies)%numSites + 1
+		p, err := NewRandom(numSites, numObjects, copies, stream)
+		if err != nil {
+			return false
+		}
+		for o := 0; o < numObjects; o++ {
+			cand := p.Candidates(o)
+			if len(cand) != copies {
+				return false
+			}
+			for i, s := range cand {
+				if s < 0 || s >= numSites {
+					return false
+				}
+				if i > 0 && cand[i-1] >= s { // sorted, distinct
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullPlacement(t *testing.T) {
+	p, err := Full(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 5; o++ {
+		if len(p.Candidates(o)) != 3 {
+			t.Errorf("object %d not at all sites: %v", o, p.Candidates(o))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct{ sites, objects, copies int }{
+		{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {2, 1, 3},
+	}
+	for _, c := range cases {
+		if _, err := NewRoundRobin(c.sites, c.objects, c.copies); err == nil {
+			t.Errorf("NewRoundRobin(%+v) accepted", c)
+		}
+	}
+	if _, err := NewRandom(2, 2, 1, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestCandidatesPanicsOutOfRange(t *testing.T) {
+	p, err := NewRoundRobin(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range object did not panic")
+		}
+	}()
+	p.Candidates(5)
+}
+
+func TestSortInts(t *testing.T) {
+	a := []int{5, 2, 4, 1, 3}
+	sortInts(a)
+	for i := range a {
+		if a[i] != i+1 {
+			t.Fatalf("sortInts = %v", a)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import "dqalloc/internal/exper"
+
+// ReplicationTable renders the partial-replication sweep.
+func ReplicationTable(rows []exper.ReplicationRow) *Table {
+	t := &Table{
+		Title:   "Extension: copies per object (partial replication, future work 6.2)",
+		Columns: []string{"copies", "W_static", "W_LERT", "LERT%", "subnet", "remote"},
+	}
+	for _, r := range rows {
+		t.AddRow(I(r.Copies), F(r.WStatic, 2), F(r.WLERT, 2), Pct(r.Impr),
+			F(r.SubnetLERT, 3), F(r.RemoteLERT, 3))
+	}
+	return t
+}
+
+// MigrationTable renders the migration ablation.
+func MigrationTable(rows []exper.MigrationRow) *Table {
+	t := &Table{
+		Title:   "Extension: mid-execution migration (future work 6.2)",
+		Columns: []string{"policy", "W_plain", "W_migration", "impr%", "migs/query"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy, F(r.WPlain, 2), F(r.WMigration, 2), Pct(r.Impr), F(r.MigrationsPer, 3))
+	}
+	return t
+}
+
+// StalenessTable renders the load-information staleness sweep.
+func StalenessTable(rows []exper.StalenessRow) *Table {
+	t := &Table{
+		Title:   "Extension: load-information staleness (Section 4.4)",
+		Columns: []string{"period", "W_BNQ", "W_LERT"},
+	}
+	for _, r := range rows {
+		label := "perfect"
+		if r.Period > 0 {
+			label = F(r.Period, 0)
+		}
+		t.AddRow(label, F(r.WBNQ, 2), F(r.WLERT, 2))
+	}
+	return t
+}
+
+// ProbeTable renders the limited-information probe sweep.
+func ProbeTable(rows []exper.ProbeRow) *Table {
+	t := &Table{
+		Title:   "Extension: probe-based allocation (limited information)",
+		Columns: []string{"probes", "W_probeBNQ", "W_probeLERT", "W_threshold"},
+	}
+	for _, r := range rows {
+		t.AddRow(I(r.Probes), F(r.WProbeBNQ, 2), F(r.WProbeRT, 2), F(r.WThresh, 2))
+	}
+	return t
+}
+
+// HeterogeneityTable renders the hardware-profile comparison.
+func HeterogeneityTable(rows []exper.HeterogeneityRow) *Table {
+	t := &Table{
+		Title:   "Extension: heterogeneous CPU speeds",
+		Columns: []string{"profile", "W_LOCAL", "W_BNQ", "W_LERT", "LERT-vs-BNQ%"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Profile, F(r.WLocal, 2), F(r.WBNQ, 2), F(r.WLERT, 2), Pct(r.LERTEdge))
+	}
+	return t
+}

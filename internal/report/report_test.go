@@ -1,0 +1,124 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dqalloc/internal/exper"
+	"dqalloc/internal/optimal"
+)
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "long-col"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines share the same width.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "333") {
+		t.Errorf("row content lost:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "note"}}
+	tb.AddRow("1", `has,comma`)
+	tb.AddRow("2", "plain")
+	csv := tb.CSV()
+	want := "x,note\n1,\"has,comma\"\n2,plain\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Pct(12.345) != "12.35" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %q", I(42))
+	}
+	if Cell(7) != "7" {
+		t.Errorf("Cell = %q", Cell(7))
+	}
+}
+
+func TestFactorGridShape(t *testing.T) {
+	rows := []exper.FactorRow{{
+		Ratio: optimal.CPURatio{CPU1: 0.05, CPU2: 0.5},
+		Cells: []exper.FactorCell{
+			{LoadIndex: 0, Class: 0, Value: 0.14},
+			{LoadIndex: 0, Class: 1, Value: 0.01},
+		},
+	}}
+	tb := FactorGrid("Table 5", rows)
+	if len(tb.Columns) != 3 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	if tb.Columns[1] != "L1,i=1" || tb.Columns[2] != "L1,i=2" {
+		t.Errorf("column labels = %v", tb.Columns)
+	}
+	if tb.Rows[0][0] != ".05/0.5" || tb.Rows[0][1] != "0.14" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestImprovementTable(t *testing.T) {
+	rows := []exper.ImprovementRow{{
+		X: 350, RhoC: 0.53, WLocal: 22.71,
+		VsLocal: [3]float64{38.53, 41.96, 43.54},
+		VsBNQ:   [2]float64{5.57, 9.58},
+	}}
+	tb := ImprovementTable("Table 8", "think_time", rows)
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != len(tb.Columns) {
+		t.Fatalf("shape mismatch: %v vs %v", tb.Rows, tb.Columns)
+	}
+	out := tb.String()
+	for _, want := range []string{"350", "22.71", "38.53", "9.58"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRemainingRenderers(t *testing.T) {
+	msg := MsgLengthTable([]exper.MsgLengthRow{{MsgLength: 2, WBNQ: 16, WLERT: 15, VsBNQRD: 10, VsLERT: 2}})
+	if len(msg.Rows) != 1 || len(msg.Rows[0]) != len(msg.Columns) {
+		t.Error("MsgLengthTable shape mismatch")
+	}
+	capT := CapacityTable([]exper.CapacityRow{{Target: 40, MaxLocal: 10, MaxLERT: 17}})
+	if !strings.Contains(capT.String(), "17") {
+		t.Error("CapacityTable missing data")
+	}
+	sites := SitesTable([]exper.SitesRow{{NumSites: 6, WLocal: 21.5, ImprBNQ: 34, ImprLERT: 39, SubnetBNQ: 37, SubnetLERT: 36}})
+	if len(sites.Rows[0]) != len(sites.Columns) {
+		t.Error("SitesTable shape mismatch")
+	}
+	fair := FairnessTable([]exper.FairnessRow{{ClassIOProb: 0.3, UtilRatio: 0.7, WLocal: 33, ImprBNQ: 33.9, ImprLERT: 37.6, FLocal: -0.377, FImprBNQ: 76.7, FImprLERT: 73.7}})
+	if !strings.Contains(fair.String(), "-0.377") {
+		t.Error("FairnessTable missing fairness value")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{Columns: []string{"only"}}
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("empty table render = %q", out)
+	}
+	if tb.CSV() != "only\n" {
+		t.Errorf("empty CSV = %q", tb.CSV())
+	}
+}

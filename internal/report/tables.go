@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+
+	"dqalloc/internal/exper"
+)
+
+// FactorGrid renders a Table 5/6-style WIF or FIF grid.
+func FactorGrid(title string, rows []exper.FactorRow) *Table {
+	t := &Table{Title: title}
+	t.Columns = []string{"cpu1/cpu2"}
+	if len(rows) > 0 {
+		for _, c := range rows[0].Cells {
+			t.Columns = append(t.Columns, fmt.Sprintf("L%d,i=%d", c.LoadIndex+1, c.Class+1))
+		}
+	}
+	for _, row := range rows {
+		cells := []string{row.Ratio.Label()}
+		for _, c := range row.Cells {
+			cells = append(cells, F(c.Value, 2))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// ImprovementTable renders Table 8 or Table 9.
+func ImprovementTable(title, xName string, rows []exper.ImprovementRow) *Table {
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			xName, "rho_c", "W_LOCAL",
+			"BNQ%", "BNQRD%", "LERT%", // vs LOCAL
+			"BNQRD/BNQ%", "LERT/BNQ%",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			F(r.X, 0), F(r.RhoC, 2), F(r.WLocal, 2),
+			Pct(r.VsLocal[0]), Pct(r.VsLocal[1]), Pct(r.VsLocal[2]),
+			Pct(r.VsBNQ[0]), Pct(r.VsBNQ[1]),
+		)
+	}
+	return t
+}
+
+// MsgLengthTable renders the msg_length variant rows.
+func MsgLengthTable(rows []exper.MsgLengthRow) *Table {
+	t := &Table{
+		Title:   "msg_length variant (think_time = 350): improvements over BNQ",
+		Columns: []string{"msg_length", "W_BNQ", "W_LERT", "BNQRD/BNQ%", "LERT/BNQ%"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.MsgLength, 1), F(r.WBNQ, 2), F(r.WLERT, 2), Pct(r.VsBNQRD), Pct(r.VsLERT))
+	}
+	return t
+}
+
+// CapacityTable renders Table 10.
+func CapacityTable(rows []exper.CapacityRow) *Table {
+	t := &Table{
+		Title:   "Table 10: Maximum mpl versus response time",
+		Columns: []string{"resp<=", "LOCAL", "LERT"},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.Target, 1), I(r.MaxLocal), I(r.MaxLERT))
+	}
+	return t
+}
+
+// SitesTable renders Table 11.
+func SitesTable(rows []exper.SitesRow) *Table {
+	t := &Table{
+		Title:   "Table 11: Waiting time and subnet utilization versus number of sites",
+		Columns: []string{"num_sites", "W_LOCAL", "BNQ%", "LERT%", "subnet_BNQ%", "subnet_LERT%"},
+	}
+	for _, r := range rows {
+		t.AddRow(I(r.NumSites), F(r.WLocal, 2), Pct(r.ImprBNQ), Pct(r.ImprLERT),
+			Pct(r.SubnetBNQ), Pct(r.SubnetLERT))
+	}
+	return t
+}
+
+// FairnessTable renders Table 12.
+func FairnessTable(rows []exper.FairnessRow) *Table {
+	t := &Table{
+		Title: "Table 12: W and F versus class_io_prob",
+		Columns: []string{
+			"p_io", "rho_d/rho_c", "W_LOCAL", "BNQ%", "LERT%",
+			"F_LOCAL", "F_impr_BNQ%", "F_impr_LERT%",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(F(r.ClassIOProb, 1), F(r.UtilRatio, 2), F(r.WLocal, 2),
+			Pct(r.ImprBNQ), Pct(r.ImprLERT),
+			F(r.FLocal, 3), Pct(r.FImprBNQ), Pct(r.FImprLERT))
+	}
+	return t
+}

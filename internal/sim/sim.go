@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a future-event list ordered by simulated time.
+// Events scheduled for the same instant fire in FIFO order (by scheduling
+// sequence number), which makes every simulation run fully deterministic
+// for a given seed and configuration. This kernel is the reproduction's
+// substitute for the DISS simulation-language runtime used by the paper.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Action is the body of an event. It runs exactly once, at the event's
+// scheduled simulated time.
+type Action func()
+
+// Event is a handle to a scheduled action. It can be cancelled until it
+// fires. The zero value is not usable; events are created by Scheduler.
+type Event struct {
+	time   float64
+	seq    uint64
+	index  int // position in the heap, -1 once fired or cancelled
+	action Action
+}
+
+// Time returns the simulated time at which the event is (or was) scheduled.
+func (e *Event) Time() float64 { return e.time }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+// Scheduler owns the simulated clock and the future-event list.
+//
+// Scheduler is not safe for concurrent use: the model is single-threaded by
+// design so that runs are reproducible. All model code runs inside event
+// actions on one goroutine.
+type Scheduler struct {
+	now     float64
+	seq     uint64
+	heap    []*Event
+	fired   uint64
+	stopped bool
+}
+
+// New returns a Scheduler with the clock at zero and an empty event list.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules action to run at absolute simulated time t.
+//
+// Scheduling in the past or with a non-finite time is a programming error
+// in the model and panics, mirroring how out-of-range slice indexing is
+// treated: the simulation state would be meaningless if it continued.
+func (s *Scheduler) At(t float64, action Action) *Event {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: event time %v is not finite", t))
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: event time %v precedes current time %v", t, s.now))
+	}
+	if action == nil {
+		panic("sim: nil event action")
+	}
+	e := &Event{time: t, seq: s.seq, action: action}
+	s.seq++
+	s.push(e)
+	return e
+}
+
+// After schedules action to run d time units from now. Negative or
+// non-finite delays panic (see At).
+func (s *Scheduler) After(d float64, action Action) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, action)
+}
+
+// Cancel removes a pending event from the calendar. It reports whether the
+// event was still pending (false if it already fired or was cancelled).
+func (s *Scheduler) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	s.remove(e.index)
+	e.index = -1
+	e.action = nil
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was fired.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.heap[0]
+	s.remove(0)
+	e.index = -1
+	s.now = e.time
+	action := e.action
+	e.action = nil
+	s.fired++
+	action()
+	return true
+}
+
+// Run fires events until the calendar is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to exactly
+// t. Events scheduled at t fire; later events stay pending.
+func (s *Scheduler) RunUntil(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) precedes current time %v", t, s.now))
+	}
+	s.stopped = false
+	for !s.stopped && len(s.heap) > 0 && s.heap[0].time <= t {
+		s.Step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event
+// completes. It is intended to be called from inside an event action.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// less orders events by time, breaking ties by scheduling order so that
+// same-instant events fire FIFO.
+func less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e *Event) {
+	e.index = len(s.heap)
+	s.heap = append(s.heap, e)
+	s.up(e.index)
+}
+
+// remove deletes the element at heap position i, preserving heap order.
+func (s *Scheduler) remove(i int) {
+	last := len(s.heap) - 1
+	if i != last {
+		s.swap(i, last)
+	}
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].index = i
+	s.heap[j].index = j
+}
+
+func (s *Scheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(s.heap[i], s.heap[parent]) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) down(i int) {
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && less(s.heap[right], s.heap[left]) {
+			child = right
+		}
+		if !less(s.heap[child], s.heap[i]) {
+			return
+		}
+		s.swap(i, child)
+		i = child
+	}
+}

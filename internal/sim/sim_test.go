@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		s.At(tm, func() { got = append(got, tm) })
+	}
+	s.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestSchedulerSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var at float64 = -1
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Errorf("nested After fired at %v, want 15", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Error("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Scheduled() {
+		t.Error("cancelled event still reports Scheduled")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []float64
+	var events []*Event
+	times := []float64{9, 2, 7, 4, 5, 1, 8, 3, 6}
+	for _, tm := range times {
+		tm := tm
+		events = append(events, s.At(tm, func() { got = append(got, tm) }))
+	}
+	// Cancel the events at times 4, 1, 8.
+	for _, i := range []int{3, 5, 6} {
+		if !s.Cancel(events[i]) {
+			t.Fatalf("cancel event %d failed", i)
+		}
+	}
+	s.Run()
+	want := []float64{2, 3, 5, 6, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(10, func() { fired++ })
+	s.At(20, func() { fired++ })
+	s.RunUntil(10)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (events at t<=10)", fired)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v, want 10", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Errorf("pending = %d, want 1", s.Len())
+	}
+	s.RunUntil(15)
+	if s.Now() != 15 {
+		t.Errorf("clock = %v, want 15 after empty RunUntil window", s.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++; s.Stop() })
+	s.At(2, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 after Stop", fired)
+	}
+	s.Run() // resumes
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 after resumed Run", fired)
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", s.Fired())
+	}
+}
+
+// TestHeapPropertyQuick is a property test: for any set of event times,
+// firing order is the sorted order.
+func TestHeapPropertyQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var got []float64
+		for _, v := range raw {
+			tm := float64(v)
+			s.At(tm, func() { got = append(got, tm) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(got) && len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomCancelQuick mixes scheduling and cancellation and checks the
+// survivors fire in sorted order.
+func TestRandomCancelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var got []float64
+		var pending []*Event
+		for i := 0; i < 200; i++ {
+			tm := float64(r.Intn(1000))
+			pending = append(pending, s.At(tm, func() { got = append(got, tm) }))
+		}
+		cancelled := 0
+		for _, i := range r.Perm(len(pending))[:50] {
+			if s.Cancel(pending[i]) {
+				cancelled++
+			}
+		}
+		s.Run()
+		return sort.Float64sAreSorted(got) && len(got) == 200-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := New()
+	r := rand.New(rand.NewSource(1))
+	// Keep a rolling window of 1000 pending events.
+	var schedule func()
+	n := 0
+	schedule = func() {
+		n++
+		if n < b.N {
+			s.After(r.Float64(), schedule)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < 1000 && n < b.N; i++ {
+		s.After(r.Float64(), schedule)
+	}
+	s.Run()
+}

@@ -1,0 +1,210 @@
+package site
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/queue"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		NumDisks:      2,
+		DiskTime:      1,
+		DiskTimeDev:   0.2,
+		DiskSelection: queue.SelectRandom,
+		Classes: []workload.Class{
+			{Name: "io", PageCPUTime: 0.05, NumReads: 20, MsgLength: 1},
+			{Name: "cpu", PageCPUTime: 1.0, NumReads: 20, MsgLength: 1},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "no disks", mutate: func(c *Config) { c.NumDisks = 0 }},
+		{name: "zero disk time", mutate: func(c *Config) { c.DiskTime = 0 }},
+		{name: "dev too large", mutate: func(c *Config) { c.DiskTimeDev = 1 }},
+		{name: "negative dev", mutate: func(c *Config) { c.DiskTimeDev = -0.1 }},
+		{name: "no classes", mutate: func(c *Config) { c.Classes = nil }},
+		{name: "bad selection", mutate: func(c *Config) { c.DiskSelection = 0 }},
+		{name: "bad class", mutate: func(c *Config) { c.Classes[0].NumReads = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if cfg.Validate() == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewRejectsNilCallbacks(t *testing.T) {
+	s := sim.New()
+	if _, err := New(0, s, testConfig(), rng.NewStream(1), nil); err == nil {
+		t.Error("nil done accepted")
+	}
+	if _, err := New(0, s, testConfig(), nil, func(*workload.Query) {}); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestQueryCompletesAllReads(t *testing.T) {
+	s := sim.New()
+	var done *workload.Query
+	st, err := New(0, s, testConfig(), rng.NewStream(1), func(q *workload.Query) { done = q })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &workload.Query{Class: 0, ReadsTotal: 7}
+	s.At(0, func() { st.Execute(q) })
+	s.Run()
+	if done != q {
+		t.Fatal("query did not complete")
+	}
+	if q.ReadsDone != 7 {
+		t.Errorf("ReadsDone = %d, want 7", q.ReadsDone)
+	}
+	if st.Active() != 0 {
+		t.Errorf("Active = %d, want 0", st.Active())
+	}
+	if st.PagesRead() != 7 {
+		t.Errorf("PagesRead = %d, want 7", st.PagesRead())
+	}
+}
+
+func TestServiceAccumulationMatchesClock(t *testing.T) {
+	// With a single query and nothing else, there is no queueing at the
+	// disks and none at the CPU: elapsed time equals accumulated service.
+	s := sim.New()
+	var doneAt float64
+	st, err := New(0, s, testConfig(), rng.NewStream(2), func(*workload.Query) { doneAt = s.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &workload.Query{Class: 1, ReadsTotal: 15}
+	s.At(0, func() { st.Execute(q) })
+	s.Run()
+	if math.Abs(doneAt-q.Service) > 1e-9 {
+		t.Errorf("elapsed %v != service %v for a lone query", doneAt, q.Service)
+	}
+	// CPU-bound class: roughly 15 disk units + 15 CPU units.
+	if q.Service < 15 {
+		t.Errorf("service %v implausibly small", q.Service)
+	}
+}
+
+func TestActiveCountsConcurrentQueries(t *testing.T) {
+	s := sim.New()
+	completed := 0
+	st, err := New(0, s, testConfig(), rng.NewStream(3), func(*workload.Query) { completed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			st.Execute(&workload.Query{Class: i % 2, ReadsTotal: 10})
+		}
+		if st.Active() != 5 {
+			t.Errorf("Active = %d, want 5", st.Active())
+		}
+	})
+	s.Run()
+	if completed != 5 {
+		t.Errorf("completed = %d, want 5", completed)
+	}
+}
+
+func TestMeanServiceTracksClassDemands(t *testing.T) {
+	// Average service of many lone-ish queries should approach the class
+	// demand: reads * (diskTime + pageCPU).
+	s := sim.New()
+	cfg := testConfig()
+	var total float64
+	n := 0
+	// Run queries one at a time (chained through the completion callback)
+	// so accumulated service has no queueing component.
+	const queries = 400
+	var st *Site
+	done := func(q *workload.Query) {
+		total += q.Service
+		n++
+		if n < queries {
+			st.Execute(&workload.Query{Class: 0, ReadsTotal: 20})
+		}
+	}
+	st, err := New(0, s, cfg, rng.NewStream(4), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(0, func() { st.Execute(&workload.Query{Class: 0, ReadsTotal: 20}) })
+	s.Run()
+	mean := total / float64(n)
+	want := 20 * (1 + 0.05)
+	if math.Abs(mean-want) > 0.5 {
+		t.Errorf("mean service = %v, want ~%v", mean, want)
+	}
+}
+
+func TestExecutePanicsOnBadQuery(t *testing.T) {
+	s := sim.New()
+	st, err := New(0, s, testConfig(), rng.NewStream(5), func(*workload.Query) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*workload.Query{
+		{Class: 9, ReadsTotal: 1},
+		{Class: 0, ReadsTotal: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Execute(%+v) did not panic", q)
+				}
+			}()
+			st.Execute(q)
+		}()
+	}
+}
+
+func TestCPUUtilizationUnderLoad(t *testing.T) {
+	s := sim.New()
+	st, err := New(0, s, testConfig(), rng.NewStream(6), func(*workload.Query) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(0, func() { st.Execute(&workload.Query{Class: 1, ReadsTotal: 50}) })
+	s.Run()
+	end := s.Now()
+	cpuU := st.CPUUtilization(end)
+	diskU := st.DiskUtilization(end)
+	// CPU-bound class: cpu busy ~50%, each of 2 disks ~25%.
+	if cpuU < 0.3 || cpuU > 0.7 {
+		t.Errorf("CPU utilization = %v, want ~0.5", cpuU)
+	}
+	if diskU < 0.15 || diskU > 0.4 {
+		t.Errorf("disk utilization = %v, want ~0.25", diskU)
+	}
+}
+
+func TestSiteID(t *testing.T) {
+	s := sim.New()
+	st, err := New(3, s, testConfig(), rng.NewStream(7), func(*workload.Query) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID() != 3 {
+		t.Errorf("ID = %d, want 3", st.ID())
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// BatchMeans estimates a confidence interval for the mean of a single
+// correlated observation stream (e.g. successive waiting times within
+// one simulation run) by the method of non-overlapping batch means:
+// observations are grouped into batches large enough that batch averages
+// are approximately independent, and a replication-style CI is formed
+// over the batch averages.
+//
+// The accumulator uses a fixed number of batches and doubles the batch
+// size whenever the batches fill up, so memory stays O(batches) for any
+// stream length. The zero value is not usable; construct with
+// NewBatchMeans.
+type BatchMeans struct {
+	batchSize int
+	means     []float64 // completed batch means
+	maxBatch  int
+
+	curSum   float64
+	curCount int
+	all      Welford
+}
+
+// NewBatchMeans returns an accumulator targeting the given number of
+// batches (20–40 is customary; values below 2 are raised to 8).
+func NewBatchMeans(batches int) *BatchMeans {
+	if batches < 2 {
+		batches = 8
+	}
+	return &BatchMeans{batchSize: 1, maxBatch: batches}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.all.Add(x)
+	b.curSum += x
+	b.curCount++
+	if b.curCount == b.batchSize {
+		b.means = append(b.means, b.curSum/float64(b.curCount))
+		b.curSum, b.curCount = 0, 0
+		if len(b.means) == 2*b.maxBatch {
+			b.rebatch()
+		}
+	}
+}
+
+// rebatch halves the number of stored batches by pairing them, doubling
+// the batch size.
+func (b *BatchMeans) rebatch() {
+	half := len(b.means) / 2
+	for i := 0; i < half; i++ {
+		b.means[i] = (b.means[2*i] + b.means[2*i+1]) / 2
+	}
+	b.means = b.means[:half]
+	b.batchSize *= 2
+}
+
+// Count returns the number of observations recorded.
+func (b *BatchMeans) Count() uint64 { return b.all.Count() }
+
+// Mean returns the overall sample mean.
+func (b *BatchMeans) Mean() float64 { return b.all.Mean() }
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.means) }
+
+// CI returns the 95% batch-means confidence interval for the stream
+// mean. With fewer than two completed batches the half-width is zero —
+// callers should treat that as "not enough data", not certainty.
+func (b *BatchMeans) CI() CI {
+	ci := CI{Mean: b.all.Mean(), N: len(b.means)}
+	if len(b.means) < 2 {
+		return ci
+	}
+	var w Welford
+	for _, m := range b.means {
+		w.Add(m)
+	}
+	ci.HalfWide = tQuantile95(len(b.means)-1) * w.StdDev() / math.Sqrt(float64(len(b.means)))
+	return ci
+}
+
+// Reset discards all state, keeping the batch target.
+func (b *BatchMeans) Reset() {
+	b.batchSize = 1
+	b.means = b.means[:0]
+	b.curSum, b.curCount = 0, 0
+	b.all.Reset()
+}

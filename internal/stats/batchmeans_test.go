@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For iid exponential data the batch-means CI should cover the true
+	// mean in roughly 95% of trials.
+	r := rng.NewStream(21)
+	const (
+		trials = 200
+		mean   = 4.0
+	)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		b := NewBatchMeans(20)
+		for i := 0; i < 5000; i++ {
+			b.Add(r.Exp(mean))
+		}
+		if b.CI().Contains(mean) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.88 || rate > 1.0 {
+		t.Errorf("CI coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestBatchMeansCorrelatedWiderThanNaive(t *testing.T) {
+	// AR(1)-style positively correlated stream: the batch-means CI must
+	// be wider than the naive iid CI from the same observations.
+	r := rng.NewStream(22)
+	b := NewBatchMeans(20)
+	var naive Welford
+	x := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x = 0.95*x + r.Exp(1) - 1 // strongly autocorrelated, mean ~0
+		b.Add(x)
+		naive.Add(x)
+	}
+	naiveHalf := 1.96 * naive.StdDev() / math.Sqrt(n)
+	if bm := b.CI(); bm.HalfWide <= naiveHalf {
+		t.Errorf("batch-means half-width %v not wider than naive %v on correlated data",
+			bm.HalfWide, naiveHalf)
+	}
+}
+
+func TestBatchMeansMeanMatchesWelford(t *testing.T) {
+	r := rng.NewStream(23)
+	b := NewBatchMeans(16)
+	var w Welford
+	for i := 0; i < 12345; i++ {
+		v := r.Float64()
+		b.Add(v)
+		w.Add(v)
+	}
+	if math.Abs(b.Mean()-w.Mean()) > 1e-12 {
+		t.Errorf("means diverge: %v vs %v", b.Mean(), w.Mean())
+	}
+	if b.Count() != w.Count() {
+		t.Errorf("counts diverge: %d vs %d", b.Count(), w.Count())
+	}
+}
+
+func TestBatchMeansRebatchBoundsMemory(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 100000; i++ {
+		b.Add(float64(i % 7))
+	}
+	if got := b.Batches(); got >= 20 {
+		t.Errorf("stored batches = %d, want < 2×target", got)
+	}
+	if b.batchSize < 2 {
+		t.Error("batch size never grew")
+	}
+}
+
+func TestBatchMeansFewObservations(t *testing.T) {
+	b := NewBatchMeans(20)
+	b.Add(5)
+	ci := b.CI()
+	if ci.HalfWide != 0 || ci.Mean != 5 {
+		t.Errorf("single observation CI = %+v", ci)
+	}
+}
+
+func TestBatchMeansReset(t *testing.T) {
+	b := NewBatchMeans(8)
+	for i := 0; i < 100; i++ {
+		b.Add(1)
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Batches() != 0 || b.Mean() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNewBatchMeansFloor(t *testing.T) {
+	b := NewBatchMeans(0)
+	if b.maxBatch < 2 {
+		t.Error("batch floor not applied")
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-range linear-bin histogram with an overflow bin,
+// used to estimate response-time quantiles without storing observations.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	bins     []uint64
+	overflow uint64
+	under    uint64
+	count    uint64
+}
+
+// NewHistogram builds a histogram over [lo, hi) with the given number of
+// equal-width bins. Values below lo or at/above hi land in dedicated
+// under/overflow bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v) empty", lo, hi))
+	}
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(bins), bins: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i >= len(h.bins) { // guard the hi boundary against fp rounding
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Overflow returns how many observations exceeded the histogram range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bin. Quantiles falling into the overflow bin
+// return the range's upper bound; an empty histogram returns zero.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		next := acc + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		acc = next
+	}
+	return h.hi
+}
+
+// Reset discards all observations, keeping the binning.
+func (h *Histogram) Reset() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.overflow, h.under, h.count = 0, 0, 0
+}

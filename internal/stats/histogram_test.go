@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50) > 1.5 {
+		t.Errorf("median = %v, want ~50", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-95) > 1.5 {
+		t.Errorf("p95 = %v, want ~95", got)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(10, 20, 10)
+	h.Add(5)   // under
+	h.Add(25)  // over
+	h.Add(100) // over
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+	// With 2/3 of mass in overflow, the p95 saturates at the upper bound.
+	if got := h.Quantile(0.95); got != 20 {
+		t.Errorf("p95 = %v, want hi bound 20", got)
+	}
+	// The 0.1 quantile lands in the under bin -> lower bound.
+	if got := h.Quantile(0.1); got != 10 {
+		t.Errorf("q(0.1) = %v, want lo bound 10", got)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Add(0.5)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q < 0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q > 1 not clamped")
+	}
+}
+
+func TestHistogramBoundaryValue(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(10) // exactly hi -> overflow, must not panic or mis-bin
+	if h.Overflow() != 1 {
+		t.Errorf("value at hi bound not in overflow: %d", h.Overflow())
+	}
+}
+
+func TestHistogramExponentialP95(t *testing.T) {
+	r := rng.NewStream(5)
+	h := NewHistogram(0, 200, 2000)
+	const mean = 10.0
+	for i := 0; i < 200000; i++ {
+		h.Add(r.Exp(mean))
+	}
+	want := -mean * math.Log(0.05) // ~29.96
+	if got := h.Quantile(0.95); math.Abs(got-want) > 0.5 {
+		t.Errorf("exponential p95 = %v, want ~%v", got, want)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	h.Add(30)
+	h.Reset()
+	if h.Count() != 0 || h.Overflow() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(5, 5, 10) },
+		func() { NewHistogram(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid histogram construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

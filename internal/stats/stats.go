@@ -1,0 +1,194 @@
+// Package stats provides the measurement substrate for the simulation:
+// running moments for discrete observations (query waiting times), time-
+// weighted averages for continuous signals (queue lengths, utilizations),
+// and confidence intervals over independent replications.
+package stats
+
+import "math"
+
+// Welford accumulates count, mean and variance of a stream of observations
+// using Welford's numerically stable online algorithm. The zero value is
+// ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Sum returns the observation total.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// Variance returns the unbiased sample variance (0 with < 2 observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with no observations).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// combination), as if all its observations had been Added here.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// Reset discards all observations.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// TimeWeighted integrates a piecewise-constant signal over simulated time,
+// yielding time averages such as mean queue length or utilization.
+type TimeWeighted struct {
+	origin   float64 // start of the current integration window
+	lastT    float64 // time of the most recent Set
+	value    float64 // current signal value
+	integral float64 // ∫ value dt over [origin, lastT]
+	started  bool
+}
+
+// Set records that the signal takes value v from time t onward. Calls must
+// have non-decreasing t.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.origin = t
+		tw.started = true
+	} else {
+		tw.integral += tw.value * (t - tw.lastT)
+	}
+	tw.lastT = t
+	tw.value = v
+}
+
+// Add shifts the signal by delta at time t (convenient for counters).
+func (tw *TimeWeighted) Add(t, delta float64) { tw.Set(t, tw.value+delta) }
+
+// Value returns the signal's current value.
+func (tw *TimeWeighted) Value() float64 { return tw.value }
+
+// Reset restarts integration at time t, preserving the current value.
+// Used to discard the warmup transient.
+func (tw *TimeWeighted) Reset(t float64) {
+	tw.integral = 0
+	tw.origin = t
+	tw.lastT = t
+	tw.started = true
+}
+
+// MeanAt returns the time average of the signal over [origin, t], where
+// origin is the first Set or the latest Reset. If the window is empty the
+// current value is returned.
+func (tw *TimeWeighted) MeanAt(t float64) float64 {
+	if !tw.started || t <= tw.origin {
+		return tw.value
+	}
+	total := tw.integral + tw.value*(t-tw.lastT)
+	return total / (t - tw.origin)
+}
+
+// CI describes a symmetric confidence interval around a mean.
+type CI struct {
+	Mean     float64
+	HalfWide float64 // half-width; the interval is Mean ± HalfWide
+	N        int     // number of independent samples behind the interval
+}
+
+// Lo returns the interval's lower bound.
+func (c CI) Lo() float64 { return c.Mean - c.HalfWide }
+
+// Hi returns the interval's upper bound.
+func (c CI) Hi() float64 { return c.Mean + c.HalfWide }
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo() && v <= c.Hi() }
+
+// MeanCI returns the 95% confidence interval of the mean of independent
+// samples (replication means). With fewer than two samples the half-width
+// is zero.
+func MeanCI(samples []float64) CI {
+	var w Welford
+	for _, s := range samples {
+		w.Add(s)
+	}
+	n := len(samples)
+	ci := CI{Mean: w.Mean(), N: n}
+	if n >= 2 {
+		ci.HalfWide = tQuantile95(n-1) * w.StdDev() / math.Sqrt(float64(n))
+	}
+	return ci
+}
+
+// tQuantile95 returns the two-sided 95% Student-t quantile for the given
+// degrees of freedom, from the standard table, converging to the normal
+// 1.96 for large df.
+func tQuantile95(df int) float64 {
+	table := []float64{ // df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(table):
+		return table[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

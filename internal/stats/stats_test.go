@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dqalloc/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d, want 8", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+	if !almostEqual(w.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v, want 40", w.Sum())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Count() != 0 {
+		t.Error("zero-value Welford not all-zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("single observation: mean 3, variance 0 expected")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(xsRaw, ysRaw []int8) bool {
+		var all, a, b Welford
+		for _, v := range xsRaw {
+			all.Add(float64(v))
+			a.Add(float64(v))
+		}
+		for _, v := range ysRaw {
+			all.Add(float64(v))
+			b.Add(float64(v))
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(2)
+	orig := a
+	a.Merge(b) // merging empty is a no-op
+	if a != orig {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != a.Mean() || b.Count() != a.Count() {
+		t.Error("merging into empty did not copy")
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear accumulator")
+	}
+}
+
+func TestTimeWeightedPiecewise(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)  // value 0 over [0,10)
+	tw.Set(10, 2) // value 2 over [10,20)
+	tw.Set(20, 1) // value 1 over [20,40)
+	got := tw.MeanAt(40)
+	want := (0*10 + 2*10 + 1*20) / 40.0
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("MeanAt(40) = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Add(5, 3) // 3 over [5,15)
+	tw.Add(15, -3)
+	if !almostEqual(tw.MeanAt(30), 1.0, 1e-12) {
+		t.Errorf("MeanAt(30) = %v, want 1.0", tw.MeanAt(30))
+	}
+	if tw.Value() != 0 {
+		t.Errorf("Value = %v, want 0", tw.Value())
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 100) // large transient
+	tw.Set(10, 1)
+	tw.Reset(10)
+	if !almostEqual(tw.MeanAt(20), 1.0, 1e-12) {
+		t.Errorf("post-reset MeanAt = %v, want 1.0", tw.MeanAt(20))
+	}
+}
+
+func TestTimeWeightedEmptyWindow(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(5, 7)
+	if tw.MeanAt(5) != 7 {
+		t.Errorf("empty-window mean = %v, want current value 7", tw.MeanAt(5))
+	}
+}
+
+func TestTimeWeightedUtilization(t *testing.T) {
+	// A busy/idle 0-1 signal should yield the busy fraction.
+	var tw TimeWeighted
+	tw.Set(0, 1)
+	tw.Set(3, 0)
+	tw.Set(7, 1)
+	tw.Set(8, 0)
+	if got := tw.MeanAt(10); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("utilization = %v, want 0.4", got)
+	}
+}
+
+func TestMeanCIBasics(t *testing.T) {
+	ci := MeanCI([]float64{10, 10, 10, 10})
+	if ci.Mean != 10 || ci.HalfWide != 0 {
+		t.Errorf("constant samples: CI = %+v, want mean 10 half-width 0", ci)
+	}
+	if !ci.Contains(10) || ci.Contains(10.1) {
+		t.Error("Contains misbehaves for degenerate interval")
+	}
+}
+
+func TestMeanCISingleSample(t *testing.T) {
+	ci := MeanCI([]float64{3})
+	if ci.Mean != 3 || ci.HalfWide != 0 || ci.N != 1 {
+		t.Errorf("CI = %+v, want mean 3, width 0, n 1", ci)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// ~95% of intervals over N(0,1) replication means should contain 0.
+	r := rng.NewStream(99)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		samples := make([]float64, 10)
+		for j := range samples {
+			// Sum of 12 uniforms - 6 approximates N(0,1).
+			s := -6.0
+			for k := 0; k < 12; k++ {
+				s += r.Float64()
+			}
+			samples[j] = s
+		}
+		if MeanCI(samples).Contains(0) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("95%% CI coverage = %v, want in [0.90, 0.99]", rate)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile95(df)
+		if q > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+	if tQuantile95(10000) != 1.96 {
+		t.Errorf("large-df quantile = %v, want 1.96", tQuantile95(10000))
+	}
+}
+
+func TestCIBounds(t *testing.T) {
+	ci := CI{Mean: 5, HalfWide: 2}
+	if ci.Lo() != 3 || ci.Hi() != 7 {
+		t.Errorf("bounds = [%v,%v], want [3,7]", ci.Lo(), ci.Hi())
+	}
+}

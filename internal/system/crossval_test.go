@@ -1,0 +1,136 @@
+package system
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/mva"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/site"
+	"dqalloc/internal/workload"
+)
+
+// TestSimulatorMatchesMVA cross-validates the discrete-event simulator
+// against the exact MVA solver on a configuration where the site is a
+// product-form network: a single site (so allocation is trivial), one
+// query class (so chain populations are fixed), exponential disk service,
+// and Markovian-ish cycling. The simulated mean response time must match
+// the analytical value closely.
+func TestSimulatorMatchesMVA(t *testing.T) {
+	const (
+		mpl      = 10
+		think    = 200.0
+		reads    = 20.0
+		pageCPU  = 0.5
+		diskTime = 1.0
+		numDisks = 2
+	)
+
+	cfg := Default()
+	cfg.NumSites = 1
+	cfg.MPL = mpl
+	cfg.ThinkTime = think
+	cfg.DiskDist = site.DiskExponential
+	cfg.PolicyKind = policy.Local
+	cfg.Classes = []workload.Class{{Name: "only", PageCPUTime: pageCPU, NumReads: reads, MsgLength: 1}}
+	cfg.ClassProbs = []float64{1}
+	cfg.Warmup = 5000
+	cfg.Measure = 200000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+
+	net := mva.NewNetwork(1)
+	if err := net.AddStation("think", mva.Delay, think); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddStation("cpu", mva.Queueing, reads*pageCPU); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < numDisks; d++ {
+		if err := net.AddStation("disk", mva.Queueing, reads/numDisks*diskTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := net.Solve([]int{mpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytical response excludes think time (stations 1..3).
+	wantResp := sol.ResponseTime(0) - think
+
+	if rel := math.Abs(r.MeanResponse-wantResp) / wantResp; rel > 0.05 {
+		t.Errorf("simulated response %v vs MVA %v (rel err %.3f)", r.MeanResponse, wantResp, rel)
+	}
+	// Throughput and utilization must agree too.
+	if rel := math.Abs(r.Throughput-sol.Throughput[0]) / sol.Throughput[0]; rel > 0.05 {
+		t.Errorf("simulated X %v vs MVA %v", r.Throughput, sol.Throughput[0])
+	}
+	if diff := math.Abs(r.CPUUtil - sol.Utilization(1)); diff > 0.03 {
+		t.Errorf("simulated ρ_c %v vs MVA %v", r.CPUUtil, sol.Utilization(1))
+	}
+}
+
+// TestSimulatorMatchesMVATwoChains repeats the cross-validation with two
+// sites and a pinned two-class mix executed locally: each site is an
+// independent product-form network, and the aggregate waiting time of
+// each class must match MVA within tolerance. Because class membership is
+// resampled per query (probabilistic, not a fixed chain population), we
+// use the single-class-per-network decomposition: every terminal draws
+// from one class only by setting the mix to a degenerate distribution per
+// run.
+func TestSimulatorMatchesMVATwoChains(t *testing.T) {
+	const (
+		mpl   = 8
+		think = 150.0
+	)
+	for _, tt := range []struct {
+		name    string
+		pageCPU float64
+	}{
+		{name: "io-heavy", pageCPU: 0.05},
+		{name: "cpu-heavy", pageCPU: 1.0},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			cfg.NumSites = 2
+			cfg.MPL = mpl
+			cfg.ThinkTime = think
+			cfg.DiskDist = site.DiskExponential
+			cfg.PolicyKind = policy.Local
+			cfg.Classes = []workload.Class{{Name: "only", PageCPUTime: tt.pageCPU, NumReads: 20, MsgLength: 1}}
+			cfg.ClassProbs = []float64{1}
+			cfg.Warmup = 5000
+			cfg.Measure = 150000
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+
+			net := mva.NewNetwork(1)
+			if err := net.AddStation("think", mva.Delay, think); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.AddStation("cpu", mva.Queueing, 20*tt.pageCPU); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.AddStation("disk1", mva.Queueing, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.AddStation("disk2", mva.Queueing, 10); err != nil {
+				t.Fatal(err)
+			}
+			sol, err := net.Solve([]int{mpl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantResp := sol.ResponseTime(0) - think
+			if rel := math.Abs(r.MeanResponse-wantResp) / wantResp; rel > 0.06 {
+				t.Errorf("simulated response %v vs MVA %v (rel err %.3f)", r.MeanResponse, wantResp, rel)
+			}
+		})
+	}
+}

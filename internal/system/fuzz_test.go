@@ -1,0 +1,118 @@
+package system
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/workload"
+)
+
+// TestRandomConfigsHoldInvariants is a model-level property test: for
+// randomly drawn (small) valid configurations, a run completes and the
+// core invariants hold — non-negative waits, response = service + wait,
+// utilizations in [0,1], and the load table within the closed
+// population.
+func TestRandomConfigsHoldInvariants(t *testing.T) {
+	kinds := []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT}
+	f := func(seed uint64, sitesRaw, mplRaw, kindRaw, pioRaw, thinkRaw uint8) bool {
+		cfg := Default()
+		cfg.Seed = seed
+		cfg.NumSites = int(sitesRaw%5) + 2 // 2..6
+		cfg.MPL = int(mplRaw%10) + 3       // 3..12
+		cfg.PolicyKind = kinds[int(kindRaw)%len(kinds)]
+		pio := 0.1 + float64(pioRaw%9)/10.0 // 0.1..0.9
+		cfg.ClassProbs = []float64{pio, 1 - pio}
+		cfg.ThinkTime = 100 + float64(thinkRaw%4)*100
+		cfg.Warmup = 300
+		cfg.Measure = 2500
+
+		sys, err := New(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		r := sys.Run()
+		if r.Completed == 0 {
+			t.Logf("no completions for %+v", cfg)
+			return false
+		}
+		for _, c := range r.ByClass {
+			if c.MeanWait < -1e-9 {
+				t.Logf("negative wait %v", c.MeanWait)
+				return false
+			}
+			if c.Completed > 0 && c.MeanResp+1e-9 < c.MeanExecService {
+				t.Logf("response below service")
+				return false
+			}
+		}
+		for _, u := range []float64{r.CPUUtil, r.DiskUtil, r.SubnetUtil} {
+			if u < 0 || u > 1+1e-9 {
+				t.Logf("utilization %v out of range", u)
+				return false
+			}
+		}
+		total := sys.table.Total()
+		return total >= 0 && total <= cfg.NumSites*cfg.MPL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThreeClassWorkload verifies the model is not hard-wired to two
+// classes: a three-class mix runs and reports per-class metrics.
+func TestThreeClassWorkload(t *testing.T) {
+	cfg := Default()
+	cfg.Classes = []workload.Class{
+		{Name: "io", PageCPUTime: 0.05, NumReads: 20, MsgLength: 1},
+		{Name: "mid", PageCPUTime: 0.4, NumReads: 15, MsgLength: 1},
+		{Name: "cpu", PageCPUTime: 1.0, NumReads: 20, MsgLength: 1},
+	}
+	cfg.ClassProbs = []float64{0.4, 0.2, 0.4}
+	cfg.Warmup = 1000
+	cfg.Measure = 15000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if len(r.ByClass) != 3 {
+		t.Fatalf("ByClass has %d entries, want 3", len(r.ByClass))
+	}
+	for _, c := range r.ByClass {
+		if c.Completed == 0 {
+			t.Errorf("class %s completed nothing", c.Name)
+		}
+	}
+	// Fairness is defined over the first two classes; it must be finite.
+	if r.Fairness != r.ByClass[0].NormWait-r.ByClass[1].NormWait {
+		t.Error("Fairness not the class-0/class-1 normalized difference")
+	}
+}
+
+// TestSingleSiteDegenerates: with one site every policy reduces to
+// LOCAL.
+func TestSingleSiteDegenerates(t *testing.T) {
+	waits := map[policy.Kind]float64{}
+	for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.LERT} {
+		cfg := Default()
+		cfg.NumSites = 1
+		cfg.PolicyKind = kind
+		cfg.Warmup = 500
+		cfg.Measure = 8000
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sys.Run()
+		waits[kind] = r.MeanWait
+		if r.RemoteFrac != 0 || r.SubnetUtil != 0 {
+			t.Errorf("%v: single site used the network", kind)
+		}
+	}
+	if waits[policy.Local] != waits[policy.BNQ] || waits[policy.BNQ] != waits[policy.LERT] {
+		t.Errorf("single-site runs differ across policies: %v", waits)
+	}
+}

@@ -1,0 +1,99 @@
+package system
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+func heteroConfig(kind policy.Kind) Config {
+	cfg := Default()
+	cfg.PolicyKind = kind
+	// One double-speed CPU, one half-speed CPU, four baseline sites.
+	cfg.CPUSpeeds = []float64{2, 1, 1, 1, 1, 0.5}
+	cfg.Warmup = 2000
+	cfg.Measure = 25000
+	return cfg
+}
+
+func TestCPUSpeedsValidation(t *testing.T) {
+	cfg := Default()
+	cfg.CPUSpeeds = []float64{1, 1}
+	if cfg.Validate() == nil {
+		t.Error("wrong-length CPU speeds accepted")
+	}
+	cfg.CPUSpeeds = []float64{1, 1, 1, 1, 1, 0}
+	if cfg.Validate() == nil {
+		t.Error("zero CPU speed accepted")
+	}
+	cfg = heteroConfig(policy.LERT)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid heterogeneous config rejected: %v", err)
+	}
+}
+
+func TestHeterogeneousRunsComplete(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.LERT} {
+		sys, err := New(heteroConfig(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := sys.Run(); r.Completed == 0 {
+			t.Errorf("%v: no completions on heterogeneous hardware", kind)
+		}
+	}
+}
+
+func TestFastSiteServesFaster(t *testing.T) {
+	// Under LOCAL the fast site's CPU utilization must be well below the
+	// slow site's: same arrival work, double the service rate.
+	sys, err := New(heteroConfig(policy.Local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	end := sys.cfg.Warmup + sys.cfg.Measure
+	fast := sys.sites[0].CPUUtilization(end)
+	slow := sys.sites[5].CPUUtilization(end)
+	if fast >= slow {
+		t.Errorf("fast site CPU util %v not below slow site %v", fast, slow)
+	}
+}
+
+func TestLERTExploitsHeterogeneity(t *testing.T) {
+	// LERT's speed-aware cost function should beat the count-based BNQ by
+	// more on heterogeneous hardware than on homogeneous hardware, since
+	// BNQ treats a slow site like any other.
+	wait := func(kind policy.Kind, hetero bool) float64 {
+		cfg := heteroConfig(kind)
+		if !hetero {
+			cfg.CPUSpeeds = nil
+		}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run().MeanWait
+	}
+	gapHomo := wait(policy.BNQ, false) - wait(policy.LERT, false)
+	gapHetero := wait(policy.BNQ, true) - wait(policy.LERT, true)
+	if gapHetero <= gapHomo {
+		t.Errorf("LERT's edge over BNQ on heterogeneous hardware (%v) not larger than homogeneous (%v)",
+			gapHetero, gapHomo)
+	}
+}
+
+func TestLERTSendsCPUWorkToFastSite(t *testing.T) {
+	// Under LERT, the fast CPU should attract more completed work than a
+	// baseline site: compare pages processed.
+	sys, err := New(heteroConfig(policy.LERT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	fast := sys.sites[0].PagesRead()
+	slow := sys.sites[5].PagesRead()
+	if fast <= slow {
+		t.Errorf("fast site read %d pages, slow site %d; LERT not steering work", fast, slow)
+	}
+}

@@ -1,0 +1,172 @@
+package system
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+// TestLittlesLawEndToEnd applies Little's law to the whole closed
+// network: the terminal population NumSites×MPL must equal system
+// throughput times the mean terminal cycle time (think + response).
+// This ties together the clock, the terminals, the servers, the ring and
+// the metrics in one equation.
+func TestLittlesLawEndToEnd(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Default()
+			cfg.PolicyKind = kind
+			cfg.Warmup = 4000
+			cfg.Measure = 60000
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			pop := float64(cfg.NumSites * cfg.MPL)
+			implied := r.Throughput * (cfg.ThinkTime + r.MeanResponse)
+			if rel := math.Abs(implied-pop) / pop; rel > 0.03 {
+				t.Errorf("Little's law: X·(Z+R) = %.1f vs population %.0f (rel err %.3f)",
+					implied, pop, rel)
+			}
+		})
+	}
+}
+
+// TestUtilizationLaw checks ρ = X·D at the CPUs: measured CPU
+// utilization must equal per-site throughput times the mean CPU demand
+// per query.
+func TestUtilizationLaw(t *testing.T) {
+	cfg := Default()
+	cfg.PolicyKind = policy.LERT
+	cfg.Warmup = 4000
+	cfg.Measure = 60000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	// Mean CPU demand per query: 0.5·(20·0.05) + 0.5·(20·1.0) = 10.5.
+	const meanCPUDemand = 10.5
+	implied := r.Throughput / float64(cfg.NumSites) * meanCPUDemand
+	if rel := math.Abs(implied-r.CPUUtil) / r.CPUUtil; rel > 0.05 {
+		t.Errorf("utilization law: X·D = %.3f vs measured ρ_c %.3f", implied, r.CPUUtil)
+	}
+}
+
+// TestBatchMeansCISane: the single-run batch-means interval must center
+// on the measured mean and be neither zero nor absurdly wide.
+func TestBatchMeansCISane(t *testing.T) {
+	cfg := Default()
+	cfg.Warmup = 2000
+	cfg.Measure = 40000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if !r.WaitCI.Contains(r.MeanWait) {
+		t.Errorf("CI %v..%v does not contain its own mean %v",
+			r.WaitCI.Lo(), r.WaitCI.Hi(), r.MeanWait)
+	}
+	if r.WaitCI.HalfWide <= 0 {
+		t.Error("single-run CI has zero width on a long run")
+	}
+	if r.WaitCI.HalfWide > r.MeanWait {
+		t.Errorf("CI half-width %v exceeds the mean %v", r.WaitCI.HalfWide, r.MeanWait)
+	}
+	// Two independent seeds should produce overlapping 95% intervals
+	// virtually always.
+	cfg.Seed = 77
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := sys2.Run()
+	if r.WaitCI.Lo() > r2.WaitCI.Hi() || r2.WaitCI.Lo() > r.WaitCI.Hi() {
+		t.Errorf("independent-run CIs disjoint: [%v,%v] vs [%v,%v]",
+			r.WaitCI.Lo(), r.WaitCI.Hi(), r2.WaitCI.Lo(), r2.WaitCI.Hi())
+	}
+}
+
+// TestWaitNonNegative: with FIFO/PS servers and exact service
+// accounting, no query can wait a negative amount.
+func TestWaitNonNegative(t *testing.T) {
+	cfg := Default()
+	cfg.Warmup = 500
+	cfg.Measure = 10000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	for _, c := range r.ByClass {
+		if c.MeanWait < -1e-9 {
+			t.Errorf("class %s mean wait %v negative", c.Name, c.MeanWait)
+		}
+		if c.MeanResp < c.MeanExecService {
+			t.Errorf("class %s response %v below execution service %v",
+				c.Name, c.MeanResp, c.MeanExecService)
+		}
+	}
+}
+
+// TestResponseDecomposition: mean response must equal mean execution
+// service plus mean waiting, per class and overall.
+func TestResponseDecomposition(t *testing.T) {
+	cfg := Default()
+	cfg.Warmup = 1000
+	cfg.Measure = 20000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	for _, c := range r.ByClass {
+		if math.Abs(c.MeanResp-(c.MeanExecService+c.MeanWait)) > 1e-6 {
+			t.Errorf("class %s: response %v != service %v + wait %v",
+				c.Name, c.MeanResp, c.MeanExecService, c.MeanWait)
+		}
+	}
+}
+
+// TestClassMixMatchesProbability: completed-query class shares should
+// track ClassProbs.
+func TestClassMixMatchesProbability(t *testing.T) {
+	cfg := Default()
+	cfg.ClassProbs = []float64{0.7, 0.3}
+	cfg.Warmup = 1000
+	cfg.Measure = 40000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	frac := float64(r.ByClass[0].Completed) / float64(r.Completed)
+	// The closed model completes cheap (io) queries faster, so the
+	// completion share exceeds the arrival probability slightly.
+	if frac < 0.65 || frac > 0.8 {
+		t.Errorf("io-class completion share %v, want near 0.7", frac)
+	}
+}
+
+// TestSubnetConservation: bytes carried must equal 2·msg_length per
+// remote completion (transfer + return), up to in-flight edge effects.
+func TestSubnetConservation(t *testing.T) {
+	cfg := Default()
+	cfg.PolicyKind = policy.BNQ
+	cfg.Warmup = 1000
+	cfg.Measure = 30000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	remote := float64(r.Completed) * r.RemoteFrac
+	carried := sys.ring.BytesCarried()
+	want := 2 * remote // msg_length 1 each way
+	if math.Abs(carried-want)/want > 0.05 {
+		t.Errorf("ring carried %v bytes, want ~%v (2 per remote query)", carried, want)
+	}
+}

@@ -1,0 +1,149 @@
+package system
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+func TestMigrationConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		m    MigrationConfig
+		ok   bool
+	}{
+		{name: "disabled zero value", m: MigrationConfig{}, ok: true},
+		{name: "default", m: DefaultMigration(), ok: true},
+		{name: "check every zero", m: MigrationConfig{Enabled: true, CheckEvery: 0, MinRemaining: 1}},
+		{name: "min remaining zero", m: MigrationConfig{Enabled: true, CheckEvery: 1, MinRemaining: 0}},
+		{name: "negative state", m: MigrationConfig{Enabled: true, CheckEvery: 1, MinRemaining: 1, StateFactor: -1}},
+		{name: "negative threshold", m: MigrationConfig{Enabled: true, CheckEvery: 1, MinRemaining: 1, Threshold: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			cfg.Migration = tt.m
+			err := cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, ok = %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMigrationRunsAndMigrates(t *testing.T) {
+	cfg := Default()
+	cfg.PolicyKind = policy.Local // force imbalance so migration has work
+	cfg.Migration = DefaultMigration()
+	cfg.Warmup = 1000
+	cfg.Measure = 20000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if r.Completed == 0 {
+		t.Fatal("no completions with migration enabled")
+	}
+	if r.Migrations == 0 {
+		t.Error("migration enabled but no migrations happened under LOCAL imbalance")
+	}
+}
+
+func TestMigrationImprovesLocal(t *testing.T) {
+	// Migration is the only load-balancing mechanism when allocation is
+	// LOCAL; it must reduce waiting time versus plain LOCAL.
+	base := Default()
+	base.PolicyKind = policy.Local
+	base.Warmup = 2000
+	base.Measure = 30000
+	plain, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wPlain := plain.Run().MeanWait
+
+	mig := base
+	mig.Migration = DefaultMigration()
+	migSys, err := New(mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMig := migSys.Run().MeanWait
+	if wMig >= wPlain {
+		t.Errorf("LOCAL+migration W̄ = %v not better than LOCAL %v", wMig, wPlain)
+	}
+}
+
+func TestMigrationRareUnderLERT(t *testing.T) {
+	// With good initial placement there is little left for migration to
+	// fix: under LERT, migrations should be far rarer than completions.
+	cfg := Default()
+	cfg.PolicyKind = policy.LERT
+	cfg.Migration = DefaultMigration()
+	cfg.Warmup = 1000
+	cfg.Measure = 20000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if r.Migrations > r.Completed/2 {
+		t.Errorf("migrations %d vs completions %d: migration thrashing under LERT",
+			r.Migrations, r.Completed)
+	}
+}
+
+func TestMigrationRespectsPlacement(t *testing.T) {
+	cfg := partialConfig(t, policy.Local, 2)
+	cfg.Migration = DefaultMigration()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run would panic (placement check in submit / Execute) if migration
+	// moved a query to a site without a copy; completing cleanly plus the
+	// final table consistency is the assertion.
+	r := sys.Run()
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestMigrationPreservesLoadTable(t *testing.T) {
+	cfg := Default()
+	cfg.PolicyKind = policy.Local
+	cfg.Migration = DefaultMigration()
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	// Drain: everything still in flight must be consistent (total within
+	// the closed population).
+	total := sys.table.Total()
+	if total < 0 || total > cfg.NumSites*cfg.MPL {
+		t.Errorf("load table total %d outside [0, %d] after migrating run",
+			total, cfg.NumSites*cfg.MPL)
+	}
+}
+
+func TestCycleHookOwnershipContract(t *testing.T) {
+	// A hook that always takes ownership must leave the site idle; the
+	// query never completes there.
+	cfg := Default()
+	cfg.Migration = MigrationConfig{Enabled: true, CheckEvery: 1, MinRemaining: 1, StateFactor: 1, Threshold: 0}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("aggressive migration config rejected: %v", err)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if r.Completed == 0 {
+		t.Fatal("aggressive migration starved the system")
+	}
+}

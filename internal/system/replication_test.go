@@ -1,0 +1,89 @@
+package system
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
+)
+
+// partialConfig returns a 6-site system where each object has k copies.
+func partialConfig(t *testing.T, kind policy.Kind, copies int) Config {
+	t.Helper()
+	cfg := Default()
+	cfg.PolicyKind = kind
+	cfg.Warmup = 1000
+	cfg.Measure = 10000
+	p, err := replica.NewRoundRobin(cfg.NumSites, 60, copies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = p
+	return cfg
+}
+
+func TestPartialReplicationRuns(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := New(partialConfig(t, kind, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if r.Completed == 0 {
+				t.Fatal("no completions under partial replication")
+			}
+			// With 2 copies out of 6 sites, most queries find no local
+			// copy, so even LOCAL must go remote often.
+			if kind == policy.Local && r.RemoteFrac < 0.5 {
+				t.Errorf("LOCAL remote fraction = %v, want > 0.5 (copies rarely local)", r.RemoteFrac)
+			}
+		})
+	}
+}
+
+func TestPlacementSiteMismatchRejected(t *testing.T) {
+	cfg := Default()
+	p, err := replica.NewRoundRobin(4, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = p // 4-site placement on a 6-site system
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched placement accepted")
+	}
+}
+
+func TestMoreCopiesImproveLERT(t *testing.T) {
+	// The Table-11 discussion: more copies give the allocator more
+	// freedom. Waiting time under LERT should not get worse going from 1
+	// copy (no choice at all) to full replication.
+	single, err := New(partialConfig(t, policy.LERT, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(partialConfig(t, policy.LERT, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w6 := single.Run().MeanWait, full.Run().MeanWait
+	if w6 >= w1 {
+		t.Errorf("full replication (W̄=%v) not better than single copy (W̄=%v)", w6, w1)
+	}
+}
+
+func TestSingleCopyForcesPlacement(t *testing.T) {
+	// With one copy per object no policy has any freedom: all policies
+	// must produce identical allocations, so identical waiting times.
+	wait := make(map[string]float64)
+	for _, kind := range []policy.Kind{policy.BNQ, policy.LERT} {
+		sys, err := New(partialConfig(t, kind, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait[kind.String()] = sys.Run().MeanWait
+	}
+	if wait["BNQ"] != wait["LERT"] {
+		t.Errorf("single-copy runs differ: %v", wait)
+	}
+}

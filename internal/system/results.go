@@ -1,0 +1,83 @@
+package system
+
+import "dqalloc/internal/stats"
+
+// ClassResults holds the per-class measurements of one run.
+type ClassResults struct {
+	// Name is the class label (e.g. "io", "cpu").
+	Name string
+	// Completed is the number of measured completions.
+	Completed uint64
+	// MeanWait is the class's mean waiting (queueing) time per query:
+	// response time minus actual service received.
+	MeanWait float64
+	// MeanResp is the class's mean response time.
+	MeanResp float64
+	// MeanService is the class's mean total service demand per query
+	// (disk + CPU + message transmissions).
+	MeanService float64
+	// MeanExecService is the class's mean execution demand per query
+	// (disk + CPU only) — the paper's "execution time".
+	MeanExecService float64
+	// NormWait is the normalized mean waiting time Ŵ = MeanWait /
+	// MeanExecService (Section 3's fairness currency).
+	NormWait float64
+}
+
+// Results holds the measurements of one simulation run over the measured
+// horizon (after warmup).
+type Results struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Seed is the run's random seed.
+	Seed uint64
+	// MeasuredTime is the length of the measured horizon.
+	MeasuredTime float64
+
+	// Completed counts queries finishing inside the measured horizon.
+	Completed uint64
+	// MeanWait is the paper's W̄: mean waiting time over all queries —
+	// response time minus pure execution service (message transmission
+	// counts as waiting).
+	MeanWait float64
+	// WaitCI is a single-run 95% confidence interval for MeanWait,
+	// produced by the method of batch means (the observations within one
+	// run are autocorrelated, so a naive interval would be too narrow).
+	WaitCI stats.CI
+	// MeanResponse is the mean response time over all queries.
+	MeanResponse float64
+	// ByClass holds the per-class breakdown, indexed like Config.Classes.
+	ByClass []ClassResults
+	// Fairness is the paper's F: the difference in normalized waiting
+	// times between class 0 and class 1 (Ŵ_io − Ŵ_cpu with the default
+	// class table). Zero when fewer than two classes are configured.
+	Fairness float64
+
+	// CPUUtil is the paper's ρ_c: mean CPU utilization across sites.
+	CPUUtil float64
+	// DiskUtil is the paper's ρ_d: mean disk utilization across sites.
+	DiskUtil float64
+	// SubnetUtil is the ring's busy fraction (Table 11).
+	SubnetUtil float64
+
+	// Throughput is completed queries per time unit, system-wide.
+	Throughput float64
+	// RemoteFrac is the fraction of completed queries that executed away
+	// from their home site.
+	RemoteFrac float64
+	// TransferFrac is the fraction of allocation decisions that chose a
+	// remote site.
+	TransferFrac float64
+	// Migrations counts mid-execution migrations (zero unless the
+	// migration extension is enabled).
+	Migrations uint64
+}
+
+// UtilizationRatio returns ρ_d/ρ_c as reported in Table 12 (0 if the CPU
+// was idle).
+func (r Results) UtilizationRatio() float64 {
+	if r.CPUUtil == 0 {
+		return 0
+	}
+	return r.DiskUtil / r.CPUUtil
+}

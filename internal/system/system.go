@@ -1,0 +1,320 @@
+package system
+
+import (
+	"fmt"
+
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/network"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/site"
+	"dqalloc/internal/stats"
+	"dqalloc/internal/workload"
+)
+
+// System is one instantiated simulation of the paper's model. Build it
+// with New and produce measurements with Run; a System is single-use.
+type System struct {
+	cfg   Config
+	sched *sim.Scheduler
+
+	sites []*site.Site
+	ring  *network.Ring
+	gen   *workload.Generator
+	table *loadinfo.Table
+	bcast *loadinfo.Broadcaster
+	pol   policy.Policy
+	env   *policy.Env
+
+	think     []*rng.Stream // per-site terminal think streams
+	objStream *rng.Stream   // object sampling (partial replication)
+
+	measuring bool
+	startAt   float64
+
+	waits      []stats.Welford // per-class waiting times
+	responses  []stats.Welford
+	services   []stats.Welford
+	execSvcs   []stats.Welford
+	allWaits   stats.Welford
+	batchW     *stats.BatchMeans
+	allResp    stats.Welford
+	remote     uint64
+	transfers  uint64 // allocations that chose a remote site (measured window)
+	allocs     uint64
+	migrations uint64
+	allSites   []int // cached candidate list for full replication
+}
+
+// New assembles a system from cfg. The configuration is validated and the
+// model is built but no events run until Run.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, sched: sim.New()}
+	root := rng.NewStream(cfg.Seed)
+
+	var err error
+	s.gen, err = workload.NewGenerator(cfg.Classes, cfg.ClassProbs, cfg.EstimateMode, root.Child(1))
+	if err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
+
+	s.pol = cfg.CustomPolicy
+	if s.pol == nil {
+		s.pol, err = policy.New(cfg.PolicyKind, cfg.NumSites, root.Child(2))
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+
+	s.ring = network.NewRing(s.sched, cfg.NumSites, cfg.MsgTime)
+	s.table = loadinfo.NewTable(cfg.NumSites)
+
+	var view loadinfo.View = s.table
+	if cfg.InfoMode == InfoPeriodic {
+		s.bcast, err = loadinfo.NewBroadcaster(s.sched, s.table, cfg.InfoPeriod)
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+		view = s.bcast
+	}
+
+	s.env = &policy.Env{
+		View:     view,
+		NumSites: cfg.NumSites,
+		NumDisks: cfg.NumDisks,
+		DiskTime: cfg.DiskTime,
+		NetTime: func(q *workload.Query, from, to int) float64 {
+			if from == to {
+				return 0
+			}
+			return 2 * s.ring.TransmitTime(cfg.Classes[q.Class].MsgLength)
+		},
+		CPUSpeeds: cfg.CPUSpeeds,
+	}
+
+	siteCfg := site.Config{
+		NumDisks:      cfg.NumDisks,
+		DiskTime:      cfg.DiskTime,
+		DiskTimeDev:   cfg.DiskTimeDev,
+		DiskDist:      cfg.DiskDist,
+		DiskSelection: cfg.DiskSelection,
+		Classes:       cfg.Classes,
+	}
+	if cfg.Migration.Enabled {
+		siteCfg.CycleHook = s.maybeMigrate
+	}
+	s.sites = make([]*site.Site, cfg.NumSites)
+	s.think = make([]*rng.Stream, cfg.NumSites)
+	for i := range s.sites {
+		sc := siteCfg
+		if cfg.CPUSpeeds != nil {
+			sc.CPUSpeed = cfg.CPUSpeeds[i]
+		}
+		s.sites[i], err = site.New(i, s.sched, sc, root.Child(uint64(100+i)), s.onExecDone)
+		if err != nil {
+			return nil, err
+		}
+		s.think[i] = root.Child(uint64(1000 + i))
+	}
+
+	if cfg.Placement != nil {
+		s.objStream = root.Child(3)
+	}
+
+	n := len(cfg.Classes)
+	s.waits = make([]stats.Welford, n)
+	s.responses = make([]stats.Welford, n)
+	s.services = make([]stats.Welford, n)
+	s.execSvcs = make([]stats.Welford, n)
+	s.batchW = stats.NewBatchMeans(24)
+	return s, nil
+}
+
+// Run executes the simulation — warmup followed by the measured horizon —
+// and returns the collected results.
+func (s *System) Run() Results {
+	// Every terminal starts in its think state.
+	for home := range s.sites {
+		for t := 0; t < s.cfg.MPL; t++ {
+			s.startThink(home)
+		}
+	}
+	if s.cfg.Warmup > 0 {
+		s.sched.At(s.cfg.Warmup, s.beginMeasurement)
+	} else {
+		s.beginMeasurement()
+	}
+	end := s.cfg.Warmup + s.cfg.Measure
+	s.sched.RunUntil(end)
+	if s.bcast != nil {
+		s.bcast.Stop()
+	}
+	return s.collect(end)
+}
+
+// beginMeasurement discards the warmup transient.
+func (s *System) beginMeasurement() {
+	now := s.sched.Now()
+	s.measuring = true
+	s.startAt = now
+	for _, st := range s.sites {
+		st.ResetStats(now)
+	}
+	s.ring.ResetStats(now)
+}
+
+// startThink puts one terminal at the given site into its think state;
+// when the think time expires the terminal submits a new query.
+func (s *System) startThink(home int) {
+	s.sched.After(s.think[home].Exp(s.cfg.ThinkTime), func() { s.submit(home) })
+}
+
+// submit realizes the allocation decision point of Figure 2: a new query
+// is generated, the policy chooses its execution site, and the query is
+// either admitted locally or shipped over the ring.
+func (s *System) submit(home int) {
+	q := s.gen.New(home, s.sched.Now())
+	if s.cfg.Placement != nil {
+		q.Object = s.objStream.Intn(s.cfg.Placement.NumObjects())
+		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
+	}
+	exec := s.pol.Select(q, home, s.env)
+	if exec < 0 || exec >= s.cfg.NumSites {
+		panic(fmt.Sprintf("system: policy %s chose invalid site %d", s.pol.Name(), exec))
+	}
+	if s.cfg.Placement != nil && !s.cfg.Placement.Holds(exec, q.Object) {
+		panic(fmt.Sprintf("system: policy %s chose site %d without a copy of object %d",
+			s.pol.Name(), exec, q.Object))
+	}
+	q.Exec = exec
+	s.table.Assign(exec, s.bound(q))
+	s.table.AssignWork(exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	if s.measuring {
+		s.allocs++
+		if exec != home {
+			s.transfers++
+		}
+	}
+	if exec == home {
+		s.sites[exec].Execute(q)
+		return
+	}
+	size := s.cfg.Classes[q.Class].MsgLength
+	q.Service += s.ring.TransmitTime(size)
+	q.NetService += s.ring.TransmitTime(size)
+	s.ring.Send(network.Message{
+		From:      home,
+		To:        exec,
+		Size:      size,
+		OnDeliver: func() { s.sites[exec].Execute(q) },
+	})
+}
+
+// onExecDone fires when a query's last CPU burst ends at its execution
+// site. The query stops counting against the site; remote queries ship
+// their results home before the terminal sees them.
+func (s *System) onExecDone(q *workload.Query) {
+	s.table.Complete(q.Exec, s.bound(q))
+	s.table.CompleteWork(q.Exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	if !q.Remote() {
+		s.complete(q)
+		return
+	}
+	size := s.cfg.Classes[q.Class].MsgLength
+	q.Service += s.ring.TransmitTime(size)
+	q.NetService += s.ring.TransmitTime(size)
+	s.ring.Send(network.Message{
+		From:      q.Exec,
+		To:        q.Home,
+		Size:      size,
+		OnDeliver: func() { s.complete(q) },
+	})
+}
+
+// complete returns results to the query's terminal of origin, records
+// metrics, and puts the terminal back into its think state.
+func (s *System) complete(q *workload.Query) {
+	now := s.sched.Now()
+	if s.measuring {
+		response := now - q.SubmitTime
+		// Waiting is response minus pure execution service (disk + CPU).
+		// Message transmission counts as waiting, matching the paper's
+		// "execution time" of cpu+disk demands only (Section 5.2 quotes
+		// 30.5, which excludes message time).
+		wait := response - q.ExecService()
+		s.waits[q.Class].Add(wait)
+		s.responses[q.Class].Add(response)
+		s.services[q.Class].Add(q.Service)
+		s.execSvcs[q.Class].Add(q.ExecService())
+		s.allWaits.Add(wait)
+		s.batchW.Add(wait)
+		s.allResp.Add(response)
+		if q.Remote() {
+			s.remote++
+		}
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.record(q, now, s.cfg.Classes[q.Class].Name)
+		}
+	}
+	s.startThink(q.Home)
+}
+
+// bound classifies q exactly as the allocation heuristics do, so that
+// load-table increments and decrements always match.
+func (s *System) bound(q *workload.Query) workload.Bound {
+	return policy.QueryBound(q, s.cfg.DiskTime, s.cfg.NumDisks)
+}
+
+// collect snapshots all metrics at the end of the measured horizon.
+func (s *System) collect(end float64) Results {
+	n := len(s.cfg.Classes)
+	r := Results{
+		Policy:       s.pol.Name(),
+		Seed:         s.cfg.Seed,
+		MeasuredTime: end - s.startAt,
+		Completed:    s.allWaits.Count(),
+		ByClass:      make([]ClassResults, n),
+	}
+	r.MeanWait = s.allWaits.Mean()
+	r.WaitCI = s.batchW.CI()
+	r.MeanResponse = s.allResp.Mean()
+	for c := 0; c < n; c++ {
+		cr := ClassResults{
+			Name:            s.cfg.Classes[c].Name,
+			Completed:       s.waits[c].Count(),
+			MeanWait:        s.waits[c].Mean(),
+			MeanResp:        s.responses[c].Mean(),
+			MeanService:     s.services[c].Mean(),
+			MeanExecService: s.execSvcs[c].Mean(),
+		}
+		if cr.MeanExecService > 0 {
+			cr.NormWait = cr.MeanWait / cr.MeanExecService
+		}
+		r.ByClass[c] = cr
+	}
+	if n >= 2 {
+		r.Fairness = r.ByClass[0].NormWait - r.ByClass[1].NormWait
+	}
+	for _, st := range s.sites {
+		r.CPUUtil += st.CPUUtilization(end)
+		r.DiskUtil += st.DiskUtilization(end)
+	}
+	r.CPUUtil /= float64(len(s.sites))
+	r.DiskUtil /= float64(len(s.sites))
+	r.SubnetUtil = s.ring.Utilization(end)
+	if r.MeasuredTime > 0 {
+		r.Throughput = float64(r.Completed) / r.MeasuredTime
+	}
+	if r.Completed > 0 {
+		r.RemoteFrac = float64(s.remote) / float64(r.Completed)
+	}
+	if s.allocs > 0 {
+		r.TransferFrac = float64(s.transfers) / float64(s.allocs)
+	}
+	r.Migrations = s.migrations
+	return r
+}

@@ -1,0 +1,45 @@
+package system
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dqalloc/internal/workload"
+)
+
+// Tracer records one CSV line per completed query inside the measured
+// window — the raw material for offline analysis (waiting-time
+// distributions, per-site flow maps, migration audits). Attach one via
+// Config.Trace.
+type Tracer struct {
+	w      *bufio.Writer
+	header bool
+	lines  uint64
+}
+
+// NewTracer wraps w in a tracer. Call Flush when the run is over.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// Lines returns the number of records written.
+func (t *Tracer) Lines() uint64 { return t.lines }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Tracer) Flush() error { return t.w.Flush() }
+
+// record writes one completed-query line.
+func (t *Tracer) record(q *workload.Query, completeAt float64, className string) {
+	if !t.header {
+		t.header = true
+		fmt.Fprintln(t.w, "id,class,home,exec,object,submit,complete,response,exec_service,net_service,wait,reads,migrations")
+	}
+	response := completeAt - q.SubmitTime
+	fmt.Fprintf(t.w, "%d,%s,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d\n",
+		q.ID, className, q.Home, q.Exec, q.Object,
+		q.SubmitTime, completeAt, response,
+		q.ExecService(), q.NetService, response-q.ExecService(),
+		q.ReadsTotal, q.Migrations)
+	t.lines++
+}

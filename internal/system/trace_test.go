@@ -1,0 +1,84 @@
+package system
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsCompletions(t *testing.T) {
+	var sb strings.Builder
+	cfg := Default()
+	cfg.Warmup = 500
+	cfg.Measure = 3000
+	cfg.Trace = NewTracer(&sb)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if err := cfg.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trace.Lines() != r.Completed {
+		t.Errorf("trace lines %d != completions %d", cfg.Trace.Lines(), r.Completed)
+	}
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != int(r.Completed)+1 {
+		t.Fatalf("trace has %d lines, want %d + header", len(lines), r.Completed)
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "id" || header[len(header)-1] != "migrations" {
+		t.Errorf("unexpected header %v", header)
+	}
+	// Every record parses and obeys response = complete − submit ≥ wait ≥ 0.
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != len(header) {
+			t.Fatalf("record width %d != header %d: %q", len(f), len(header), line)
+		}
+		response := parseF(t, f[7])
+		wait := parseF(t, f[10])
+		if wait < -1e-9 || response < wait-1e-9 {
+			t.Fatalf("inconsistent record: %q", line)
+		}
+		if f[1] != "io" && f[1] != "cpu" {
+			t.Fatalf("bad class name %q", f[1])
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTracerExcludesWarmup(t *testing.T) {
+	var sb strings.Builder
+	cfg := Default()
+	cfg.Warmup = 2000
+	cfg.Measure = 2000
+	cfg.Trace = NewTracer(&sb)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if err := cfg.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if i == 0 {
+			continue
+		}
+		complete := parseF(t, strings.Split(line, ",")[6])
+		if complete < 2000 {
+			t.Fatalf("warmup completion traced at t=%v", complete)
+		}
+	}
+}

@@ -102,13 +102,19 @@ const (
 // msg_length 1, LERT allocation with perfect load information.
 func DefaultConfig() Config { return system.Default() }
 
-// Run executes one simulation of cfg and returns its measurements.
+// Run executes one simulation of cfg and returns its measurements. With
+// cfg.Audit set, a runtime-invariant violation (internal/check) is
+// returned as an error alongside the measurements.
 func Run(cfg Config) (Results, error) {
 	sys, err := system.New(cfg)
 	if err != nil {
 		return Results{}, err
 	}
-	return sys.Run(), nil
+	res := sys.Run()
+	if err := sys.Audit(); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // Replications runs cfg reps times with consecutive seeds starting at

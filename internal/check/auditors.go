@@ -1,0 +1,312 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/sim"
+	"dqalloc/internal/stats"
+)
+
+// utilEpsilon absorbs floating-point residue in utilization bounds.
+const utilEpsilon = 1e-9
+
+// violation latches the first failure an auditor detects.
+type violation struct {
+	err error
+}
+
+// failf records the violation unless one is already latched.
+func (v *violation) failf(format string, args ...any) {
+	if v.err == nil {
+		v.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the latched violation, or nil.
+func (v *violation) Err() error { return v.err }
+
+// Conservation audits query conservation: at every submission and
+// completion instant, submitted = completed + in-flight, the in-flight
+// count stays within the closed population, the independently maintained
+// load table tracks a subset of the in-flight queries, and every site's
+// active count decomposes exactly into its CPU and disk occupancies.
+type Conservation struct {
+	violation
+	capacity   int        // closed population: sites × mpl
+	tableTotal func() int // live load-table total (allocated, not exec-done)
+	sites      func(buf []SiteCounts) []SiteCounts
+
+	submitted uint64
+	completed uint64
+	buf       []SiteCounts
+}
+
+// NewConservation builds the auditor. capacity is the closed population
+// bound (NumSites × MPL); tableTotal reads the load table; sites (optional)
+// reports the per-site census into the provided buffer.
+func NewConservation(capacity int, tableTotal func() int, sites func(buf []SiteCounts) []SiteCounts) *Conservation {
+	if capacity < 1 {
+		panic("check: conservation capacity < 1")
+	}
+	if tableTotal == nil {
+		panic("check: nil tableTotal")
+	}
+	return &Conservation{capacity: capacity, tableTotal: tableTotal, sites: sites}
+}
+
+// Name implements Auditor.
+func (c *Conservation) Name() string { return "conservation" }
+
+// Submitted implements QueryObserver.
+func (c *Conservation) Submitted(t float64) {
+	c.submitted++
+	c.check(t)
+}
+
+// Completed implements QueryObserver.
+func (c *Conservation) Completed(t float64) {
+	c.completed++
+	c.check(t)
+}
+
+// InFlight returns the current submitted-minus-completed count.
+func (c *Conservation) InFlight() uint64 { return c.submitted - c.completed }
+
+func (c *Conservation) check(t float64) {
+	if c.err != nil {
+		return
+	}
+	if c.completed > c.submitted {
+		c.failf("check: conservation: t=%v: %d completions exceed %d submissions",
+			t, c.completed, c.submitted)
+		return
+	}
+	inflight := c.submitted - c.completed
+	if inflight > uint64(c.capacity) {
+		c.failf("check: conservation: t=%v: %d queries in flight exceed closed population %d",
+			t, inflight, c.capacity)
+		return
+	}
+	tt := c.tableTotal()
+	if tt < 0 || uint64(tt) > inflight {
+		c.failf("check: conservation: t=%v: load table holds %d queries, %d in flight",
+			t, tt, inflight)
+		return
+	}
+	if c.sites == nil {
+		return
+	}
+	c.buf = c.sites(c.buf[:0])
+	active := 0
+	for i, sc := range c.buf {
+		if sc.AtCPU+sc.AtDisk != sc.Active {
+			c.failf("check: conservation: t=%v: site %d active %d != cpu %d + disk %d",
+				t, i, sc.Active, sc.AtCPU, sc.AtDisk)
+			return
+		}
+		active += sc.Active
+	}
+	if active > tt {
+		c.failf("check: conservation: t=%v: %d queries active at sites, load table holds %d",
+			t, active, tt)
+	}
+}
+
+// Utilization audits that every measured busy fraction lies in [0, 1]:
+// each site's CPU and disk utilization and the ring's, at measurement end.
+type Utilization struct {
+	violation
+}
+
+// NewUtilization builds the auditor.
+func NewUtilization() *Utilization { return &Utilization{} }
+
+// Name implements Auditor.
+func (u *Utilization) Name() string { return "utilization" }
+
+// Finalize implements Finalizer.
+func (u *Utilization) Finalize(f Final) {
+	checkOne := func(label string, site int, v float64) {
+		if v < -utilEpsilon || v > 1+utilEpsilon || math.IsNaN(v) {
+			u.failf("check: utilization: site %d %s utilization %v outside [0,1]", site, label, v)
+		}
+	}
+	for i, v := range f.CPUUtil {
+		checkOne("cpu", i, v)
+	}
+	for i, v := range f.DiskUtil {
+		checkOne("disk", i, v)
+	}
+	if f.SubnetUtil < -utilEpsilon || f.SubnetUtil > 1+utilEpsilon || math.IsNaN(f.SubnetUtil) {
+		u.failf("check: utilization: subnet utilization %v outside [0,1]", f.SubnetUtil)
+	}
+}
+
+// LittlesLaw audits N = λ·W over the measured window: the time-average
+// number of in-flight queries must match throughput times mean response
+// within a tolerance that absorbs window-boundary effects. The check is
+// skipped when fewer than MinSamples queries completed — short windows
+// make the boundary terms dominate.
+type LittlesLaw struct {
+	violation
+	// RelTol is the allowed relative discrepancy (default 0.10).
+	RelTol float64
+	// AbsTol is an absolute floor below which discrepancies are ignored,
+	// guarding near-empty systems (default 0.1 queries).
+	AbsTol float64
+	// MinSamples is the minimum completion count for the check to apply
+	// (default 100).
+	MinSamples uint64
+	// MinWindows is the minimum measured-window length in units of the
+	// mean response time (default 100): in shorter windows the queries
+	// straddling the boundaries bias N̄ and λ·W apart regardless of model
+	// correctness.
+	MinWindows float64
+
+	inflight int
+	tw       stats.TimeWeighted
+	started  bool
+}
+
+// NewLittlesLaw builds the auditor with default tolerances.
+func NewLittlesLaw() *LittlesLaw {
+	return &LittlesLaw{RelTol: 0.10, AbsTol: 0.1, MinSamples: 100, MinWindows: 100}
+}
+
+// Name implements Auditor.
+func (l *LittlesLaw) Name() string { return "littles-law" }
+
+// Submitted implements QueryObserver.
+func (l *LittlesLaw) Submitted(t float64) {
+	l.inflight++
+	l.tw.Set(t, float64(l.inflight))
+}
+
+// Completed implements QueryObserver.
+func (l *LittlesLaw) Completed(t float64) {
+	l.inflight--
+	l.tw.Set(t, float64(l.inflight))
+}
+
+// MeasureStarted implements MeasureObserver: the integral restarts so the
+// warmup transient is excluded, exactly like the model's own statistics.
+func (l *LittlesLaw) MeasureStarted(t float64) {
+	l.tw.Reset(t)
+	l.started = true
+}
+
+// Finalize implements Finalizer.
+func (l *LittlesLaw) Finalize(f Final) {
+	if l.err != nil || !l.started || f.End <= f.Start || f.Completed < l.MinSamples {
+		return
+	}
+	if f.End-f.Start < l.MinWindows*f.MeanResponse {
+		return
+	}
+	nbar := l.tw.MeanAt(f.End)
+	lambda := float64(f.Completed) / (f.End - f.Start)
+	lw := lambda * f.MeanResponse
+	diff := math.Abs(nbar - lw)
+	if diff > l.RelTol*math.Max(nbar, lw)+l.AbsTol {
+		l.failf("check: littles-law: N̄ = %v but λ·W = %v·%v = %v (diff %v beyond tolerance)",
+			nbar, lambda, f.MeanResponse, lw, diff)
+	}
+}
+
+// Monotonicity audits the simulation clock: fired events must have
+// non-decreasing times, and same-instant events must fire in scheduling
+// (sequence) order — the kernel's FIFO tie-break determinism guarantee.
+type Monotonicity struct {
+	violation
+	seen    bool
+	lastT   float64
+	lastSeq uint64
+	events  uint64
+}
+
+// NewMonotonicity builds the auditor.
+func NewMonotonicity() *Monotonicity { return &Monotonicity{} }
+
+// Name implements Auditor.
+func (m *Monotonicity) Name() string { return "monotonicity" }
+
+// Events returns the number of fired events observed.
+func (m *Monotonicity) Events() uint64 { return m.events }
+
+// EventFired implements EventObserver.
+func (m *Monotonicity) EventFired(e *sim.Event) {
+	m.observe(e.Time(), e.Seq())
+}
+
+// observe is the testable core of EventFired.
+func (m *Monotonicity) observe(t float64, seq uint64) {
+	m.events++
+	if m.seen && m.err == nil {
+		switch {
+		case t < m.lastT:
+			m.failf("check: monotonicity: event at t=%v fired after t=%v", t, m.lastT)
+		case t == m.lastT && seq <= m.lastSeq:
+			m.failf("check: monotonicity: same-instant events out of FIFO order at t=%v (seq %d after %d)",
+				t, seq, m.lastSeq)
+		}
+	}
+	m.seen = true
+	m.lastT, m.lastSeq = t, seq
+}
+
+// RingCounters is the slice of the token ring the conservation auditor
+// reads; *network.Ring implements it.
+type RingCounters interface {
+	// Sent is the lifetime count of messages handed to the ring.
+	Sent() uint64
+	// TotalDelivered is the lifetime count of completed transmissions.
+	TotalDelivered() uint64
+	// Pending is the count of messages waiting or in flight.
+	Pending() int
+}
+
+// RingConservation audits token-ring message conservation between every
+// pair of events: sent = delivered + pending, with pending non-negative.
+type RingConservation struct {
+	violation
+	ring RingCounters
+}
+
+// NewRingConservation builds the auditor over the given ring.
+func NewRingConservation(ring RingCounters) *RingConservation {
+	if ring == nil {
+		panic("check: nil ring")
+	}
+	return &RingConservation{ring: ring}
+}
+
+// Name implements Auditor.
+func (r *RingConservation) Name() string { return "ring-conservation" }
+
+// EventFired implements EventObserver.
+func (r *RingConservation) EventFired(e *sim.Event) {
+	if r.err != nil {
+		return
+	}
+	r.check(e.Time())
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (r *RingConservation) Finalize(f Final) {
+	if r.err == nil {
+		r.check(f.End)
+	}
+}
+
+func (r *RingConservation) check(t float64) {
+	pending := r.ring.Pending()
+	if pending < 0 {
+		r.failf("check: ring-conservation: t=%v: negative pending count %d", t, pending)
+		return
+	}
+	if sent, delivered := r.ring.Sent(), r.ring.TotalDelivered(); sent != delivered+uint64(pending) {
+		r.failf("check: ring-conservation: t=%v: sent %d != delivered %d + pending %d",
+			t, sent, delivered, pending)
+	}
+}

@@ -1,0 +1,179 @@
+// Package diffmva differentially tests the discrete-event simulator
+// against the exact MVA solver, the same cross-validation discipline the
+// paper applies before trusting its simulation results (Section 5).
+//
+// Each Case is a balanced product-form configuration: a single query
+// class, exponential disk service, and purely local allocation, so every
+// site is an independent closed product-form network with a fixed
+// per-site population. On such configurations MVA is exact, and the
+// simulated mean response time must converge to the analytical answer
+// within a statistical tolerance. Every run also executes with the full
+// internal/check auditor set and the trace digest enabled, so a diffmva
+// pass certifies invariants and accuracy together.
+package diffmva
+
+import (
+	"fmt"
+
+	"dqalloc/internal/mva"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/site"
+	"dqalloc/internal/system"
+	"dqalloc/internal/workload"
+)
+
+// Case is one balanced product-form configuration to differential-test.
+type Case struct {
+	// Name labels the case in test output.
+	Name string
+
+	// NumSites, NumDisks and MPL shape the closed network: each site is
+	// an independent product-form network with population MPL.
+	NumSites int
+	NumDisks int
+	MPL      int
+
+	// Think is the mean terminal think time (exponential).
+	Think float64
+	// PageCPU is the per-page CPU demand; Reads the pages per query;
+	// DiskTime the mean page access time (exponential here).
+	PageCPU  float64
+	Reads    float64
+	DiskTime float64
+
+	// Tol is the allowed relative error between the simulated and exact
+	// mean response times at the default horizons.
+	Tol float64
+}
+
+// Cases returns the balanced product-form configurations the harness
+// certifies, spanning I/O-bound through CPU-bound service mixes and one
+// through four sites.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:     "single-site-balanced",
+			NumSites: 1, NumDisks: 2, MPL: 10,
+			Think: 200, PageCPU: 0.5, Reads: 20, DiskTime: 1,
+			Tol: 0.06,
+		},
+		{
+			Name:     "two-sites-io-heavy",
+			NumSites: 2, NumDisks: 2, MPL: 8,
+			Think: 150, PageCPU: 0.05, Reads: 20, DiskTime: 1,
+			Tol: 0.06,
+		},
+		{
+			Name:     "four-sites-cpu-heavy",
+			NumSites: 4, NumDisks: 2, MPL: 6,
+			Think: 300, PageCPU: 1.0, Reads: 20, DiskTime: 1,
+			Tol: 0.06,
+		},
+		{
+			Name:     "single-disk-light-load",
+			NumSites: 2, NumDisks: 1, MPL: 4,
+			Think: 250, PageCPU: 0.2, Reads: 20, DiskTime: 1,
+			Tol: 0.06,
+		},
+	}
+}
+
+// Result reports one differential run.
+type Result struct {
+	// Case is the configuration that ran.
+	Case Case
+	// SimResponse and MVAResponse are the simulated and exact mean
+	// response times; RelErr their relative discrepancy.
+	SimResponse float64
+	MVAResponse float64
+	RelErr      float64
+	// SimThroughput and MVAThroughput are the system-wide query
+	// completion rates.
+	SimThroughput float64
+	MVAThroughput float64
+	// TraceDigest is the run's event-stream hash.
+	TraceDigest uint64
+	// AuditErr is the first runtime-invariant violation, or nil.
+	AuditErr error
+}
+
+// config builds the simulator configuration for a case: one class, local
+// allocation, exponential disks — the product-form corner of the model.
+func config(c Case, seed uint64, warmup, measure float64) system.Config {
+	cfg := system.Default()
+	cfg.NumSites = c.NumSites
+	cfg.NumDisks = c.NumDisks
+	cfg.MPL = c.MPL
+	cfg.ThinkTime = c.Think
+	cfg.DiskTime = c.DiskTime
+	cfg.DiskDist = site.DiskExponential
+	cfg.PolicyKind = policy.Local
+	cfg.Classes = []workload.Class{{Name: "only", PageCPUTime: c.PageCPU, NumReads: c.Reads, MsgLength: 1}}
+	cfg.ClassProbs = []float64{1}
+	cfg.Audit = true
+	cfg.TraceDigest = true
+	cfg.Seed = seed
+	cfg.Warmup = warmup
+	cfg.Measure = measure
+	return cfg
+}
+
+// exact solves the per-site closed network analytically and returns the
+// mean response time (excluding think) and the per-site throughput.
+func exact(c Case) (resp, perSiteX float64, err error) {
+	net := mva.NewNetwork(1)
+	if err := net.AddStation("think", mva.Delay, c.Think); err != nil {
+		return 0, 0, err
+	}
+	if err := net.AddStation("cpu", mva.Queueing, c.Reads*c.PageCPU); err != nil {
+		return 0, 0, err
+	}
+	for d := 0; d < c.NumDisks; d++ {
+		name := fmt.Sprintf("disk%d", d)
+		if err := net.AddStation(name, mva.Queueing, c.Reads/float64(c.NumDisks)*c.DiskTime); err != nil {
+			return 0, 0, err
+		}
+	}
+	sol, err := net.Solve([]int{c.MPL})
+	if err != nil {
+		return 0, 0, err
+	}
+	return sol.ResponseTime(0) - c.Think, sol.Throughput[0], nil
+}
+
+// Run executes one differential case: it simulates the configuration
+// with auditing and trace digesting on, solves the matching product-form
+// network exactly, and reports both sides. The error return covers setup
+// failures only; accuracy and invariant verdicts live in the Result.
+func Run(c Case, seed uint64, warmup, measure float64) (Result, error) {
+	sys, err := system.New(config(c, seed, warmup, measure))
+	if err != nil {
+		return Result{}, fmt.Errorf("diffmva: %s: %w", c.Name, err)
+	}
+	r := sys.Run()
+
+	wantResp, perSiteX, err := exact(c)
+	if err != nil {
+		return Result{}, fmt.Errorf("diffmva: %s: %w", c.Name, err)
+	}
+	res := Result{
+		Case:          c,
+		SimResponse:   r.MeanResponse,
+		MVAResponse:   wantResp,
+		SimThroughput: r.Throughput,
+		MVAThroughput: perSiteX * float64(c.NumSites),
+		TraceDigest:   r.TraceDigest,
+		AuditErr:      sys.Audit(),
+	}
+	if wantResp > 0 {
+		res.RelErr = abs(r.MeanResponse-wantResp) / wantResp
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,59 @@
+package diffmva
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimMatchesMVA runs every differential case and requires the
+// simulated response time to land within the case's tolerance of the
+// exact MVA answer, with all runtime auditors silent.
+func TestSimMatchesMVA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential runs")
+	}
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := Run(c, 11, 5000, 120000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.AuditErr != nil {
+				t.Errorf("auditor violation: %v", res.AuditErr)
+			}
+			if res.TraceDigest == 0 {
+				t.Error("trace digest is zero")
+			}
+			if res.RelErr > c.Tol {
+				t.Errorf("response %v vs MVA %v (rel err %.3f > %.3f)",
+					res.SimResponse, res.MVAResponse, res.RelErr, c.Tol)
+			}
+			if rel := math.Abs(res.SimThroughput-res.MVAThroughput) / res.MVAThroughput; rel > c.Tol {
+				t.Errorf("throughput %v vs MVA %v (rel err %.3f > %.3f)",
+					res.SimThroughput, res.MVAThroughput, rel, c.Tol)
+			}
+		})
+	}
+}
+
+// TestCasesAreWellFormed pins the harness shape: at least three cases,
+// distinct names, positive tolerances.
+func TestCasesAreWellFormed(t *testing.T) {
+	cases := Cases()
+	if len(cases) < 3 {
+		t.Fatalf("only %d differential cases, want >= 3", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Tol <= 0 || c.Tol > 0.2 {
+			t.Errorf("%s: tolerance %v outside (0, 0.2]", c.Name, c.Tol)
+		}
+		if c.NumSites < 1 || c.MPL < 1 || c.NumDisks < 1 {
+			t.Errorf("%s: degenerate shape %+v", c.Name, c)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"fmt"
+	"testing"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// auditConfigs enumerates the configurations behind every simulation
+// table (8, 9, 11, 12, the msg_length variant, and Table 10's deep end),
+// crossed with the policies each table compares.
+func auditConfigs() []struct {
+	name string
+	cfg  system.Config
+} {
+	var out []struct {
+		name string
+		cfg  system.Config
+	}
+	add := func(name string, cfg system.Config, kinds []policy.Kind) {
+		for _, k := range kinds {
+			c := cfg
+			c.PolicyKind = k
+			out = append(out, struct {
+				name string
+				cfg  system.Config
+			}{fmt.Sprintf("%s/%v", name, k), c})
+		}
+	}
+	threePolicies := []policy.Kind{policy.Local, policy.BNQ, policy.LERT}
+
+	for _, think := range Table8ThinkTimes {
+		cfg := system.Default()
+		cfg.ThinkTime = think
+		add(fmt.Sprintf("table8/think=%v", think), cfg, comparedPolicies)
+	}
+	for _, mpl := range Table9MPLs {
+		cfg := system.Default()
+		cfg.MPL = mpl
+		add(fmt.Sprintf("table9/mpl=%d", mpl), cfg, comparedPolicies)
+	}
+	for _, msgLength := range []float64{1.0, 2.0} {
+		cfg := system.Default()
+		for i := range cfg.Classes {
+			cfg.Classes[i].MsgLength = msgLength
+		}
+		add(fmt.Sprintf("msglength/%v", msgLength), cfg,
+			[]policy.Kind{policy.BNQ, policy.BNQRD, policy.LERT})
+	}
+	// Table 10's binary search probes deep saturation; spot-check its
+	// upper range.
+	for _, mpl := range []int{45, 60} {
+		cfg := system.Default()
+		cfg.MPL = mpl
+		add(fmt.Sprintf("table10/mpl=%d", mpl), cfg,
+			[]policy.Kind{policy.Local, policy.LERT})
+	}
+	for _, n := range Table11Sites {
+		cfg := system.Default()
+		cfg.NumSites = n
+		add(fmt.Sprintf("table11/sites=%d", n), cfg, threePolicies)
+	}
+	for _, pio := range Table12Probs {
+		cfg := system.Default()
+		cfg.ClassProbs = []float64{pio, 1 - pio}
+		add(fmt.Sprintf("table12/pio=%v", pio), cfg, threePolicies)
+	}
+	return out
+}
+
+// TestAuditAllTableConfigs runs every table configuration under the full
+// runtime auditor set at reduced horizons: conservation, utilization
+// bounds, Little's law, clock monotonicity, and ring conservation must
+// all hold on each.
+func TestAuditAllTableConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audits every table configuration")
+	}
+	for _, tc := range auditConfigs() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			cfg.Seed = 9
+			cfg.Warmup = 800
+			cfg.Measure = 6000
+			cfg.Audit = true
+			sys, err := system.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sys.Run()
+			if r.Completed == 0 {
+				t.Fatal("no completions")
+			}
+			if err := sys.Audit(); err != nil {
+				t.Errorf("auditor violation: %v", err)
+			}
+		})
+	}
+}

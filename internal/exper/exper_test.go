@@ -3,6 +3,7 @@ package exper
 import (
 	"math"
 	"testing"
+	"testing/quick"
 
 	"dqalloc/internal/policy"
 	"dqalloc/internal/rng"
@@ -38,6 +39,27 @@ func TestImprovement(t *testing.T) {
 	}
 	if got := Improvement(50, 60); got != -20 {
 		t.Errorf("degradation = %v, want -20", got)
+	}
+}
+
+// TestImprovementAntisymmetric is a property test: waits displaced
+// symmetrically around the reference yield equal and opposite
+// improvements, and the reference itself yields zero.
+func TestImprovementAntisymmetric(t *testing.T) {
+	f := func(refRaw, deltaRaw uint16) bool {
+		ref := 1 + float64(refRaw)/100     // 1 .. ~656
+		delta := float64(deltaRaw) / 65536 // [0, 1): keeps ref±Δ positive
+		d := ref * delta
+		up, down := Improvement(ref, ref+d), Improvement(ref, ref-d)
+		if math.Abs(up+down) > 1e-9 {
+			t.Logf("Improvement(%v, %v) = %v vs Improvement(%v, %v) = %v",
+				ref, ref+d, up, ref, ref-d, down)
+			return false
+		}
+		return Improvement(ref, ref) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,92 @@
+package exper
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"dqalloc/internal/system"
+)
+
+// countSystems stubs newSystem to count model constructions; the cleanup
+// restores the real constructor.
+func countSystems(t *testing.T) *atomic.Int64 {
+	t.Helper()
+	var n atomic.Int64
+	orig := newSystem
+	newSystem = func(cfg system.Config) (*system.System, error) {
+		n.Add(1)
+		return orig(cfg)
+	}
+	t.Cleanup(func() { newSystem = orig })
+	return &n
+}
+
+// TestRunToPrecisionReusesReplications drives RunToPrecision to its cap
+// with an unreachable precision target and checks each doubling only
+// simulated the new seeds: reaching 8 replications must build exactly 8
+// systems, not 2+4+8.
+func TestRunToPrecisionReusesReplications(t *testing.T) {
+	built := countSystems(t)
+	r := Runner{Reps: 2, BaseSeed: 5, Warmup: 300, Measure: 3000}
+	_, reps, err := r.RunToPrecision(system.Default(), 1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps != 8 {
+		t.Fatalf("reps = %d, want the cap 8", reps)
+	}
+	if got := built.Load(); got != 8 {
+		t.Errorf("built %d systems for 8 replications, want 8 (earlier batches re-run)", got)
+	}
+}
+
+// TestParallelReplicationsBitIdentical strengthens the runner's
+// "identical to serial" claim into a full-structure regression test: the
+// parallel path must produce replication Results — trace digests
+// included — that are bit-for-bit equal to the serial path's.
+func TestParallelReplicationsBitIdentical(t *testing.T) {
+	cfg := system.Default()
+	cfg.TraceDigest = true
+	cfg.Audit = true
+	serial := Runner{Reps: 4, BaseSeed: 11, Warmup: 500, Measure: 5000}
+	parallel := serial
+	parallel.Parallel = true
+
+	a, err := serial.replicate(serial.applyHorizons(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.replicate(parallel.applyHorizons(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel results differ from serial:\n%+v\n%+v", a, b)
+	}
+	for i, res := range a {
+		if res.TraceDigest == 0 {
+			t.Errorf("replication %d: zero trace digest", i)
+		}
+	}
+}
+
+// TestRunToPrecisionMatchesFixedBudget checks the incremental seed set is
+// the same one a fixed-budget run uses: the final aggregate must be
+// bit-identical to Runner{Reps: cap}.Run on the same configuration.
+func TestRunToPrecisionMatchesFixedBudget(t *testing.T) {
+	r := Runner{Reps: 2, BaseSeed: 5, Warmup: 300, Measure: 3000}
+	agg, reps, err := r.RunToPrecision(system.Default(), 1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := r
+	fixed.Reps = reps
+	want, err := fixed.Run(system.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg, want) {
+		t.Errorf("incremental aggregate differs from fixed-budget run:\n%+v\n%+v", agg, want)
+	}
+}

@@ -82,19 +82,32 @@ func (r Runner) Run(cfg system.Config) (Aggregate, error) {
 	if err := r.Validate(); err != nil {
 		return Aggregate{}, err
 	}
+	results, err := r.replicate(r.applyHorizons(cfg))
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return aggregate(cfg.PolicyName(), results), nil
+}
+
+// applyHorizons overlays the runner's warmup/measure overrides, when set,
+// on the configuration.
+func (r Runner) applyHorizons(cfg system.Config) system.Config {
 	if r.Warmup > 0 {
 		cfg.Warmup = r.Warmup
 	}
 	if r.Measure > 0 {
 		cfg.Measure = r.Measure
 	}
-	results, err := r.replicate(cfg)
-	if err != nil {
-		return Aggregate{}, err
-	}
-	waits := make([]float64, 0, r.Reps)
-	fairs := make([]float64, 0, r.Reps)
-	agg := Aggregate{Policy: cfg.PolicyName()}
+	return cfg
+}
+
+// aggregate summarizes a batch of replication results. The aggregate of
+// a seed set is independent of how the replications were batched, which
+// lets RunToPrecision grow the set incrementally.
+func aggregate(policyName string, results []system.Results) Aggregate {
+	waits := make([]float64, 0, len(results))
+	fairs := make([]float64, 0, len(results))
+	agg := Aggregate{Policy: policyName}
 	for _, res := range results {
 		waits = append(waits, res.MeanWait)
 		fairs = append(fairs, res.Fairness)
@@ -106,7 +119,7 @@ func (r Runner) Run(cfg system.Config) (Aggregate, error) {
 		agg.RemoteFrac += res.RemoteFrac
 		agg.Completed += res.Completed
 	}
-	n := float64(r.Reps)
+	n := float64(len(results))
 	agg.MeanWait = stats.MeanCI(waits)
 	agg.Fairness = stats.MeanCI(fairs)
 	agg.MeanResponse /= n
@@ -115,8 +128,12 @@ func (r Runner) Run(cfg system.Config) (Aggregate, error) {
 	agg.SubnetUtil /= n
 	agg.Throughput /= n
 	agg.RemoteFrac /= n
-	return agg, nil
+	return agg
 }
+
+// newSystem builds one replication's model; tests stub it to count
+// constructions.
+var newSystem = system.New
 
 // replicate runs the configuration once per replication seed, serially
 // or — when Parallel is set and the config has no (possibly stateful)
@@ -127,7 +144,7 @@ func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
 	if !r.Parallel || cfg.CustomPolicy != nil {
 		for i := range results {
 			cfg.Seed = r.BaseSeed + uint64(i)
-			sys, err := system.New(cfg)
+			sys, err := newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +158,7 @@ func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
 	systems := make([]*system.System, r.Reps)
 	for i := range systems {
 		cfg.Seed = r.BaseSeed + uint64(i)
-		sys, err := system.New(cfg)
+		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +182,12 @@ func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
 // its mean. It returns the final aggregate and the number of
 // replications used. Use this when a table cell must be statistically
 // solid rather than fixed-budget.
+//
+// Earlier replications are reused across doublings: each round simulates
+// only the seeds not yet run (BaseSeed+len(done) onward), so reaching n
+// replications costs n system builds, not 2n−2 extra. The seed set at
+// any count is identical to a fixed-budget run of that count, preserving
+// common random numbers across policies.
 func (r Runner) RunToPrecision(cfg system.Config, relWidth float64, maxReps int) (Aggregate, int, error) {
 	if err := r.Validate(); err != nil {
 		return Aggregate{}, 0, err
@@ -179,13 +202,18 @@ func (r Runner) RunToPrecision(cfg system.Config, relWidth float64, maxReps int)
 	if reps < 2 {
 		reps = 2 // a CI needs at least two samples
 	}
+	runCfg := r.applyHorizons(cfg)
+	results := make([]system.Results, 0, reps)
 	for {
 		rr := r
-		rr.Reps = reps
-		agg, err := rr.Run(cfg)
+		rr.BaseSeed = r.BaseSeed + uint64(len(results))
+		rr.Reps = reps - len(results)
+		batch, err := rr.replicate(runCfg)
 		if err != nil {
 			return Aggregate{}, 0, err
 		}
+		results = append(results, batch...)
+		agg := aggregate(cfg.PolicyName(), results)
 		if agg.MeanWait.Mean == 0 ||
 			agg.MeanWait.HalfWide/agg.MeanWait.Mean <= relWidth ||
 			reps >= maxReps {

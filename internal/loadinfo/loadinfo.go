@@ -179,8 +179,12 @@ func NewBroadcaster(sched *sim.Scheduler, table *Table, period float64) (*Broadc
 	}
 	b.snapshot()
 	b.next = sched.After(period, b.tick)
+	b.next.Kind = eventKindBroadcast
 	return b, nil
 }
+
+// eventKindBroadcast tags snapshot ticks in the scheduler's trace digest.
+const eventKindBroadcast byte = 0x31
 
 // Period returns the broadcast interval.
 func (b *Broadcaster) Period() float64 { return b.period }
@@ -218,4 +222,5 @@ func (b *Broadcaster) snapshot() {
 func (b *Broadcaster) tick() {
 	b.snapshot()
 	b.next = b.sched.After(b.period, b.tick)
+	b.next.Kind = eventKindBroadcast
 }

@@ -40,7 +40,17 @@ type Ring struct {
 	delivered uint64
 	bytes     float64
 	waits     stats.Welford // ring queueing delay per message (excl. transmission)
+
+	// sent and totalDelivered are lifetime counters (never reset by
+	// ResetStats) backing the message-conservation invariant
+	// sent == totalDelivered + pending audited by internal/check.
+	sent           uint64
+	totalDelivered uint64
 }
+
+// EventKindTransmit tags the ring's transmission-complete events in the
+// scheduler's trace digest.
+const EventKindTransmit byte = 0x21
 
 // NewRing builds a ring connecting numSites sites, with a transmission
 // time of perByte time units per byte of message length.
@@ -75,6 +85,7 @@ func (r *Ring) Send(m Message) {
 	m.enqueuedAt = now
 	r.queues[m.From] = append(r.queues[m.From], m)
 	r.pending++
+	r.sent++
 	r.qlen.Set(now, float64(r.pending))
 	if !r.busy {
 		r.poll()
@@ -84,8 +95,16 @@ func (r *Ring) Send(m Message) {
 // Pending returns the number of messages waiting or in flight.
 func (r *Ring) Pending() int { return r.pending }
 
-// Delivered returns the number of completed transmissions.
+// Delivered returns the number of completed transmissions over the stats
+// window (reset by ResetStats).
 func (r *Ring) Delivered() uint64 { return r.delivered }
+
+// Sent returns the total messages handed to the ring since construction.
+func (r *Ring) Sent() uint64 { return r.sent }
+
+// TotalDelivered returns the total completed transmissions since
+// construction. At every instant Sent() == TotalDelivered() + Pending().
+func (r *Ring) TotalDelivered() uint64 { return r.totalDelivered }
 
 // BytesCarried returns the total bytes transmitted.
 func (r *Ring) BytesCarried() float64 { return r.bytes }
@@ -140,7 +159,8 @@ func (r *Ring) transmit(m Message) {
 	r.busy = true
 	r.util.Set(now, 1)
 	r.waits.Add(now - m.enqueuedAt)
-	r.sched.After(r.TransmitTime(m.Size), func() { r.complete(m) })
+	ev := r.sched.After(r.TransmitTime(m.Size), func() { r.complete(m) })
+	ev.Kind = EventKindTransmit
 }
 
 func (r *Ring) complete(m Message) {
@@ -148,6 +168,7 @@ func (r *Ring) complete(m Message) {
 	r.pending--
 	r.qlen.Set(now, float64(r.pending))
 	r.delivered++
+	r.totalDelivered++
 	r.bytes += m.Size
 	r.busy = false
 	r.util.Set(now, 0)

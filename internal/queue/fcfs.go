@@ -11,6 +11,15 @@ import (
 	"dqalloc/internal/stats"
 )
 
+// Event kinds tagged onto this package's scheduler events for the trace
+// digest (see sim.Event.Kind).
+const (
+	// EventKindFCFS marks an FCFS server's service-completion event.
+	EventKindFCFS byte = 0x11
+	// EventKindPS marks a PS server's next-departure event.
+	EventKindPS byte = 0x12
+)
+
 // FCFS is a single server with an unbounded FIFO queue. The caller samples
 // the service time and passes it at enqueue; the server invokes the
 // completion callback when the job's service finishes.
@@ -83,7 +92,8 @@ func (f *FCFS[T]) startNext() {
 	f.busy = true
 	f.util.Set(now, 1)
 	head := f.queue[0]
-	f.sched.After(head.service, func() { f.finish() })
+	ev := f.sched.After(head.service, func() { f.finish() })
+	ev.Kind = EventKindFCFS
 }
 
 func (f *FCFS[T]) finish() {

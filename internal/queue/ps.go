@@ -117,6 +117,7 @@ func (p *PS[T]) reschedule() {
 		delay = 0
 	}
 	p.next = p.sched.After(delay, func() { p.depart() })
+	p.next.Kind = EventKindPS
 }
 
 // depart advances sharing and releases every job whose requirement is now

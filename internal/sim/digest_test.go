@@ -1,0 +1,98 @@
+package sim
+
+import "testing"
+
+// runSchedule fires a fixed event pattern and returns the digest.
+func runSchedule(tag byte) uint64 {
+	s := New()
+	s.EnableDigest()
+	for i := 0; i < 10; i++ {
+		e := s.At(float64(i%3), func() {})
+		e.Kind = tag
+	}
+	s.Run()
+	return s.Digest()
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a, b := runSchedule(1), runSchedule(1)
+	if a == 0 {
+		t.Fatal("digest is zero after events fired")
+	}
+	if a != b {
+		t.Errorf("identical schedules digest %x vs %x", a, b)
+	}
+}
+
+func TestDigestDistinguishesKind(t *testing.T) {
+	if runSchedule(1) == runSchedule(2) {
+		t.Error("digest ignores event kind")
+	}
+}
+
+func TestDigestDistinguishesSchedule(t *testing.T) {
+	s := New()
+	s.EnableDigest()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	s.Run()
+	other := New()
+	other.EnableDigest()
+	other.At(1, func() {})
+	other.At(3, func() {})
+	other.Run()
+	if s.Digest() == other.Digest() {
+		t.Error("digest ignores event times")
+	}
+}
+
+func TestDigestDisabledIsZero(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.Run()
+	if s.Digest() != 0 {
+		t.Errorf("digest = %x without EnableDigest, want 0", s.Digest())
+	}
+}
+
+func TestObserverSeesFiredEvents(t *testing.T) {
+	s := New()
+	var times []float64
+	var seqs []uint64
+	s.Observe(func(e *Event) {
+		times = append(times, e.Time())
+		seqs = append(seqs, e.Seq())
+	})
+	s.At(2, func() {})
+	s.At(1, func() {})
+	s.At(1, func() {})
+	s.Run()
+	if len(times) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(times))
+	}
+	if times[0] != 1 || times[1] != 1 || times[2] != 2 {
+		t.Errorf("fire order %v, want [1 1 2]", times)
+	}
+	// Same-instant events report in scheduling order.
+	if seqs[0] >= seqs[1] {
+		t.Errorf("same-instant seqs %v not FIFO", seqs[:2])
+	}
+	// Observer can be removed.
+	s.Observe(nil)
+	s.At(3, func() {})
+	s.Run()
+	if len(times) != 3 {
+		t.Error("observer still active after Observe(nil)")
+	}
+}
+
+func TestObserverRunsBeforeAction(t *testing.T) {
+	s := New()
+	order := []string{}
+	s.Observe(func(e *Event) { order = append(order, "observe") })
+	s.At(1, func() { order = append(order, "action") })
+	s.Run()
+	if len(order) != 2 || order[0] != "observe" || order[1] != "action" {
+		t.Errorf("order = %v, want [observe action]", order)
+	}
+}

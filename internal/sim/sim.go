@@ -19,14 +19,28 @@ type Action func()
 // Event is a handle to a scheduled action. It can be cancelled until it
 // fires. The zero value is not usable; events are created by Scheduler.
 type Event struct {
-	time   float64
-	seq    uint64
-	index  int // position in the heap, -1 once fired or cancelled
+	time  float64
+	seq   uint64
+	index int32 // position in the heap, -1 once fired or cancelled
+
+	// Kind is a free-form discriminator mixed into the trace digest (and
+	// visible to fire observers) so that digests distinguish event types,
+	// not just their (time, seq) coordinates. The scheduler assigns no
+	// meaning to it; model packages tag their events with their own
+	// constants. Zero is the untagged default. Set it right after At or
+	// After returns, before any other event can fire. It sits in the
+	// int32 index's padding, keeping the struct at 32 bytes.
+	Kind byte
+
 	action Action
 }
 
 // Time returns the simulated time at which the event is (or was) scheduled.
 func (e *Event) Time() float64 { return e.time }
+
+// Seq returns the event's scheduling sequence number — the FIFO tie-break
+// key for same-instant events.
+func (e *Event) Seq() uint64 { return e.seq }
 
 // Scheduled reports whether the event is still pending.
 func (e *Event) Scheduled() bool { return e.index >= 0 }
@@ -42,6 +56,16 @@ type Scheduler struct {
 	heap    []*Event
 	fired   uint64
 	stopped bool
+
+	// digest is a running FNV-1a hash over (time, seq, kind) of every
+	// fired event, maintained only when digestOn is set so that the hot
+	// path pays a single predictable branch otherwise.
+	digest   uint64
+	digestOn bool
+	// observer, when non-nil, is invoked for every fired event just
+	// before its action runs (the calendar is between events, so model
+	// state is quiescent). Used by runtime auditors.
+	observer func(e *Event)
 }
 
 // New returns a Scheduler with the clock at zero and an empty event list.
@@ -57,6 +81,50 @@ func (s *Scheduler) Len() int { return len(s.heap) }
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// fnv-1a 64-bit parameters (FNV is cheap, stateless between updates, and
+// good enough to detect any change in the event stream).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// EnableDigest starts maintaining a running hash of every subsequently
+// fired event's (time, seq, kind) triple. Two runs of the same model with
+// the same seed produce the same digest if and only if they fired the
+// same events in the same order — a cheap byte-identity check for
+// determinism regressions. Enable before the first event fires.
+func (s *Scheduler) EnableDigest() {
+	s.digestOn = true
+	s.digest = fnvOffset64
+}
+
+// Digest returns the current trace digest (0 unless EnableDigest was
+// called).
+func (s *Scheduler) Digest() uint64 {
+	if !s.digestOn {
+		return 0
+	}
+	return s.digest
+}
+
+// Observe registers fn to be called for every fired event, immediately
+// before its action runs. Pass nil to remove the observer. The observer
+// must not schedule or cancel events.
+func (s *Scheduler) Observe(fn func(e *Event)) { s.observer = fn }
+
+// mix folds one fired event into the running digest.
+func (s *Scheduler) mix(e *Event) {
+	h := s.digest
+	for _, v := range [3]uint64{math.Float64bits(e.time), e.seq, uint64(e.Kind)} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	s.digest = h
+}
 
 // At schedules action to run at absolute simulated time t.
 //
@@ -94,7 +162,7 @@ func (s *Scheduler) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 {
 		return false
 	}
-	s.remove(e.index)
+	s.remove(int(e.index))
 	e.index = -1
 	e.action = nil
 	return true
@@ -113,6 +181,12 @@ func (s *Scheduler) Step() bool {
 	action := e.action
 	e.action = nil
 	s.fired++
+	if s.digestOn {
+		s.mix(e)
+	}
+	if s.observer != nil {
+		s.observer(e)
+	}
 	action()
 	return true
 }
@@ -153,9 +227,9 @@ func less(a, b *Event) bool {
 }
 
 func (s *Scheduler) push(e *Event) {
-	e.index = len(s.heap)
+	e.index = int32(len(s.heap))
 	s.heap = append(s.heap, e)
-	s.up(e.index)
+	s.up(int(e.index))
 }
 
 // remove deletes the element at heap position i, preserving heap order.
@@ -174,8 +248,8 @@ func (s *Scheduler) remove(i int) {
 
 func (s *Scheduler) swap(i, j int) {
 	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].index = i
-	s.heap[j].index = j
+	s.heap[i].index = int32(i)
+	s.heap[j].index = int32(j)
 }
 
 func (s *Scheduler) up(i int) {

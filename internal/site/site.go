@@ -147,6 +147,14 @@ func (s *Site) ID() int { return s.id }
 // Active returns the number of queries currently executing at the site.
 func (s *Site) Active() int { return s.active }
 
+// Occupancy returns the number of queries currently at the CPU and at the
+// disk array. Between events every active query is at exactly one of the
+// two service centers, so cpu + disk == Active() — a structural invariant
+// the internal/check auditors verify at runtime.
+func (s *Site) Occupancy() (cpu, disk int) {
+	return s.cpu.QueueLen(), s.disks.QueueLen()
+}
+
 // Execute admits a query: its first page read is dispatched immediately.
 // The query must have ReadsTotal >= 1 and a valid class index.
 func (s *Site) Execute(q *workload.Query) {

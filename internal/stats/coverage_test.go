@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+// normal draws a standard-normal variate via Box–Muller (the rng package
+// deliberately carries only the distributions the model needs).
+func normal(r *rng.Stream, mean, sd float64) float64 {
+	u1 := 1 - r.Float64() // (0, 1]: keeps the log finite
+	u2 := r.Float64()
+	return mean + sd*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// TestBatchMeansCoverageNormals estimates the batch-means CI's actual
+// coverage on iid normal data across independent seeds: a nominal 95%
+// interval must cover the true mean in roughly 95% of trials — neither
+// anticonservative (missing too often) nor vacuously wide.
+func TestBatchMeansCoverageNormals(t *testing.T) {
+	const (
+		trials = 300
+		mean   = 10.0
+		sd     = 3.0
+	)
+	covered := 0
+	for seed := uint64(1); seed <= trials; seed++ {
+		r := rng.NewStream(seed)
+		b := NewBatchMeans(24)
+		for i := 0; i < 2000; i++ {
+			b.Add(normal(r, mean, sd))
+		}
+		if b.CI().Contains(mean) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	// Binomial(300, 0.95) puts ~4 SDs at ±0.05.
+	if rate < 0.90 || rate > 0.995 {
+		t.Errorf("CI coverage = %v over %d seeds, want ~0.95", rate, trials)
+	}
+}
+
+// TestMeanCIDegenerate pins the small-n behavior: no samples yields the
+// zero interval, one sample yields a zero-width interval at the sample.
+func TestMeanCIDegenerate(t *testing.T) {
+	if ci := MeanCI(nil); ci != (CI{}) {
+		t.Errorf("MeanCI(nil) = %+v, want zero value", ci)
+	}
+	if ci := MeanCI([]float64{}); ci != (CI{}) {
+		t.Errorf("MeanCI(empty) = %+v, want zero value", ci)
+	}
+	ci := MeanCI([]float64{7.5})
+	if ci.Mean != 7.5 || ci.HalfWide != 0 || ci.N != 1 {
+		t.Errorf("MeanCI(one sample) = %+v, want {7.5 0 1}", ci)
+	}
+	if !ci.Contains(7.5) || ci.Contains(7.6) {
+		t.Error("zero-width interval contains wrong points")
+	}
+}

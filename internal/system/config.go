@@ -106,6 +106,18 @@ type Config struct {
 	// inside the measured window.
 	Trace *Tracer
 
+	// Audit attaches the internal/check runtime auditors to the run:
+	// query conservation, utilization bounds, Little's law, event-clock
+	// monotonicity, and ring message conservation. Off by default so hot
+	// paths pay nothing; read violations with System.Audit after Run.
+	Audit bool
+
+	// TraceDigest maintains a running hash of every fired event's
+	// (time, seq, kind) in the scheduler and reports it in
+	// Results.TraceDigest. Two runs with the same configuration and seed
+	// are event-for-event identical iff their digests match.
+	TraceDigest bool
+
 	// Seed selects the experiment's random streams.
 	Seed uint64
 	// Warmup is the transient discarded before measurement; Measure is

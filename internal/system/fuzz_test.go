@@ -61,6 +61,45 @@ func TestRandomConfigsHoldInvariants(t *testing.T) {
 	}
 }
 
+// FuzzConfigAudit drives the full model under the runtime auditors: any
+// valid configuration in the fuzzed range must build, run to completion
+// without panicking, and leave every invariant auditor silent — query
+// conservation, utilization bounds, Little's law, clock monotonicity,
+// and ring message conservation.
+func FuzzConfigAudit(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(42), uint8(4), uint8(9), uint8(2), uint8(8), uint8(3))
+	f.Add(uint64(7), uint8(2), uint8(5), uint8(4), uint8(4), uint8(1))
+	kinds := []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT}
+	f.Fuzz(func(t *testing.T, seed uint64, sitesRaw, mplRaw, kindRaw, pioRaw, thinkRaw uint8) {
+		cfg := Default()
+		cfg.Seed = seed
+		cfg.NumSites = int(sitesRaw%6) + 1 // 1..6
+		cfg.MPL = int(mplRaw%10) + 2       // 2..11
+		cfg.PolicyKind = kinds[int(kindRaw)%len(kinds)]
+		pio := 0.1 + float64(pioRaw%9)/10.0 // 0.1..0.9
+		cfg.ClassProbs = []float64{pio, 1 - pio}
+		cfg.ThinkTime = 50 + float64(thinkRaw%8)*50
+		cfg.Warmup = 200
+		cfg.Measure = 2000
+		cfg.Audit = true
+		cfg.TraceDigest = true
+
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		r := sys.Run()
+		if err := sys.Audit(); err != nil {
+			t.Fatalf("auditor violation (sites=%d mpl=%d policy=%v think=%v seed=%d): %v",
+				cfg.NumSites, cfg.MPL, cfg.PolicyKind, cfg.ThinkTime, seed, err)
+		}
+		if r.TraceDigest == 0 {
+			t.Error("trace digest is zero after a run")
+		}
+	})
+}
+
 // TestThreeClassWorkload verifies the model is not hard-wired to two
 // classes: a three-class mix runs and reports per-class metrics.
 func TestThreeClassWorkload(t *testing.T) {

@@ -71,6 +71,10 @@ type Results struct {
 	// Migrations counts mid-execution migrations (zero unless the
 	// migration extension is enabled).
 	Migrations uint64
+	// TraceDigest is the scheduler's running event-stream hash (zero
+	// unless Config.TraceDigest was set). Equal digests mean the two runs
+	// fired identical event sequences.
+	TraceDigest uint64
 }
 
 // UtilizationRatio returns ρ_d/ρ_c as reported in Table 12 (0 if the CPU

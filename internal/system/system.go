@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"dqalloc/internal/check"
 	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/network"
 	"dqalloc/internal/policy"
@@ -11,6 +12,13 @@ import (
 	"dqalloc/internal/site"
 	"dqalloc/internal/stats"
 	"dqalloc/internal/workload"
+)
+
+// Event kinds tagged onto this package's scheduler events for the trace
+// digest (see sim.Event.Kind).
+const (
+	eventKindThink byte = 0x41
+	eventKindBegin byte = 0x42
 )
 
 // System is one instantiated simulation of the paper's model. Build it
@@ -45,6 +53,9 @@ type System struct {
 	allocs     uint64
 	migrations uint64
 	allSites   []int // cached candidate list for full replication
+
+	aud    *check.Set // runtime invariant auditors, nil when auditing is off
+	audErr error      // first violation, latched at collect
 }
 
 // New assembles a system from cfg. The configuration is validated and the
@@ -125,6 +136,20 @@ func New(cfg Config) (*System, error) {
 		s.objStream = root.Child(3)
 	}
 
+	if cfg.Audit {
+		s.aud = check.NewSet(
+			check.NewConservation(cfg.NumSites*cfg.MPL, s.table.Total, s.siteCounts),
+			check.NewUtilization(),
+			check.NewLittlesLaw(),
+			check.NewMonotonicity(),
+			check.NewRingConservation(s.ring),
+		)
+		s.sched.Observe(s.aud.EventFired)
+	}
+	if cfg.TraceDigest {
+		s.sched.EnableDigest()
+	}
+
 	n := len(cfg.Classes)
 	s.waits = make([]stats.Welford, n)
 	s.responses = make([]stats.Welford, n)
@@ -144,7 +169,8 @@ func (s *System) Run() Results {
 		}
 	}
 	if s.cfg.Warmup > 0 {
-		s.sched.At(s.cfg.Warmup, s.beginMeasurement)
+		ev := s.sched.At(s.cfg.Warmup, s.beginMeasurement)
+		ev.Kind = eventKindBegin
 	} else {
 		s.beginMeasurement()
 	}
@@ -165,12 +191,16 @@ func (s *System) beginMeasurement() {
 		st.ResetStats(now)
 	}
 	s.ring.ResetStats(now)
+	if s.aud != nil {
+		s.aud.MeasureStarted(now)
+	}
 }
 
 // startThink puts one terminal at the given site into its think state;
 // when the think time expires the terminal submits a new query.
 func (s *System) startThink(home int) {
-	s.sched.After(s.think[home].Exp(s.cfg.ThinkTime), func() { s.submit(home) })
+	ev := s.sched.After(s.think[home].Exp(s.cfg.ThinkTime), func() { s.submit(home) })
+	ev.Kind = eventKindThink
 }
 
 // submit realizes the allocation decision point of Figure 2: a new query
@@ -198,6 +228,9 @@ func (s *System) submit(home int) {
 		if exec != home {
 			s.transfers++
 		}
+	}
+	if s.aud != nil {
+		s.aud.Submitted(s.sched.Now())
 	}
 	if exec == home {
 		s.sites[exec].Execute(q)
@@ -260,6 +293,9 @@ func (s *System) complete(q *workload.Query) {
 			s.cfg.Trace.record(q, now, s.cfg.Classes[q.Class].Name)
 		}
 	}
+	if s.aud != nil {
+		s.aud.Completed(now)
+	}
 	s.startThink(q.Home)
 }
 
@@ -299,9 +335,13 @@ func (s *System) collect(end float64) Results {
 	if n >= 2 {
 		r.Fairness = r.ByClass[0].NormWait - r.ByClass[1].NormWait
 	}
-	for _, st := range s.sites {
-		r.CPUUtil += st.CPUUtilization(end)
-		r.DiskUtil += st.DiskUtilization(end)
+	cpuUtil := make([]float64, len(s.sites))
+	diskUtil := make([]float64, len(s.sites))
+	for i, st := range s.sites {
+		cpuUtil[i] = st.CPUUtilization(end)
+		diskUtil[i] = st.DiskUtilization(end)
+		r.CPUUtil += cpuUtil[i]
+		r.DiskUtil += diskUtil[i]
 	}
 	r.CPUUtil /= float64(len(s.sites))
 	r.DiskUtil /= float64(len(s.sites))
@@ -316,5 +356,40 @@ func (s *System) collect(end float64) Results {
 		r.TransferFrac = float64(s.transfers) / float64(s.allocs)
 	}
 	r.Migrations = s.migrations
+	r.TraceDigest = s.sched.Digest()
+	if s.aud != nil {
+		s.audErr = s.aud.Finalize(check.Final{
+			Start:        s.startAt,
+			End:          end,
+			Completed:    r.Completed,
+			MeanResponse: r.MeanResponse,
+			CPUUtil:      cpuUtil,
+			DiskUtil:     diskUtil,
+			SubnetUtil:   r.SubnetUtil,
+		})
+	}
 	return r
+}
+
+// Audit returns the first invariant violation the runtime auditors
+// detected, or nil — always nil when Config.Audit was off. Call it after
+// Run; violations found mid-run are also reported here.
+func (s *System) Audit() error {
+	if s.aud == nil {
+		return nil
+	}
+	if s.audErr != nil {
+		return s.audErr
+	}
+	return s.aud.Err()
+}
+
+// siteCounts reports every site's instantaneous census for the
+// conservation auditor.
+func (s *System) siteCounts(buf []check.SiteCounts) []check.SiteCounts {
+	for _, st := range s.sites {
+		cpu, disk := st.Occupancy()
+		buf = append(buf, check.SiteCounts{Active: st.Active(), AtCPU: cpu, AtDisk: disk})
+	}
+	return buf
 }

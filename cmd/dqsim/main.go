@@ -9,9 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
+	"dqalloc/internal/fault"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/system"
 	"dqalloc/internal/workload"
@@ -41,6 +43,13 @@ func run(args []string) error {
 		reps       = fs.Int("reps", 1, "replications (seeds seed, seed+1, ...)")
 		warmup     = fs.Float64("warmup", 5000, "warmup horizon")
 		measure    = fs.Float64("measure", 50000, "measured horizon")
+		mttf       = fs.Float64("mttf", 0, "mean time to site failure (0 = no crashes)")
+		mttr       = fs.Float64("mttr", 0, "mean time to site repair (0 = fault default)")
+		drop       = fs.Float64("drop", 0, "probability a ring message is dropped")
+		netDelay   = fs.Float64("net-delay", 0, "mean extra ring transmission delay")
+		faultTO    = fs.Float64("fault-timeout", 0, "watchdog detection timeout (0 = fault default)")
+		faultTries = fs.Int("fault-retries", -1, "max query retries after loss (-1 = fault default)")
+		audit      = fs.Bool("audit", false, "run invariant auditors and fail on any violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +79,26 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
+	cfg.Audit = *audit
+	if *mttf > 0 || *drop > 0 || *netDelay > 0 {
+		fc := fault.Default()
+		fc.MTTF = math.Inf(1) // crashes off unless -mttf is given
+		if *mttf > 0 {
+			fc.MTTF = *mttf
+		}
+		if *mttr > 0 {
+			fc.MTTR = *mttr
+		}
+		fc.DropProb = *drop
+		fc.DelayMean = *netDelay
+		if *faultTO > 0 {
+			fc.DetectTimeout = *faultTO
+		}
+		if *faultTries >= 0 {
+			fc.MaxRetries = *faultTries
+		}
+		cfg.Fault = fc
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -89,6 +118,11 @@ func run(args []string) error {
 			return err
 		}
 		printResults(sys.Run())
+		if *audit {
+			if err := sys.Audit(); err != nil {
+				return fmt.Errorf("audit (seed %d): %w", cfg.Seed, err)
+			}
+		}
 	}
 	return nil
 }
@@ -121,6 +155,12 @@ func printResults(r system.Results) {
 	fmt.Printf("  subnet util        %10.3f\n", r.SubnetUtil)
 	fmt.Printf("  throughput         %10.4f q/unit\n", r.Throughput)
 	fmt.Printf("  remote fraction    %10.3f\n", r.RemoteFrac)
+	if r.SiteCrashes > 0 || r.QueriesLost > 0 || r.QueriesRejected > 0 || r.Availability < 1 {
+		fmt.Printf("  availability       %10.4f\n", r.Availability)
+		fmt.Printf("  avail. response    %10.3f\n", r.AvailResponse)
+		fmt.Printf("  crashes=%d lost=%d retried=%d rejected=%d\n",
+			r.SiteCrashes, r.QueriesLost, r.QueriesRetried, r.QueriesRejected)
+	}
 	for _, c := range r.ByClass {
 		fmt.Printf("  class %-4s n=%-7d W=%8.3f resp=%8.3f exec=%7.3f normW=%6.3f\n",
 			c.Name, c.Completed, c.MeanWait, c.MeanResp, c.MeanExecService, c.NormWait)

@@ -42,3 +42,25 @@ func TestRunWithExtensionsFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunWithFaultFlags(t *testing.T) {
+	err := run([]string{
+		"-policy", "LERT", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "2000",
+		"-mttf", "1500", "-mttr", "300", "-drop", "0.05", "-audit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -drop alone must enable network faults without site crashes.
+	err = run([]string{
+		"-policy", "BNQ", "-warmup", "200", "-measure", "1500",
+		"-drop", "0.1", "-fault-retries", "2", "-audit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-drop", "1.5"}); err == nil {
+		t.Error("invalid drop probability accepted")
+	}
+}

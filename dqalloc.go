@@ -33,6 +33,7 @@ package dqalloc
 import (
 	"fmt"
 
+	"dqalloc/internal/fault"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/site"
 	"dqalloc/internal/system"
@@ -54,6 +55,10 @@ type (
 	PolicyKind = policy.Kind
 	// Policy is the allocation-policy interface for custom strategies.
 	Policy = policy.Policy
+	// FaultConfig parameterizes the fault-injection layer (set
+	// Config.Fault to enable site crashes, lossy messaging, and the
+	// timeout/retry failover).
+	FaultConfig = fault.Config
 )
 
 // Built-in allocation policies (paper Section 4 plus baselines).
@@ -95,6 +100,11 @@ const (
 	// DiskExponential is the Section-3 analytical setting (product form).
 	DiskExponential = site.DiskExponential
 )
+
+// DefaultFaultConfig returns an enabled fault configuration with
+// moderate failure rates (MTTF 10000, MTTR 500, no message loss) and
+// the default watchdog settings. Assign it to Config.Fault and adjust.
+func DefaultFaultConfig() FaultConfig { return fault.Default() }
 
 // DefaultConfig returns the paper's baseline configuration: 6 sites, 2
 // disks per site, 20 terminals per site with mean think time 350, a

@@ -45,6 +45,26 @@ func TestReplicationsRejectsZero(t *testing.T) {
 	}
 }
 
+func TestRunFacadeWithFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	cfg.Audit = true
+	cfg.Fault = DefaultFaultConfig()
+	cfg.Fault.MTTF = 1500
+	cfg.Fault.MTTR = 300
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SiteCrashes == 0 {
+		t.Error("no site crashes with MTTF 1500")
+	}
+	if res.Availability <= 0 || res.Availability >= 1 {
+		t.Errorf("availability = %v, want in (0,1)", res.Availability)
+	}
+}
+
 func TestPolicyConstantsDistinct(t *testing.T) {
 	kinds := []PolicyKind{Local, Random, BNQ, BNQRD, LERT}
 	seen := make(map[PolicyKind]bool, len(kinds))

@@ -39,6 +39,7 @@ type Conservation struct {
 
 	submitted uint64
 	completed uint64
+	rejected  uint64
 	buf       []SiteCounts
 }
 
@@ -70,19 +71,26 @@ func (c *Conservation) Completed(t float64) {
 	c.check(t)
 }
 
-// InFlight returns the current submitted-minus-completed count.
-func (c *Conservation) InFlight() uint64 { return c.submitted - c.completed }
+// Rejected implements RejectObserver: a rejected query leaves the
+// population without completing.
+func (c *Conservation) Rejected(t float64) {
+	c.rejected++
+	c.check(t)
+}
+
+// InFlight returns the current submitted-minus-retired count.
+func (c *Conservation) InFlight() uint64 { return c.submitted - c.completed - c.rejected }
 
 func (c *Conservation) check(t float64) {
 	if c.err != nil {
 		return
 	}
-	if c.completed > c.submitted {
-		c.failf("check: conservation: t=%v: %d completions exceed %d submissions",
-			t, c.completed, c.submitted)
+	if c.completed+c.rejected > c.submitted {
+		c.failf("check: conservation: t=%v: %d completions + %d rejections exceed %d submissions",
+			t, c.completed, c.rejected, c.submitted)
 		return
 	}
-	inflight := c.submitted - c.completed
+	inflight := c.submitted - c.completed - c.rejected
 	if inflight > uint64(c.capacity) {
 		c.failf("check: conservation: t=%v: %d queries in flight exceed closed population %d",
 			t, inflight, c.capacity)
@@ -167,6 +175,7 @@ type LittlesLaw struct {
 	inflight int
 	tw       stats.TimeWeighted
 	started  bool
+	rejected uint64
 }
 
 // NewLittlesLaw builds the auditor with default tolerances.
@@ -189,6 +198,16 @@ func (l *LittlesLaw) Completed(t float64) {
 	l.tw.Set(t, float64(l.inflight))
 }
 
+// Rejected implements RejectObserver. Rejections remove queries from
+// the population without a response-time sample, decoupling N̄ from
+// λ·W; the integral stays honest but the end-of-run identity check is
+// skipped (FaultConservation owns the accounting under faults).
+func (l *LittlesLaw) Rejected(t float64) {
+	l.inflight--
+	l.tw.Set(t, float64(l.inflight))
+	l.rejected++
+}
+
 // MeasureStarted implements MeasureObserver: the integral restarts so the
 // warmup transient is excluded, exactly like the model's own statistics.
 func (l *LittlesLaw) MeasureStarted(t float64) {
@@ -199,6 +218,11 @@ func (l *LittlesLaw) MeasureStarted(t float64) {
 // Finalize implements Finalizer.
 func (l *LittlesLaw) Finalize(f Final) {
 	if l.err != nil || !l.started || f.End <= f.Start || f.Completed < l.MinSamples {
+		return
+	}
+	if l.rejected > 0 {
+		// Rejected queries spent time in flight but contribute nothing
+		// to λ·W, so the identity does not hold; see Rejected.
 		return
 	}
 	if f.End-f.Start < l.MinWindows*f.MeanResponse {
@@ -262,12 +286,16 @@ type RingCounters interface {
 	Sent() uint64
 	// TotalDelivered is the lifetime count of completed transmissions.
 	TotalDelivered() uint64
+	// TotalDropped is the lifetime count of messages discarded by the
+	// fault model (zero on a reliable ring).
+	TotalDropped() uint64
 	// Pending is the count of messages waiting or in flight.
 	Pending() int
 }
 
 // RingConservation audits token-ring message conservation between every
-// pair of events: sent = delivered + pending, with pending non-negative.
+// pair of events: sent = delivered + dropped + pending, with pending
+// non-negative.
 type RingConservation struct {
 	violation
 	ring RingCounters
@@ -305,8 +333,113 @@ func (r *RingConservation) check(t float64) {
 		r.failf("check: ring-conservation: t=%v: negative pending count %d", t, pending)
 		return
 	}
-	if sent, delivered := r.ring.Sent(), r.ring.TotalDelivered(); sent != delivered+uint64(pending) {
-		r.failf("check: ring-conservation: t=%v: sent %d != delivered %d + pending %d",
-			t, sent, delivered, pending)
+	sent, delivered, dropped := r.ring.Sent(), r.ring.TotalDelivered(), r.ring.TotalDropped()
+	if sent != delivered+dropped+uint64(pending) {
+		r.failf("check: ring-conservation: t=%v: sent %d != delivered %d + dropped %d + pending %d",
+			t, sent, delivered, dropped, pending)
+	}
+}
+
+// FaultTotals is the fault layer's loss ledger, read by the
+// fault-conservation auditor through a closure so the auditor stays
+// decoupled from the system package.
+type FaultTotals struct {
+	// Lost counts execution losses (site crashes wiping queries, dropped
+	// ship/result messages).
+	Lost uint64
+	// Retried counts watchdog re-dispatches of lost queries.
+	Retried uint64
+	// Abandoned counts lost queries whose retry budget ran out (each is
+	// also a rejection).
+	Abandoned uint64
+	// PendingRecovery counts queries currently lost and awaiting their
+	// watchdog (not yet retried or abandoned).
+	PendingRecovery int
+}
+
+// FaultConservation audits the fault layer's loss accounting between
+// every pair of events: every loss must be retried, abandoned, or still
+// awaiting its watchdog — lost == retried + abandoned + pendingRecovery
+// — so no query silently vanishes. It also re-checks the closed
+// population bound using the rejection-aware in-flight count.
+type FaultConservation struct {
+	violation
+	capacity int
+	totals   func() FaultTotals
+
+	submitted uint64
+	completed uint64
+	rejected  uint64
+}
+
+// NewFaultConservation builds the auditor. capacity is the closed
+// population bound (NumSites × MPL); totals reads the fault layer's
+// counters.
+func NewFaultConservation(capacity int, totals func() FaultTotals) *FaultConservation {
+	if capacity < 1 {
+		panic("check: fault-conservation capacity < 1")
+	}
+	if totals == nil {
+		panic("check: nil fault totals")
+	}
+	return &FaultConservation{capacity: capacity, totals: totals}
+}
+
+// Name implements Auditor.
+func (f *FaultConservation) Name() string { return "fault-conservation" }
+
+// Submitted implements QueryObserver.
+func (f *FaultConservation) Submitted(t float64) { f.submitted++; f.check(t) }
+
+// Completed implements QueryObserver.
+func (f *FaultConservation) Completed(t float64) { f.completed++; f.check(t) }
+
+// Rejected implements RejectObserver.
+func (f *FaultConservation) Rejected(t float64) { f.rejected++; f.check(t) }
+
+// Lost implements LossObserver.
+func (f *FaultConservation) Lost(t float64) { f.check(t) }
+
+// Retried implements LossObserver.
+func (f *FaultConservation) Retried(t float64) { f.check(t) }
+
+// EventFired implements EventObserver: the ledger identity must hold
+// whenever the model is quiescent.
+func (f *FaultConservation) EventFired(e *sim.Event) {
+	if f.err == nil {
+		f.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (f *FaultConservation) Finalize(fin Final) {
+	if f.err == nil {
+		f.check(fin.End)
+	}
+}
+
+func (f *FaultConservation) check(t float64) {
+	if f.err != nil {
+		return
+	}
+	tot := f.totals()
+	if tot.PendingRecovery < 0 {
+		f.failf("check: fault-conservation: t=%v: negative pending-recovery count %d",
+			t, tot.PendingRecovery)
+		return
+	}
+	if tot.Lost != tot.Retried+tot.Abandoned+uint64(tot.PendingRecovery) {
+		f.failf("check: fault-conservation: t=%v: %d lost != %d retried + %d abandoned + %d pending recovery",
+			t, tot.Lost, tot.Retried, tot.Abandoned, tot.PendingRecovery)
+		return
+	}
+	if f.completed+f.rejected > f.submitted {
+		f.failf("check: fault-conservation: t=%v: %d completions + %d rejections exceed %d submissions",
+			t, f.completed, f.rejected, f.submitted)
+		return
+	}
+	if inflight := f.submitted - f.completed - f.rejected; inflight > uint64(f.capacity) {
+		f.failf("check: fault-conservation: t=%v: %d queries in flight exceed closed population %d",
+			t, inflight, f.capacity)
 	}
 }

@@ -42,6 +42,23 @@ type EventObserver interface {
 	EventFired(e *sim.Event)
 }
 
+// RejectObserver is notified when a submitted query is rejected — no
+// allowed execution site existed, or its retry budget ran out (fault
+// extension). A rejected query leaves the in-flight population without
+// a completion.
+type RejectObserver interface {
+	Rejected(t float64)
+}
+
+// LossObserver is notified of fault-induced query losses: Lost fires
+// when an allocated query's execution is wiped out (site crash or
+// message drop), Retried when its watchdog re-dispatches it. A lost
+// query stays in flight until it is retried to completion or rejected.
+type LossObserver interface {
+	Lost(t float64)
+	Retried(t float64)
+}
+
 // MeasureObserver is notified when the warmup transient ends and
 // measurement begins.
 type MeasureObserver interface {
@@ -82,6 +99,8 @@ type SiteCounts struct {
 type Set struct {
 	all     []Auditor
 	query   []QueryObserver
+	reject  []RejectObserver
+	loss    []LossObserver
 	event   []EventObserver
 	measure []MeasureObserver
 	final   []Finalizer
@@ -93,6 +112,12 @@ func NewSet(auditors ...Auditor) *Set {
 	for _, a := range auditors {
 		if o, ok := a.(QueryObserver); ok {
 			s.query = append(s.query, o)
+		}
+		if o, ok := a.(RejectObserver); ok {
+			s.reject = append(s.reject, o)
+		}
+		if o, ok := a.(LossObserver); ok {
+			s.loss = append(s.loss, o)
 		}
 		if o, ok := a.(EventObserver); ok {
 			s.event = append(s.event, o)
@@ -121,6 +146,27 @@ func (s *Set) Submitted(t float64) {
 func (s *Set) Completed(t float64) {
 	for _, o := range s.query {
 		o.Completed(t)
+	}
+}
+
+// Rejected dispatches a query-rejection hook.
+func (s *Set) Rejected(t float64) {
+	for _, o := range s.reject {
+		o.Rejected(t)
+	}
+}
+
+// Lost dispatches a fault-loss hook.
+func (s *Set) Lost(t float64) {
+	for _, o := range s.loss {
+		o.Lost(t)
+	}
+}
+
+// Retried dispatches a retry-dispatch hook.
+func (s *Set) Retried(t float64) {
+	for _, o := range s.loss {
+		o.Retried(t)
 	}
 }
 

@@ -191,12 +191,13 @@ func TestMonotonicity(t *testing.T) {
 
 // fakeRing is a RingCounters with settable values.
 type fakeRing struct {
-	sent, delivered uint64
-	pending         int
+	sent, delivered, dropped uint64
+	pending                  int
 }
 
 func (f *fakeRing) Sent() uint64           { return f.sent }
 func (f *fakeRing) TotalDelivered() uint64 { return f.delivered }
+func (f *fakeRing) TotalDropped() uint64   { return f.dropped }
 func (f *fakeRing) Pending() int           { return f.pending }
 
 func TestRingConservation(t *testing.T) {

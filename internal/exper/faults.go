@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// DegradationRow is one cell of the graceful-degradation study: one
+// allocation policy at one failure intensity (MTTF level), averaged
+// over the runner's replications.
+type DegradationRow struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// MTTF is the per-site mean time to failure (+Inf = no failures).
+	MTTF float64
+	// Availability is the mean fraction of site-time up.
+	Availability float64
+	// MeanWait is W̄ over the queries that completed.
+	MeanWait float64
+	// MeanResponse is the mean response time of completed queries.
+	MeanResponse float64
+	// AvailResponse is MeanResponse / Availability — the paper-style
+	// single number folding lost capacity into the response metric.
+	AvailResponse float64
+	// Completed, Lost, Retried and Rejected are totals across
+	// replications.
+	Completed uint64
+	Lost      uint64
+	Retried   uint64
+	Rejected  uint64
+	// Crashes is the total site failures across replications.
+	Crashes uint64
+}
+
+// DegradationSweep runs each policy across the given MTTF levels on the
+// Table-7 baseline, with every replication fully audited (the fault
+// paths are exactly where accounting bugs would hide): any invariant
+// violation fails the sweep. fcfg supplies the non-MTTF fault knobs
+// (MTTR, network loss, watchdog); its MTTF field is overridden per
+// level. The paper conjectures dynamic allocation "should be more
+// resilient to failures" than static assignment (Section 6.1) — this
+// sweep is the experiment behind that sentence: LOCAL degrades by
+// losing its home site's capacity outright, while the load-aware
+// policies reroute around the outage.
+func DegradationSweep(r Runner, kinds []policy.Kind, mttfs []float64, fcfg fault.Config) ([]DegradationRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mttfs) == 0 {
+		return nil, fmt.Errorf("exper: degradation sweep: no MTTF levels")
+	}
+	rows := make([]DegradationRow, 0, len(kinds)*len(mttfs))
+	for _, kind := range kinds {
+		for _, mttf := range mttfs {
+			cfg := r.applyHorizons(system.Default())
+			cfg.PolicyKind = kind
+			cfg.Audit = true
+			cfg.Fault = fcfg
+			cfg.Fault.Enabled = true
+			cfg.Fault.MTTF = mttf
+			row := DegradationRow{Policy: kind.String(), MTTF: mttf}
+			for rep := 0; rep < r.Reps; rep++ {
+				cfg.Seed = r.BaseSeed + uint64(rep)
+				sys, err := newSystem(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("exper: degradation sweep %v mttf %v: %w", kind, mttf, err)
+				}
+				res := sys.Run()
+				if err := sys.Audit(); err != nil {
+					return nil, fmt.Errorf("exper: degradation sweep %v mttf %v seed %d: %w",
+						kind, mttf, cfg.Seed, err)
+				}
+				row.Availability += res.Availability
+				row.MeanWait += res.MeanWait
+				row.MeanResponse += res.MeanResponse
+				row.AvailResponse += res.AvailResponse
+				row.Completed += res.Completed
+				row.Lost += res.QueriesLost
+				row.Retried += res.QueriesRetried
+				row.Rejected += res.QueriesRejected
+				row.Crashes += res.SiteCrashes
+			}
+			n := float64(r.Reps)
+			row.Availability /= n
+			row.MeanWait /= n
+			row.MeanResponse /= n
+			row.AvailResponse /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// DefaultMTTFLevels returns the failure intensities used in
+// EXPERIMENTS.md: no failures, rare failures, and failures frequent
+// enough that an outage is usually in progress somewhere.
+func DefaultMTTFLevels() []float64 {
+	return []float64{math.Inf(1), 10000, 2000}
+}

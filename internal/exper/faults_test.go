@@ -1,0 +1,85 @@
+package exper
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+)
+
+// TestDegradationSweep is the PR's capstone: every policy family across
+// three failure intensities, every replication audited. Any ledger
+// violation (a query lost without being retried, rejected or pending)
+// surfaces as a sweep error here.
+func TestDegradationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep is slow")
+	}
+	r := Runner{Reps: 2, BaseSeed: 41, Warmup: 400, Measure: 4000}
+	kinds := []policy.Kind{
+		policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT,
+	}
+	fcfg := fault.Default()
+	fcfg.MTTR = 300
+	fcfg.DropProb = 0.02
+	mttfs := []float64{math.Inf(1), 8000, 1500}
+	rows, err := DegradationSweep(r, kinds, mttfs, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kinds)*len(mttfs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(kinds)*len(mttfs))
+	}
+	for _, row := range rows {
+		if row.Completed == 0 {
+			t.Errorf("%s mttf=%v: no completions", row.Policy, row.MTTF)
+		}
+		if row.Availability <= 0 || row.Availability > 1 {
+			t.Errorf("%s mttf=%v: availability %v out of (0,1]", row.Policy, row.MTTF, row.Availability)
+		}
+		if row.AvailResponse < row.MeanResponse {
+			t.Errorf("%s mttf=%v: AvailResponse %v < MeanResponse %v",
+				row.Policy, row.MTTF, row.AvailResponse, row.MeanResponse)
+		}
+		if math.IsInf(row.MTTF, 1) {
+			if row.Crashes != 0 {
+				t.Errorf("%s mttf=+Inf: %d crashes", row.Policy, row.Crashes)
+			}
+			if row.Availability != 1 {
+				t.Errorf("%s mttf=+Inf: availability %v, want 1", row.Policy, row.Availability)
+			}
+		} else if row.MTTF <= 1500 {
+			if row.Crashes == 0 {
+				t.Errorf("%s mttf=%v: no site crashes in an aggressive-failure run",
+					row.Policy, row.MTTF)
+			}
+			if row.Availability >= 1 {
+				t.Errorf("%s mttf=%v: availability %v despite crashes",
+					row.Policy, row.MTTF, row.Availability)
+			}
+		}
+	}
+}
+
+func TestDegradationSweepRejectsEmptyLevels(t *testing.T) {
+	r := Runner{Reps: 1, BaseSeed: 1, Warmup: 10, Measure: 100}
+	if _, err := DegradationSweep(r, []policy.Kind{policy.Local}, nil, fault.Default()); err == nil {
+		t.Error("empty MTTF levels accepted")
+	}
+}
+
+func TestDefaultMTTFLevels(t *testing.T) {
+	levels := DefaultMTTFLevels()
+	if len(levels) < 3 {
+		t.Fatalf("want at least 3 levels, got %d", len(levels))
+	}
+	if !math.IsInf(levels[0], 1) {
+		t.Errorf("first level %v, want +Inf baseline", levels[0])
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] >= levels[i-1] {
+			t.Errorf("levels not strictly decreasing at %d: %v", i, levels)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package fault is the fault-injection subsystem: deterministic site
+// crash/repair processes and the knobs of the lossy-network extension.
+//
+// The paper assumes reliable sites and a lossless subnet (Section 2)
+// and notes that dynamic allocation "should be more resilient to
+// failures" than static assignment — without testing it. This package
+// supplies the missing failure model so that claim can be measured:
+// sites fail and recover as alternating exponential processes (the
+// classic machine-repair model), load-status broadcasts can be lost or
+// delayed, and the system layer adds detection timeouts with
+// retry/failover. Everything is driven by the simulation scheduler and
+// dedicated child rng streams, so runs stay bit-reproducible and —
+// with faults disabled — the no-fault event trace is untouched.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+// Config collects the fault model's parameters. The zero value (and
+// Enabled == false) disables fault injection entirely.
+type Config struct {
+	// Enabled turns the subsystem on. When false every other field is
+	// ignored and the simulation's event trace is bit-identical to a
+	// build without this package.
+	Enabled bool
+
+	// MTTF is each site's mean time to failure (exponential). +Inf
+	// means sites never fail — useful for studying the lossy network in
+	// isolation, and for the enabled-noop identity tests.
+	MTTF float64
+	// MTTR is each site's mean time to repair (exponential).
+	MTTR float64
+
+	// DropProb is the probability that any one ring transmission (query
+	// shipment, result return) or per-site load-status entry is lost.
+	DropProb float64
+	// DelayMean is the mean extra latency (exponential) added to ring
+	// transmissions and load-status entries that survive the drop coin.
+	// Zero adds no delay and draws nothing.
+	DelayMean float64
+
+	// DetectTimeout is the watchdog interval: a query unheard-of for
+	// this long after dispatch is checked for loss. It bounds failure
+	// detection latency; false timeouts (the query is merely slow) just
+	// re-arm the watchdog, so execution stays at-most-once.
+	DetectTimeout float64
+	// RetryBackoff is the base delay before re-allocating a lost query;
+	// attempt k waits RetryBackoff·2^(k-1).
+	RetryBackoff float64
+	// MaxRetries bounds re-allocation attempts per query; a query
+	// losing more than MaxRetries attempts is rejected (counted, never
+	// silently dropped).
+	MaxRetries int
+}
+
+// Default returns a moderate-failure configuration: site failures every
+// 10000 time units healing in 500 (≈95% intrinsic availability),
+// reliable network, and a watchdog tuned to the Table-7 workload's
+// response-time scale.
+func Default() Config {
+	return Config{
+		Enabled:       true,
+		MTTF:          10000,
+		MTTR:          500,
+		DropProb:      0,
+		DelayMean:     0,
+		DetectTimeout: 150,
+		RetryBackoff:  10,
+		MaxRetries:    8,
+	}
+}
+
+// Validate reports a configuration error, if any. A disabled config is
+// always valid.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case !(c.MTTF > 0): // rejects 0, negatives and NaN; +Inf passes
+		return fmt.Errorf("fault: MTTF %v must be positive (or +Inf for no failures)", c.MTTF)
+	case c.SiteFailures() && !(c.MTTR > 0 && !math.IsInf(c.MTTR, 1)):
+		return fmt.Errorf("fault: MTTR %v must be positive and finite", c.MTTR)
+	case math.IsNaN(c.DropProb) || c.DropProb < 0 || c.DropProb > 1:
+		return fmt.Errorf("fault: DropProb %v outside [0,1]", c.DropProb)
+	case math.IsNaN(c.DelayMean) || c.DelayMean < 0 || math.IsInf(c.DelayMean, 1):
+		return fmt.Errorf("fault: DelayMean %v must be finite and non-negative", c.DelayMean)
+	case !(c.DetectTimeout > 0) || math.IsInf(c.DetectTimeout, 1):
+		return fmt.Errorf("fault: DetectTimeout %v must be positive and finite", c.DetectTimeout)
+	case !(c.RetryBackoff > 0) || math.IsInf(c.RetryBackoff, 1):
+		return fmt.Errorf("fault: RetryBackoff %v must be positive and finite", c.RetryBackoff)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("fault: MaxRetries %d must be non-negative", c.MaxRetries)
+	}
+	return nil
+}
+
+// SiteFailures reports whether the config makes sites crash at all.
+func (c Config) SiteFailures() bool { return c.Enabled && !math.IsInf(c.MTTF, 1) }
+
+// NetworkFaults reports whether the config perturbs the network or the
+// load broadcasts.
+func (c Config) NetworkFaults() bool { return c.Enabled && (c.DropProb > 0 || c.DelayMean > 0) }
+
+// Scheduler event kinds for the trace digest (see sim.Event.Kind).
+const (
+	// EventKindCrash tags site-failure events.
+	EventKindCrash byte = 0x51
+	// EventKindRepair tags site-repair events.
+	EventKindRepair byte = 0x52
+)
+
+// Injector runs the per-site crash/repair processes. Each site draws
+// its failure and repair times from its own child stream, so the fault
+// sample path is a common-random-numbers block: it is identical across
+// allocation policies and unchanged by anything the rest of the model
+// draws.
+type Injector struct {
+	sched    *sim.Scheduler
+	cfg      Config
+	up       []bool
+	streams  []*rng.Stream
+	onCrash  func(site int)
+	onRepair func(site int)
+
+	crashes uint64
+	repairs uint64
+
+	downSince   []float64 // valid while the site is down
+	downTime    []float64 // accumulated downtime inside the stats window
+	windowStart float64
+}
+
+// NewInjector builds the injector for numSites sites and schedules each
+// site's first failure (no-op when the config keeps sites reliable).
+// onCrash and onRepair fire at the corresponding instants, after the
+// liveness mask has been updated.
+func NewInjector(sched *sim.Scheduler, numSites int, cfg Config, stream *rng.Stream, onCrash, onRepair func(site int)) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numSites <= 0 {
+		return nil, fmt.Errorf("fault: numSites %d must be positive", numSites)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("fault: nil random stream")
+	}
+	inj := &Injector{
+		sched:     sched,
+		cfg:       cfg,
+		up:        make([]bool, numSites),
+		streams:   make([]*rng.Stream, numSites),
+		onCrash:   onCrash,
+		onRepair:  onRepair,
+		downSince: make([]float64, numSites),
+		downTime:  make([]float64, numSites),
+	}
+	for s := range inj.up {
+		inj.up[s] = true
+		inj.streams[s] = stream.Child(uint64(s))
+	}
+	if cfg.SiteFailures() {
+		for s := range inj.up {
+			inj.scheduleCrash(s)
+		}
+	}
+	return inj, nil
+}
+
+// Up returns the live liveness mask: element s is true while site s is
+// up. Callers (the policy Env) may hold the slice; it is updated in
+// place at crash and repair instants.
+func (inj *Injector) Up() []bool { return inj.up }
+
+// SiteUp reports site s's current liveness.
+func (inj *Injector) SiteUp(s int) bool { return inj.up[s] }
+
+// Crashes returns the lifetime count of site failures.
+func (inj *Injector) Crashes() uint64 { return inj.crashes }
+
+// Repairs returns the lifetime count of completed repairs.
+func (inj *Injector) Repairs() uint64 { return inj.repairs }
+
+func (inj *Injector) scheduleCrash(s int) {
+	ev := inj.sched.After(inj.streams[s].Exp(inj.cfg.MTTF), func() { inj.crash(s) })
+	ev.Kind = EventKindCrash
+}
+
+func (inj *Injector) crash(s int) {
+	now := inj.sched.Now()
+	inj.up[s] = false
+	inj.crashes++
+	inj.downSince[s] = now
+	if inj.onCrash != nil {
+		inj.onCrash(s)
+	}
+	ev := inj.sched.After(inj.streams[s].Exp(inj.cfg.MTTR), func() { inj.repair(s) })
+	ev.Kind = EventKindRepair
+}
+
+func (inj *Injector) repair(s int) {
+	now := inj.sched.Now()
+	inj.up[s] = true
+	inj.repairs++
+	if since := math.Max(inj.downSince[s], inj.windowStart); now > since {
+		inj.downTime[s] += now - since
+	}
+	if inj.onRepair != nil {
+		inj.onRepair(s)
+	}
+	inj.scheduleCrash(s)
+}
+
+// ResetStats restarts the downtime accounting window at t (call at the
+// begin-measurement instant, like every other stats window).
+func (inj *Injector) ResetStats(t float64) {
+	inj.windowStart = t
+	for s := range inj.downTime {
+		inj.downTime[s] = 0
+	}
+}
+
+// Downtime returns site s's accumulated downtime over the stats window
+// ending at end, including the still-open outage of a currently-down
+// site.
+func (inj *Injector) Downtime(s int, end float64) float64 {
+	d := inj.downTime[s]
+	if !inj.up[s] {
+		if since := math.Max(inj.downSince[s], inj.windowStart); end > since {
+			d += end - since
+		}
+	}
+	return d
+}

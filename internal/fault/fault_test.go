@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+func testConfig() Config {
+	c := Default()
+	c.MTTF = 100
+	c.MTTR = 20
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	inf := Default()
+	inf.MTTF = math.Inf(1)
+	inf.MTTR = 0 // irrelevant without failures
+	if err := inf.Validate(); err != nil {
+		t.Errorf("MTTF=+Inf config rejected: %v", err)
+	}
+	if inf.SiteFailures() {
+		t.Error("MTTF=+Inf reports site failures")
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MTTF = 0 },
+		func(c *Config) { c.MTTF = -1 },
+		func(c *Config) { c.MTTR = 0 },
+		func(c *Config) { c.DropProb = -0.1 },
+		func(c *Config) { c.DropProb = 1.5 },
+		func(c *Config) { c.DelayMean = -1 },
+		func(c *Config) { c.DetectTimeout = 0 },
+		func(c *Config) { c.RetryBackoff = 0 },
+		func(c *Config) { c.MaxRetries = -1 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInjectorAlternates(t *testing.T) {
+	sched := sim.New()
+	var crashes, repairs []int
+	inj, err := NewInjector(sched, 3, testConfig(), rng.NewStream(7),
+		func(s int) { crashes = append(crashes, s) },
+		func(s int) { repairs = append(repairs, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(2000)
+	if inj.Crashes() == 0 {
+		t.Fatal("no crashes over 20 MTTFs")
+	}
+	if got := inj.Crashes() - inj.Repairs(); got > 3 {
+		t.Errorf("crashes %d exceed repairs %d by more than the site count", inj.Crashes(), inj.Repairs())
+	}
+	if uint64(len(crashes)) != inj.Crashes() || uint64(len(repairs)) != inj.Repairs() {
+		t.Errorf("callback counts (%d, %d) disagree with counters (%d, %d)",
+			len(crashes), len(repairs), inj.Crashes(), inj.Repairs())
+	}
+	// The mask must agree with the crash/repair history per site.
+	for s := 0; s < 3; s++ {
+		c, r := 0, 0
+		for _, x := range crashes {
+			if x == s {
+				c++
+			}
+		}
+		for _, x := range repairs {
+			if x == s {
+				r++
+			}
+		}
+		if wantUp := c == r; inj.SiteUp(s) != wantUp {
+			t.Errorf("site %d: up=%v after %d crashes, %d repairs", s, inj.SiteUp(s), c, r)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, []float64) {
+		sched := sim.New()
+		inj, err := NewInjector(sched, 4, testConfig(), rng.NewStream(seed), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.RunUntil(5000)
+		down := make([]float64, 4)
+		for s := range down {
+			down[s] = inj.Downtime(s, 5000)
+		}
+		return inj.Crashes(), down
+	}
+	c1, d1 := run(11)
+	c2, d2 := run(11)
+	if c1 != c2 {
+		t.Fatalf("same seed, different crash counts: %d vs %d", c1, c2)
+	}
+	for s := range d1 {
+		if d1[s] != d2[s] {
+			t.Fatalf("same seed, different downtime at site %d: %v vs %v", s, d1[s], d2[s])
+		}
+	}
+	if c3, _ := run(12); c3 == c1 {
+		t.Logf("different seeds gave equal crash counts (%d) — possible but suspicious", c1)
+	}
+}
+
+func TestDowntimeWindow(t *testing.T) {
+	sched := sim.New()
+	inj, err := NewInjector(sched, 2, testConfig(), rng.NewStream(3), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(1000)
+	inj.ResetStats(1000)
+	sched.RunUntil(3000)
+	for s := 0; s < 2; s++ {
+		d := inj.Downtime(s, 3000)
+		if d < 0 || d > 2000 {
+			t.Errorf("site %d downtime %v outside window [0, 2000]", s, d)
+		}
+	}
+	// With MTTF 100 / MTTR 20 the expected unavailability is ~1/6; over a
+	// 2000-unit window at least some downtime should land in it.
+	total := inj.Downtime(0, 3000) + inj.Downtime(1, 3000)
+	if total == 0 {
+		t.Error("no downtime measured over 20 MTTFs")
+	}
+}
+
+func TestNoFailuresSchedulesNothing(t *testing.T) {
+	sched := sim.New()
+	cfg := Default()
+	cfg.MTTF = math.Inf(1)
+	inj, err := NewInjector(sched, 3, cfg, rng.NewStream(5), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Len() != 0 {
+		t.Errorf("reliable-site injector scheduled %d events", sched.Len())
+	}
+	sched.RunUntil(10000)
+	if inj.Crashes() != 0 {
+		t.Errorf("reliable sites crashed %d times", inj.Crashes())
+	}
+	for s := 0; s < 3; s++ {
+		if inj.Downtime(s, 10000) != 0 {
+			t.Errorf("reliable site %d has downtime", s)
+		}
+	}
+}

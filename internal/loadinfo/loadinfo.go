@@ -154,7 +154,20 @@ type Broadcaster struct {
 	cpuWork []float64
 	ioWork  []float64
 	next    *sim.Event
+	stopped bool
+
+	// perturb, when non-nil, decides the fate of each site's entry in a
+	// broadcast round (fault-injection extension): a dropped entry keeps
+	// its previous — now doubly stale — value, and a delayed entry is
+	// applied only after the extra latency elapses.
+	perturb Perturb
 }
+
+// Perturb decides the fate of one site's status message in a broadcast
+// round: drop loses the update entirely, a positive delay defers its
+// application. Implementations are consulted once per site per round,
+// in site order, keeping runs deterministic.
+type Perturb func(site int) (drop bool, delay float64)
 
 var (
 	_ View     = (*Broadcaster)(nil)
@@ -183,14 +196,30 @@ func NewBroadcaster(sched *sim.Scheduler, table *Table, period float64) (*Broadc
 	return b, nil
 }
 
-// eventKindBroadcast tags snapshot ticks in the scheduler's trace digest.
-const eventKindBroadcast byte = 0x31
+// Event kinds tagged onto this package's scheduler events for the trace
+// digest (see sim.Event.Kind).
+const (
+	// eventKindBroadcast tags snapshot ticks.
+	eventKindBroadcast byte = 0x31
+	// eventKindDelayedInfo tags the deferred application of one site's
+	// delayed status message (lossy-broadcast extension).
+	eventKindDelayedInfo byte = 0x32
+)
 
 // Period returns the broadcast interval.
 func (b *Broadcaster) Period() float64 { return b.period }
 
+// SetPerturb installs a per-entry fault model for subsequent broadcast
+// rounds (the initial snapshot taken at construction is always clean).
+// Pass nil to restore loss-free instantaneous snapshots.
+func (b *Broadcaster) SetPerturb(fn Perturb) { b.perturb = fn }
+
 // Stop cancels future snapshots. The last snapshot remains readable.
+// Stop is idempotent: calling it twice, or after the scheduler has
+// drained the pending tick, is a no-op — it never cancels an event it
+// does not own.
 func (b *Broadcaster) Stop() {
+	b.stopped = true
 	if b.next != nil {
 		b.sched.Cancel(b.next)
 		b.next = nil
@@ -219,8 +248,42 @@ func (b *Broadcaster) snapshot() {
 	copy(b.ioWork, b.table.ioWork)
 }
 
+// broadcastOnce refreshes the snapshot, consulting the perturbation
+// model entry by entry when one is installed.
+func (b *Broadcaster) broadcastOnce() {
+	if b.perturb == nil {
+		b.snapshot()
+		return
+	}
+	for s := 0; s < b.table.NumSites(); s++ {
+		drop, delay := b.perturb(s)
+		if drop {
+			continue // the previous value stays visible
+		}
+		if delay <= 0 {
+			b.apply(s, b.table.io[s], b.table.cpu[s], b.table.cpuWork[s], b.table.ioWork[s])
+			continue
+		}
+		io, cpu := b.table.io[s], b.table.cpu[s]
+		cw, iw := b.table.cpuWork[s], b.table.ioWork[s]
+		ev := b.sched.After(delay, func() { b.apply(s, io, cpu, cw, iw) })
+		ev.Kind = eventKindDelayedInfo
+	}
+}
+
+// apply installs one site's (possibly delayed) status message.
+func (b *Broadcaster) apply(site, io, cpu int, cpuWork, ioWork float64) {
+	b.io[site] = io
+	b.cpu[site] = cpu
+	b.cpuWork[site] = cpuWork
+	b.ioWork[site] = ioWork
+}
+
 func (b *Broadcaster) tick() {
-	b.snapshot()
+	if b.stopped {
+		return
+	}
+	b.broadcastOnce()
 	b.next = b.sched.After(b.period, b.tick)
 	b.next.Kind = eventKindBroadcast
 }

@@ -1,0 +1,105 @@
+package loadinfo
+
+import (
+	"testing"
+
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+func TestPerturbDropKeepsStaleValue(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(2)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetPerturb(func(site int) (bool, float64) { return site == 0, 0 })
+	s.At(5, func() {
+		tb.Assign(0, workload.IOBound)
+		tb.Assign(1, workload.CPUBound)
+	})
+	s.RunUntil(15) // one perturbed broadcast at t=10
+	if got := b.NumQueries(0); got != 0 {
+		t.Errorf("dropped entry updated: site 0 shows %d, want stale 0", got)
+	}
+	if got := b.NumQueries(1); got != 1 {
+		t.Errorf("clean entry not updated: site 1 shows %d, want 1", got)
+	}
+}
+
+func TestPerturbDelayDefersApplication(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(1)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetPerturb(func(int) (bool, float64) { return false, 4 })
+	s.At(5, func() { tb.Assign(0, workload.IOBound) })
+	s.RunUntil(12) // broadcast at 10, application due at 14
+	if got := b.NumQueries(0); got != 0 {
+		t.Errorf("delayed entry applied early: %d", got)
+	}
+	s.RunUntil(15)
+	if got := b.NumQueries(0); got != 1 {
+		t.Errorf("delayed entry not applied: %d, want 1", got)
+	}
+}
+
+// TestPerturbDelayedValueIsSnapshot: a delayed status message carries
+// the table values of its broadcast instant, not of its arrival.
+func TestPerturbDelayedValueIsSnapshot(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(1)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetPerturb(func(int) (bool, float64) { return false, 5 })
+	s.At(2, func() { tb.Assign(0, workload.IOBound) })
+	s.At(12, func() { tb.Assign(0, workload.IOBound) }) // after the t=10 snapshot
+	s.RunUntil(16)                                      // delayed message lands at 15
+	if got := b.NumQueries(0); got != 1 {
+		t.Errorf("delayed message shows %d, want the broadcast-time value 1", got)
+	}
+}
+
+// TestStopIsIdempotent is the double-Stop regression: a second Stop
+// (or one arriving after the pending tick already fired) must not
+// cancel an event the broadcaster no longer owns.
+func TestStopIsIdempotent(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(1)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	b.Stop() // second call must be a no-op
+	// A foreign event scheduled after the stop must survive and fire.
+	fired := false
+	s.After(10, func() { fired = true })
+	b.Stop()
+	s.Run()
+	if !fired {
+		t.Error("Stop cancelled an event it did not own")
+	}
+}
+
+// TestStopHaltsTicks: after Stop no further snapshots are taken, even
+// if a tick was somehow in flight.
+func TestStopHaltsTicks(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(1)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(5, func() { b.Stop() })
+	s.At(6, func() { tb.Assign(0, workload.IOBound) })
+	s.RunUntil(50)
+	if got := b.NumQueries(0); got != 0 {
+		t.Errorf("stopped broadcaster refreshed its snapshot: %d", got)
+	}
+}

@@ -20,6 +20,10 @@ type Message struct {
 	// OnDeliver runs at the instant the transmission completes. It must
 	// not be nil.
 	OnDeliver func()
+	// OnDrop runs instead of OnDeliver when the lossy-network extension
+	// (SetFault) drops the message. nil means the drop is only counted —
+	// acceptable for messages whose loss nobody must recover from.
+	OnDrop func()
 
 	enqueuedAt float64
 }
@@ -38,14 +42,22 @@ type Ring struct {
 	util      stats.TimeWeighted
 	qlen      stats.TimeWeighted
 	delivered uint64
+	dropped   uint64
 	bytes     float64
 	waits     stats.Welford // ring queueing delay per message (excl. transmission)
 
-	// sent and totalDelivered are lifetime counters (never reset by
-	// ResetStats) backing the message-conservation invariant
-	// sent == totalDelivered + pending audited by internal/check.
+	// fault, when non-nil, decides each transmission's fate (lossy
+	// network extension). It is consulted exactly once per transmission,
+	// in transmission order, keeping runs deterministic.
+	fault func() (drop bool, delay float64)
+
+	// sent, totalDelivered and totalDropped are lifetime counters (never
+	// reset by ResetStats) backing the message-conservation invariant
+	// sent == totalDelivered + totalDropped + pending audited by
+	// internal/check.
 	sent           uint64
 	totalDelivered uint64
+	totalDropped   uint64
 }
 
 // EventKindTransmit tags the ring's transmission-complete events in the
@@ -71,6 +83,15 @@ func NewRing(sched *sim.Scheduler, numSites int, perByte float64) *Ring {
 // TransmitTime returns the time the ring needs to transmit size bytes,
 // excluding any queueing.
 func (r *Ring) TransmitTime(size float64) float64 { return size * r.perByte }
+
+// SetFault installs a per-message fault model: fn is consulted once per
+// transmission, in transmission order. drop suppresses delivery — the
+// message's OnDrop callback (if any) runs instead of OnDeliver — and
+// delay extends the transmission's occupancy of the ring, modeling
+// link-layer retransmissions and congestion. The paper assumes a
+// lossless subnet; this hook is the fault-injection extension. Install
+// before the first Send; pass nil to restore reliable delivery.
+func (r *Ring) SetFault(fn func() (drop bool, delay float64)) { r.fault = fn }
 
 // Send places a message in the sender's outgoing queue. Delivery happens
 // after the ring polls the sender and transmits the message.
@@ -99,12 +120,21 @@ func (r *Ring) Pending() int { return r.pending }
 // window (reset by ResetStats).
 func (r *Ring) Delivered() uint64 { return r.delivered }
 
+// Dropped returns the number of messages the fault model dropped over
+// the stats window (reset by ResetStats).
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
 // Sent returns the total messages handed to the ring since construction.
 func (r *Ring) Sent() uint64 { return r.sent }
 
 // TotalDelivered returns the total completed transmissions since
-// construction. At every instant Sent() == TotalDelivered() + Pending().
+// construction. At every instant
+// Sent() == TotalDelivered() + TotalDropped() + Pending().
 func (r *Ring) TotalDelivered() uint64 { return r.totalDelivered }
+
+// TotalDropped returns the total messages dropped by the fault model
+// since construction (zero on a reliable ring).
+func (r *Ring) TotalDropped() uint64 { return r.totalDropped }
 
 // BytesCarried returns the total bytes transmitted.
 func (r *Ring) BytesCarried() float64 { return r.bytes }
@@ -127,6 +157,7 @@ func (r *Ring) ResetStats(t float64) {
 	r.util.Reset(t)
 	r.qlen.Reset(t)
 	r.delivered = 0
+	r.dropped = 0
 	r.bytes = 0
 	r.waits.Reset()
 }
@@ -159,7 +190,19 @@ func (r *Ring) transmit(m Message) {
 	r.busy = true
 	r.util.Set(now, 1)
 	r.waits.Add(now - m.enqueuedAt)
-	ev := r.sched.After(r.TransmitTime(m.Size), func() { r.complete(m) })
+	hold := r.TransmitTime(m.Size)
+	dropped := false
+	if r.fault != nil {
+		var extra float64
+		dropped, extra = r.fault()
+		hold += extra
+	}
+	var ev *sim.Event
+	if dropped {
+		ev = r.sched.After(hold, func() { r.drop(m) })
+	} else {
+		ev = r.sched.After(hold, func() { r.complete(m) })
+	}
 	ev.Kind = EventKindTransmit
 }
 
@@ -176,4 +219,20 @@ func (r *Ring) complete(m Message) {
 	// immediately sends again observes a consistent ring state.
 	r.poll()
 	m.OnDeliver()
+}
+
+// drop retires a message the fault model discarded: the transmission
+// occupied the ring but the receiver never got the payload.
+func (r *Ring) drop(m Message) {
+	now := r.sched.Now()
+	r.pending--
+	r.qlen.Set(now, float64(r.pending))
+	r.dropped++
+	r.totalDropped++
+	r.busy = false
+	r.util.Set(now, 0)
+	r.poll()
+	if m.OnDrop != nil {
+		m.OnDrop()
+	}
 }

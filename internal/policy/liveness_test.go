@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+// allPolicies builds one instance of every built-in policy plus the
+// probing wrappers, for liveness-contract sweeps.
+func allPolicies(t *testing.T, numSites int) []Policy {
+	t.Helper()
+	var ps []Policy
+	for _, kind := range []Kind{Local, Random, BNQ, BNQRD, LERT, Work} {
+		p, err := New(kind, numSites, rng.NewStream(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	probe, err := NewProbeKind(LERT, 2, rng.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresh, err := NewThreshold(3, 2, rng.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(ps, probe, thresh)
+}
+
+// TestEmptyCandidatesReturnsNoSite is the empty-candidate-set
+// regression: every policy must return NoSite — not panic — when the
+// candidate set is non-nil but empty.
+func TestEmptyCandidatesReturnsNoSite(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		env := testEnv(fixedView{io: make([]int, 4), cpu: make([]int, 4)}, 4)
+		env.Candidates = []int{}
+		if got := p.Select(ioQuery(), 0, env); got != NoSite {
+			t.Errorf("%s: empty candidates chose %d, want NoSite", p.Name(), got)
+		}
+	}
+}
+
+// TestAllSitesDownReturnsNoSite: with every site dead, every policy
+// must return NoSite, with or without a candidate restriction.
+func TestAllSitesDownReturnsNoSite(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		for _, cands := range [][]int{nil, {1, 3}} {
+			env := testEnv(fixedView{io: make([]int, 4), cpu: make([]int, 4)}, 4)
+			env.Candidates = cands
+			env.Up = make([]bool, 4) // all down
+			if got := p.Select(ioQuery(), 0, env); got != NoSite {
+				t.Errorf("%s (candidates %v): all-down chose %d, want NoSite", p.Name(), cands, got)
+			}
+		}
+	}
+}
+
+// TestPoliciesAvoidDownSites: whatever the loads, a policy must never
+// pick a dead site while a live one exists.
+func TestPoliciesAvoidDownSites(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		// Site 2 is idle but down; the rest carry load.
+		env := testEnv(fixedView{io: []int{3, 3, 0, 3}, cpu: []int{2, 2, 0, 2}}, 4)
+		env.Up = []bool{true, true, false, true}
+		for arrival := 0; arrival < 4; arrival++ {
+			for i := 0; i < 8; i++ {
+				got := p.Select(ioQuery(), arrival, env)
+				if got == NoSite {
+					t.Fatalf("%s: NoSite with three live sites", p.Name())
+				}
+				if got == 2 {
+					t.Fatalf("%s: chose down site 2 (arrival %d)", p.Name(), arrival)
+				}
+			}
+		}
+	}
+}
+
+// TestDownArrivalRoutesAway: a query arriving at a down site must be
+// routed to a live site (the terminals survive their site's crash).
+func TestDownArrivalRoutesAway(t *testing.T) {
+	for _, p := range allPolicies(t, 4) {
+		env := testEnv(fixedView{io: make([]int, 4), cpu: make([]int, 4)}, 4)
+		env.Up = []bool{false, true, true, true}
+		for i := 0; i < 8; i++ {
+			got := p.Select(ioQuery(), 0, env)
+			if got == 0 || got == NoSite {
+				t.Fatalf("%s: arrival site down, chose %d", p.Name(), got)
+			}
+		}
+	}
+}
+
+// TestLocalFallsBackToNearestLiveCopy: LOCAL's ring-distance fallback
+// must skip dead copy holders.
+func TestLocalFallsBackToNearestLiveCopy(t *testing.T) {
+	p, err := New(Local, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(fixedView{io: make([]int, 6), cpu: make([]int, 6)}, 6)
+	env.Candidates = []int{1, 4}
+	env.Up = []bool{true, true, true, true, false, true} // copy holder 4 is down
+	tests := []struct {
+		arrival int
+		want    int
+	}{
+		{arrival: 1, want: 1}, // live copy holder keeps the query
+		{arrival: 2, want: 1}, // nearest copy (4, 2 hops) is down: wrap to 1
+		{arrival: 5, want: 1},
+	}
+	for _, tt := range tests {
+		if got := p.Select(ioQuery(), tt.arrival, env); got != tt.want {
+			t.Errorf("arrival %d -> %d, want %d", tt.arrival, got, tt.want)
+		}
+	}
+	// Fully replicated: a down arrival site scans downstream for the
+	// first live site.
+	env.Candidates = nil
+	env.Up = []bool{true, false, false, true, true, true}
+	if got := p.Select(ioQuery(), 1, env); got != 3 {
+		t.Errorf("down arrival 1 -> %d, want first live downstream 3", got)
+	}
+}
+
+// TestRandomUpMaskKeepsUniformity: RANDOM restricted by a mask must
+// cover exactly the live sites, roughly uniformly.
+func TestRandomUpMaskKeepsUniformity(t *testing.T) {
+	p, err := New(Random, 4, rng.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(fixedView{io: make([]int, 4), cpu: make([]int, 4)}, 4)
+	env.Up = []bool{true, false, true, true}
+	counts := make([]int, 4)
+	const draws = 3000
+	for i := 0; i < draws; i++ {
+		counts[p.Select(ioQuery(), 0, env)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("down site drawn %d times", counts[1])
+	}
+	for _, s := range []int{0, 2, 3} {
+		frac := float64(counts[s]) / draws
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("live site %d drawn fraction %v, want ~1/3", s, frac)
+		}
+	}
+}
+
+// TestNilMaskMatchesNoMask: an all-true mask must not change any
+// policy's choice relative to no mask at all (the no-fault fast paths
+// and the masked paths must agree).
+func TestNilMaskMatchesNoMask(t *testing.T) {
+	view := fixedView{io: []int{2, 0, 5, 1}, cpu: []int{1, 3, 0, 2}}
+	for _, kind := range []Kind{Local, BNQ, BNQRD, LERT, Work} {
+		unmasked, err := New(kind, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked, err := New(kind, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for arrival := 0; arrival < 4; arrival++ {
+			envA := testEnv(view, 4)
+			envB := testEnv(view, 4)
+			envB.Up = []bool{true, true, true, true}
+			a := unmasked.Select(ioQuery(), arrival, envA)
+			b := masked.Select(ioQuery(), arrival, envB)
+			if a != b {
+				t.Errorf("%v arrival %d: no mask chose %d, all-true mask chose %d", kind, arrival, a, b)
+			}
+		}
+	}
+}

@@ -31,13 +31,25 @@ type Env struct {
 	// Candidates restricts the allocation to the listed sites (the sites
 	// holding a copy of the data the query references, in the partially
 	// replicated extension). nil means every site is a candidate — the
-	// paper's fully replicated environment. Must be non-empty when set.
+	// paper's fully replicated environment. An empty non-nil set is
+	// permitted and makes every policy return NoSite.
 	Candidates []int
+	// Up marks each site's liveness (fault-injection extension). nil
+	// means every site is up — the paper's reliable-sites assumption
+	// (Section 2). Policies never choose a down site; when no candidate
+	// is live they return NoSite.
+	Up []bool
 	// CPUSpeeds gives each site's CPU speed factor in the heterogeneity
 	// extension. nil means the paper's homogeneous sites (speed 1
 	// everywhere). LERT consults this; the count-based policies cannot.
 	CPUSpeeds []float64
 }
+
+// NoSite is returned by Select when no candidate site may execute the
+// query — the candidate set is empty, or every copy holder is down. It
+// is never a valid site index; callers must handle it (reject the query
+// or retry later) rather than dispatch.
+const NoSite = -1
 
 // cpuSpeed returns site's CPU speed factor (1 when homogeneous).
 func (e *Env) cpuSpeed(site int) float64 {
@@ -60,6 +72,13 @@ func (e *Env) candidateAllowed(site int) bool {
 	}
 	return false
 }
+
+// siteUp reports the site's liveness (true when no mask is installed).
+func (e *Env) siteUp(site int) bool { return e.Up == nil || e.Up[site] }
+
+// allowed reports whether site may execute the query: it must hold a
+// copy and be up.
+func (e *Env) allowed(site int) bool { return e.siteUp(site) && e.candidateAllowed(site) }
 
 // QueryBound classifies a query with the rule of Section 4.2, using the
 // optimizer's demand estimates: if the per-disk I/O demand exceeds the
@@ -156,15 +175,26 @@ type localPolicy struct{}
 func (localPolicy) Name() string { return "LOCAL" }
 
 func (localPolicy) Select(_ *workload.Query, arrival int, env *Env) int {
-	if env.candidateAllowed(arrival) {
+	if env.allowed(arrival) {
 		return arrival
 	}
-	// With partially replicated data the home site may hold no copy; the
-	// "local" behavior degrades to the nearest downstream copy holder,
-	// which spreads no-copy traffic evenly without load information.
-	best := env.Candidates[0]
-	bestDist := (best - arrival + env.NumSites) % env.NumSites
-	for _, s := range env.Candidates[1:] {
+	// The home site may hold no copy (partial replication) or be down
+	// (fault injection); the "local" behavior degrades to the nearest
+	// live downstream copy holder, which spreads no-copy traffic evenly
+	// without load information. NoSite when every copy holder is down.
+	if env.Candidates == nil {
+		for d := 1; d < env.NumSites; d++ {
+			if s := (arrival + d) % env.NumSites; env.allowed(s) {
+				return s
+			}
+		}
+		return NoSite
+	}
+	best, bestDist := NoSite, env.NumSites
+	for _, s := range env.Candidates {
+		if !env.allowed(s) {
+			continue
+		}
 		if d := (s - arrival + env.NumSites) % env.NumSites; d < bestDist {
 			best, bestDist = s, d
 		}
@@ -180,10 +210,57 @@ type randomPolicy struct {
 func (p *randomPolicy) Name() string { return "RANDOM" }
 
 func (p *randomPolicy) Select(_ *workload.Query, _ int, env *Env) int {
+	// The Up == nil paths consume exactly one draw over the full set,
+	// preserving the no-fault random sequence bit for bit.
 	if env.Candidates != nil {
-		return env.Candidates[p.stream.Intn(len(env.Candidates))]
+		if len(env.Candidates) == 0 {
+			return NoSite
+		}
+		if env.Up == nil {
+			return env.Candidates[p.stream.Intn(len(env.Candidates))]
+		}
+		return pickUniform(p.stream, env, env.Candidates...)
 	}
-	return p.stream.Intn(env.NumSites)
+	if env.Up == nil {
+		return p.stream.Intn(env.NumSites)
+	}
+	return pickUniform(p.stream, env)
+}
+
+// pickUniform draws uniformly among the live members of set (or of all
+// sites when set is empty), returning NoSite — without consuming a draw
+// — when none is live.
+func pickUniform(stream *rng.Stream, env *Env, set ...int) int {
+	n := env.NumSites
+	if set != nil {
+		n = len(set)
+	}
+	nth := func(i int) int {
+		if set != nil {
+			return set[i]
+		}
+		return i
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		if env.siteUp(nth(i)) {
+			live++
+		}
+	}
+	if live == 0 {
+		return NoSite
+	}
+	k := stream.Intn(live)
+	for i := 0; i < n; i++ {
+		if !env.siteUp(nth(i)) {
+			continue
+		}
+		if k == 0 {
+			return nth(i)
+		}
+		k--
+	}
+	panic("policy: unreachable")
 }
 
 // CostFunc estimates the processing cost of executing q at site s. All
@@ -218,13 +295,14 @@ func NewSelector(cost CostFunc, numSites int) *Selector {
 func (sel *Selector) Name() string { return sel.cost.Name() }
 
 // Select implements function SelectSite of Figure 3, generalized to an
-// optional candidate set: the arrival site is kept unless a strictly
-// cheaper candidate exists; when the arrival site holds no copy, the
-// first candidate scanned seeds the minimum instead.
+// optional candidate set and an optional liveness mask: the arrival
+// site is kept unless a strictly cheaper candidate exists; when the
+// arrival site holds no copy (or is down), the first candidate scanned
+// seeds the minimum instead. NoSite when no candidate is allowed.
 func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
-	best := -1
+	best := NoSite
 	minCost := math.Inf(1)
-	if env.candidateAllowed(arrival) {
+	if env.allowed(arrival) {
 		best = arrival
 		minCost = sel.cost.SiteCost(q, arrival, arrival, env)
 	}
@@ -234,7 +312,7 @@ func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
 		n := env.NumSites
 		for i := 0; i < n; i++ {
 			remote := (start + i) % n
-			if remote == arrival {
+			if remote == arrival || !env.siteUp(remote) {
 				continue
 			}
 			if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {
@@ -247,7 +325,7 @@ func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
 	n := len(env.Candidates)
 	for i := 0; i < n; i++ {
 		remote := env.Candidates[(start+i)%n]
-		if remote == arrival {
+		if remote == arrival || !env.siteUp(remote) {
 			continue
 		}
 		if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {

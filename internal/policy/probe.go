@@ -51,11 +51,12 @@ func (p *Probe) Name() string {
 }
 
 // Select keeps the arrival site unless one of k probed candidates is
-// strictly cheaper.
+// strictly cheaper. NoSite when neither the arrival site nor any pool
+// member is an allowed (live, copy-holding) execution site.
 func (p *Probe) Select(q *workload.Query, arrival int, env *Env) int {
-	best := -1
+	best := NoSite
 	minCost := math.Inf(1)
-	if env.candidateAllowed(arrival) {
+	if env.allowed(arrival) {
 		best = arrival
 		minCost = p.cost.SiteCost(q, arrival, arrival, env)
 	}
@@ -74,34 +75,36 @@ func (p *Probe) Select(q *workload.Query, arrival int, env *Env) int {
 			best = site
 		}
 	}
-	if best < 0 {
-		// Arrival holds no copy and no probe hit: first pool entry.
+	if best < 0 && len(pool) > 0 {
+		// Arrival cannot execute and no probe hit: first pool entry.
 		best = pool[0]
 	}
 	return best
 }
 
-// remotePool lists the sites a probing policy may probe (candidates
-// minus the arrival site). The slice is freshly allocated each call;
-// callers may reorder it freely.
+// remotePool lists the sites a probing policy may probe: the allowed
+// (copy-holding, live) sites minus the arrival site. When that leaves
+// nothing but an allowed arrival site, the pool is the arrival site
+// alone; when nothing at all is allowed it is empty. The slice is
+// freshly allocated each call; callers may reorder it freely.
 func remotePool(arrival int, env *Env) []int {
 	var pool []int
 	if env.Candidates != nil {
 		pool = make([]int, 0, len(env.Candidates))
 		for _, s := range env.Candidates {
-			if s != arrival {
+			if s != arrival && env.siteUp(s) {
 				pool = append(pool, s)
 			}
 		}
 	} else {
 		pool = make([]int, 0, env.NumSites-1)
 		for s := 0; s < env.NumSites; s++ {
-			if s != arrival {
+			if s != arrival && env.siteUp(s) {
 				pool = append(pool, s)
 			}
 		}
 	}
-	if len(pool) == 0 {
+	if len(pool) == 0 && env.allowed(arrival) {
 		return []int{arrival}
 	}
 	return pool
@@ -139,10 +142,11 @@ func (p *Threshold) Name() string {
 	return "THRESH" + strconv.Itoa(p.t) + "x" + strconv.Itoa(p.k)
 }
 
-// Select implements the threshold transfer rule.
+// Select implements the threshold transfer rule. NoSite when nothing
+// is allowed.
 func (p *Threshold) Select(q *workload.Query, arrival int, env *Env) int {
 	_ = q
-	local := env.candidateAllowed(arrival)
+	local := env.allowed(arrival)
 	if local && env.View.NumQueries(arrival) < p.t {
 		return arrival
 	}
@@ -160,6 +164,9 @@ func (p *Threshold) Select(q *workload.Query, arrival int, env *Env) int {
 	}
 	if local {
 		return arrival
+	}
+	if len(pool) == 0 {
+		return NoSite
 	}
 	return pool[0]
 }

@@ -62,6 +62,17 @@ func (d *DiskArray[T]) Enqueue(job T, service float64) {
 	d.disks[d.choose()].Enqueue(job, service)
 }
 
+// Drain empties every disk without completing any read, returning the
+// lost jobs in disk-index order (within a disk, queue order). See
+// FCFS.Drain.
+func (d *DiskArray[T]) Drain() []T {
+	var out []T
+	for _, disk := range d.disks {
+		out = append(out, disk.Drain()...)
+	}
+	return out
+}
+
 // NumDisks returns the number of disks in the array.
 func (d *DiskArray[T]) NumDisks() int { return len(d.disks) }
 

@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+func TestFCFSDrain(t *testing.T) {
+	s := sim.New()
+	var done []int
+	f := NewFCFS(s, func(j int) { done = append(done, j) })
+	s.At(0, func() {
+		f.Enqueue(1, 10)
+		f.Enqueue(2, 10)
+		f.Enqueue(3, 10)
+	})
+	var drained []int
+	s.At(5, func() { drained = f.Drain() })
+	s.Run()
+	if len(done) != 0 {
+		t.Errorf("drained jobs completed: %v", done)
+	}
+	if want := []int{1, 2, 3}; len(drained) != 3 || drained[0] != 1 || drained[1] != 2 || drained[2] != 3 {
+		t.Errorf("Drain returned %v, want %v", drained, want)
+	}
+	if f.QueueLen() != 0 {
+		t.Errorf("queue length %d after drain", f.QueueLen())
+	}
+	// The server must be reusable after a drain.
+	s2 := sim.New()
+	done = nil
+	f2 := NewFCFS(s2, func(j int) { done = append(done, j) })
+	s2.At(0, func() { f2.Enqueue(7, 3) })
+	s2.At(1, func() { f2.Drain() })
+	s2.At(2, func() { f2.Enqueue(8, 3) })
+	s2.Run()
+	if len(done) != 1 || done[0] != 8 {
+		t.Errorf("post-drain completions = %v, want [8]", done)
+	}
+}
+
+func TestPSDrain(t *testing.T) {
+	s := sim.New()
+	var done []int
+	p := NewPS(s, func(j int) { done = append(done, j) })
+	s.At(0, func() {
+		p.Enqueue(1, 10)
+		p.Enqueue(2, 20)
+	})
+	var drained []int
+	s.At(5, func() { drained = p.Drain() })
+	s.Run()
+	if len(done) != 0 {
+		t.Errorf("drained jobs completed: %v", done)
+	}
+	if len(drained) != 2 || drained[0] != 1 || drained[1] != 2 {
+		t.Errorf("Drain returned %v, want [1 2]", drained)
+	}
+	if p.QueueLen() != 0 {
+		t.Errorf("load %d after drain", p.QueueLen())
+	}
+	// Reusable after drain: a fresh job completes after its full demand.
+	var at float64 = -1
+	s3 := sim.New()
+	p3 := NewPS(s3, func(int) { at = s3.Now() })
+	s3.At(0, func() { p3.Enqueue(1, 10) })
+	s3.At(2, func() { p3.Drain() })
+	s3.At(4, func() { p3.Enqueue(2, 10) })
+	s3.Run()
+	if at != 14 {
+		t.Errorf("post-drain completion at %v, want 14", at)
+	}
+}
+
+func TestDiskArrayDrain(t *testing.T) {
+	s := sim.New()
+	var done []int
+	d := NewDiskArray(s, 2, SelectShortestQueue, rng.NewStream(1), func(j int) { done = append(done, j) })
+	s.At(0, func() {
+		d.Enqueue(1, 10) // disk 0
+		d.Enqueue(2, 10) // disk 1
+		d.Enqueue(3, 10) // disk 0 (tie broken by index)
+	})
+	var drained []int
+	s.At(5, func() { drained = d.Drain() })
+	s.Run()
+	if len(done) != 0 {
+		t.Errorf("drained reads completed: %v", done)
+	}
+	// Disk-index order: disk 0's queue (1, 3) then disk 1's (2).
+	if len(drained) != 3 || drained[0] != 1 || drained[1] != 3 || drained[2] != 2 {
+		t.Errorf("Drain returned %v, want [1 3 2]", drained)
+	}
+	if d.QueueLen() != 0 {
+		t.Errorf("queue length %d after drain", d.QueueLen())
+	}
+}

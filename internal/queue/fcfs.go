@@ -29,6 +29,7 @@ type FCFS[T any] struct {
 
 	queue  []fcfsEntry[T]
 	busy   bool
+	next   *sim.Event // pending service-completion event
 	util   stats.TimeWeighted
 	qlen   stats.TimeWeighted
 	served uint64
@@ -87,17 +88,42 @@ func (f *FCFS[T]) ResetStats(t float64) {
 	f.served = 0
 }
 
+// Drain removes every job — queued or in service — without completing
+// it, cancels the pending service-completion event, and returns the jobs
+// in queue order (the one in service first). The utilization and
+// queue-length windows record the server going idle. This models the
+// server's site crashing: the jobs are lost, and recovering them is the
+// caller's concern.
+func (f *FCFS[T]) Drain() []T {
+	now := f.sched.Now()
+	if f.next != nil {
+		f.sched.Cancel(f.next)
+		f.next = nil
+	}
+	out := make([]T, len(f.queue))
+	for i := range f.queue {
+		out[i] = f.queue[i].job
+		f.queue[i] = fcfsEntry[T]{}
+	}
+	f.queue = f.queue[:0]
+	f.busy = false
+	f.qlen.Set(now, 0)
+	f.util.Set(now, 0)
+	return out
+}
+
 func (f *FCFS[T]) startNext() {
 	now := f.sched.Now()
 	f.busy = true
 	f.util.Set(now, 1)
 	head := f.queue[0]
-	ev := f.sched.After(head.service, func() { f.finish() })
-	ev.Kind = EventKindFCFS
+	f.next = f.sched.After(head.service, func() { f.finish() })
+	f.next.Kind = EventKindFCFS
 }
 
 func (f *FCFS[T]) finish() {
 	now := f.sched.Now()
+	f.next = nil
 	head := f.queue[0]
 	copy(f.queue, f.queue[1:])
 	f.queue[len(f.queue)-1] = fcfsEntry[T]{}

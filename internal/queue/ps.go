@@ -80,6 +80,29 @@ func (p *PS[T]) ResetStats(t float64) {
 	p.served = 0
 }
 
+// Drain removes every job sharing the processor without completing it,
+// cancels the pending departure event, and returns the jobs in arrival
+// order. The utilization and load windows record the processor going
+// idle. This models the processor's site crashing: the jobs are lost,
+// and recovering them is the caller's concern.
+func (p *PS[T]) Drain() []T {
+	p.advance()
+	now := p.sched.Now()
+	if p.next != nil {
+		p.sched.Cancel(p.next)
+		p.next = nil
+	}
+	out := make([]T, len(p.jobs))
+	for i, j := range p.jobs {
+		out[i] = j.job
+		p.jobs[i] = nil
+	}
+	p.jobs = p.jobs[:0]
+	p.load.Set(now, 0)
+	p.util.Set(now, 0)
+	return out
+}
+
 // advance applies elapsed processor sharing to every active job.
 func (p *PS[T]) advance() {
 	now := p.sched.Now()

@@ -81,13 +81,18 @@ func (r *Stream) Intn(n int) int {
 
 // Exp returns an exponential variate with the given mean. A zero mean
 // yields zero (a degenerate but occasionally useful configuration, e.g.
-// disabled think time).
+// disabled think time). A +Inf mean yields +Inf without consuming a
+// variate, so "this event never happens" configurations (e.g. an
+// infinite mean time to failure) leave the stream untouched.
 func (r *Stream) Exp(mean float64) float64 {
 	if mean < 0 {
 		panic("rng: negative exponential mean")
 	}
 	if mean == 0 {
 		return 0
+	}
+	if math.IsInf(mean, 1) {
+		return math.Inf(1)
 	}
 	// Guard against log(0); Float64 is in [0,1).
 	u := 1 - r.Float64()

@@ -110,6 +110,19 @@ func TestExpZeroMean(t *testing.T) {
 	}
 }
 
+// TestExpInfiniteMean: an infinite mean models an event that never
+// happens (e.g. MTTF = +Inf) and must not consume a draw, so fault-free
+// streams stay aligned.
+func TestExpInfiniteMean(t *testing.T) {
+	a, b := NewStream(5), NewStream(5)
+	if v := a.Exp(math.Inf(1)); !math.IsInf(v, 1) {
+		t.Errorf("Exp(+Inf) = %v, want +Inf", v)
+	}
+	if x, y := a.Uint64(), b.Uint64(); x != y {
+		t.Errorf("Exp(+Inf) consumed a draw: next %d vs %d", x, y)
+	}
+}
+
 func TestUniformRange(t *testing.T) {
 	r := NewStream(17)
 	const lo, hi = 0.8, 1.2

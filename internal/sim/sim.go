@@ -30,6 +30,21 @@ type Event struct {
 	// constants. Zero is the untagged default. Set it right after At or
 	// After returns, before any other event can fire. It sits in the
 	// int32 index's padding, keeping the struct at 32 bytes.
+	//
+	// Registry of kind bytes across the model packages (high nibble =
+	// subsystem, kept here so new tags don't collide):
+	//
+	//	0x11 queue:    FCFS departure
+	//	0x12 queue:    processor-sharing completion
+	//	0x21 network:  ring transmission
+	//	0x31 loadinfo: load broadcast tick
+	//	0x32 loadinfo: delayed status-message application
+	//	0x41 system:   terminal think completion
+	//	0x42 system:   begin-measurement mark
+	//	0x43 system:   failover watchdog timeout
+	//	0x44 system:   query retry after loss
+	//	0x51 fault:    site crash
+	//	0x52 fault:    site repair
 	Kind byte
 
 	action Action

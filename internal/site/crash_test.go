@@ -1,0 +1,81 @@
+package site
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+func TestCrashDrainsActiveQueries(t *testing.T) {
+	s := sim.New()
+	var completed int
+	st, err := New(0, s, testConfig(), rng.NewStream(6), func(*workload.Query) { completed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*workload.Query, 4)
+	s.At(0, func() {
+		for i := range qs {
+			qs[i] = &workload.Query{Class: i % 2, ReadsTotal: 20}
+			st.Execute(qs[i])
+		}
+	})
+	var lost []*workload.Query
+	s.At(10, func() { lost = st.Crash() })
+	s.Run()
+	if completed != 0 {
+		t.Errorf("%d queries completed despite the crash", completed)
+	}
+	if len(lost) != 4 {
+		t.Fatalf("Crash returned %d queries, want 4", len(lost))
+	}
+	if st.Active() != 0 {
+		t.Errorf("Active() = %d after crash", st.Active())
+	}
+	if cpu, disk := st.Occupancy(); cpu != 0 || disk != 0 {
+		t.Errorf("occupancy (%d, %d) after crash", cpu, disk)
+	}
+	// Every admitted query must come back, each exactly once.
+	seen := map[*workload.Query]bool{}
+	for _, q := range lost {
+		if seen[q] {
+			t.Error("query drained twice")
+		}
+		seen[q] = true
+	}
+	for i, q := range qs {
+		if !seen[q] {
+			t.Errorf("query %d not drained", i)
+		}
+	}
+}
+
+func TestSiteUsableAfterCrash(t *testing.T) {
+	s := sim.New()
+	var completed int
+	st, err := New(0, s, testConfig(), rng.NewStream(7), func(*workload.Query) { completed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(0, func() { st.Execute(&workload.Query{Class: 0, ReadsTotal: 20}) })
+	s.At(5, func() { st.Crash() })
+	// A repaired site accepts and completes fresh work.
+	s.At(10, func() { st.Execute(&workload.Query{Class: 0, ReadsTotal: 5}) })
+	s.Run()
+	if completed != 1 {
+		t.Errorf("post-repair completions = %d, want 1", completed)
+	}
+}
+
+func TestCrashOfIdleSiteIsEmpty(t *testing.T) {
+	s := sim.New()
+	st, err := New(0, s, testConfig(), rng.NewStream(8), func(*workload.Query) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost := st.Crash(); len(lost) != 0 {
+		t.Errorf("idle crash returned %d queries", len(lost))
+	}
+}

@@ -168,6 +168,20 @@ func (s *Site) Execute(q *workload.Query) {
 	s.startRead(q)
 }
 
+// Crash drains the site mid-run (fault-injection extension): every
+// executing query is removed from the CPU and the disks without
+// completing, their pending service events are cancelled, and the lost
+// queries are returned in deterministic order — CPU jobs in arrival
+// order first, then disk jobs in disk-index order. The site object
+// itself stays usable; whether new queries may be routed to it while it
+// is "down", and when it is repaired, is the caller's concern.
+func (s *Site) Crash() []*workload.Query {
+	lost := s.cpu.Drain()
+	lost = append(lost, s.disks.Drain()...)
+	s.active = 0
+	return lost
+}
+
 // CPUUtilization returns the CPU busy fraction over the stats window
 // ending at t.
 func (s *Site) CPUUtilization(t float64) float64 { return s.cpu.Utilization(t) }

@@ -10,6 +10,7 @@ package system
 import (
 	"fmt"
 
+	"dqalloc/internal/fault"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/queue"
 	"dqalloc/internal/replica"
@@ -106,6 +107,13 @@ type Config struct {
 	// inside the measured window.
 	Trace *Tracer
 
+	// Fault configures the fault-injection subsystem: site crash/repair
+	// processes, lossy/delayed transmissions and load broadcasts, and
+	// the watchdog's timeout/retry failover. Disabled (the zero value)
+	// by default; a disabled run is event-for-event identical to one
+	// built without the subsystem.
+	Fault fault.Config
+
 	// Audit attaches the internal/check runtime auditors to the run:
 	// query conservation, utilization bounds, Little's law, event-clock
 	// monotonicity, and ring message conservation. Off by default so hot
@@ -198,6 +206,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Migration.validate(); err != nil {
 		return err
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
 	}
 	if c.CPUSpeeds != nil {
 		if len(c.CPUSpeeds) != c.NumSites {

@@ -1,0 +1,283 @@
+package system
+
+import (
+	"math"
+
+	"dqalloc/internal/check"
+	"dqalloc/internal/fault"
+	"dqalloc/internal/network"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+// This file wires the fault-injection subsystem (internal/fault) into
+// the system model: site crashes drain the execution engine, lossy
+// transmissions lose shipped queries and result pages, and a per-query
+// watchdog detects losses and re-allocates among the remaining live
+// sites. Terminals are assumed to survive their site's crash (only the
+// DB execution engine fails), so the closed population is preserved:
+// every submitted query eventually completes or is explicitly rejected.
+//
+// Everything here is gated on s.faults != nil; a run with
+// Config.Fault.Enabled == false schedules no extra events, draws no
+// extra random numbers, and is bit-identical to a build without the
+// subsystem.
+
+// Scheduler event kinds for the fault layer (see sim.Event.Kind).
+const (
+	// eventKindTimeout tags watchdog expirations.
+	eventKindTimeout byte = 0x43
+	// eventKindRetry tags the end of a lost query's retry backoff.
+	eventKindRetry byte = 0x44
+)
+
+// faultRuntime is the per-run state of the fault subsystem.
+type faultRuntime struct {
+	cfg fault.Config
+	inj *fault.Injector
+
+	// netStream and bcStream drive the ring and load-broadcast fault
+	// models; they are dedicated children of the root stream so the
+	// no-fault streams are never perturbed.
+	netStream *rng.Stream
+	bcStream  *rng.Stream
+
+	// pending tracks every dispatched, uncompleted query's watchdog.
+	pending map[*workload.Query]*faultPending
+
+	lost            uint64
+	retried         uint64
+	abandoned       uint64
+	pendingRecovery int
+}
+
+// faultPending is one query's recovery state.
+type faultPending struct {
+	// timer is the armed watchdog (or, for a lost query, its pending
+	// retry event).
+	timer *sim.Event
+	// attempt counts re-allocation attempts consumed so far.
+	attempt int
+	// lost marks that the query's execution was wiped out and it awaits
+	// its watchdog.
+	lost bool
+}
+
+// totals implements the closure read by check.NewFaultConservation.
+func (fr *faultRuntime) totals() check.FaultTotals {
+	return check.FaultTotals{
+		Lost:            fr.lost,
+		Retried:         fr.retried,
+		Abandoned:       fr.abandoned,
+		PendingRecovery: fr.pendingRecovery,
+	}
+}
+
+// setupFaults builds the fault runtime during New. root is the run's
+// root stream; children 4–6 are reserved for the fault layer.
+func (s *System) setupFaults(root *rng.Stream) error {
+	fr := &faultRuntime{
+		cfg:     s.cfg.Fault,
+		pending: make(map[*workload.Query]*faultPending),
+	}
+	inj, err := fault.NewInjector(s.sched, s.cfg.NumSites, s.cfg.Fault, root.Child(4), s.onSiteCrash, nil)
+	if err != nil {
+		return err
+	}
+	fr.inj = inj
+	// Policies consult the injector's live mask; it is updated in place
+	// at crash and repair instants.
+	s.env.Up = inj.Up()
+	if s.cfg.Fault.NetworkFaults() {
+		fr.netStream = root.Child(5)
+		s.ring.SetFault(func() (bool, float64) { return fr.messageFate(fr.netStream) })
+		if s.bcast != nil {
+			fr.bcStream = root.Child(6)
+			s.bcast.SetPerturb(func(int) (bool, float64) { return fr.messageFate(fr.bcStream) })
+		}
+	}
+	s.faults = fr
+	return nil
+}
+
+// messageFate draws one message's fate from the given stream: drop
+// and/or extra latency. Both draws always happen (when their knob is
+// on), so the stream's consumption depends only on the message count —
+// the common-random-numbers discipline.
+func (fr *faultRuntime) messageFate(stream *rng.Stream) (drop bool, delay float64) {
+	if fr.cfg.DropProb > 0 {
+		drop = stream.Bernoulli(fr.cfg.DropProb)
+	}
+	if fr.cfg.DelayMean > 0 {
+		delay = stream.Exp(fr.cfg.DelayMean)
+	}
+	return drop, delay
+}
+
+// up reports site liveness; always true when faults are off.
+func (s *System) up(site int) bool {
+	return s.faults == nil || s.faults.inj.SiteUp(site)
+}
+
+// onSiteCrash is the injector's crash callback: the site's execution
+// engine drops everything mid-service. Each drained query's load-table
+// commitment is released and its loss recorded; the watchdog will
+// re-allocate it.
+func (s *System) onSiteCrash(site int) {
+	for _, q := range s.sites[site].Crash() {
+		s.releaseAllocation(q)
+		s.faultLost(q)
+	}
+}
+
+// releaseAllocation removes q's commitment from the load table (the
+// inverse of the Assign/AssignWork pair in dispatch).
+func (s *System) releaseAllocation(q *workload.Query) {
+	s.table.Complete(q.Exec, s.bound(q))
+	s.table.CompleteWork(q.Exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+}
+
+// faultArm starts a newly dispatched query's watchdog.
+func (s *System) faultArm(q *workload.Query) {
+	if s.faults == nil {
+		return
+	}
+	e := &faultPending{}
+	s.faults.pending[q] = e
+	s.armWatchdog(q, e)
+}
+
+// armWatchdog (re)schedules the detection timer.
+func (s *System) armWatchdog(q *workload.Query, e *faultPending) {
+	e.timer = s.sched.After(s.faults.cfg.DetectTimeout, func() { s.faultTimeout(q) })
+	e.timer.Kind = eventKindTimeout
+}
+
+// faultLost records that q's execution was wiped out (site crash or
+// message drop). The query stays in the in-flight population; its
+// armed watchdog will notice the loss and retry or reject it.
+func (s *System) faultLost(q *workload.Query) {
+	e := s.faults.pending[q]
+	if e == nil || e.lost {
+		return // already accounted; nothing further can be lost
+	}
+	e.lost = true
+	s.faults.lost++
+	s.faults.pendingRecovery++
+	if s.aud != nil {
+		s.aud.Lost(s.sched.Now())
+	}
+}
+
+// faultTimeout fires when a query's watchdog expires. A query that is
+// merely slow re-arms the watchdog (execution is at-most-once: the
+// original dispatch is never duplicated while it may still be alive); a
+// lost query consumes a retry attempt.
+func (s *System) faultTimeout(q *workload.Query) {
+	e := s.faults.pending[q]
+	if e == nil {
+		return
+	}
+	if !e.lost {
+		s.armWatchdog(q, e)
+		return
+	}
+	s.faultRetryOrAbandon(q, e)
+}
+
+// faultRetryOrAbandon consumes one retry attempt for a lost query:
+// either its backoff timer is scheduled or its budget is exhausted and
+// the query is rejected.
+func (s *System) faultRetryOrAbandon(q *workload.Query, e *faultPending) {
+	e.attempt++
+	if e.attempt > s.faults.cfg.MaxRetries {
+		s.faults.pendingRecovery--
+		s.faults.abandoned++
+		delete(s.faults.pending, q)
+		s.rejectQuery(q)
+		return
+	}
+	backoff := s.faults.cfg.RetryBackoff * math.Pow(2, float64(e.attempt-1))
+	e.timer = s.sched.After(backoff, func() { s.faultRedispatch(q) })
+	e.timer.Kind = eventKindRetry
+}
+
+// faultRedispatch re-allocates a lost query after its backoff: the
+// policy runs again over the currently live sites and the query
+// restarts from its first read (lost work is genuinely lost). When no
+// site can take it, another attempt is consumed.
+func (s *System) faultRedispatch(q *workload.Query) {
+	e := s.faults.pending[q]
+	if e == nil || !e.lost {
+		return
+	}
+	if s.cfg.Placement != nil {
+		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
+	}
+	exec := s.pol.Select(q, q.Home, s.env)
+	if exec == policy.NoSite {
+		s.faultRetryOrAbandon(q, e)
+		return
+	}
+	s.faults.pendingRecovery--
+	s.faults.retried++
+	e.lost = false
+	q.ReadsDone = 0
+	if s.aud != nil {
+		s.aud.Retried(s.sched.Now())
+	}
+	s.dispatch(q, exec)
+	s.armWatchdog(q, e)
+}
+
+// faultComplete retires a completed query's watchdog.
+func (s *System) faultComplete(q *workload.Query) {
+	if s.faults == nil {
+		return
+	}
+	if e := s.faults.pending[q]; e != nil {
+		if e.timer != nil {
+			s.sched.Cancel(e.timer)
+		}
+		delete(s.faults.pending, q)
+	}
+}
+
+// rejectQuery gives up on a query: it never completes, the rejection is
+// counted, and — the terminal surviving regardless — its terminal
+// returns to the think state, preserving the closed population.
+func (s *System) rejectQuery(q *workload.Query) {
+	s.rejected++
+	if s.aud != nil {
+		s.aud.Rejected(s.sched.Now())
+	}
+	s.startThink(q.Home)
+}
+
+// shipMessage builds the ring message dispatching q to site exec, with
+// the fault layer's delivery-time liveness check and drop recovery.
+func (s *System) shipMessage(q *workload.Query, from, to int, size float64) network.Message {
+	m := network.Message{
+		From: from,
+		To:   to,
+		Size: size,
+		OnDeliver: func() {
+			if !s.up(to) {
+				// The destination died while the query was in flight.
+				s.releaseAllocation(q)
+				s.faultLost(q)
+				return
+			}
+			s.sites[to].Execute(q)
+		},
+	}
+	if s.faults != nil {
+		m.OnDrop = func() {
+			s.releaseAllocation(q)
+			s.faultLost(q)
+		}
+	}
+	return m
+}

@@ -1,0 +1,222 @@
+package system
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/workload"
+)
+
+// faultyConfig returns a short audited run with aggressive faults: site
+// crashes every ~1500 time units plus a lossy, laggy network.
+func faultyConfig(kind policy.Kind, seed uint64) Config {
+	cfg := Default()
+	cfg.PolicyKind = kind
+	cfg.Seed = seed
+	cfg.Warmup = 500
+	cfg.Measure = 6000
+	cfg.Audit = true
+	cfg.TraceDigest = true
+	cfg.Fault = fault.Default()
+	cfg.Fault.MTTF = 1500
+	cfg.Fault.MTTR = 300
+	cfg.Fault.DropProb = 0.05
+	cfg.Fault.DelayMean = 0.5
+	return cfg
+}
+
+func runCfg(t *testing.T, cfg Config) Results {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if err := sys.Audit(); err != nil {
+		t.Fatalf("%s seed %d: %v", cfg.PolicyName(), cfg.Seed, err)
+	}
+	return r
+}
+
+// TestFaultSmoke: a heavily faulted run must stay audit-clean, actually
+// exercise the failure paths, and keep making progress.
+func TestFaultSmoke(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			r := runCfg(t, faultyConfig(kind, 3))
+			if r.SiteCrashes == 0 {
+				t.Error("no site crashes over ~4 MTTFs per site")
+			}
+			if r.QueriesLost == 0 {
+				t.Error("no queries lost despite crashes and a 5% drop rate")
+			}
+			if r.QueriesRetried == 0 {
+				t.Error("no retries despite losses")
+			}
+			if r.Completed == 0 {
+				t.Error("no completions")
+			}
+			if r.Availability <= 0 || r.Availability >= 1 {
+				t.Errorf("availability %v outside (0,1) despite downtime", r.Availability)
+			}
+			if r.AvailResponse < r.MeanResponse {
+				t.Errorf("availability-weighted response %v below mean response %v",
+					r.AvailResponse, r.MeanResponse)
+			}
+			var down float64
+			for _, d := range r.Downtime {
+				if d < 0 || d > r.MeasuredTime {
+					t.Errorf("per-site downtime %v outside [0, %v]", d, r.MeasuredTime)
+				}
+				down += d
+			}
+			if down == 0 {
+				t.Error("no downtime recorded despite crashes")
+			}
+		})
+	}
+}
+
+// TestFaultDigestDeterministic extends the determinism regression to
+// fault runs: same seed, same faults → identical event stream; a
+// different seed must produce a different one.
+func TestFaultDigestDeterministic(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			a := runCfg(t, faultyConfig(kind, 3))
+			b := runCfg(t, faultyConfig(kind, 3))
+			if a.TraceDigest != b.TraceDigest {
+				t.Errorf("same seed digests differ: %x vs %x", a.TraceDigest, b.TraceDigest)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed results differ:\n%+v\nvs\n%+v", a, b)
+			}
+			if c := runCfg(t, faultyConfig(kind, 4)); c.TraceDigest == a.TraceDigest {
+				t.Errorf("different seeds share digest %x", a.TraceDigest)
+			}
+		})
+	}
+}
+
+// TestFaultRunsConcurrently: concurrent fault runs must reproduce the
+// serial digests — systems share no mutable state.
+func TestFaultRunsConcurrently(t *testing.T) {
+	seeds := []uint64{3, 4, 5, 6}
+	serial := make([]uint64, len(seeds))
+	for i, seed := range seeds {
+		serial[i] = runCfg(t, faultyConfig(policy.LERT, seed)).TraceDigest
+	}
+	parallel := make([]uint64, len(seeds))
+	done := make(chan int)
+	for i, seed := range seeds {
+		go func(i int, seed uint64) {
+			cfg := faultyConfig(policy.LERT, seed)
+			sys, err := New(cfg)
+			if err == nil {
+				parallel[i] = sys.Run().TraceDigest
+			}
+			done <- i
+		}(i, seed)
+	}
+	for range seeds {
+		<-done
+	}
+	for i := range seeds {
+		if serial[i] != parallel[i] {
+			t.Errorf("seed %d: serial digest %x != parallel %x", seeds[i], serial[i], parallel[i])
+		}
+	}
+}
+
+// TestFaultNoopMatchesDisabled: enabling the subsystem with MTTF = +Inf
+// and a clean network must leave every measurement identical to a
+// disabled run. (The event stream gains watchdog timers, so the trace
+// digest legitimately differs — the model's behavior must not.)
+func TestFaultNoopMatchesDisabled(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			base := faultyConfig(kind, 7)
+			base.Fault = fault.Config{}
+			noop := faultyConfig(kind, 7)
+			noop.Fault = fault.Default()
+			noop.Fault.MTTF = math.Inf(1)
+			noop.Fault.DropProb = 0
+			noop.Fault.DelayMean = 0
+
+			a := runCfg(t, base)
+			b := runCfg(t, noop)
+			if b.QueriesLost != 0 || b.QueriesRetried != 0 || b.QueriesRejected != 0 || b.SiteCrashes != 0 {
+				t.Fatalf("noop fault run lost/retried/rejected/crashed: %+v", b)
+			}
+			for s, d := range b.Downtime {
+				if d != 0 {
+					t.Fatalf("noop fault run has downtime %v at site %d", d, s)
+				}
+			}
+			// Normalize the fields that legitimately differ in shape.
+			a.TraceDigest, b.TraceDigest = 0, 0
+			a.Downtime, b.Downtime = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("noop fault run differs from disabled run:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// rejectAllPolicy always returns NoSite.
+type rejectAllPolicy struct{}
+
+func (rejectAllPolicy) Name() string                                 { return "REJECT" }
+func (rejectAllPolicy) Select(*workload.Query, int, *policy.Env) int { return policy.NoSite }
+
+// TestNoSiteRejectsInsteadOfPanic: a policy returning NoSite must lead
+// to a counted rejection — with the terminal returning to think — not a
+// panic or a stuck terminal.
+func TestNoSiteRejectsInsteadOfPanic(t *testing.T) {
+	cfg := Default()
+	cfg.CustomPolicy = rejectAllPolicy{}
+	cfg.Warmup = 200
+	cfg.Measure = 3000
+	cfg.Audit = true
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.Run()
+	if err := sys.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if r.Completed != 0 {
+		t.Errorf("%d completions under an always-reject policy", r.Completed)
+	}
+	if r.QueriesRejected == 0 {
+		t.Error("no rejections counted")
+	}
+	// Terminals must keep cycling: far more rejections than one per
+	// terminal means they returned to the think state each time.
+	if min := uint64(cfg.NumSites * cfg.MPL * 2); r.QueriesRejected < min {
+		t.Errorf("only %d rejections over the horizon, want ≥ %d (stuck terminals?)",
+			r.QueriesRejected, min)
+	}
+}
+
+// TestRetryExhaustionRejects: with every remote site down more often
+// than not and retries capped at zero, lost queries must surface as
+// rejections rather than vanish.
+func TestRetryExhaustionRejects(t *testing.T) {
+	cfg := faultyConfig(policy.LERT, 9)
+	cfg.Fault.MaxRetries = 0
+	r := runCfg(t, cfg)
+	if r.QueriesLost == 0 {
+		t.Fatal("no losses to exercise the retry budget")
+	}
+	if r.QueriesRetried != 0 {
+		t.Errorf("%d retries with MaxRetries = 0", r.QueriesRetried)
+	}
+	if r.QueriesRejected == 0 {
+		t.Error("losses with a zero retry budget produced no rejections")
+	}
+}

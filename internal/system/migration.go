@@ -90,7 +90,7 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 	best, bestCost := -1, cur
 	candidates := s.candidateSites(q)
 	for _, site := range candidates {
-		if site == q.Exec {
+		if site == q.Exec || !s.up(site) {
 			continue
 		}
 		if c := costAt(site) + migTime; c < bestCost {
@@ -115,6 +115,12 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 	q.NetService += migTime
 	q.Migrations++
 	s.migrations++
+	if s.faults != nil {
+		// Liveness-checked delivery with drop recovery, like any query
+		// shipment: a migration losing its state restarts from scratch.
+		s.ring.Send(s.shipMessage(q, from, best, migSize))
+		return true
+	}
 	s.ring.Send(network.Message{
 		From:      from,
 		To:        best,

@@ -71,6 +71,32 @@ type Results struct {
 	// Migrations counts mid-execution migrations (zero unless the
 	// migration extension is enabled).
 	Migrations uint64
+
+	// QueriesLost counts fault-induced execution losses over the run's
+	// lifetime (site crashes wiping queries mid-service, dropped query
+	// shipments, dropped result returns). Zero without fault injection.
+	QueriesLost uint64
+	// QueriesRetried counts watchdog re-dispatches of lost queries
+	// (lifetime). A query lost twice is retried twice.
+	QueriesRetried uint64
+	// QueriesRejected counts queries given up on over the run's
+	// lifetime: no allowed execution site existed at submission, or the
+	// retry budget ran out. These never complete and are excluded from
+	// every response-time statistic.
+	QueriesRejected uint64
+	// SiteCrashes counts site failures over the run's lifetime.
+	SiteCrashes uint64
+	// Downtime is each site's accumulated downtime inside the measured
+	// window (nil without fault injection).
+	Downtime []float64
+	// Availability is the mean fraction of site-time the sites were up
+	// over the measured window (1 without fault injection).
+	Availability float64
+	// AvailResponse is the availability-weighted mean response time
+	// MeanResponse / Availability: the response-time cost of the
+	// capacity the failures removed. Equals MeanResponse at
+	// availability 1.
+	AvailResponse float64
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

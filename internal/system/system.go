@@ -56,6 +56,9 @@ type System struct {
 
 	aud    *check.Set // runtime invariant auditors, nil when auditing is off
 	audErr error      // first violation, latched at collect
+
+	faults   *faultRuntime // fault-injection state, nil when disabled
+	rejected uint64        // queries given up on (no allowed site / retries exhausted)
 }
 
 // New assembles a system from cfg. The configuration is validated and the
@@ -136,14 +139,24 @@ func New(cfg Config) (*System, error) {
 		s.objStream = root.Child(3)
 	}
 
+	if cfg.Fault.Enabled {
+		if err := s.setupFaults(root); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+
 	if cfg.Audit {
-		s.aud = check.NewSet(
+		auditors := []check.Auditor{
 			check.NewConservation(cfg.NumSites*cfg.MPL, s.table.Total, s.siteCounts),
 			check.NewUtilization(),
 			check.NewLittlesLaw(),
 			check.NewMonotonicity(),
 			check.NewRingConservation(s.ring),
-		)
+		}
+		if s.faults != nil {
+			auditors = append(auditors, check.NewFaultConservation(cfg.NumSites*cfg.MPL, s.faults.totals))
+		}
+		s.aud = check.NewSet(auditors...)
 		s.sched.Observe(s.aud.EventFired)
 	}
 	if cfg.TraceDigest {
@@ -191,6 +204,9 @@ func (s *System) beginMeasurement() {
 		st.ResetStats(now)
 	}
 	s.ring.ResetStats(now)
+	if s.faults != nil {
+		s.faults.inj.ResetStats(now)
+	}
 	if s.aud != nil {
 		s.aud.MeasureStarted(now)
 	}
@@ -205,7 +221,9 @@ func (s *System) startThink(home int) {
 
 // submit realizes the allocation decision point of Figure 2: a new query
 // is generated, the policy chooses its execution site, and the query is
-// either admitted locally or shipped over the ring.
+// either admitted locally or shipped over the ring. A query no site may
+// execute (empty candidate set, or every copy holder down) is rejected
+// rather than dispatched.
 func (s *System) submit(home int) {
 	q := s.gen.New(home, s.sched.Now())
 	if s.cfg.Placement != nil {
@@ -213,6 +231,13 @@ func (s *System) submit(home int) {
 		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
 	}
 	exec := s.pol.Select(q, home, s.env)
+	if exec == policy.NoSite {
+		if s.aud != nil {
+			s.aud.Submitted(s.sched.Now())
+		}
+		s.rejectQuery(q)
+		return
+	}
 	if exec < 0 || exec >= s.cfg.NumSites {
 		panic(fmt.Sprintf("system: policy %s chose invalid site %d", s.pol.Name(), exec))
 	}
@@ -220,9 +245,6 @@ func (s *System) submit(home int) {
 		panic(fmt.Sprintf("system: policy %s chose site %d without a copy of object %d",
 			s.pol.Name(), exec, q.Object))
 	}
-	q.Exec = exec
-	s.table.Assign(exec, s.bound(q))
-	s.table.AssignWork(exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
 	if s.measuring {
 		s.allocs++
 		if exec != home {
@@ -232,15 +254,37 @@ func (s *System) submit(home int) {
 	if s.aud != nil {
 		s.aud.Submitted(s.sched.Now())
 	}
-	if exec == home {
+	s.faultArm(q)
+	s.dispatch(q, exec)
+}
+
+// dispatch commits q to the chosen execution site and starts it — either
+// locally or by shipping it over the ring. It is shared by submit and
+// the fault layer's retry path.
+func (s *System) dispatch(q *workload.Query, exec int) {
+	q.Exec = exec
+	s.table.Assign(exec, s.bound(q))
+	s.table.AssignWork(exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	if exec == q.Home {
+		if !s.up(exec) {
+			// Only a policy ignoring Env.Up can pick a down site; treat
+			// the dispatch as instantly lost rather than execute there.
+			s.releaseAllocation(q)
+			s.faultLost(q)
+			return
+		}
 		s.sites[exec].Execute(q)
 		return
 	}
 	size := s.cfg.Classes[q.Class].MsgLength
 	q.Service += s.ring.TransmitTime(size)
 	q.NetService += s.ring.TransmitTime(size)
+	if s.faults != nil {
+		s.ring.Send(s.shipMessage(q, q.Home, exec, size))
+		return
+	}
 	s.ring.Send(network.Message{
-		From:      home,
+		From:      q.Home,
 		To:        exec,
 		Size:      size,
 		OnDeliver: func() { s.sites[exec].Execute(q) },
@@ -260,18 +304,26 @@ func (s *System) onExecDone(q *workload.Query) {
 	size := s.cfg.Classes[q.Class].MsgLength
 	q.Service += s.ring.TransmitTime(size)
 	q.NetService += s.ring.TransmitTime(size)
-	s.ring.Send(network.Message{
+	m := network.Message{
 		From:      q.Exec,
 		To:        q.Home,
 		Size:      size,
 		OnDeliver: func() { s.complete(q) },
-	})
+	}
+	if s.faults != nil {
+		// A dropped result page set loses the execution's output; the
+		// load-table commitment was already released above, so only the
+		// loss is recorded and the watchdog re-runs the query.
+		m.OnDrop = func() { s.faultLost(q) }
+	}
+	s.ring.Send(m)
 }
 
 // complete returns results to the query's terminal of origin, records
 // metrics, and puts the terminal back into its think state.
 func (s *System) complete(q *workload.Query) {
 	now := s.sched.Now()
+	s.faultComplete(q)
 	if s.measuring {
 		response := now - q.SubmitTime
 		// Waiting is response minus pure execution service (disk + CPU).
@@ -356,6 +408,26 @@ func (s *System) collect(end float64) Results {
 		r.TransferFrac = float64(s.transfers) / float64(s.allocs)
 	}
 	r.Migrations = s.migrations
+	r.QueriesRejected = s.rejected
+	r.Availability = 1
+	r.AvailResponse = r.MeanResponse
+	if s.faults != nil {
+		r.QueriesLost = s.faults.lost
+		r.QueriesRetried = s.faults.retried
+		r.SiteCrashes = s.faults.inj.Crashes()
+		r.Downtime = make([]float64, len(s.sites))
+		var down float64
+		for i := range s.sites {
+			r.Downtime[i] = s.faults.inj.Downtime(i, end)
+			down += r.Downtime[i]
+		}
+		if r.MeasuredTime > 0 {
+			r.Availability = 1 - down/(float64(len(s.sites))*r.MeasuredTime)
+		}
+		if r.Availability > 0 {
+			r.AvailResponse = r.MeanResponse / r.Availability
+		}
+	}
 	r.TraceDigest = s.sched.Digest()
 	if s.aud != nil {
 		s.audErr = s.aud.Finalize(check.Final{

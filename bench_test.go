@@ -256,6 +256,31 @@ func BenchmarkJoinHotSpot(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSensitivity runs the imperfect-information
+// sensitivity harness (EXPERIMENTS.md "Imperfect information") at
+// benchmark budget and reports LERT's waiting time under exact vs
+// sigma-1 estimation error.
+func BenchmarkAblationSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.SensitivitySweep(benchRunner(),
+			[]policy.Kind{policy.BNQ, policy.LERT},
+			[]float64{0, 1}, []float64{40}, []float64{0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Policy == "LERT" && row.Axis == "noise" {
+				switch row.Value {
+				case 0:
+					b.ReportMetric(row.MeanWait, "Wexact")
+				case 1:
+					b.ReportMetric(row.MeanWait, "Wsigma1")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkAblationEstimates compares LERT with class-mean estimates
 // against the exact-demand oracle (the Section 1.2.2 knowledge model).
 func BenchmarkAblationEstimates(b *testing.B) {

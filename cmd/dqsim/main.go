@@ -7,26 +7,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
 
 	"dqalloc/internal/fault"
+	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/system"
 	"dqalloc/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dqsim", flag.ContinueOnError)
 	var (
 		policyName = fs.String("policy", "LERT", "allocation policy: LOCAL, RANDOM, BNQ, BNQRD, LERT, WORK")
@@ -50,6 +53,16 @@ func run(args []string) error {
 		faultTO    = fs.Float64("fault-timeout", 0, "watchdog detection timeout (0 = fault default)")
 		faultTries = fs.Int("fault-retries", -1, "max query retries after loss (-1 = fault default)")
 		audit      = fs.Bool("audit", false, "run invariant auditors and fail on any violation")
+
+		estNoise  = fs.Float64("est-noise", 0, "estimation-error sigma on both demand estimates (0 = exact)")
+		noiseDist = fs.String("est-noise-dist", "lognormal", "estimation-error distribution: lognormal or uniform")
+		hyst      = fs.Float64("hyst", 0, "anti-herd hysteresis margin in [0,1)")
+		powerK    = fs.Int("power-k", 0, "cost only K sampled remote sites per decision (0 = all)")
+		randTies  = fs.Bool("random-ties", false, "break equal-cost remote ties uniformly at random")
+		admitMax  = fs.Int("admit-max", 0, "per-site admission bound on committed queries (0 = off)")
+		admitDef  = fs.Float64("admit-defer", 0, "mean resubmission delay for bounced queries (0 = shed immediately)")
+		admitTry  = fs.Int("admit-max-defers", 3, "deferral budget per query before shedding")
+		jsonOut   = fs.Bool("json", false, "emit results as a JSON array instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +112,34 @@ func run(args []string) error {
 		}
 		cfg.Fault = fc
 	}
+	if *estNoise < 0 {
+		return fmt.Errorf("-est-noise %v is negative", *estNoise)
+	}
+	if *admitDef < 0 {
+		return fmt.Errorf("-admit-defer %v is negative", *admitDef)
+	}
+	if *estNoise > 0 {
+		dist, err := noise.ParseDist(*noiseDist)
+		if err != nil {
+			return err
+		}
+		cfg.Noise = noise.Config{Enabled: true, Dist: dist, ReadsSigma: *estNoise, CPUSigma: *estNoise}
+	}
+	cfg.Tuning = policy.Tuning{Hysteresis: *hyst, PowerK: *powerK, RandomTies: *randTies}
+	if *admitMax > 0 {
+		cfg.Admission = system.AdmissionConfig{
+			Enabled:    true,
+			MaxQueue:   *admitMax,
+			Defer:      *admitDef > 0,
+			DeferDelay: *admitDef,
+			MaxDefers:  *admitTry,
+		}
+	}
+	// Validate eagerly so flag mistakes surface as one clean error even
+	// when -reps is zero.
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -111,18 +152,29 @@ func run(args []string) error {
 		cfg.Trace = tracer
 	}
 
+	var results []system.Results
 	for i := 0; i < *reps; i++ {
 		cfg.Seed = *seed + uint64(i)
 		sys, err := system.New(cfg)
 		if err != nil {
 			return err
 		}
-		printResults(sys.Run())
+		r := sys.Run()
+		if *jsonOut {
+			results = append(results, r)
+		} else {
+			printResults(w, r)
+		}
 		if *audit {
 			if err := sys.Audit(); err != nil {
 				return fmt.Errorf("audit (seed %d): %w", cfg.Seed, err)
 			}
 		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }
@@ -146,23 +198,30 @@ func parsePolicy(name string) (policy.Kind, error) {
 	}
 }
 
-func printResults(r system.Results) {
-	fmt.Printf("policy=%s seed=%d completed=%d\n", r.Policy, r.Seed, r.Completed)
-	fmt.Printf("  W (mean wait)      %10.3f\n", r.MeanWait)
-	fmt.Printf("  mean response      %10.3f\n", r.MeanResponse)
-	fmt.Printf("  fairness F         %+10.4f\n", r.Fairness)
-	fmt.Printf("  rho_cpu / rho_disk %10.3f / %.3f\n", r.CPUUtil, r.DiskUtil)
-	fmt.Printf("  subnet util        %10.3f\n", r.SubnetUtil)
-	fmt.Printf("  throughput         %10.4f q/unit\n", r.Throughput)
-	fmt.Printf("  remote fraction    %10.3f\n", r.RemoteFrac)
+func printResults(w io.Writer, r system.Results) {
+	fmt.Fprintf(w, "policy=%s seed=%d completed=%d\n", r.Policy, r.Seed, r.Completed)
+	fmt.Fprintf(w, "  W (mean wait)      %10.3f\n", r.MeanWait)
+	fmt.Fprintf(w, "  mean response      %10.3f\n", r.MeanResponse)
+	fmt.Fprintf(w, "  fairness F         %+10.4f\n", r.Fairness)
+	fmt.Fprintf(w, "  rho_cpu / rho_disk %10.3f / %.3f\n", r.CPUUtil, r.DiskUtil)
+	fmt.Fprintf(w, "  subnet util        %10.3f\n", r.SubnetUtil)
+	fmt.Fprintf(w, "  throughput         %10.4f q/unit\n", r.Throughput)
+	fmt.Fprintf(w, "  remote fraction    %10.3f\n", r.RemoteFrac)
 	if r.SiteCrashes > 0 || r.QueriesLost > 0 || r.QueriesRejected > 0 || r.Availability < 1 {
-		fmt.Printf("  availability       %10.4f\n", r.Availability)
-		fmt.Printf("  avail. response    %10.3f\n", r.AvailResponse)
-		fmt.Printf("  crashes=%d lost=%d retried=%d rejected=%d\n",
+		fmt.Fprintf(w, "  availability       %10.4f\n", r.Availability)
+		fmt.Fprintf(w, "  avail. response    %10.3f\n", r.AvailResponse)
+		fmt.Fprintf(w, "  crashes=%d lost=%d retried=%d rejected=%d\n",
 			r.SiteCrashes, r.QueriesLost, r.QueriesRetried, r.QueriesRejected)
 	}
+	if r.QueriesShed > 0 || r.QueriesDeferred > 0 {
+		fmt.Fprintf(w, "  admission: shed=%d deferred=%d\n", r.QueriesShed, r.QueriesDeferred)
+	}
+	if r.EstReadsErr > 0 || r.EstCPUErr > 0 {
+		fmt.Fprintf(w, "  est. error         %10.3f reads / %.3f cpu (herd %0.3f)\n",
+			r.EstReadsErr, r.EstCPUErr, r.HerdFrac)
+	}
 	for _, c := range r.ByClass {
-		fmt.Printf("  class %-4s n=%-7d W=%8.3f resp=%8.3f exec=%7.3f normW=%6.3f\n",
+		fmt.Fprintf(w, "  class %-4s n=%-7d W=%8.3f resp=%8.3f exec=%7.3f normW=%6.3f\n",
 			c.Name, c.Completed, c.MeanWait, c.MeanResp, c.MeanExecService, c.NormWait)
 	}
 }

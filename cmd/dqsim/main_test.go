@@ -1,6 +1,17 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files under testdata/.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestParsePolicy(t *testing.T) {
 	for name, want := range map[string]string{
@@ -21,14 +32,14 @@ func TestParsePolicy(t *testing.T) {
 }
 
 func TestRunSmoke(t *testing.T) {
-	err := run([]string{"-policy", "BNQ", "-warmup", "200", "-measure", "1500"})
+	err := run([]string{"-policy", "BNQ", "-warmup", "200", "-measure", "1500"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-policy", "nope"}); err == nil {
+	if err := run([]string{"-policy", "nope"}, io.Discard); err == nil {
 		t.Error("bad policy flag accepted")
 	}
-	if err := run([]string{"-sites", "0"}); err == nil {
+	if err := run([]string{"-sites", "0"}, io.Discard); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -37,7 +48,7 @@ func TestRunWithExtensionsFlags(t *testing.T) {
 	err := run([]string{
 		"-policy", "LERT", "-oracle", "-info-period", "50",
 		"-warmup", "200", "-measure", "1500", "-reps", "2",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +59,7 @@ func TestRunWithFaultFlags(t *testing.T) {
 		"-policy", "LERT", "-sites", "3", "-mpl", "5",
 		"-warmup", "200", "-measure", "2000",
 		"-mttf", "1500", "-mttr", "300", "-drop", "0.05", "-audit",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +67,108 @@ func TestRunWithFaultFlags(t *testing.T) {
 	err = run([]string{
 		"-policy", "BNQ", "-warmup", "200", "-measure", "1500",
 		"-drop", "0.1", "-fault-retries", "2", "-audit",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-drop", "1.5"}); err == nil {
+	if err := run([]string{"-drop", "1.5"}, io.Discard); err == nil {
 		t.Error("invalid drop probability accepted")
 	}
+}
+
+func TestRunWithImperfectionFlags(t *testing.T) {
+	err := run([]string{
+		"-policy", "LERT", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "2000", "-info-period", "40",
+		"-est-noise", "0.5", "-hyst", "0.2", "-power-k", "2", "-random-ties",
+		"-admit-max", "4", "-admit-defer", "5", "-admit-max-defers", "2",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFlagErrors checks that every malformed imperfect-information
+// flag combination comes back as an error from run, never a panic.
+func TestRunFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":        {"-no-such-flag"},
+		"unparsable value":    {"-est-noise", "lots"},
+		"bad noise dist":      {"-est-noise", "0.5", "-est-noise-dist", "cauchy"},
+		"negative noise":      {"-est-noise", "-0.5"},
+		"hysteresis >= 1":     {"-hyst", "1"},
+		"negative hysteresis": {"-hyst", "-0.1"},
+		"power-k too large":   {"-power-k", "99"},
+		"ties without cost":   {"-policy", "LOCAL", "-random-ties"},
+		"defer without bound": {"-admit-max", "0", "-admit-defer", "-3"},
+		"negative defers":     {"-admit-max", "4", "-admit-defer", "5", "-admit-max-defers", "-1"},
+	}
+	for name, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("%s: args %v accepted", name, args)
+		}
+	}
+}
+
+// goldenArgs is a small deterministic run exercising the new
+// imperfect-information surface end to end.
+func goldenArgs(jsonOut bool) []string {
+	args := []string{
+		"-policy", "BNQ", "-sites", "3", "-mpl", "5", "-seed", "3",
+		"-warmup", "100", "-measure", "1000", "-info-period", "40",
+		"-est-noise", "0.5", "-hyst", "0.1",
+		"-admit-max", "4", "-admit-defer", "5",
+		"-audit",
+	}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	return args
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output does not match %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestRunGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(goldenArgs(false), &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "results.golden", buf.Bytes())
+}
+
+func TestRunGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(goldenArgs(true), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("got %d result objects, want 1", len(parsed))
+	}
+	for _, field := range []string{"Policy", "Completed", "MeanWait", "QueriesShed", "QueriesDeferred"} {
+		if _, ok := parsed[0][field]; !ok {
+			t.Errorf("JSON result missing field %q", field)
+		}
+	}
+	checkGolden(t, "results_json.golden", buf.Bytes())
 }

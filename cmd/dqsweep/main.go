@@ -8,7 +8,7 @@
 //	dqsweep -param pio -from 0.3 -to 0.8 -step 0.1
 //	dqsweep -param msg -from 0.5 -to 3 -step 0.5 -policies BNQ,BNQRD,LERT
 //
-// Parameters: think, mpl, sites, pio, msg, info-period.
+// Parameters: think, mpl, sites, pio, msg, info-period, est-noise, hyst.
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"dqalloc/internal/exper"
+	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/system"
 )
@@ -33,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dqsweep", flag.ContinueOnError)
 	var (
-		param    = fs.String("param", "think", "swept parameter: think, mpl, sites, pio, msg, info-period")
+		param    = fs.String("param", "think", "swept parameter: think, mpl, sites, pio, msg, info-period, est-noise, hyst")
 		from     = fs.Float64("from", 150, "first value")
 		to       = fs.Float64("to", 450, "last value (inclusive)")
 		step     = fs.Float64("step", 50, "increment")
@@ -124,6 +125,26 @@ func setter(param string) (func(*system.Config, float64) error, error) {
 			}
 			c.InfoMode = system.InfoPeriodic
 			c.InfoPeriod = v
+			return nil
+		}, nil
+	case "est-noise":
+		return func(c *system.Config, v float64) error {
+			if v < 0 {
+				return fmt.Errorf("est-noise %v is negative", v)
+			}
+			if v == 0 {
+				c.Noise = noise.Config{}
+				return nil
+			}
+			c.Noise = noise.Config{Enabled: true, Dist: noise.Lognormal, ReadsSigma: v, CPUSigma: v}
+			return nil
+		}, nil
+	case "hyst":
+		return func(c *system.Config, v float64) error {
+			if v < 0 || v >= 1 {
+				return fmt.Errorf("hyst %v outside [0,1)", v)
+			}
+			c.Tuning = policy.Tuning{Hysteresis: v}
 			return nil
 		}, nil
 	default:

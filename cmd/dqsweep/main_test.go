@@ -24,6 +24,15 @@ func TestSetterKnownParams(t *testing.T) {
 		{param: "info-period", value: 0, check: func(c system.Config) bool {
 			return c.InfoMode == system.InfoPerfect
 		}},
+		{param: "est-noise", value: 0.5, check: func(c system.Config) bool {
+			return c.Noise.Enabled && c.Noise.ReadsSigma == 0.5 && c.Noise.CPUSigma == 0.5
+		}},
+		{param: "est-noise", value: 0, check: func(c system.Config) bool {
+			return !c.Noise.Enabled
+		}},
+		{param: "hyst", value: 0.2, check: func(c system.Config) bool {
+			return c.Tuning.Hysteresis == 0.2
+		}},
 	}
 	for _, tt := range tests {
 		apply, err := setter(tt.param)
@@ -52,6 +61,15 @@ func TestSetterErrors(t *testing.T) {
 	if err := apply(&cfg, 1.5); err == nil {
 		t.Error("pio > 1 accepted")
 	}
+	for param, bad := range map[string]float64{"est-noise": -0.5, "hyst": 1} {
+		apply, err := setter(param)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apply(&cfg, bad); err == nil {
+			t.Errorf("%s = %v accepted", param, bad)
+		}
+	}
 }
 
 func TestParsePolicies(t *testing.T) {
@@ -77,6 +95,13 @@ func TestRunSweepSmoke(t *testing.T) {
 	err := run([]string{
 		"-param", "think", "-from", "300", "-to", "350", "-step", "50",
 		"-policies", "LOCAL", "-reps", "1", "-warmup", "200", "-measure", "1500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-param", "est-noise", "-from", "0", "-to", "0.5", "-step", "0.5",
+		"-policies", "LERT", "-reps", "1", "-warmup", "200", "-measure", "1500",
 	})
 	if err != nil {
 		t.Fatal(err)

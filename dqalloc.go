@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"dqalloc/internal/fault"
+	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/site"
 	"dqalloc/internal/system"
@@ -59,6 +60,18 @@ type (
 	// Config.Fault to enable site crashes, lossy messaging, and the
 	// timeout/retry failover).
 	FaultConfig = fault.Config
+	// NoiseConfig parameterizes the estimation-error injector (set
+	// Config.Noise to make allocators decide on perturbed demand
+	// estimates while execution consumes the true demands).
+	NoiseConfig = noise.Config
+	// Tuning holds the selector's anti-herd knobs — hysteresis margin,
+	// power-of-K remote sampling, and probabilistic tie-breaking (set
+	// Config.Tuning; cost-based policies only).
+	Tuning = policy.Tuning
+	// AdmissionConfig parameterizes per-site overload admission control
+	// (set Config.Admission to bound committed queries per site, with
+	// deferred resubmission or immediate shedding on overload).
+	AdmissionConfig = system.AdmissionConfig
 )
 
 // Built-in allocation policies (paper Section 4 plus baselines).
@@ -105,6 +118,17 @@ const (
 // moderate failure rates (MTTF 10000, MTTR 500, no message loss) and
 // the default watchdog settings. Assign it to Config.Fault and adjust.
 func DefaultFaultConfig() FaultConfig { return fault.Default() }
+
+// DefaultNoiseConfig returns an enabled estimation-error configuration:
+// mean-preserving lognormal noise with sigma 0.5 on both demand
+// estimates. Assign it to Config.Noise and adjust.
+func DefaultNoiseConfig() NoiseConfig { return noise.Default() }
+
+// DefaultAdmissionConfig returns an enabled admission-control
+// configuration: at most 15 committed queries per site, with up to 3
+// deferrals (mean resubmission delay 5) before a query is shed. Assign
+// it to Config.Admission and adjust.
+func DefaultAdmissionConfig() AdmissionConfig { return system.DefaultAdmission() }
 
 // DefaultConfig returns the paper's baseline configuration: 6 sites, 2
 // disks per site, 20 terminals per site with mean think time 350, a

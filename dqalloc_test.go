@@ -65,6 +65,30 @@ func TestRunFacadeWithFaults(t *testing.T) {
 	}
 }
 
+func TestRunFacadeImperfectInformation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PolicyKind = BNQ
+	cfg.InfoMode = InfoPeriodic
+	cfg.InfoPeriod = 40
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	cfg.Audit = true
+	cfg.Noise = DefaultNoiseConfig()
+	cfg.Tuning = Tuning{Hysteresis: 0.1, PowerK: 2, RandomTies: true}
+	cfg.Admission = DefaultAdmissionConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Error("no completions under imperfect information")
+	}
+	if res.EstReadsErr <= 0 || res.EstCPUErr <= 0 {
+		t.Errorf("noise injection left no realized estimate error: reads=%v cpu=%v",
+			res.EstReadsErr, res.EstCPUErr)
+	}
+}
+
 func TestPolicyConstantsDistinct(t *testing.T) {
 	kinds := []PolicyKind{Local, Random, BNQ, BNQRD, LERT}
 	seen := make(map[PolicyKind]bool, len(kinds))

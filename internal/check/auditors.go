@@ -443,3 +443,105 @@ func (f *FaultConservation) check(t float64) {
 			t, inflight, f.capacity)
 	}
 }
+
+// AdmissionTotals is the admission controller's shed/defer ledger, read
+// by the admission-conservation auditor through a closure so the auditor
+// stays decoupled from the system package.
+type AdmissionTotals struct {
+	// Deferred counts admission deferrals: queries bounced by an
+	// overloaded site and parked for a delayed resubmission.
+	Deferred uint64
+	// Resubmitted counts deferred queries whose delay elapsed and that
+	// re-entered allocation.
+	Resubmitted uint64
+	// Shed counts queries rejected outright by admission control (each
+	// is also a rejection).
+	Shed uint64
+	// Waiting counts queries currently parked awaiting resubmission.
+	Waiting int
+}
+
+// AdmissionConservation audits the overload-admission ledger between
+// every pair of events: every deferral must be resubmitted or still
+// parked — deferred == resubmitted + waiting — so no bounced query
+// silently vanishes; sheds never exceed observed rejections; and the
+// rejection-aware in-flight count respects the closed population.
+type AdmissionConservation struct {
+	violation
+	capacity int
+	totals   func() AdmissionTotals
+
+	submitted uint64
+	completed uint64
+	rejected  uint64
+}
+
+// NewAdmissionConservation builds the auditor. capacity is the closed
+// population bound (NumSites × MPL); totals reads the admission
+// controller's counters.
+func NewAdmissionConservation(capacity int, totals func() AdmissionTotals) *AdmissionConservation {
+	if capacity < 1 {
+		panic("check: admission-conservation capacity < 1")
+	}
+	if totals == nil {
+		panic("check: nil admission totals")
+	}
+	return &AdmissionConservation{capacity: capacity, totals: totals}
+}
+
+// Name implements Auditor.
+func (a *AdmissionConservation) Name() string { return "admission-conservation" }
+
+// Submitted implements QueryObserver.
+func (a *AdmissionConservation) Submitted(t float64) { a.submitted++; a.check(t) }
+
+// Completed implements QueryObserver.
+func (a *AdmissionConservation) Completed(t float64) { a.completed++; a.check(t) }
+
+// Rejected implements RejectObserver.
+func (a *AdmissionConservation) Rejected(t float64) { a.rejected++; a.check(t) }
+
+// EventFired implements EventObserver: the ledger identity must hold
+// whenever the model is quiescent.
+func (a *AdmissionConservation) EventFired(e *sim.Event) {
+	if a.err == nil {
+		a.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (a *AdmissionConservation) Finalize(fin Final) {
+	if a.err == nil {
+		a.check(fin.End)
+	}
+}
+
+func (a *AdmissionConservation) check(t float64) {
+	if a.err != nil {
+		return
+	}
+	tot := a.totals()
+	if tot.Waiting < 0 {
+		a.failf("check: admission-conservation: t=%v: negative waiting count %d", t, tot.Waiting)
+		return
+	}
+	if tot.Deferred != tot.Resubmitted+uint64(tot.Waiting) {
+		a.failf("check: admission-conservation: t=%v: %d deferred != %d resubmitted + %d waiting",
+			t, tot.Deferred, tot.Resubmitted, tot.Waiting)
+		return
+	}
+	if tot.Shed > a.rejected {
+		a.failf("check: admission-conservation: t=%v: %d sheds exceed %d observed rejections",
+			t, tot.Shed, a.rejected)
+		return
+	}
+	if a.completed+a.rejected > a.submitted {
+		a.failf("check: admission-conservation: t=%v: %d completions + %d rejections exceed %d submissions",
+			t, a.completed, a.rejected, a.submitted)
+		return
+	}
+	if inflight := a.submitted - a.completed - a.rejected; inflight > uint64(a.capacity) {
+		a.failf("check: admission-conservation: t=%v: %d queries in flight exceed closed population %d",
+			t, inflight, a.capacity)
+	}
+}

@@ -267,3 +267,70 @@ func TestAuditorNames(t *testing.T) {
 		}
 	}
 }
+
+func TestAdmissionConservationCleanRun(t *testing.T) {
+	tot := AdmissionTotals{}
+	a := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+	// One query admitted and completed, one deferred then resubmitted and
+	// completed, one shed.
+	a.Submitted(1)
+	a.Completed(2)
+	tot.Deferred, tot.Waiting = 1, 1
+	a.check(3)
+	tot.Resubmitted, tot.Waiting = 1, 0
+	a.Submitted(4)
+	a.Completed(5)
+	a.Submitted(6)
+	tot.Shed++
+	a.Rejected(6)
+	a.Finalize(Final{End: 7})
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean admission run flagged: %v", err)
+	}
+}
+
+func TestAdmissionConservationViolations(t *testing.T) {
+	t.Run("leakedDeferral", func(t *testing.T) {
+		tot := AdmissionTotals{Deferred: 2, Resubmitted: 1, Waiting: 0}
+		a := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+		a.check(1)
+		if a.Err() == nil || !strings.Contains(a.Err().Error(), "deferred") {
+			t.Fatalf("leaked deferral not flagged: %v", a.Err())
+		}
+	})
+	t.Run("negativeWaiting", func(t *testing.T) {
+		tot := AdmissionTotals{Waiting: -1}
+		a := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+		a.check(1)
+		if a.Err() == nil || !strings.Contains(a.Err().Error(), "negative waiting") {
+			t.Fatalf("negative waiting not flagged: %v", a.Err())
+		}
+	})
+	t.Run("shedWithoutRejection", func(t *testing.T) {
+		tot := AdmissionTotals{Shed: 1}
+		a := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+		a.Submitted(1)
+		if a.Err() == nil || !strings.Contains(a.Err().Error(), "sheds exceed") {
+			t.Fatalf("unobserved shed not flagged: %v", a.Err())
+		}
+	})
+	t.Run("populationExceeded", func(t *testing.T) {
+		a := NewAdmissionConservation(2, func() AdmissionTotals { return AdmissionTotals{} })
+		for i := 0; i < 3; i++ {
+			a.Submitted(float64(i))
+		}
+		if a.Err() == nil || !strings.Contains(a.Err().Error(), "closed population") {
+			t.Fatalf("population overflow not flagged: %v", a.Err())
+		}
+	})
+	t.Run("uncoveredCompletion", func(t *testing.T) {
+		a := NewAdmissionConservation(2, func() AdmissionTotals { return AdmissionTotals{} })
+		a.Completed(1)
+		if a.Err() == nil {
+			t.Fatal("uncovered completion not flagged")
+		}
+	})
+	if got := NewAdmissionConservation(1, func() AdmissionTotals { return AdmissionTotals{} }).Name(); got != "admission-conservation" {
+		t.Errorf("name = %q", got)
+	}
+}

@@ -1,0 +1,166 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/noise"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// SensitivityRow is one cell of the imperfect-information sensitivity
+// study: one allocation policy at one level of one degradation axis,
+// averaged over the runner's replications.
+type SensitivityRow struct {
+	// Axis names the swept knob: "noise" (lognormal estimation-error
+	// sigma), "staleness" (load-broadcast period; 0 = perfect
+	// information), or "hysteresis" (anti-herd transfer margin at
+	// broadcast period 40).
+	Axis string
+	// Value is the axis level.
+	Value float64
+	// Policy is the allocation policy's name.
+	Policy string
+	// MeanWait is W̄ over completed queries; MeanResponse the mean
+	// response time; Fairness the paper's F.
+	MeanWait     float64
+	MeanResponse float64
+	Fairness     float64
+	// TransferFrac is the fraction of allocations choosing a remote
+	// site; HerdFrac the fraction of transfers landing on a site truly
+	// busier than home.
+	TransferFrac float64
+	HerdFrac     float64
+	// EstReadsErr is the mean realized relative error of the read-count
+	// estimates the policy acted on.
+	EstReadsErr float64
+	// Completed, Shed and Deferred are totals across replications.
+	Completed uint64
+	Shed      uint64
+	Deferred  uint64
+}
+
+// DefaultNoiseLevels returns the estimation-error magnitudes used in
+// EXPERIMENTS.md: exact estimates up to sigma 1 (a one-standard-
+// deviation factor of e ≈ 2.7×).
+func DefaultNoiseLevels() []float64 { return []float64{0, 0.25, 0.5, 1} }
+
+// DefaultStalenessLevels returns the broadcast periods used in
+// EXPERIMENTS.md, from perfect information to views refreshed about
+// once per two response times.
+func DefaultStalenessLevels() []float64 { return []float64{0, 10, 40, 160} }
+
+// DefaultHysteresisLevels returns the anti-herd margins used in
+// EXPERIMENTS.md.
+func DefaultHysteresisLevels() []float64 { return []float64{0, 0.1, 0.3} }
+
+// costBased reports whether the kind runs through the Figure-3 selector
+// and therefore accepts anti-herd tuning.
+func costBased(k policy.Kind) bool {
+	switch k {
+	case policy.BNQ, policy.BNQRD, policy.LERT, policy.Work:
+		return true
+	}
+	return false
+}
+
+// SensitivitySweep measures how gracefully each policy degrades as its
+// information quality does, on the Table-7 baseline with overload
+// admission control enabled and every replication fully audited
+// (including the shed/defer conservation auditor): any invariant
+// violation fails the sweep. Three axes are swept independently:
+//
+//   - noise: lognormal estimation error of the given sigmas on both
+//     demand estimates, under perfect load information — isolating the
+//     optimizer-error sensitivity the paper's Section 1.2.2 assumes away;
+//   - staleness: the load-broadcast period (0 = perfect information),
+//     isolating the Section 4.4 stale-view sensitivity;
+//   - hysteresis: the anti-herd transfer margin at broadcast period 40,
+//     cost-based policies only — the mitigation study.
+func SensitivitySweep(r Runner, kinds []policy.Kind, sigmas, periods, margins []float64) ([]SensitivityRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sigmas) == 0 && len(periods) == 0 && len(margins) == 0 {
+		return nil, fmt.Errorf("exper: sensitivity sweep: no levels on any axis")
+	}
+
+	base := func() system.Config {
+		cfg := r.applyHorizons(system.Default())
+		cfg.Audit = true
+		cfg.Admission = system.DefaultAdmission()
+		return cfg
+	}
+	var rows []SensitivityRow
+	sweep := func(axis string, value float64, cfg system.Config) error {
+		row := SensitivityRow{Axis: axis, Value: value, Policy: cfg.PolicyName()}
+		for rep := 0; rep < r.Reps; rep++ {
+			cfg.Seed = r.BaseSeed + uint64(rep)
+			sys, err := newSystem(cfg)
+			if err != nil {
+				return fmt.Errorf("exper: sensitivity sweep %s=%v %s: %w", axis, value, row.Policy, err)
+			}
+			res := sys.Run()
+			if err := sys.Audit(); err != nil {
+				return fmt.Errorf("exper: sensitivity sweep %s=%v %s seed %d: %w",
+					axis, value, row.Policy, cfg.Seed, err)
+			}
+			row.MeanWait += res.MeanWait
+			row.MeanResponse += res.MeanResponse
+			row.Fairness += res.Fairness
+			row.TransferFrac += res.TransferFrac
+			row.HerdFrac += res.HerdFrac
+			row.EstReadsErr += res.EstReadsErr
+			row.Completed += res.Completed
+			row.Shed += res.QueriesShed
+			row.Deferred += res.QueriesDeferred
+		}
+		n := float64(r.Reps)
+		row.MeanWait /= n
+		row.MeanResponse /= n
+		row.Fairness /= n
+		row.TransferFrac /= n
+		row.HerdFrac /= n
+		row.EstReadsErr /= n
+		rows = append(rows, row)
+		return nil
+	}
+
+	for _, kind := range kinds {
+		for _, sigma := range sigmas {
+			cfg := base()
+			cfg.PolicyKind = kind
+			if sigma > 0 {
+				cfg.Noise = noise.Config{Enabled: true, Dist: noise.Lognormal, ReadsSigma: sigma, CPUSigma: sigma}
+			}
+			if err := sweep("noise", sigma, cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, period := range periods {
+			cfg := base()
+			cfg.PolicyKind = kind
+			if period > 0 {
+				cfg.InfoMode = system.InfoPeriodic
+				cfg.InfoPeriod = period
+			}
+			if err := sweep("staleness", period, cfg); err != nil {
+				return nil, err
+			}
+		}
+		if !costBased(kind) {
+			continue
+		}
+		for _, margin := range margins {
+			cfg := base()
+			cfg.PolicyKind = kind
+			cfg.InfoMode = system.InfoPeriodic
+			cfg.InfoPeriod = 40
+			cfg.Tuning = policy.Tuning{Hysteresis: margin}
+			if err := sweep("hysteresis", margin, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}

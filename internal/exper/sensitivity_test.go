@@ -1,0 +1,120 @@
+package exper
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+// TestSensitivitySweep is this PR's capstone: every axis of information
+// degradation across the policy families, every replication audited
+// with admission control (and its shed/defer conservation auditor)
+// active. Any ledger violation surfaces as a sweep error here.
+func TestSensitivitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep is slow")
+	}
+	r := Runner{Reps: 2, BaseSeed: 3, Warmup: 400, Measure: 4000}
+	kinds := []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.LERT}
+	sigmas := []float64{0, 0.5, 1}
+	periods := []float64{0, 40}
+	margins := []float64{0, 0.3}
+	rows, err := SensitivitySweep(r, kinds, sigmas, periods, margins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costKinds := 0
+	for _, k := range kinds {
+		if costBased(k) {
+			costKinds++
+		}
+	}
+	want := len(kinds)*(len(sigmas)+len(periods)) + costKinds*len(margins)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	byAxis := map[string]int{}
+	for _, row := range rows {
+		byAxis[row.Axis]++
+		if row.Completed == 0 {
+			t.Errorf("%s %s=%v: no completions", row.Policy, row.Axis, row.Value)
+		}
+		if row.MeanResponse <= 0 {
+			t.Errorf("%s %s=%v: non-positive mean response %v",
+				row.Policy, row.Axis, row.Value, row.MeanResponse)
+		}
+		if row.HerdFrac < 0 || row.HerdFrac > 1 {
+			t.Errorf("%s %s=%v: herd fraction %v outside [0,1]",
+				row.Policy, row.Axis, row.Value, row.HerdFrac)
+		}
+		if row.Axis == "hysteresis" && !costBased(policyKindByName(t, row.Policy)) {
+			t.Errorf("hysteresis row for non-selector policy %s", row.Policy)
+		}
+	}
+	if byAxis["noise"] != len(kinds)*len(sigmas) ||
+		byAxis["staleness"] != len(kinds)*len(periods) ||
+		byAxis["hysteresis"] != costKinds*len(margins) {
+		t.Errorf("axis row counts %v", byAxis)
+	}
+
+	// Injected noise must show up in the realized-error statistic for
+	// every policy: sigma 1 rows carry strictly more estimate error than
+	// sigma 0 rows.
+	for _, k := range kinds {
+		var at0, at1 float64
+		for _, row := range rows {
+			if row.Axis == "noise" && row.Policy == k.String() {
+				switch row.Value {
+				case 0:
+					at0 = row.EstReadsErr
+				case 1:
+					at1 = row.EstReadsErr
+				}
+			}
+		}
+		if at1 <= at0 {
+			t.Errorf("%v: EstReadsErr at sigma 1 (%v) not above sigma 0 (%v)", k, at1, at0)
+		}
+	}
+}
+
+// policyKindByName maps a printed policy name back to its Kind.
+func policyKindByName(t *testing.T, name string) policy.Kind {
+	t.Helper()
+	for _, k := range []policy.Kind{
+		policy.Local, policy.Random, policy.BNQ, policy.BNQRD, policy.LERT, policy.Work,
+	} {
+		if k.String() == name {
+			return k
+		}
+	}
+	t.Fatalf("unknown policy name %q", name)
+	return 0
+}
+
+func TestSensitivitySweepRejectsEmptyAxes(t *testing.T) {
+	r := Runner{Reps: 1, BaseSeed: 1, Warmup: 10, Measure: 100}
+	if _, err := SensitivitySweep(r, []policy.Kind{policy.Local}, nil, nil, nil); err == nil {
+		t.Error("empty axis levels accepted")
+	}
+}
+
+func TestDefaultSensitivityLevels(t *testing.T) {
+	for name, levels := range map[string][]float64{
+		"noise":      DefaultNoiseLevels(),
+		"staleness":  DefaultStalenessLevels(),
+		"hysteresis": DefaultHysteresisLevels(),
+	} {
+		if len(levels) < 3 {
+			t.Fatalf("%s: want at least 3 levels, got %d", name, len(levels))
+		}
+		if levels[0] != 0 {
+			t.Errorf("%s: first level %v, want 0 baseline", name, levels[0])
+		}
+		for i := 1; i < len(levels); i++ {
+			if levels[i] <= levels[i-1] {
+				t.Errorf("%s: levels not strictly increasing: %v", name, levels)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package noise is the estimation-error injector: it perturbs the
+// optimizer's per-query demand estimates so the allocation policies
+// decide on imperfect information while execution consumes the true
+// sampled demands.
+//
+// The paper's dynamic strategies assume the "query optimizer" of
+// Section 1.2.2 predicts each query's CPU and I/O demands accurately;
+// in the unperturbed model the estimates are exact class means (or the
+// sampled actuals in the oracle ablation). Real optimizers err by
+// large multiplicative factors, so this package draws a multiplicative
+// error — mean-preserving lognormal, or uniform — for each submitted
+// query's EstReads and EstPageCPU. Each class owns its own child rng
+// stream and every perturbation consumes exactly two draws, so the
+// noise sample path is a common-random-numbers block: changing one
+// class's error magnitude never shifts another's sequence, and a
+// disabled (or zero-magnitude) injector leaves every other stream and
+// the event trace untouched.
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/workload"
+)
+
+// Dist selects the multiplicative error distribution.
+type Dist int
+
+const (
+	// Lognormal draws factor = exp(σZ − σ²/2), Z standard normal: the
+	// classic model of optimizer cardinality error. The σ²/2 shift makes
+	// the factor mean-preserving (E[factor] = 1) so noise changes the
+	// spread of the estimates, not their average level.
+	Lognormal Dist = iota + 1
+	// Uniform draws factor ~ U(1−σ, 1+σ), a bounded error useful for
+	// controlled sensitivity sweeps; σ must stay below 1 so factors
+	// remain positive.
+	Uniform
+)
+
+// String returns the distribution name.
+func (d Dist) String() string {
+	switch d {
+	case Lognormal:
+		return "lognormal"
+	case Uniform:
+		return "uniform"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseDist converts a flag value to a Dist.
+func ParseDist(s string) (Dist, error) {
+	switch s {
+	case "lognormal":
+		return Lognormal, nil
+	case "uniform":
+		return Uniform, nil
+	default:
+		return 0, fmt.Errorf("noise: unknown distribution %q (want lognormal or uniform)", s)
+	}
+}
+
+// Config parameterizes the injector. The zero value (Enabled == false)
+// disables estimation-error injection entirely.
+type Config struct {
+	// Enabled turns the injector on. When false every other field is
+	// ignored, no streams are consumed, and runs are bit-identical to a
+	// build without this package.
+	Enabled bool
+	// Dist selects the error distribution.
+	Dist Dist
+	// ReadsSigma is the error magnitude applied to EstReads: the σ of
+	// the lognormal ln-factor, or the half-width of the uniform factor.
+	// Zero injects no reads error (the draw still happens, keeping
+	// stream consumption fixed).
+	ReadsSigma float64
+	// CPUSigma is the error magnitude applied to EstPageCPU, with the
+	// same semantics as ReadsSigma.
+	CPUSigma float64
+}
+
+// Default returns a moderate-error configuration: lognormal factors
+// with σ = 0.5 on both estimates, i.e. one-standard-deviation errors of
+// roughly ±65%/−40% — midrange for measured optimizer estimates.
+func Default() Config {
+	return Config{Enabled: true, Dist: Lognormal, ReadsSigma: 0.5, CPUSigma: 0.5}
+}
+
+// Validate reports a configuration error, if any. A disabled config is
+// always valid.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Dist != Lognormal && c.Dist != Uniform {
+		return fmt.Errorf("noise: invalid distribution %d", c.Dist)
+	}
+	for _, s := range []struct {
+		name string
+		v    float64
+	}{{"ReadsSigma", c.ReadsSigma}, {"CPUSigma", c.CPUSigma}} {
+		switch {
+		case math.IsNaN(s.v) || s.v < 0:
+			return fmt.Errorf("noise: %s %v must be non-negative", s.name, s.v)
+		case math.IsInf(s.v, 1):
+			return fmt.Errorf("noise: %s must be finite", s.name)
+		case c.Dist == Uniform && s.v >= 1:
+			return fmt.Errorf("noise: uniform %s %v must stay below 1 (factors must be positive)", s.name, s.v)
+		}
+	}
+	return nil
+}
+
+// Injector perturbs query estimates. Build one per run with NewInjector
+// and call Perturb on every freshly generated query before the
+// allocation policy sees it.
+type Injector struct {
+	cfg     Config
+	streams []*rng.Stream // one per class
+}
+
+// NewInjector builds the injector for numClasses query classes. Each
+// class draws from its own child of stream, identified by class index.
+func NewInjector(cfg Config, numClasses int, stream *rng.Stream) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, fmt.Errorf("noise: injector built from a disabled config")
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("noise: numClasses %d < 1", numClasses)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("noise: nil random stream")
+	}
+	in := &Injector{cfg: cfg, streams: make([]*rng.Stream, numClasses)}
+	for c := range in.streams {
+		in.streams[c] = stream.Child(uint64(c))
+	}
+	return in, nil
+}
+
+// Perturb multiplies q's demand estimates by freshly drawn error
+// factors. Exactly two draws are consumed from q's class stream per
+// call regardless of the configured magnitudes, so consumption depends
+// only on the per-class submission count. The true demands (ReadsTotal
+// and the per-page service sampling at the sites) are untouched:
+// execution remains exact while allocation sees the error.
+func (in *Injector) Perturb(q *workload.Query) {
+	st := in.streams[q.Class]
+	q.EstReads *= in.factor(st, in.cfg.ReadsSigma)
+	q.EstPageCPU *= in.factor(st, in.cfg.CPUSigma)
+}
+
+// factor draws one multiplicative error factor.
+func (in *Injector) factor(st *rng.Stream, sigma float64) float64 {
+	switch in.cfg.Dist {
+	case Uniform:
+		return st.Uniform(1-sigma, 1+sigma)
+	default: // Lognormal
+		return math.Exp(sigma*st.Normal() - sigma*sigma/2)
+	}
+}

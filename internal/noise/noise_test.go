@@ -1,0 +1,164 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/workload"
+)
+
+func mkQuery(class int) *workload.Query {
+	return &workload.Query{Class: class, EstReads: 20, EstPageCPU: 0.05}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"disabled zero value", Config{}, true},
+		{"default", Default(), true},
+		{"zero sigmas", Config{Enabled: true, Dist: Lognormal}, true},
+		{"uniform ok", Config{Enabled: true, Dist: Uniform, ReadsSigma: 0.5, CPUSigma: 0.99}, true},
+		{"missing dist", Config{Enabled: true, ReadsSigma: 0.5}, false},
+		{"negative reads sigma", Config{Enabled: true, Dist: Lognormal, ReadsSigma: -0.1}, false},
+		{"negative cpu sigma", Config{Enabled: true, Dist: Lognormal, CPUSigma: -1}, false},
+		{"nan sigma", Config{Enabled: true, Dist: Lognormal, ReadsSigma: math.NaN()}, false},
+		{"infinite sigma", Config{Enabled: true, Dist: Lognormal, CPUSigma: math.Inf(1)}, false},
+		{"uniform sigma at 1", Config{Enabled: true, Dist: Uniform, ReadsSigma: 1}, false},
+		{"uniform sigma above 1", Config{Enabled: true, Dist: Uniform, CPUSigma: 1.5}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestInjectorRejectsBadInputs(t *testing.T) {
+	st := rng.NewStream(1)
+	if _, err := NewInjector(Config{}, 2, st); err == nil {
+		t.Error("no error building an injector from a disabled config")
+	}
+	if _, err := NewInjector(Default(), 0, st); err == nil {
+		t.Error("no error for zero classes")
+	}
+	if _, err := NewInjector(Default(), 2, nil); err == nil {
+		t.Error("no error for nil stream")
+	}
+	bad := Default()
+	bad.ReadsSigma = -1
+	if _, err := NewInjector(bad, 2, st); err == nil {
+		t.Error("no error for invalid config")
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	for _, dist := range []Dist{Lognormal, Uniform} {
+		cfg := Config{Enabled: true, Dist: dist, ReadsSigma: 0.4, CPUSigma: 0.4}
+		a, _ := NewInjector(cfg, 2, rng.NewStream(7))
+		b, _ := NewInjector(cfg, 2, rng.NewStream(7))
+		for i := 0; i < 100; i++ {
+			qa, qb := mkQuery(i%2), mkQuery(i%2)
+			a.Perturb(qa)
+			b.Perturb(qb)
+			if qa.EstReads != qb.EstReads || qa.EstPageCPU != qb.EstPageCPU {
+				t.Fatalf("%v: same seed diverged at query %d: %v/%v vs %v/%v",
+					dist, i, qa.EstReads, qa.EstPageCPU, qb.EstReads, qb.EstPageCPU)
+			}
+		}
+	}
+}
+
+// TestZeroSigmaIsIdentity: σ = 0 must leave estimates bit-identical
+// (factors exactly 1) while still consuming the class stream, so a
+// zero-magnitude injector is a behavioral no-op.
+func TestZeroSigmaIsIdentity(t *testing.T) {
+	for _, dist := range []Dist{Lognormal, Uniform} {
+		in, err := NewInjector(Config{Enabled: true, Dist: dist}, 2, rng.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			q := mkQuery(i % 2)
+			in.Perturb(q)
+			if q.EstReads != 20 || q.EstPageCPU != 0.05 {
+				t.Fatalf("%v: zero sigma changed estimates: %v / %v", dist, q.EstReads, q.EstPageCPU)
+			}
+		}
+	}
+}
+
+// TestPerClassIndependence: perturbing class 0 queries must not shift
+// class 1's noise sequence — each class owns its own child stream.
+func TestPerClassIndependence(t *testing.T) {
+	cfg := Default()
+	a, _ := NewInjector(cfg, 2, rng.NewStream(11))
+	b, _ := NewInjector(cfg, 2, rng.NewStream(11))
+	// a interleaves class-0 perturbations; b does not.
+	for i := 0; i < 20; i++ {
+		a.Perturb(mkQuery(0))
+	}
+	qa, qb := mkQuery(1), mkQuery(1)
+	a.Perturb(qa)
+	b.Perturb(qb)
+	if qa.EstReads != qb.EstReads || qa.EstPageCPU != qb.EstPageCPU {
+		t.Errorf("class-0 draws shifted class 1: %v/%v vs %v/%v",
+			qa.EstReads, qa.EstPageCPU, qb.EstReads, qb.EstPageCPU)
+	}
+}
+
+// TestLognormalMeanPreserving: the σ²/2 shift must keep E[factor] ≈ 1,
+// so noise widens the estimate distribution without biasing its level.
+func TestLognormalMeanPreserving(t *testing.T) {
+	cfg := Config{Enabled: true, Dist: Lognormal, ReadsSigma: 0.6, CPUSigma: 0.6}
+	in, _ := NewInjector(cfg, 1, rng.NewStream(13))
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		q := mkQuery(0)
+		in.Perturb(q)
+		if q.EstReads <= 0 {
+			t.Fatalf("non-positive estimate %v", q.EstReads)
+		}
+		sum += q.EstReads
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 0.3 {
+		t.Errorf("mean perturbed EstReads = %v, want ~20", mean)
+	}
+}
+
+// TestUniformFactorsBounded: uniform errors must stay inside the
+// configured band, keeping estimates positive.
+func TestUniformFactorsBounded(t *testing.T) {
+	cfg := Config{Enabled: true, Dist: Uniform, ReadsSigma: 0.3, CPUSigma: 0.3}
+	in, _ := NewInjector(cfg, 1, rng.NewStream(17))
+	for i := 0; i < 10000; i++ {
+		q := mkQuery(0)
+		in.Perturb(q)
+		if q.EstReads < 20*0.7 || q.EstReads >= 20*1.3 {
+			t.Fatalf("EstReads %v outside the ±30%% band", q.EstReads)
+		}
+		if q.EstPageCPU < 0.05*0.7 || q.EstPageCPU >= 0.05*1.3 {
+			t.Fatalf("EstPageCPU %v outside the ±30%% band", q.EstPageCPU)
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if Lognormal.String() != "lognormal" || Uniform.String() != "uniform" || Dist(0).String() != "unknown" {
+		t.Error("Dist.String mismatch")
+	}
+	if d, err := ParseDist("lognormal"); err != nil || d != Lognormal {
+		t.Errorf("ParseDist(lognormal) = %v, %v", d, err)
+	}
+	if d, err := ParseDist("uniform"); err != nil || d != Uniform {
+		t.Errorf("ParseDist(uniform) = %v, %v", d, err)
+	}
+	if _, err := ParseDist("gauss"); err == nil {
+		t.Error("ParseDist accepted an unknown name")
+	}
+}

@@ -277,10 +277,18 @@ type CostFunc interface {
 // site has strictly lower cost, scanning remote sites in round-robin
 // order (the paper's one noted detail: "the 'foreach' loop that examines
 // possible remote execution sites should scan these sites in a
-// round-robin fashion").
+// round-robin fashion"). An optional Tuning (antiherd.go) adds the
+// imperfect-information defenses — hysteresis, power-of-K sampling,
+// probabilistic tie-breaking; with the zero Tuning the selector's
+// decisions and random-stream consumption are bit-identical to the
+// plain Figure-3 loop.
 type Selector struct {
 	cost   CostFunc
 	cursor []int // per-arrival-site scan start
+
+	tune    Tuning
+	stream  *rng.Stream // drives PowerK sampling and RandomTies; nil otherwise
+	scratch []int       // PowerK candidate buffer
 }
 
 var _ Policy = (*Selector)(nil)
@@ -299,41 +307,68 @@ func (sel *Selector) Name() string { return sel.cost.Name() }
 // site is kept unless a strictly cheaper candidate exists; when the
 // arrival site holds no copy (or is down), the first candidate scanned
 // seeds the minimum instead. NoSite when no candidate is allowed.
+//
+// The anti-herd knobs slot into the same loop: PowerK restricts the
+// scan to a random sample of the eligible remotes, RandomTies breaks
+// equal-cost remote ties uniformly at random (reservoir sampling)
+// instead of first-in-scan-order, and Hysteresis demands the best
+// remote undercut the local cost by a relative margin before the query
+// transfers.
 func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
+	localOK := env.allowed(arrival)
+	localCost := math.Inf(1)
+	if localOK {
+		localCost = sel.cost.SiteCost(q, arrival, arrival, env)
+	}
 	best := NoSite
 	minCost := math.Inf(1)
-	if env.allowed(arrival) {
-		best = arrival
-		minCost = sel.cost.SiteCost(q, arrival, arrival, env)
-	}
-	start := sel.cursor[arrival]
-	sel.cursor[arrival]++
-	if env.Candidates == nil {
-		n := env.NumSites
-		for i := 0; i < n; i++ {
-			remote := (start + i) % n
-			if remote == arrival || !env.siteUp(remote) {
-				continue
-			}
-			if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {
-				minCost = cur
+	ties := 0
+	consider := func(remote int) {
+		cur := sel.cost.SiteCost(q, remote, arrival, env)
+		switch {
+		case cur < minCost:
+			best, minCost, ties = remote, cur, 1
+		case sel.tune.RandomTies && best != NoSite && cur == minCost:
+			ties++
+			if sel.stream.Intn(ties) == 0 {
 				best = remote
 			}
 		}
+	}
+	if sel.tune.PowerK > 0 {
+		for _, remote := range sel.sampleRemotes(arrival, env) {
+			consider(remote)
+		}
+	} else {
+		start := sel.cursor[arrival]
+		sel.cursor[arrival]++
+		if env.Candidates == nil {
+			n := env.NumSites
+			for i := 0; i < n; i++ {
+				remote := (start + i) % n
+				if remote == arrival || !env.siteUp(remote) {
+					continue
+				}
+				consider(remote)
+			}
+		} else {
+			n := len(env.Candidates)
+			for i := 0; i < n; i++ {
+				remote := env.Candidates[(start+i)%n]
+				if remote == arrival || !env.siteUp(remote) {
+					continue
+				}
+				consider(remote)
+			}
+		}
+	}
+	if !localOK {
 		return best
 	}
-	n := len(env.Candidates)
-	for i := 0; i < n; i++ {
-		remote := env.Candidates[(start+i)%n]
-		if remote == arrival || !env.siteUp(remote) {
-			continue
-		}
-		if cur := sel.cost.SiteCost(q, remote, arrival, env); cur < minCost {
-			minCost = cur
-			best = remote
-		}
+	if best != NoSite && minCost < localCost*(1-sel.tune.Hysteresis) {
+		return best
 	}
-	return best
+	return arrival
 }
 
 // bnqCost is Figure 4: the number of queries at the site.

@@ -99,6 +99,18 @@ func (r *Stream) Exp(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Normal returns a standard normal variate via the Box–Muller transform.
+// Every call consumes exactly two uniforms (the second transform output
+// is discarded rather than cached), so a stream's consumption depends
+// only on the call count — the same fixed-consumption discipline the
+// rest of the model relies on for common random numbers.
+func (r *Stream) Normal() float64 {
+	// 1 - Float64() lies in (0, 1], so the logarithm is finite.
+	u := 1 - r.Float64()
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
 // Uniform returns a uniform variate in [lo, hi). It panics if hi < lo.
 func (r *Stream) Uniform(lo, hi float64) float64 {
 	if hi < lo {

@@ -227,3 +227,42 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestNormalMoments: the Box–Muller transform must deliver mean 0,
+// variance 1 to within sampling tolerance.
+func TestNormalMoments(t *testing.T) {
+	r := NewStream(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite normal variate %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+// TestNormalFixedConsumption: every Normal call must consume exactly two
+// uniforms, so interleaving Normal draws never shifts a stream relative
+// to a plan that budgeted two draws per call.
+func TestNormalFixedConsumption(t *testing.T) {
+	a, b := NewStream(29), NewStream(29)
+	for i := 0; i < 100; i++ {
+		a.Normal()
+		b.Float64()
+		b.Float64()
+	}
+	if x, y := a.Uint64(), b.Uint64(); x != y {
+		t.Errorf("Normal consumption drifted: next %d vs %d", x, y)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dqalloc/internal/fault"
+	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/queue"
 	"dqalloc/internal/replica"
@@ -106,6 +107,27 @@ type Config struct {
 	// Trace, when non-nil, receives one CSV record per query completed
 	// inside the measured window.
 	Trace *Tracer
+
+	// Noise configures the estimation-error injector: multiplicative
+	// noise on each submitted query's EstReads/EstPageCPU, so policies
+	// decide on imperfect optimizer predictions while execution consumes
+	// the true sampled demands. Disabled (the zero value) by default; a
+	// disabled run is event-for-event identical to one built without the
+	// subsystem.
+	Noise noise.Config
+
+	// Tuning configures the selector's anti-herd defenses — hysteresis,
+	// power-of-K candidate sampling, probabilistic tie-breaking. The zero
+	// value restores the paper's plain Figure-3 loop bit for bit. Only
+	// meaningful with a built-in cost-based PolicyKind (BNQ, BNQRD, LERT,
+	// WORK).
+	Tuning policy.Tuning
+
+	// Admission configures per-site overload admission control: a bounded
+	// run queue with defer-or-shed backpressure to the terminals.
+	// Disabled (the zero value) by default; a disabled run is
+	// event-for-event identical to one built without the subsystem.
+	Admission AdmissionConfig
 
 	// Fault configures the fault-injection subsystem: site crash/repair
 	// processes, lossy/delayed transmissions and load broadcasts, and
@@ -209,6 +231,25 @@ func (c Config) Validate() error {
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return fmt.Errorf("system: %w", err)
+	}
+	if err := c.Noise.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if c.Tuning.Enabled() {
+		if err := c.Tuning.Validate(c.NumSites); err != nil {
+			return fmt.Errorf("system: %w", err)
+		}
+		if c.CustomPolicy != nil {
+			return fmt.Errorf("system: anti-herd tuning cannot wrap a custom policy")
+		}
+		switch c.PolicyKind {
+		case policy.BNQ, policy.BNQRD, policy.LERT, policy.Work:
+		default:
+			return fmt.Errorf("system: anti-herd tuning requires a cost-based policy, not %v", c.PolicyKind)
+		}
+	}
+	if err := c.Admission.validate(); err != nil {
+		return err
 	}
 	if c.CPUSpeeds != nil {
 		if len(c.CPUSpeeds) != c.NumSites {

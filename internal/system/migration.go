@@ -74,6 +74,14 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 		return false
 	}
 
+	// The remaining-work terms deliberately mix one observed quantity
+	// with two estimated ones: `remaining` counts the reads actually left
+	// (the executing site knows its own progress exactly), but the
+	// per-page costs come from the optimizer's EstPageCPU and the mean
+	// DiskTime — a migration decision is an allocation decision and sees
+	// the same imperfect information, so injected estimation error
+	// (internal/noise) propagates to migration exactly as it does to the
+	// initial placement.
 	remCPU := float64(remaining) * q.EstPageCPU
 	remIO := float64(remaining) * s.cfg.DiskTime
 	costAt := func(site int) float64 {

@@ -97,6 +97,29 @@ type Results struct {
 	// capacity the failures removed. Equals MeanResponse at
 	// availability 1.
 	AvailResponse float64
+	// QueriesShed counts queries rejected outright by overload admission
+	// control over the run's lifetime (each is also counted in
+	// QueriesRejected). Zero without admission control.
+	QueriesShed uint64
+	// QueriesDeferred counts admission deferrals over the run's lifetime
+	// (a query bounced twice is counted twice). Zero without admission
+	// control.
+	QueriesDeferred uint64
+	// HerdTransfers counts measured remote allocations that moved a query
+	// onto a site truly busier than its home at the decision instant —
+	// transfers the policy's (stale or noise-misled) load view got wrong.
+	HerdTransfers uint64
+	// HerdFrac is HerdTransfers / measured transfers (0 when no query
+	// transferred).
+	HerdFrac float64
+	// EstReadsErr and EstCPUErr are the mean realized relative errors of
+	// the optimizer estimates the policies acted on, over measured
+	// allocations: |EstReads − ReadsTotal| / ReadsTotal and
+	// |EstPageCPU − class PageCPUTime| / PageCPUTime. Without injected
+	// noise EstReadsErr reflects only the class-mean vs sampled spread
+	// and EstCPUErr is zero.
+	EstReadsErr float64
+	EstCPUErr   float64
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

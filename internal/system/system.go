@@ -6,6 +6,7 @@ import (
 	"dqalloc/internal/check"
 	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/network"
+	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/rng"
 	"dqalloc/internal/sim"
@@ -58,7 +59,14 @@ type System struct {
 	audErr error      // first violation, latched at collect
 
 	faults   *faultRuntime // fault-injection state, nil when disabled
-	rejected uint64        // queries given up on (no allowed site / retries exhausted)
+	rejected uint64        // queries given up on (no allowed site / retries exhausted / shed)
+
+	noise *noise.Injector   // estimation-error injector, nil when disabled
+	adm   *admissionRuntime // overload admission control, nil when disabled
+
+	herd        uint64 // measured remote allocations onto a truly busier site
+	estReadsErr stats.Welford
+	estCPUErr   stats.Welford
 }
 
 // New assembles a system from cfg. The configuration is validated and the
@@ -78,10 +86,26 @@ func New(cfg Config) (*System, error) {
 
 	s.pol = cfg.CustomPolicy
 	if s.pol == nil {
-		s.pol, err = policy.New(cfg.PolicyKind, cfg.NumSites, root.Child(2))
+		if cfg.Tuning.Enabled() {
+			// The anti-herd knobs draw from their own root child, so an
+			// untuned run's policy stream (Child 2) is untouched.
+			s.pol, err = policy.NewTuned(cfg.PolicyKind, cfg.NumSites, cfg.Tuning, root.Child(8))
+		} else {
+			s.pol, err = policy.New(cfg.PolicyKind, cfg.NumSites, root.Child(2))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("system: %w", err)
 		}
+	}
+
+	if cfg.Noise.Enabled {
+		s.noise, err = noise.NewInjector(cfg.Noise, len(cfg.Classes), root.Child(7))
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	if cfg.Admission.Enabled {
+		s.adm = &admissionRuntime{cfg: cfg.Admission, stream: root.Child(9)}
 	}
 
 	s.ring = network.NewRing(s.sched, cfg.NumSites, cfg.MsgTime)
@@ -156,6 +180,9 @@ func New(cfg Config) (*System, error) {
 		if s.faults != nil {
 			auditors = append(auditors, check.NewFaultConservation(cfg.NumSites*cfg.MPL, s.faults.totals))
 		}
+		if s.adm != nil {
+			auditors = append(auditors, check.NewAdmissionConservation(cfg.NumSites*cfg.MPL, s.adm.totals))
+		}
 		s.aud = check.NewSet(auditors...)
 		s.sched.Observe(s.aud.EventFired)
 	}
@@ -220,21 +247,36 @@ func (s *System) startThink(home int) {
 }
 
 // submit realizes the allocation decision point of Figure 2: a new query
-// is generated, the policy chooses its execution site, and the query is
-// either admitted locally or shipped over the ring. A query no site may
-// execute (empty candidate set, or every copy holder down) is rejected
-// rather than dispatched.
+// is generated (its optimizer estimates perturbed when estimation-error
+// injection is on) and handed to the allocation path.
 func (s *System) submit(home int) {
 	q := s.gen.New(home, s.sched.Now())
+	if s.noise != nil {
+		// Policies decide on the noisy estimates; execution consumes the
+		// true sampled demands (ReadsTotal and the sites' service draws).
+		s.noise.Perturb(q)
+	}
 	if s.cfg.Placement != nil {
 		q.Object = s.objStream.Intn(s.cfg.Placement.NumObjects())
+	}
+	if s.aud != nil {
+		s.aud.Submitted(s.sched.Now())
+	}
+	s.allocate(q)
+}
+
+// allocate runs the policy and admission control for a new or
+// resubmitted query: the policy chooses its execution site, the chosen
+// site's admission bound is enforced, and the query is either admitted
+// locally or shipped over the ring. A query no site may execute (empty
+// candidate set, or every copy holder down) is rejected rather than
+// dispatched.
+func (s *System) allocate(q *workload.Query) {
+	if s.cfg.Placement != nil {
 		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
 	}
-	exec := s.pol.Select(q, home, s.env)
+	exec := s.pol.Select(q, q.Home, s.env)
 	if exec == policy.NoSite {
-		if s.aud != nil {
-			s.aud.Submitted(s.sched.Now())
-		}
 		s.rejectQuery(q)
 		return
 	}
@@ -245,17 +287,50 @@ func (s *System) submit(home int) {
 		panic(fmt.Sprintf("system: policy %s chose site %d without a copy of object %d",
 			s.pol.Name(), exec, q.Object))
 	}
-	if s.measuring {
-		s.allocs++
-		if exec != home {
-			s.transfers++
-		}
+	if s.adm != nil && s.overloadedAt(exec) {
+		s.admissionBounce(q)
+		return
 	}
-	if s.aud != nil {
-		s.aud.Submitted(s.sched.Now())
-	}
+	s.recordAlloc(q, exec)
 	s.faultArm(q)
 	s.dispatch(q, exec)
+}
+
+// recordAlloc accumulates the measured-window allocation statistics at
+// the commit point — after admission, so bounced attempts do not count
+// as allocations.
+func (s *System) recordAlloc(q *workload.Query, exec int) {
+	if !s.measuring {
+		return
+	}
+	s.allocs++
+	if exec != q.Home {
+		s.transfers++
+		// A herd transfer moves the query onto a site that is truly
+		// busier than home at the decision instant: the policy's (stale
+		// or noise-misled) view contradicted the ground-truth table.
+		if s.table.NumQueries(exec) > s.table.NumQueries(q.Home) {
+			s.herd++
+		}
+	}
+	// Realized relative estimation error: what the policy believed vs the
+	// query's true sampled demands. With noise off this measures the
+	// intrinsic class-mean spread alone.
+	if q.ReadsTotal > 0 {
+		s.estReadsErr.Add(relErr(q.EstReads, float64(q.ReadsTotal)))
+	}
+	if truth := s.cfg.Classes[q.Class].PageCPUTime; truth > 0 {
+		s.estCPUErr.Add(relErr(q.EstPageCPU, truth))
+	}
+}
+
+// relErr returns |est − truth| / truth.
+func relErr(est, truth float64) float64 {
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
 }
 
 // dispatch commits q to the chosen execution site and starts it — either
@@ -409,6 +484,16 @@ func (s *System) collect(end float64) Results {
 	}
 	r.Migrations = s.migrations
 	r.QueriesRejected = s.rejected
+	r.HerdTransfers = s.herd
+	if s.transfers > 0 {
+		r.HerdFrac = float64(s.herd) / float64(s.transfers)
+	}
+	r.EstReadsErr = s.estReadsErr.Mean()
+	r.EstCPUErr = s.estCPUErr.Mean()
+	if s.adm != nil {
+		r.QueriesShed = s.adm.shed
+		r.QueriesDeferred = s.adm.deferred
+	}
 	r.Availability = 1
 	r.AvailResponse = r.MeanResponse
 	if s.faults != nil {

@@ -140,6 +140,11 @@ type Query struct {
 
 	// Migrations counts mid-execution moves (migration extension).
 	Migrations int
+
+	// Defers counts admission-control deferrals consumed so far (overload
+	// admission extension): each time an overloaded site bounces the
+	// query it is parked and resubmitted, up to the configured budget.
+	Defers int
 }
 
 // ExecService returns the pure execution service received (disk + CPU,

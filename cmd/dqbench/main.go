@@ -1,0 +1,275 @@
+// Command dqbench runs the repository's fixed performance suite and
+// writes a machine-readable BENCH_<date>.json report.
+//
+// The suite has three layers:
+//
+//   - kernel/churn — a pure scheduler microbenchmark: a rolling window
+//     of pending events where every fired event schedules a
+//     replacement. This isolates the future-event-list (heap + free
+//     list) cost from the model.
+//   - macro/<POLICY>/sites=<n> — one full replication (build + run) of
+//     the closed terminal model per allocation policy and site count,
+//     the same shape as BenchmarkSimulationThroughput. events/sec here
+//     is real kernel throughput under model weight.
+//   - table8 — the Table-8 reproduction harness end to end, the
+//     heaviest composite workload in the repo.
+//
+// Numbers come from testing.Benchmark, so ns/op, B/op and allocs/op
+// mean exactly what `go test -bench` reports. The simulation inside
+// each op is deterministic (fixed seed), so events/op — and therefore
+// events/sec for a given wall time — is reproducible across runs.
+//
+// Usage:
+//
+//	dqbench [-quick] [-label note] [-o path]
+//
+// -quick shrinks horizons for CI smoke use; quick numbers are for
+// "did it run, is throughput nonzero" checks, not for comparison
+// against full-suite baselines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dqalloc/internal/exper"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dqbench:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Date is the run date (UTC, YYYY-MM-DD); it also names the default
+	// output file.
+	Date string `json:"date"`
+	// Label is free-form provenance (e.g. which tree was benchmarked).
+	Label string `json:"label,omitempty"`
+	// Quick marks reduced-horizon CI runs whose numbers must not be
+	// compared against full-suite baselines.
+	Quick      bool     `json:"quick"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocations per op, as in
+	// `go test -benchmem`.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// EventsPerOp is the number of scheduler events one op fires
+	// (deterministic for the fixed seed); zero where not applicable.
+	EventsPerOp uint64 `json:"events_per_op,omitempty"`
+	// EventsPerSec = EventsPerOp / (NsPerOp in seconds).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dqbench", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
+		label = fs.String("label", "", "free-form provenance note stored in the report")
+		out   = fs.String("o", "", "output path (default BENCH_<date>.json)")
+		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, or table8")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	all := *suite == "all"
+	if !all && *suite != "kernel" && *suite != "macro" && *suite != "table8" {
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, or table8)", *suite)
+	}
+
+	rep := Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Label:      *label,
+		Quick:      *quick,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	if all || *suite == "kernel" {
+		churn := 200_000
+		if *quick {
+			churn = 20_000
+		}
+		fmt.Fprintf(w, "kernel/churn (%d events/op) ...\n", churn)
+		rep.Results = append(rep.Results, benchKernelChurn(churn))
+	}
+
+	if all || *suite == "macro" {
+		// One replication per policy and site count.
+		measure := 5000.0
+		if *quick {
+			measure = 1500
+		}
+		for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.BNQRD, policy.LERT} {
+			for _, sites := range []int{4, 8, 16} {
+				r, err := benchMacro(kind, sites, measure)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+					r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+
+	if all || *suite == "table8" {
+		// Composite: the Table-8 harness.
+		runner := exper.Runner{Reps: 2, BaseSeed: 1, Warmup: 1000, Measure: 6000}
+		if *quick {
+			runner = exper.Runner{Reps: 1, BaseSeed: 1, Warmup: 300, Measure: 1500}
+		}
+		fmt.Fprintln(w, "table8 ...")
+		t8, err := benchTable8(runner)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, t8)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d results)\n", path, len(rep.Results))
+	return nil
+}
+
+// benchKernelChurn measures the scheduler alone: a rolling window of
+// 1024 pending events, every fired event scheduling one replacement
+// at an exponential offset, until `events` events have fired.
+func benchKernelChurn(events int) Result {
+	const window = 1024
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sim.New()
+			st := rng.NewStream(1)
+			fired := 0
+			var tick sim.Action
+			tick = func() {
+				fired++
+				if fired+window <= events {
+					s.After(st.Exp(1), tick)
+				}
+			}
+			for j := 0; j < window; j++ {
+				s.After(st.Exp(1), tick)
+			}
+			s.Run()
+			if fired != events {
+				b.Fatalf("fired %d events, want %d", fired, events)
+			}
+		}
+	})
+	return finish(fmt.Sprintf("kernel/churn/events=%d", events), br, uint64(events))
+}
+
+// benchMacro measures one full replication (system build + run) under
+// the given policy and site count. The seed is fixed, so every op fires
+// the identical event sequence.
+func benchMacro(kind policy.Kind, sites int, measure float64) (Result, error) {
+	cfg := system.Default()
+	cfg.PolicyKind = kind
+	cfg.NumSites = sites
+	cfg.Seed = 1
+	cfg.Warmup = 500
+	cfg.Measure = measure
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := system.New(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			res := sys.Run()
+			events = res.EventsFired
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	name := fmt.Sprintf("macro/%s/sites=%d", cfg.PolicyName(), sites)
+	return finish(name, br, events), nil
+}
+
+// benchTable8 measures the Table-8 reproduction harness end to end
+// (think-time sweep × six policies, replicated).
+func benchTable8(r exper.Runner) (Result, error) {
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := exper.Table8(r)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("table8 returned no rows")
+			}
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return finish("table8", br, 0), nil
+}
+
+// finish converts a BenchmarkResult into a report Result.
+func finish(name string, br testing.BenchmarkResult, eventsPerOp uint64) Result {
+	ns := float64(br.T.Nanoseconds()) / float64(br.N)
+	res := Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     ns,
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		EventsPerOp: eventsPerOp,
+	}
+	if eventsPerOp > 0 && ns > 0 {
+		res.EventsPerSec = float64(eventsPerOp) * 1e9 / ns
+	}
+	return res
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunKernelSuite exercises the whole pipeline — flag parsing, one
+// real benchmark, JSON encoding — on the cheapest suite, and validates
+// the report the way the CI smoke job does.
+func TestRunKernelSuite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-suite", "kernel", "-label", "unit test", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if !rep.Quick || rep.Label != "unit test" || rep.GoVersion == "" {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("kernel suite wrote %d results, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "kernel/churn/events=20000" {
+		t.Errorf("result name = %q", r.Name)
+	}
+	if r.NsPerOp <= 0 || r.Iterations < 1 {
+		t.Errorf("degenerate timing: %+v", r)
+	}
+	if r.EventsPerSec <= 0 {
+		t.Errorf("events/sec = %v, want > 0", r.EventsPerSec)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("wrote ")) {
+		t.Errorf("missing completion line in output:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-suite", "nope"}, io.Discard); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	if err := run([]string{"extra"}, io.Discard); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

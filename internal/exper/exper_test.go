@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -100,20 +101,55 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestParallelFallsBackForCustomPolicy(t *testing.T) {
+func TestParallelRejectsCustomPolicy(t *testing.T) {
 	r := Runner{Reps: 2, BaseSeed: 1, Warmup: 200, Measure: 2000, Parallel: true}
 	cfg := system.Default()
 	pol, err := policy.NewThreshold(3, 2, rng.NewStream(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.CustomPolicy = pol // stateful: must run serially, not crash
+	cfg.CustomPolicy = pol // stateful: a shared value cannot run concurrently
+	if _, err := r.Run(cfg); !errors.Is(err, ErrParallelCustomPolicy) {
+		t.Fatalf("Run with Parallel+CustomPolicy: err = %v, want ErrParallelCustomPolicy", err)
+	}
+
+	// Clearing Parallel — what the error tells the caller to do — works.
+	r.Parallel = false
 	agg, err := r.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if agg.Completed == 0 {
-		t.Error("custom-policy parallel run completed nothing")
+		t.Error("serial custom-policy run completed nothing")
+	}
+}
+
+func TestParallelWorkerPool(t *testing.T) {
+	// A worker pool smaller than Reps must still fill every replication
+	// slot and produce the exact serial aggregate.
+	serial := Runner{Reps: 5, BaseSeed: 7, Warmup: 300, Measure: 3000}
+	pooled := serial
+	pooled.Parallel = true
+	pooled.Workers = 2
+	a, err := serial.Run(system.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pooled.Run(system.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanWait != b.MeanWait || a.Completed != b.Completed || a.Fairness != b.Fairness {
+		t.Errorf("worker-pool aggregate differs from serial:\n%+v\n%+v", a, b)
+	}
+	// Workers beyond Reps are harmless (pool is capped at Reps).
+	pooled.Workers = 64
+	c, err := pooled.Run(system.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanWait != c.MeanWait {
+		t.Errorf("oversized worker pool changed the aggregate: %v vs %v", a.MeanWait, c.MeanWait)
 	}
 }
 

@@ -167,6 +167,9 @@ type ProbeRow struct {
 // the Section-4.4 information-exchange question. Compare against the
 // perfect-information W̄ from Table 8 and the LOCAL baseline.
 func ProbeSweep(r Runner, ks []int) ([]ProbeRow, error) {
+	// Probing policies are stateful (per-decision RNG streams), so the
+	// replications must run serially regardless of the caller's runner.
+	r.Parallel = false
 	rows := make([]ProbeRow, 0, len(ks))
 	for _, k := range ks {
 		row := ProbeRow{Probes: k}

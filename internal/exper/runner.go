@@ -6,13 +6,24 @@
 package exper
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dqalloc/internal/policy"
 	"dqalloc/internal/stats"
 	"dqalloc/internal/system"
 )
+
+// ErrParallelCustomPolicy is returned when Parallel is combined with a
+// configuration carrying a CustomPolicy. A custom policy is a single
+// shared value — typically stateful (probe counters, thresholds, RNG
+// streams) — so replications sharing it cannot run concurrently, and
+// silently serializing would misreport how the numbers were produced.
+// Callers that want serial execution must clear Parallel explicitly.
+var ErrParallelCustomPolicy = errors.New("exper: Parallel replication is not available for CustomPolicy configurations (clear Parallel to run serially)")
 
 // Runner fixes the replication discipline for the simulation studies:
 // every configuration is run Reps times with seeds BaseSeed, BaseSeed+1,
@@ -27,11 +38,19 @@ type Runner struct {
 	// Warmup and Measure override the configuration's horizons when
 	// positive.
 	Warmup, Measure float64
-	// Parallel runs replications on separate goroutines. Results are
-	// identical to the serial order (each replication owns its seed and
-	// its entire model); only wall-clock time changes. Not available for
-	// configurations carrying a CustomPolicy, which may be stateful.
+	// Parallel runs replications on a pool of worker goroutines.
+	// Results are identical to the serial order (each replication owns
+	// its seed and its entire model); only wall-clock time changes.
+	// Each worker runs many replications back to back, reusing its
+	// goroutine and keeping at most Workers models live at once, so
+	// peak memory stays bounded however large Reps grows. Not available
+	// for configurations carrying a CustomPolicy (a single shared,
+	// possibly stateful value): Run returns ErrParallelCustomPolicy
+	// rather than silently serializing.
 	Parallel bool
+	// Workers caps the worker pool used by Parallel mode. Zero or
+	// negative means GOMAXPROCS. Ignored when Parallel is false.
+	Workers int
 }
 
 // Quick returns a runner sized for tests and demos (a few seconds per
@@ -136,12 +155,16 @@ func aggregate(policyName string, results []system.Results) Aggregate {
 var newSystem = system.New
 
 // replicate runs the configuration once per replication seed, serially
-// or — when Parallel is set and the config has no (possibly stateful)
-// custom policy — on one goroutine per replication. Each replication
-// builds its own System, so there is no shared mutable state.
+// or — when Parallel is set — on a pool of worker goroutines. Each
+// replication builds its own System, so there is no shared mutable
+// state; results land at their replication index, making the output
+// independent of worker interleaving.
 func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
+	if r.Parallel && cfg.CustomPolicy != nil {
+		return nil, ErrParallelCustomPolicy
+	}
 	results := make([]system.Results, r.Reps)
-	if !r.Parallel || cfg.CustomPolicy != nil {
+	if !r.Parallel {
 		for i := range results {
 			cfg.Seed = r.BaseSeed + uint64(i)
 			sys, err := newSystem(cfg)
@@ -153,27 +176,52 @@ func (r Runner) replicate(cfg system.Config) ([]system.Results, error) {
 		return results, nil
 	}
 
-	// Build (and validate) every system up front so errors surface
-	// before any goroutine starts.
-	systems := make([]*system.System, r.Reps)
-	for i := range systems {
-		cfg.Seed = r.BaseSeed + uint64(i)
-		sys, err := newSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		systems[i] = sys
+	// Worker pool: each worker claims replication indices from a shared
+	// counter and runs them back to back on its own goroutine, so at
+	// most `workers` models are live at once and a worker's stack (and
+	// the allocator arenas it warms) is reused across replications
+	// rather than paid per rep.
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	var wg sync.WaitGroup
-	for i, sys := range systems {
-		i, sys := i, sys
+	if workers > r.Reps {
+		workers = r.Reps
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = sys.Run()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= r.Reps {
+					return
+				}
+				c := cfg
+				c.Seed = r.BaseSeed + uint64(i)
+				sys, err := newSystem(c)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				results[i] = sys.Run()
+			}
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return results, nil
 }
 

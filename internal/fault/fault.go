@@ -188,7 +188,7 @@ func (inj *Injector) Repairs() uint64 { return inj.repairs }
 
 func (inj *Injector) scheduleCrash(s int) {
 	ev := inj.sched.After(inj.streams[s].Exp(inj.cfg.MTTF), func() { inj.crash(s) })
-	ev.Kind = EventKindCrash
+	ev.SetKind(EventKindCrash)
 }
 
 func (inj *Injector) crash(s int) {
@@ -200,7 +200,7 @@ func (inj *Injector) crash(s int) {
 		inj.onCrash(s)
 	}
 	ev := inj.sched.After(inj.streams[s].Exp(inj.cfg.MTTR), func() { inj.repair(s) })
-	ev.Kind = EventKindRepair
+	ev.SetKind(EventKindRepair)
 }
 
 func (inj *Injector) repair(s int) {

@@ -153,7 +153,11 @@ type Broadcaster struct {
 	cpu     []int
 	cpuWork []float64
 	ioWork  []float64
-	next    *sim.Event
+	next    sim.Handle
+	// tickFn is the recurring snapshot action, bound once at
+	// construction so each round schedules the next without allocating
+	// a method-value closure.
+	tickFn  sim.Action
 	stopped bool
 
 	// perturb, when non-nil, decides the fate of each site's entry in a
@@ -190,9 +194,10 @@ func NewBroadcaster(sched *sim.Scheduler, table *Table, period float64) (*Broadc
 		cpuWork: make([]float64, table.NumSites()),
 		ioWork:  make([]float64, table.NumSites()),
 	}
+	b.tickFn = b.tick
 	b.snapshot()
-	b.next = sched.After(period, b.tick)
-	b.next.Kind = eventKindBroadcast
+	b.next = sched.After(period, b.tickFn)
+	b.next.SetKind(eventKindBroadcast)
 	return b, nil
 }
 
@@ -220,10 +225,8 @@ func (b *Broadcaster) SetPerturb(fn Perturb) { b.perturb = fn }
 // does not own.
 func (b *Broadcaster) Stop() {
 	b.stopped = true
-	if b.next != nil {
-		b.sched.Cancel(b.next)
-		b.next = nil
-	}
+	b.sched.Cancel(b.next)
+	b.next = sim.Handle{}
 }
 
 // NumQueries returns the site's query count as of the last broadcast.
@@ -267,7 +270,7 @@ func (b *Broadcaster) broadcastOnce() {
 		io, cpu := b.table.io[s], b.table.cpu[s]
 		cw, iw := b.table.cpuWork[s], b.table.ioWork[s]
 		ev := b.sched.After(delay, func() { b.apply(s, io, cpu, cw, iw) })
-		ev.Kind = eventKindDelayedInfo
+		ev.SetKind(eventKindDelayedInfo)
 	}
 }
 
@@ -284,6 +287,6 @@ func (b *Broadcaster) tick() {
 		return
 	}
 	b.broadcastOnce()
-	b.next = b.sched.After(b.period, b.tick)
-	b.next.Kind = eventKindBroadcast
+	b.next = b.sched.After(b.period, b.tickFn)
+	b.next.SetKind(eventKindBroadcast)
 }

@@ -35,16 +35,23 @@ type Ring struct {
 	sched   *sim.Scheduler
 	perByte float64
 
-	queues    [][]Message
-	pending   int
-	cursor    int // next site to poll
-	busy      bool
-	util      stats.TimeWeighted
-	qlen      stats.TimeWeighted
-	delivered uint64
-	dropped   uint64
-	bytes     float64
-	waits     stats.Welford // ring queueing delay per message (excl. transmission)
+	queues  [][]Message
+	pending int
+	cursor  int // next site to poll
+	busy    bool
+	// inflight is the single message being transmitted (the ring carries
+	// exactly one at a time), and completeFn/dropFn are its retirement
+	// actions, bound once at construction so transmit allocates no
+	// closure per transmission.
+	inflight   Message
+	completeFn sim.Action
+	dropFn     sim.Action
+	util       stats.TimeWeighted
+	qlen       stats.TimeWeighted
+	delivered  uint64
+	dropped    uint64
+	bytes      float64
+	waits      stats.Welford // ring queueing delay per message (excl. transmission)
 
 	// fault, when non-nil, decides each transmission's fate (lossy
 	// network extension). It is consulted exactly once per transmission,
@@ -73,11 +80,14 @@ func NewRing(sched *sim.Scheduler, numSites int, perByte float64) *Ring {
 	if perByte < 0 {
 		panic("network: negative per-byte cost")
 	}
-	return &Ring{
+	r := &Ring{
 		sched:   sched,
 		perByte: perByte,
 		queues:  make([][]Message, numSites),
 	}
+	r.completeFn = r.complete
+	r.dropFn = r.drop
+	return r
 }
 
 // TransmitTime returns the time the ring needs to transmit size bytes,
@@ -188,6 +198,7 @@ func (r *Ring) poll() {
 func (r *Ring) transmit(m Message) {
 	now := r.sched.Now()
 	r.busy = true
+	r.inflight = m
 	r.util.Set(now, 1)
 	r.waits.Add(now - m.enqueuedAt)
 	hold := r.TransmitTime(m.Size)
@@ -197,16 +208,20 @@ func (r *Ring) transmit(m Message) {
 		dropped, extra = r.fault()
 		hold += extra
 	}
-	var ev *sim.Event
+	var ev sim.Handle
 	if dropped {
-		ev = r.sched.After(hold, func() { r.drop(m) })
+		ev = r.sched.After(hold, r.dropFn)
 	} else {
-		ev = r.sched.After(hold, func() { r.complete(m) })
+		ev = r.sched.After(hold, r.completeFn)
 	}
-	ev.Kind = EventKindTransmit
+	ev.SetKind(EventKindTransmit)
 }
 
-func (r *Ring) complete(m Message) {
+func (r *Ring) complete() {
+	// Take the in-flight message before polling: poll may immediately
+	// start the next transmission, overwriting the slot.
+	m := r.inflight
+	r.inflight = Message{}
 	now := r.sched.Now()
 	r.pending--
 	r.qlen.Set(now, float64(r.pending))
@@ -223,7 +238,9 @@ func (r *Ring) complete(m Message) {
 
 // drop retires a message the fault model discarded: the transmission
 // occupied the ring but the receiver never got the payload.
-func (r *Ring) drop(m Message) {
+func (r *Ring) drop() {
+	m := r.inflight
+	r.inflight = Message{}
 	now := r.sched.Now()
 	r.pending--
 	r.qlen.Set(now, float64(r.pending))

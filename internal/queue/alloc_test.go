@@ -1,0 +1,62 @@
+package queue
+
+import (
+	"testing"
+
+	"dqalloc/internal/race"
+	"dqalloc/internal/sim"
+)
+
+// Steady-state allocation pins for the service centers: with the
+// scheduler's free list and the servers' internal slices warm, a full
+// enqueue→serve→complete cycle allocates nothing. See the rationale in
+// internal/sim/alloc_test.go.
+
+func TestFCFSCycleSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := sim.New()
+	served := 0
+	f := NewFCFS[int](s, func(int) { served++ })
+	// Warm the queue slice and the scheduler pool.
+	for i := 0; i < 16; i++ {
+		f.Enqueue(i, 1)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(500, func() {
+		f.Enqueue(7, 1)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Errorf("FCFS enqueue→serve cycle allocates %v objects/op, want 0", avg)
+	}
+	if served == 0 {
+		t.Fatal("no jobs served")
+	}
+}
+
+func TestPSCycleSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := sim.New()
+	served := 0
+	p := NewPS[int](s, func(int) { served++ })
+	// Warm the job and finished-scratch slices with overlapping jobs.
+	for i := 0; i < 16; i++ {
+		p.Enqueue(i, 1)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(500, func() {
+		p.Enqueue(3, 1)
+		p.Enqueue(4, 2)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Errorf("PS enqueue→serve cycle allocates %v objects/op, want 0", avg)
+	}
+	if served == 0 {
+		t.Fatal("no jobs served")
+	}
+}

@@ -26,10 +26,14 @@ const (
 type FCFS[T any] struct {
 	sched *sim.Scheduler
 	done  func(T)
+	// finishFn is the service-completion action, bound once at
+	// construction so startNext schedules it without allocating a
+	// closure per service.
+	finishFn sim.Action
 
 	queue  []fcfsEntry[T]
 	busy   bool
-	next   *sim.Event // pending service-completion event
+	next   sim.Handle // pending service-completion event
 	util   stats.TimeWeighted
 	qlen   stats.TimeWeighted
 	served uint64
@@ -46,7 +50,9 @@ func NewFCFS[T any](sched *sim.Scheduler, done func(T)) *FCFS[T] {
 	if done == nil {
 		panic("queue: nil completion callback")
 	}
-	return &FCFS[T]{sched: sched, done: done}
+	f := &FCFS[T]{sched: sched, done: done}
+	f.finishFn = f.finish
+	return f
 }
 
 // Enqueue adds a job requiring the given service time. Service starts
@@ -96,10 +102,8 @@ func (f *FCFS[T]) ResetStats(t float64) {
 // caller's concern.
 func (f *FCFS[T]) Drain() []T {
 	now := f.sched.Now()
-	if f.next != nil {
-		f.sched.Cancel(f.next)
-		f.next = nil
-	}
+	f.sched.Cancel(f.next)
+	f.next = sim.Handle{}
 	out := make([]T, len(f.queue))
 	for i := range f.queue {
 		out[i] = f.queue[i].job
@@ -117,13 +121,13 @@ func (f *FCFS[T]) startNext() {
 	f.busy = true
 	f.util.Set(now, 1)
 	head := f.queue[0]
-	f.next = f.sched.After(head.service, func() { f.finish() })
-	f.next.Kind = EventKindFCFS
+	f.next = f.sched.After(head.service, f.finishFn)
+	f.next.SetKind(EventKindFCFS)
 }
 
 func (f *FCFS[T]) finish() {
 	now := f.sched.Now()
-	f.next = nil
+	f.next = sim.Handle{}
 	head := f.queue[0]
 	copy(f.queue, f.queue[1:])
 	f.queue[len(f.queue)-1] = fcfsEntry[T]{}

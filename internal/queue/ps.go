@@ -22,10 +22,14 @@ const psEpsilon = 1e-9
 type PS[T any] struct {
 	sched *sim.Scheduler
 	done  func(T)
+	// departFn is the next-departure action, bound once at construction
+	// so reschedule allocates no closure per departure event.
+	departFn sim.Action
 
-	jobs       []*psJob[T]
+	jobs       []psJob[T]
+	fin        []T // scratch for simultaneous departures, reused across events
 	lastUpdate float64
-	next       *sim.Event
+	next       sim.Handle
 	util       stats.TimeWeighted
 	load       stats.TimeWeighted
 	served     uint64
@@ -42,7 +46,9 @@ func NewPS[T any](sched *sim.Scheduler, done func(T)) *PS[T] {
 	if done == nil {
 		panic("queue: nil completion callback")
 	}
-	return &PS[T]{sched: sched, done: done}
+	p := &PS[T]{sched: sched, done: done}
+	p.departFn = p.depart
+	return p
 }
 
 // Enqueue adds a job with the given total service requirement. The job
@@ -52,7 +58,7 @@ func (p *PS[T]) Enqueue(job T, service float64) {
 		panic("queue: negative service time")
 	}
 	p.advance()
-	p.jobs = append(p.jobs, &psJob[T]{job: job, remaining: service})
+	p.jobs = append(p.jobs, psJob[T]{job: job, remaining: service})
 	now := p.sched.Now()
 	p.load.Set(now, float64(len(p.jobs)))
 	p.util.Set(now, 1)
@@ -88,14 +94,13 @@ func (p *PS[T]) ResetStats(t float64) {
 func (p *PS[T]) Drain() []T {
 	p.advance()
 	now := p.sched.Now()
-	if p.next != nil {
-		p.sched.Cancel(p.next)
-		p.next = nil
-	}
+	p.sched.Cancel(p.next)
+	p.next = sim.Handle{}
 	out := make([]T, len(p.jobs))
-	for i, j := range p.jobs {
-		out[i] = j.job
-		p.jobs[i] = nil
+	var zero psJob[T]
+	for i := range p.jobs {
+		out[i] = p.jobs[i].job
+		p.jobs[i] = zero
 	}
 	p.jobs = p.jobs[:0]
 	p.load.Set(now, 0)
@@ -109,10 +114,10 @@ func (p *PS[T]) advance() {
 	n := len(p.jobs)
 	if n > 0 && now > p.lastUpdate {
 		each := (now - p.lastUpdate) / float64(n)
-		for _, j := range p.jobs {
-			j.remaining -= each
-			if j.remaining < 0 {
-				j.remaining = 0
+		for i := range p.jobs {
+			p.jobs[i].remaining -= each
+			if p.jobs[i].remaining < 0 {
+				p.jobs[i].remaining = 0
 			}
 		}
 	}
@@ -122,35 +127,33 @@ func (p *PS[T]) advance() {
 // reschedule cancels any pending departure event and schedules the next
 // one based on the smallest remaining requirement.
 func (p *PS[T]) reschedule() {
-	if p.next != nil {
-		p.sched.Cancel(p.next)
-		p.next = nil
-	}
+	p.sched.Cancel(p.next)
+	p.next = sim.Handle{}
 	if len(p.jobs) == 0 {
 		return
 	}
 	minRemaining := math.Inf(1)
-	for _, j := range p.jobs {
-		if j.remaining < minRemaining {
-			minRemaining = j.remaining
+	for i := range p.jobs {
+		if p.jobs[i].remaining < minRemaining {
+			minRemaining = p.jobs[i].remaining
 		}
 	}
 	delay := minRemaining * float64(len(p.jobs))
 	if delay < 0 {
 		delay = 0
 	}
-	p.next = p.sched.After(delay, func() { p.depart() })
-	p.next.Kind = EventKindPS
+	p.next = p.sched.After(delay, p.departFn)
+	p.next.SetKind(EventKindPS)
 }
 
 // depart advances sharing and releases every job whose requirement is now
 // exhausted, preserving arrival order among simultaneous departures.
 func (p *PS[T]) depart() {
-	p.next = nil
+	p.next = sim.Handle{}
 	p.advance()
 	now := p.sched.Now()
 
-	var finished []T
+	finished := p.fin[:0]
 	kept := p.jobs[:0]
 	for _, j := range p.jobs {
 		if j.remaining <= psEpsilon {
@@ -159,8 +162,9 @@ func (p *PS[T]) depart() {
 			kept = append(kept, j)
 		}
 	}
+	var zero psJob[T]
 	for i := len(kept); i < len(p.jobs); i++ {
-		p.jobs[i] = nil
+		p.jobs[i] = zero
 	}
 	p.jobs = kept
 
@@ -173,4 +177,10 @@ func (p *PS[T]) depart() {
 		p.served++
 		p.done(job)
 	}
+	// Release payload references before the next event reuses the scratch.
+	var zeroT T
+	for i := range finished {
+		finished[i] = zeroT
+	}
+	p.fin = finished[:0]
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-regression tests can skip numeric assertions that race
+// instrumentation would inflate.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"dqalloc/internal/race"
+)
+
+// The tests in this file pin the kernel's steady-state allocation
+// behavior: once the free list is warm, scheduling and firing events
+// allocates nothing. A regression here (a closure creeping back into a
+// hot path, an Event field breaking the pool) multiplies total
+// simulation allocations by orders of magnitude, so the budgets are
+// exact zeros, not thresholds.
+//
+// Race-detector instrumentation adds its own allocations, so the
+// numeric assertions are skipped under -race (the race CI pass still
+// compiles and executes the measured code).
+
+// warmScheduler returns a scheduler whose free list and heap have
+// capacity for at least n simultaneous events.
+func warmScheduler(n int) *Scheduler {
+	s := New()
+	nop := func() {}
+	for i := 0; i < n; i++ {
+		s.At(float64(i), nop)
+	}
+	s.Run()
+	return s
+}
+
+func TestAtStepSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := warmScheduler(64)
+	nop := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.At(s.Now()+1, nop)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Errorf("At+Step steady state allocates %v objects/op, want 0", avg)
+	}
+}
+
+func TestAfterStepSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := warmScheduler(64)
+	nop := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.After(1, nop)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Errorf("After+Step steady state allocates %v objects/op, want 0", avg)
+	}
+}
+
+func TestCancelSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	s := warmScheduler(64)
+	nop := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		h := s.After(1, nop)
+		if !s.Cancel(h) {
+			t.Fatal("cancel of live handle failed")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("After+Cancel steady state allocates %v objects/op, want 0", avg)
+	}
+}
+
+func TestDigestedStepSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	// The digest hook must stay allocation-free too: it is enabled for
+	// every golden-digest run.
+	s := warmScheduler(64)
+	s.EnableDigest()
+	nop := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		h := s.After(1, nop)
+		h.SetKind(0x7f)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Errorf("digested Step steady state allocates %v objects/op, want 0", avg)
+	}
+}

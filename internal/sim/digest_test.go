@@ -8,7 +8,7 @@ func runSchedule(tag byte) uint64 {
 	s.EnableDigest()
 	for i := 0; i < 10; i++ {
 		e := s.At(float64(i%3), func() {})
-		e.Kind = tag
+		e.SetKind(tag)
 	}
 	s.Run()
 	return s.Digest()

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSchedulerHeap drives a scheduler through a random interleaving of
+// At, After, Cancel, and Step operations decoded from the fuzz input,
+// checking after every operation that
+//
+//   - the binary heap is well-formed (parent ≤ child under the
+//     (time, seq) order) and every record knows its own position,
+//   - the free list holds only retired records (index -1, nil action,
+//     no live handle),
+//   - events fire in non-decreasing time order with FIFO tie-break
+//     (ascending seq at equal times),
+//   - handle liveness matches the model (Cancel succeeds exactly once,
+//     fired events' handles go stale), and
+//   - non-finite event times are rejected by panic without corrupting
+//     the calendar.
+//
+// Scheduled times are quantized to small integers so that same-instant
+// collisions — the FIFO tie-break's interesting case — are common.
+func FuzzSchedulerHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3, 3, 3})
+	f.Add([]byte{0, 0, 0, 0, 3, 2, 0, 2, 1, 3, 3, 3, 3})
+	f.Add([]byte{4, 0, 4, 3, 4})
+	f.Add([]byte{1, 7, 1, 7, 1, 7, 2, 0, 2, 0, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		nop := func() {}
+		var live []Handle
+		lastTime := math.Inf(-1)
+		var lastSeq uint64
+
+		// The observer validates the global fire order: time never
+		// decreases, and same-instant events fire in scheduling order.
+		s.Observe(func(e *Event) {
+			if e.time < lastTime {
+				t.Fatalf("fired time %v after %v", e.time, lastTime)
+			}
+			if e.time == lastTime && e.seq <= lastSeq {
+				t.Fatalf("FIFO tie-break violated at t=%v: seq %d after %d", e.time, e.seq, lastSeq)
+			}
+			lastTime = e.time
+			lastSeq = e.seq
+			if e.index >= 0 {
+				t.Fatalf("fired event still claims heap position %d", e.index)
+			}
+		})
+
+		audit := func() {
+			t.Helper()
+			for i, e := range s.heap {
+				if int(e.index) != i {
+					t.Fatalf("heap[%d] has index %d", i, e.index)
+				}
+				if i > 0 && less(e, s.heap[(i-1)/2]) {
+					t.Fatalf("heap order violated at %d: (%v,%d) < parent", i, e.time, e.seq)
+				}
+				if e.action == nil {
+					t.Fatalf("pending heap[%d] has nil action", i)
+				}
+			}
+			for i, e := range s.free {
+				if e.index != -1 || e.action != nil {
+					t.Fatalf("free[%d] not retired: index %d, action nil=%v", i, e.index, e.action == nil)
+				}
+			}
+			livePending := 0
+			for _, h := range live {
+				if h.Scheduled() {
+					livePending++
+				}
+			}
+			if livePending != s.Len() {
+				t.Fatalf("%d live handles vs %d pending events", livePending, s.Len())
+			}
+		}
+
+		for i := 0; i < len(data); i++ {
+			switch data[i] % 5 {
+			case 0, 1: // schedule, quantized delay so time ties are common
+				var d byte
+				if i+1 < len(data) {
+					i++
+					d = data[i]
+				}
+				delay := float64(d % 8)
+				var h Handle
+				if data[i]%2 == 0 {
+					h = s.After(delay, nop)
+				} else {
+					h = s.At(s.Now()+delay, nop)
+				}
+				if !h.Scheduled() {
+					t.Fatal("fresh handle not scheduled")
+				}
+				h.SetKind(0x7f)
+				live = append(live, h)
+			case 2: // cancel a (possibly stale) tracked handle
+				if len(live) == 0 {
+					continue
+				}
+				var idx byte
+				if i+1 < len(data) {
+					i++
+					idx = data[i]
+				}
+				h := live[int(idx)%len(live)]
+				was := h.Scheduled()
+				if got := s.Cancel(h); got != was {
+					t.Fatalf("Cancel = %v on handle with Scheduled = %v", got, was)
+				}
+				if h.Scheduled() {
+					t.Fatal("handle still scheduled after Cancel")
+				}
+				if s.Cancel(h) {
+					t.Fatal("double Cancel succeeded")
+				}
+			case 3: // fire the earliest event
+				before := s.Len()
+				fired := s.Step()
+				if fired != (before > 0) {
+					t.Fatalf("Step = %v with %d pending", fired, before)
+				}
+			case 4: // non-finite times must panic and leave no trace
+				before := s.Len()
+				for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+					func() {
+						defer func() {
+							if recover() == nil {
+								t.Fatalf("At(%v) did not panic", bad)
+							}
+						}()
+						s.At(bad, nop)
+					}()
+				}
+				if s.Len() != before {
+					t.Fatalf("rejected times changed pending count %d -> %d", before, s.Len())
+				}
+			}
+			audit()
+		}
+
+		// Drain: everything left must fire, in order, exactly once.
+		remaining := s.Len()
+		for s.Step() {
+			remaining--
+			audit()
+		}
+		if remaining != 0 {
+			t.Fatalf("drain fired %d fewer events than were pending", -remaining)
+		}
+		for _, h := range live {
+			if h.Scheduled() {
+				t.Fatal("handle scheduled after drain")
+			}
+		}
+	})
+}

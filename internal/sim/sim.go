@@ -5,6 +5,13 @@
 // sequence number), which makes every simulation run fully deterministic
 // for a given seed and configuration. This kernel is the reproduction's
 // substitute for the DISS simulation-language runtime used by the paper.
+//
+// Event records are pooled: once an event fires or is cancelled its
+// record returns to a per-scheduler free list and is reused by the next
+// At/After, so the steady-state hot path allocates nothing. Handles are
+// generation-counted — a handle to a retired (and possibly reused) event
+// is detected as stale rather than acting on the wrong event. See
+// DESIGN.md §10 for the performance model.
 package sim
 
 import (
@@ -16,8 +23,10 @@ import (
 // scheduled simulated time.
 type Action func()
 
-// Event is a handle to a scheduled action. It can be cancelled until it
-// fires. The zero value is not usable; events are created by Scheduler.
+// Event is one scheduled action's record. Model code never holds an
+// *Event across events — records are pooled and reused — but fire
+// observers receive the live record of the event being fired, whose
+// fields are valid for the duration of the observer call.
 type Event struct {
 	time  float64
 	seq   uint64
@@ -27,9 +36,8 @@ type Event struct {
 	// visible to fire observers) so that digests distinguish event types,
 	// not just their (time, seq) coordinates. The scheduler assigns no
 	// meaning to it; model packages tag their events with their own
-	// constants. Zero is the untagged default. Set it right after At or
-	// After returns, before any other event can fire. It sits in the
-	// int32 index's padding, keeping the struct at 32 bytes.
+	// constants via Handle.SetKind right after At or After returns. Zero
+	// is the untagged default.
 	//
 	// Registry of kind bytes across the model packages (high nibble =
 	// subsystem, kept here so new tags don't collide):
@@ -43,22 +51,50 @@ type Event struct {
 	//	0x42 system:   begin-measurement mark
 	//	0x43 system:   failover watchdog timeout
 	//	0x44 system:   query retry after loss
+	//	0x45 system:   admission-control deferral
 	//	0x51 fault:    site crash
 	//	0x52 fault:    site repair
 	Kind byte
 
+	// gen is bumped every time the record is retired to the free list;
+	// a Handle carrying an older generation is stale and inert.
+	gen uint32
+
 	action Action
 }
 
-// Time returns the simulated time at which the event is (or was) scheduled.
+// Time returns the simulated time at which the event is scheduled.
 func (e *Event) Time() float64 { return e.time }
 
 // Seq returns the event's scheduling sequence number — the FIFO tie-break
 // key for same-instant events.
 func (e *Event) Seq() uint64 { return e.seq }
 
-// Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e.index >= 0 }
+// Handle refers to a scheduled event. The zero Handle refers to no event
+// and is inert: Scheduled reports false and Cancel is a no-op. After the
+// event fires or is cancelled the handle goes stale (its generation no
+// longer matches the pooled record's), and every operation through it is
+// likewise inert — a stale handle can never act on a reused record.
+type Handle struct {
+	e   *Event
+	gen uint32
+}
+
+// Scheduled reports whether the handle's event is still pending.
+func (h Handle) Scheduled() bool {
+	return h.e != nil && h.gen == h.e.gen && h.e.index >= 0
+}
+
+// SetKind tags the pending event for the trace digest (see Event.Kind).
+// Call it immediately after At or After returns; tagging through a zero
+// or stale handle panics, because the tag would otherwise silently land
+// on whatever event reused the record.
+func (h Handle) SetKind(k byte) {
+	if h.e == nil || h.gen != h.e.gen {
+		panic("sim: SetKind through a stale event handle")
+	}
+	h.e.Kind = k
+}
 
 // Scheduler owns the simulated clock and the future-event list.
 //
@@ -69,17 +105,22 @@ type Scheduler struct {
 	now     float64
 	seq     uint64
 	heap    []*Event
+	free    []*Event // retired records awaiting reuse
 	fired   uint64
 	stopped bool
 
+	// hooked gates the digest/observer work with a single predictable
+	// branch on the fire path; it is true iff digestOn or observer is set,
+	// so the common disabled case pays one untaken branch and no calls.
+	hooked bool
 	// digest is a running FNV-1a hash over (time, seq, kind) of every
-	// fired event, maintained only when digestOn is set so that the hot
-	// path pays a single predictable branch otherwise.
+	// fired event, maintained only when digestOn is set.
 	digest   uint64
 	digestOn bool
 	// observer, when non-nil, is invoked for every fired event just
 	// before its action runs (the calendar is between events, so model
-	// state is quiescent). Used by runtime auditors.
+	// state is quiescent). Used by runtime auditors. The *Event is valid
+	// only for the duration of the call: the record is pooled.
 	observer func(e *Event)
 }
 
@@ -111,6 +152,7 @@ const (
 // determinism regressions. Enable before the first event fires.
 func (s *Scheduler) EnableDigest() {
 	s.digestOn = true
+	s.hooked = true
 	s.digest = fnvOffset64
 }
 
@@ -125,8 +167,12 @@ func (s *Scheduler) Digest() uint64 {
 
 // Observe registers fn to be called for every fired event, immediately
 // before its action runs. Pass nil to remove the observer. The observer
-// must not schedule or cancel events.
-func (s *Scheduler) Observe(fn func(e *Event)) { s.observer = fn }
+// must not schedule or cancel events, and must not retain the *Event
+// beyond the call — the record is pooled and will be reused.
+func (s *Scheduler) Observe(fn func(e *Event)) {
+	s.observer = fn
+	s.hooked = s.digestOn || fn != nil
+}
 
 // mix folds one fired event into the running digest.
 func (s *Scheduler) mix(e *Event) {
@@ -141,12 +187,23 @@ func (s *Scheduler) mix(e *Event) {
 	s.digest = h
 }
 
+// fireHooks runs the digest and observer work for one fired event. Kept
+// out of Step so the disabled case stays a single untaken branch.
+func (s *Scheduler) fireHooks(e *Event) {
+	if s.digestOn {
+		s.mix(e)
+	}
+	if s.observer != nil {
+		s.observer(e)
+	}
+}
+
 // At schedules action to run at absolute simulated time t.
 //
 // Scheduling in the past or with a non-finite time is a programming error
 // in the model and panics, mirroring how out-of-range slice indexing is
 // treated: the simulation state would be meaningless if it continued.
-func (s *Scheduler) At(t float64, action Action) *Event {
+func (s *Scheduler) At(t float64, action Action) Handle {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: event time %v is not finite", t))
 	}
@@ -156,31 +213,52 @@ func (s *Scheduler) At(t float64, action Action) *Event {
 	if action == nil {
 		panic("sim: nil event action")
 	}
-	e := &Event{time: t, seq: s.seq, action: action}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.time = t
+		e.seq = s.seq
+		e.Kind = 0
+		e.action = action
+	} else {
+		e = &Event{time: t, seq: s.seq, action: action}
+	}
 	s.seq++
 	s.push(e)
-	return e
+	return Handle{e: e, gen: e.gen}
 }
 
 // After schedules action to run d time units from now. Negative or
 // non-finite delays panic (see At).
-func (s *Scheduler) After(d float64, action Action) *Event {
+func (s *Scheduler) After(d float64, action Action) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, action)
 }
 
-// Cancel removes a pending event from the calendar. It reports whether the
-// event was still pending (false if it already fired or was cancelled).
-func (s *Scheduler) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event from the calendar and returns its record
+// to the pool. It reports whether the event was still pending — false for
+// the zero Handle or one whose event already fired or was cancelled.
+func (s *Scheduler) Cancel(h Handle) bool {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.index < 0 {
 		return false
 	}
 	s.remove(int(e.index))
+	s.retire(e)
+	return true
+}
+
+// retire returns a record to the free list, invalidating every handle to
+// it by bumping the generation.
+func (s *Scheduler) retire(e *Event) {
 	e.index = -1
 	e.action = nil
-	return true
+	e.gen++
+	s.free = append(s.free, e)
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
@@ -194,14 +272,13 @@ func (s *Scheduler) Step() bool {
 	e.index = -1
 	s.now = e.time
 	action := e.action
-	e.action = nil
 	s.fired++
-	if s.digestOn {
-		s.mix(e)
+	if s.hooked {
+		s.fireHooks(e)
 	}
-	if s.observer != nil {
-		s.observer(e)
-	}
+	// Retire before running the action so the action's own rescheduling
+	// reuses this record immediately (the common service-loop pattern).
+	s.retire(e)
 	action()
 	return true
 }

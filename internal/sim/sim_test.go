@@ -78,7 +78,7 @@ func TestCancelPreventsFiring(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []float64
-	var events []*Event
+	var events []Handle
 	times := []float64{9, 2, 7, 4, 5, 1, 8, 3, 6}
 	for _, tm := range times {
 		tm := tm
@@ -197,7 +197,7 @@ func TestRandomCancelQuick(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		s := New()
 		var got []float64
-		var pending []*Event
+		var pending []Handle
 		for i := 0; i < 200; i++ {
 			tm := float64(r.Intn(1000))
 			pending = append(pending, s.At(tm, func() { got = append(got, tm) }))

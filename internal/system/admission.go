@@ -111,7 +111,7 @@ func (s *System) admissionBounce(q *workload.Query) {
 		ar.deferred++
 		ar.waiting++
 		ev := s.sched.After(ar.stream.Exp(ar.cfg.DeferDelay), func() { s.resubmit(q) })
-		ev.Kind = eventKindDefer
+		ev.SetKind(eventKindDefer)
 		return
 	}
 	ar.shed++

@@ -1,0 +1,40 @@
+package system
+
+import (
+	"testing"
+
+	"dqalloc/internal/race"
+)
+
+// TestThinkExecuteCycleAllocBudget pins the end-to-end allocation cost
+// of the model: one full terminal cycle (think → submit → allocate →
+// execute → reply) costs a handful of allocations — the Query object
+// and its per-run bookkeeping — and nothing per event. The budget is
+// per completed query, amortizing one-time construction over the run;
+// it is set at roughly 2× the measured value (~3/query on a short
+// run), far below the ~50/query a per-event closure regression costs.
+func TestThinkExecuteCycleAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cfg := Default()
+	cfg.Seed = 1
+	cfg.Warmup = 300
+	cfg.Measure = 2000
+	var res Results
+	avg := testing.AllocsPerRun(1, func() {
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = sys.Run()
+	})
+	if res.Completed == 0 {
+		t.Fatal("run completed nothing")
+	}
+	perQuery := avg / float64(res.Completed)
+	t.Logf("%.0f allocs over %d completions = %.2f allocs/query", avg, res.Completed, perQuery)
+	if perQuery > 6 {
+		t.Errorf("think–execute cycle costs %.2f allocs/query, budget 6", perQuery)
+	}
+}

@@ -57,7 +57,7 @@ type faultRuntime struct {
 type faultPending struct {
 	// timer is the armed watchdog (or, for a lost query, its pending
 	// retry event).
-	timer *sim.Event
+	timer sim.Handle
 	// attempt counts re-allocation attempts consumed so far.
 	attempt int
 	// lost marks that the query's execution was wiped out and it awaits
@@ -152,7 +152,7 @@ func (s *System) faultArm(q *workload.Query) {
 // armWatchdog (re)schedules the detection timer.
 func (s *System) armWatchdog(q *workload.Query, e *faultPending) {
 	e.timer = s.sched.After(s.faults.cfg.DetectTimeout, func() { s.faultTimeout(q) })
-	e.timer.Kind = eventKindTimeout
+	e.timer.SetKind(eventKindTimeout)
 }
 
 // faultLost records that q's execution was wiped out (site crash or
@@ -201,7 +201,7 @@ func (s *System) faultRetryOrAbandon(q *workload.Query, e *faultPending) {
 	}
 	backoff := s.faults.cfg.RetryBackoff * math.Pow(2, float64(e.attempt-1))
 	e.timer = s.sched.After(backoff, func() { s.faultRedispatch(q) })
-	e.timer.Kind = eventKindRetry
+	e.timer.SetKind(eventKindRetry)
 }
 
 // faultRedispatch re-allocates a lost query after its backoff: the
@@ -238,9 +238,7 @@ func (s *System) faultComplete(q *workload.Query) {
 		return
 	}
 	if e := s.faults.pending[q]; e != nil {
-		if e.timer != nil {
-			s.sched.Cancel(e.timer)
-		}
+		s.sched.Cancel(e.timer)
 		delete(s.faults.pending, q)
 	}
 }

@@ -157,7 +157,13 @@ func TestFaultNoopMatchesDisabled(t *testing.T) {
 				}
 			}
 			// Normalize the fields that legitimately differ in shape.
+			// The watchdog timers are extra fired events, so the kernel's
+			// event count (like the digest) differs by design.
 			a.TraceDigest, b.TraceDigest = 0, 0
+			if b.EventsFired <= a.EventsFired {
+				t.Errorf("noop fault run fired %d events, disabled %d: watchdogs missing?", b.EventsFired, a.EventsFired)
+			}
+			a.EventsFired, b.EventsFired = 0, 0
 			a.Downtime, b.Downtime = nil, nil
 			if !reflect.DeepEqual(a, b) {
 				t.Errorf("noop fault run differs from disabled run:\n%+v\nvs\n%+v", a, b)

@@ -42,31 +42,36 @@ func runDigest(t *testing.T, cfg Config) Results {
 	return r
 }
 
-// TestGoldenDigestsWithKnobsDisabled pins the event-stream digests of
-// every policy, under perfect and periodic load information, to the
-// values captured before the imperfect-information extension landed:
-// with noise, anti-herd tuning, and admission control all disabled, the
-// model must remain bit-identical to the pre-extension tree.
+// goldenDigests pins the event-stream digests of every policy, under
+// perfect and periodic load information, to the values captured before
+// the imperfect-information extension landed. Both the knobs-disabled
+// identity test below and the pooled-kernel equivalence test in
+// digestequiv_test.go assert against this same table: any kernel or
+// model change that alters the event stream trips them.
+var goldenDigests = []struct {
+	mode InfoMode
+	kind policy.Kind
+	want uint64
+}{
+	{InfoPerfect, policy.Local, 0x31d6acb070b2ccaa},
+	{InfoPerfect, policy.Random, 0x02ba549ddcb61f83},
+	{InfoPerfect, policy.BNQ, 0x380da894aab82ad0},
+	{InfoPerfect, policy.BNQRD, 0x1a2f4d1c024bad78},
+	{InfoPerfect, policy.LERT, 0x67c72e035a53b4d9},
+	{InfoPerfect, policy.Work, 0x1f71c2e087a4026b},
+	{InfoPeriodic, policy.Local, 0xea7ee7abc2c9d700},
+	{InfoPeriodic, policy.Random, 0xa980e348d693ffdc},
+	{InfoPeriodic, policy.BNQ, 0x97c6c670b758fa51},
+	{InfoPeriodic, policy.BNQRD, 0x3418525d8392d3de},
+	{InfoPeriodic, policy.LERT, 0x2dbc0fa32af8efe8},
+	{InfoPeriodic, policy.Work, 0xa8b9b21c6f758680},
+}
+
+// TestGoldenDigestsWithKnobsDisabled: with noise, anti-herd tuning, and
+// admission control all disabled, the model must remain bit-identical to
+// the pre-extension tree.
 func TestGoldenDigestsWithKnobsDisabled(t *testing.T) {
-	golden := []struct {
-		mode InfoMode
-		kind policy.Kind
-		want uint64
-	}{
-		{InfoPerfect, policy.Local, 0x31d6acb070b2ccaa},
-		{InfoPerfect, policy.Random, 0x02ba549ddcb61f83},
-		{InfoPerfect, policy.BNQ, 0x380da894aab82ad0},
-		{InfoPerfect, policy.BNQRD, 0x1a2f4d1c024bad78},
-		{InfoPerfect, policy.LERT, 0x67c72e035a53b4d9},
-		{InfoPerfect, policy.Work, 0x1f71c2e087a4026b},
-		{InfoPeriodic, policy.Local, 0xea7ee7abc2c9d700},
-		{InfoPeriodic, policy.Random, 0xa980e348d693ffdc},
-		{InfoPeriodic, policy.BNQ, 0x97c6c670b758fa51},
-		{InfoPeriodic, policy.BNQRD, 0x3418525d8392d3de},
-		{InfoPeriodic, policy.LERT, 0x2dbc0fa32af8efe8},
-		{InfoPeriodic, policy.Work, 0xa8b9b21c6f758680},
-	}
-	for _, g := range golden {
+	for _, g := range goldenDigests {
 		t.Run(g.mode.String()+"/"+g.kind.String(), func(t *testing.T) {
 			r := runDigest(t, imperfectCfg(g.kind, g.mode))
 			if r.TraceDigest != g.want {

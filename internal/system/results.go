@@ -124,6 +124,10 @@ type Results struct {
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.
 	TraceDigest uint64
+	// EventsFired is the total number of scheduler events executed over
+	// the run's lifetime (warmup included) — the kernel-throughput
+	// denominator cmd/dqbench reports as events/sec.
+	EventsFired uint64
 }
 
 // UtilizationRatio returns ρ_d/ρ_c as reported in Table 12 (0 if the CPU

@@ -37,6 +37,7 @@ type System struct {
 	env   *policy.Env
 
 	think     []*rng.Stream // per-site terminal think streams
+	thinkFns  []sim.Action  // per-site submit actions, preallocated so think events cost no closure
 	objStream *rng.Stream   // object sampling (partial replication)
 
 	measuring bool
@@ -147,6 +148,11 @@ func New(cfg Config) (*System, error) {
 	}
 	s.sites = make([]*site.Site, cfg.NumSites)
 	s.think = make([]*rng.Stream, cfg.NumSites)
+	s.thinkFns = make([]sim.Action, cfg.NumSites)
+	for i := range s.thinkFns {
+		home := i
+		s.thinkFns[i] = func() { s.submit(home) }
+	}
 	for i := range s.sites {
 		sc := siteCfg
 		if cfg.CPUSpeeds != nil {
@@ -210,7 +216,7 @@ func (s *System) Run() Results {
 	}
 	if s.cfg.Warmup > 0 {
 		ev := s.sched.At(s.cfg.Warmup, s.beginMeasurement)
-		ev.Kind = eventKindBegin
+		ev.SetKind(eventKindBegin)
 	} else {
 		s.beginMeasurement()
 	}
@@ -242,8 +248,8 @@ func (s *System) beginMeasurement() {
 // startThink puts one terminal at the given site into its think state;
 // when the think time expires the terminal submits a new query.
 func (s *System) startThink(home int) {
-	ev := s.sched.After(s.think[home].Exp(s.cfg.ThinkTime), func() { s.submit(home) })
-	ev.Kind = eventKindThink
+	ev := s.sched.After(s.think[home].Exp(s.cfg.ThinkTime), s.thinkFns[home])
+	ev.SetKind(eventKindThink)
 }
 
 // submit realizes the allocation decision point of Figure 2: a new query
@@ -514,6 +520,7 @@ func (s *System) collect(end float64) Results {
 		}
 	}
 	r.TraceDigest = s.sched.Digest()
+	r.EventsFired = s.sched.Fired()
 	if s.aud != nil {
 		s.audErr = s.aud.Finalize(check.Final{
 			Start:        s.startAt,

@@ -1,7 +1,7 @@
 // Command dqbench runs the repository's fixed performance suite and
 // writes a machine-readable BENCH_<date>.json report.
 //
-// The suite has three layers:
+// The suite has four layers:
 //
 //   - kernel/churn — a pure scheduler microbenchmark: a rolling window
 //     of pending events where every fired event schedules a
@@ -11,6 +11,9 @@
 //     the closed terminal model per allocation policy and site count,
 //     the same shape as BenchmarkSimulationThroughput. events/sec here
 //     is real kernel throughput under model weight.
+//   - overload/LERT/mmpp — one audited replication with the overload
+//     extensions on (bursty MMPP arrivals, deadlines, hedging), timing
+//     the open-arrival hot path.
 //   - table8 — the Table-8 reproduction harness end to end, the
 //     heaviest composite workload in the repo.
 //
@@ -38,6 +41,7 @@ import (
 	"testing"
 	"time"
 
+	"dqalloc/internal/arrival"
 	"dqalloc/internal/exper"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/rng"
@@ -100,8 +104,8 @@ func run(args []string, w io.Writer) error {
 	}
 
 	all := *suite == "all"
-	if !all && *suite != "kernel" && *suite != "macro" && *suite != "table8" {
-		return fmt.Errorf("unknown suite %q (want all, kernel, macro, or table8)", *suite)
+	if !all && *suite != "kernel" && *suite != "macro" && *suite != "table8" && *suite != "overload" {
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, or overload)", *suite)
 	}
 
 	rep := Report{
@@ -138,6 +142,22 @@ func run(args []string, w io.Writer) error {
 				rep.Results = append(rep.Results, r)
 			}
 		}
+	}
+
+	if all || *suite == "overload" {
+		// Macro-style run with every overload subsystem enabled: bursty
+		// MMPP arrivals, deadlines, hedging — the tail-robustness hot path.
+		measure := 4000.0
+		if *quick {
+			measure = 1200
+		}
+		r, err := benchOverload(measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
 	}
 
 	if all || *suite == "table8" {
@@ -232,6 +252,47 @@ func benchMacro(kind policy.Kind, sites int, measure float64) (Result, error) {
 	}
 	name := fmt.Sprintf("macro/%s/sites=%d", cfg.PolicyName(), sites)
 	return finish(name, br, events), nil
+}
+
+// benchOverload measures one audited replication with the overload
+// extensions all on — MMPP arrivals at burst factor 4, deadlines and
+// hedging — so regressions on the open-arrival hot path (histogram
+// adds, watchdog arm/cancel, hedge races) show up in events/sec.
+func benchOverload(measure float64) (Result, error) {
+	cfg := system.Default()
+	cfg.PolicyKind = policy.LERT
+	cfg.Seed = 1
+	cfg.Warmup = 500
+	cfg.Measure = measure
+	cfg.Arrival = arrival.DefaultMMPP(0.45)
+	cfg.Deadline = system.DefaultDeadline()
+	cfg.Hedge = system.DefaultHedge()
+	cfg.Audit = true
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := system.New(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			res := sys.Run()
+			if err := sys.Audit(); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			events = res.EventsFired
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return finish("overload/LERT/mmpp", br, events), nil
 }
 
 // benchTable8 measures the Table-8 reproduction harness end to end

@@ -47,6 +47,32 @@ func TestRunKernelSuite(t *testing.T) {
 	}
 }
 
+// TestRunOverloadSuite runs the audited overload benchmark end to end
+// at quick horizons.
+func TestRunOverloadSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-suite", "overload", "-o", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "overload/LERT/mmpp" {
+		t.Fatalf("unexpected results: %+v", rep.Results)
+	}
+	if rep.Results[0].EventsPerSec <= 0 {
+		t.Errorf("events/sec = %v, want > 0", rep.Results[0].EventsPerSec)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-suite", "nope"}, io.Discard); err == nil {
 		t.Error("unknown suite accepted")

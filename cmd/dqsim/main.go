@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
@@ -62,6 +63,11 @@ func run(args []string, w io.Writer) error {
 		admitMax  = fs.Int("admit-max", 0, "per-site admission bound on committed queries (0 = off)")
 		admitDef  = fs.Float64("admit-defer", 0, "mean resubmission delay for bounced queries (0 = shed immediately)")
 		admitTry  = fs.Int("admit-max-defers", 3, "deferral budget per query before shedding")
+		arrivalP  = fs.String("arrival", "", "open arrival process: poisson or mmpp (default: closed terminals)")
+		rate      = fs.Float64("rate", 0.3, "offered arrival rate for -arrival (queries per time unit)")
+		burst     = fs.Float64("burst", 4, "MMPP burst factor for -arrival mmpp")
+		deadline  = fs.Float64("deadline", 0, "per-query response-time deadline (0 = off)")
+		hedgeQ    = fs.Float64("hedge-quantile", 0, "hedge remote stragglers past this response quantile (0 = off)")
 		jsonOut   = fs.Bool("json", false, "emit results as a JSON array instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +132,28 @@ func run(args []string, w io.Writer) error {
 		cfg.Noise = noise.Config{Enabled: true, Dist: dist, ReadsSigma: *estNoise, CPUSigma: *estNoise}
 	}
 	cfg.Tuning = policy.Tuning{Hysteresis: *hyst, PowerK: *powerK, RandomTies: *randTies}
+	switch strings.ToLower(*arrivalP) {
+	case "":
+	case "poisson":
+		cfg.Arrival = arrival.DefaultPoisson(*rate)
+	case "mmpp":
+		cfg.Arrival = arrival.DefaultMMPP(*rate)
+		cfg.Arrival.BurstFactor = *burst
+	default:
+		return fmt.Errorf("unknown arrival process %q (want poisson or mmpp)", *arrivalP)
+	}
+	if *deadline > 0 {
+		cfg.Deadline = system.DeadlineConfig{Enabled: true, Deadline: *deadline}
+	} else if *deadline < 0 {
+		return fmt.Errorf("-deadline %v is negative", *deadline)
+	}
+	if *hedgeQ > 0 {
+		hc := system.DefaultHedge()
+		hc.Quantile = *hedgeQ
+		cfg.Hedge = hc
+	} else if *hedgeQ < 0 {
+		return fmt.Errorf("-hedge-quantile %v is negative", *hedgeQ)
+	}
 	if *admitMax > 0 {
 		cfg.Admission = system.AdmissionConfig{
 			Enabled:    true,
@@ -207,6 +235,18 @@ func printResults(w io.Writer, r system.Results) {
 	fmt.Fprintf(w, "  subnet util        %10.3f\n", r.SubnetUtil)
 	fmt.Fprintf(w, "  throughput         %10.4f q/unit\n", r.Throughput)
 	fmt.Fprintf(w, "  remote fraction    %10.3f\n", r.RemoteFrac)
+	fmt.Fprintf(w, "  resp p50/p95/p99   %10.3f / %.3f / %.3f\n",
+		r.RespQuantiles.P50, r.RespQuantiles.P95, r.RespQuantiles.P99)
+	if r.OpenArrivals > 0 {
+		fmt.Fprintf(w, "  open arrivals      %10d\n", r.OpenArrivals)
+	}
+	if r.DeadlineMet > 0 || r.DeadlineMisses > 0 {
+		fmt.Fprintf(w, "  deadlines: met=%d missed=%d aborted=%d\n",
+			r.DeadlineMet, r.DeadlineMisses, r.QueriesAborted)
+	}
+	if r.Hedged > 0 {
+		fmt.Fprintf(w, "  hedges: launched=%d wins=%d\n", r.Hedged, r.HedgeWins)
+	}
 	if r.SiteCrashes > 0 || r.QueriesLost > 0 || r.QueriesRejected > 0 || r.Availability < 1 {
 		fmt.Fprintf(w, "  availability       %10.4f\n", r.Availability)
 		fmt.Fprintf(w, "  avail. response    %10.3f\n", r.AvailResponse)

@@ -89,6 +89,32 @@ func TestRunWithImperfectionFlags(t *testing.T) {
 	}
 }
 
+func TestRunWithOverloadFlags(t *testing.T) {
+	err := run([]string{
+		"-policy", "LERT", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "2000",
+		"-arrival", "poisson", "-rate", "0.15",
+		"-deadline", "250", "-hedge-quantile", "0.9",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chaos combination — bursty arrivals, deadlines, hedging and
+	// faults at once — must run audited and clean.
+	err = run([]string{
+		"-policy", "BNQ", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "2000",
+		"-arrival", "mmpp", "-rate", "0.15", "-burst", "4",
+		"-deadline", "250", "-hedge-quantile", "0.9",
+		"-mttf", "1500", "-mttr", "300", "-drop", "0.03",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunFlagErrors checks that every malformed imperfect-information
 // flag combination comes back as an error from run, never a panic.
 func TestRunFlagErrors(t *testing.T) {
@@ -103,6 +129,12 @@ func TestRunFlagErrors(t *testing.T) {
 		"ties without cost":   {"-policy", "LOCAL", "-random-ties"},
 		"defer without bound": {"-admit-max", "0", "-admit-defer", "-3"},
 		"negative defers":     {"-admit-max", "4", "-admit-defer", "5", "-admit-max-defers", "-1"},
+		"unknown arrival":     {"-arrival", "weibull"},
+		"zero arrival rate":   {"-arrival", "poisson", "-rate", "0"},
+		"burst below one":     {"-arrival", "mmpp", "-rate", "0.2", "-burst", "0.5"},
+		"negative deadline":   {"-deadline", "-10"},
+		"hedge quantile >= 1": {"-hedge-quantile", "1"},
+		"negative hedge":      {"-hedge-quantile", "-0.5"},
 	}
 	for name, args := range cases {
 		if err := run(args, io.Discard); err == nil {
@@ -165,7 +197,10 @@ func TestRunGoldenJSON(t *testing.T) {
 	if len(parsed) != 1 {
 		t.Fatalf("got %d result objects, want 1", len(parsed))
 	}
-	for _, field := range []string{"Policy", "Completed", "MeanWait", "QueriesShed", "QueriesDeferred"} {
+	for _, field := range []string{
+		"Policy", "Completed", "MeanWait", "QueriesShed", "QueriesDeferred",
+		"RespQuantiles", "DeadlineMisses", "Hedged",
+	} {
 		if _, ok := parsed[0][field]; !ok {
 			t.Errorf("JSON result missing field %q", field)
 		}

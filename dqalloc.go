@@ -33,10 +33,12 @@ package dqalloc
 import (
 	"fmt"
 
+	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/site"
+	"dqalloc/internal/stats"
 	"dqalloc/internal/system"
 	"dqalloc/internal/workload"
 )
@@ -72,6 +74,21 @@ type (
 	// (set Config.Admission to bound committed queries per site, with
 	// deferred resubmission or immediate shedding on overload).
 	AdmissionConfig = system.AdmissionConfig
+	// ArrivalConfig parameterizes the open-arrival subsystem (set
+	// Config.Arrival to replace the closed terminals with per-class
+	// Poisson or bursty MMPP sources at a chosen offered load).
+	ArrivalConfig = arrival.Config
+	// DeadlineConfig parameterizes per-query deadlines (set
+	// Config.Deadline to abort queries whose response time exceeds the
+	// budget, wherever they are in the pipeline).
+	DeadlineConfig = system.DeadlineConfig
+	// HedgeConfig parameterizes hedged execution (set Config.Hedge to
+	// re-issue straggling remote queries to a backup site; first
+	// completion wins).
+	HedgeConfig = system.HedgeConfig
+	// Quantiles carries the log-histogram response-time quantiles
+	// (p50–p99.9) reported in Results.
+	Quantiles = stats.Quantiles
 )
 
 // Built-in allocation policies (paper Section 4 plus baselines).
@@ -129,6 +146,28 @@ func DefaultNoiseConfig() NoiseConfig { return noise.Default() }
 // deferrals (mean resubmission delay 5) before a query is shed. Assign
 // it to Config.Admission and adjust.
 func DefaultAdmissionConfig() AdmissionConfig { return system.DefaultAdmission() }
+
+// DefaultPoissonArrivals returns an enabled open-arrival configuration
+// with a plain Poisson source at the given system-wide rate (queries
+// per time unit). Assign it to Config.Arrival and adjust.
+func DefaultPoissonArrivals(rate float64) ArrivalConfig { return arrival.DefaultPoisson(rate) }
+
+// DefaultMMPPArrivals returns an enabled open-arrival configuration
+// with a 2-state MMPP source at the given mean rate: 4× bursts with
+// mean dwell 400 calm / 100 bursting. Assign it to Config.Arrival and
+// adjust.
+func DefaultMMPPArrivals(rate float64) ArrivalConfig { return arrival.DefaultMMPP(rate) }
+
+// DefaultDeadlineConfig returns an enabled deadline configuration with
+// a 400-time-unit response budget. Assign it to Config.Deadline and
+// adjust.
+func DefaultDeadlineConfig() DeadlineConfig { return system.DefaultDeadline() }
+
+// DefaultHedgeConfig returns an enabled hedging configuration: hedge
+// remote stragglers past the p95 of their class's measured responses,
+// never earlier than 50 time units after dispatch. Assign it to
+// Config.Hedge and adjust.
+func DefaultHedgeConfig() HedgeConfig { return system.DefaultHedge() }
 
 // DefaultConfig returns the paper's baseline configuration: 6 sites, 2
 // disks per site, 20 terminals per site with mean think time 350, a

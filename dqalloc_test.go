@@ -89,6 +89,29 @@ func TestRunFacadeImperfectInformation(t *testing.T) {
 	}
 }
 
+func TestRunFacadeOverload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	cfg.Audit = true
+	cfg.Arrival = DefaultMMPPArrivals(0.3)
+	cfg.Deadline = DefaultDeadlineConfig()
+	cfg.Hedge = DefaultHedgeConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpenArrivals == 0 || res.Completed == 0 {
+		t.Errorf("open arrivals did not drive the system: %+v", res)
+	}
+	if res.RespQuantiles.P50 <= 0 || res.RespQuantiles.P99 < res.RespQuantiles.P50 {
+		t.Errorf("implausible quantiles: %+v", res.RespQuantiles)
+	}
+	if res.DeadlineMet == 0 {
+		t.Error("no deadline outcomes recorded")
+	}
+}
+
 func TestPolicyConstantsDistinct(t *testing.T) {
 	kinds := []PolicyKind{Local, Random, BNQ, BNQRD, LERT}
 	seen := make(map[PolicyKind]bool, len(kinds))

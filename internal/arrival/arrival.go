@@ -1,0 +1,262 @@
+// Package arrival implements deterministic open-arrival sources for the
+// overload-robustness extension: instead of the paper's closed terminal
+// population (mpl terminals per site cycling think → submit → wait),
+// queries arrive from outside the system according to a per-class
+// stochastic process and leave on completion or rejection.
+//
+// Two processes are provided. Poisson is the textbook open workload:
+// exponential interarrival times at a constant rate. MMPP is a 2-state
+// Markov-modulated Poisson process alternating between a calm and a
+// burst phase with exponential dwell times; its long-run mean rate
+// equals the configured Rate while bursts carry BurstFactor times the
+// calm intensity — the bursty regime Thomasian's survey singles out as
+// the one closed models cannot produce.
+//
+// Every source owns a dedicated child RNG stream, so runs are
+// deterministic and arrival randomness never perturbs the model's other
+// streams. A state switch exploits the exponential distribution's
+// memorylessness: the pending arrival is cancelled and a fresh
+// interarrival is drawn at the new rate, which preserves both the
+// process's distribution and the simulation's determinism.
+package arrival
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+// Event kinds tagged onto this package's scheduler events for the trace
+// digest (see sim.Event.Kind).
+const (
+	// EventKindArrival marks one open arrival.
+	EventKindArrival byte = 0x61
+	// EventKindPhase marks an MMPP calm/burst phase switch.
+	EventKindPhase byte = 0x62
+)
+
+// Process selects the arrival process.
+type Process int
+
+const (
+	// Poisson arrivals have exponential interarrivals at a constant rate.
+	Poisson Process = iota + 1
+	// MMPP arrivals follow a 2-state Markov-modulated Poisson process
+	// alternating between calm and burst phases.
+	MMPP
+)
+
+// String returns the process name.
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case MMPP:
+		return "mmpp"
+	default:
+		return "unknown"
+	}
+}
+
+// Default MMPP dwell times, in simulated time units: long calm phases
+// punctuated by short bursts.
+const (
+	DefaultCalmMean  = 400.0
+	DefaultBurstMean = 100.0
+)
+
+// Config parameterizes the open-arrival subsystem. The zero value
+// (Enabled == false) keeps the paper's closed terminals.
+type Config struct {
+	// Enabled replaces the closed terminal population with open sources.
+	Enabled bool
+	// Process selects Poisson or MMPP arrivals.
+	Process Process
+	// Rate is the system-wide long-run mean arrival rate (queries per
+	// time unit), split across classes by the workload's class
+	// probabilities.
+	Rate float64
+	// BurstFactor is the ratio of burst-phase to calm-phase intensity
+	// (MMPP only, ≥ 1; 1 degenerates to Poisson).
+	BurstFactor float64
+	// CalmMean and BurstMean are the mean dwell times of the two MMPP
+	// phases; zero selects DefaultCalmMean/DefaultBurstMean.
+	CalmMean  float64
+	BurstMean float64
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Process != Poisson && c.Process != MMPP {
+		return fmt.Errorf("arrival: invalid process %d", c.Process)
+	}
+	if math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) || c.Rate <= 0 {
+		return fmt.Errorf("arrival: rate %v must be positive and finite", c.Rate)
+	}
+	if c.Process == MMPP {
+		if math.IsNaN(c.BurstFactor) || math.IsInf(c.BurstFactor, 0) || c.BurstFactor < 1 {
+			return fmt.Errorf("arrival: burst factor %v must be ≥ 1 and finite", c.BurstFactor)
+		}
+		if c.CalmMean < 0 || math.IsNaN(c.CalmMean) || math.IsInf(c.CalmMean, 0) {
+			return fmt.Errorf("arrival: calm dwell mean %v must be non-negative and finite", c.CalmMean)
+		}
+		if c.BurstMean < 0 || math.IsNaN(c.BurstMean) || math.IsInf(c.BurstMean, 0) {
+			return fmt.Errorf("arrival: burst dwell mean %v must be non-negative and finite", c.BurstMean)
+		}
+	}
+	return nil
+}
+
+// DefaultPoisson returns an enabled Poisson configuration at the given
+// system-wide rate.
+func DefaultPoisson(rate float64) Config {
+	return Config{Enabled: true, Process: Poisson, Rate: rate}
+}
+
+// DefaultMMPP returns an enabled MMPP configuration at the given
+// long-run mean rate with 4× bursts and the default dwell times.
+func DefaultMMPP(rate float64) Config {
+	return Config{Enabled: true, Process: MMPP, Rate: rate, BurstFactor: 4,
+		CalmMean: DefaultCalmMean, BurstMean: DefaultBurstMean}
+}
+
+// calmMean and burstMean apply the zero-means-default rule.
+func (c Config) calmMean() float64 {
+	if c.CalmMean > 0 {
+		return c.CalmMean
+	}
+	return DefaultCalmMean
+}
+
+func (c Config) burstMean() float64 {
+	if c.BurstMean > 0 {
+		return c.BurstMean
+	}
+	return DefaultBurstMean
+}
+
+// Source is one class's open-arrival process. It draws interarrival
+// times (and, for MMPP, phase dwell times and per-arrival home sites)
+// from its own stream and calls emit once per arrival.
+type Source struct {
+	sched *sim.Scheduler
+	strm  *rng.Stream
+	proc  Process
+	emit  func(home int)
+	homes int
+
+	calmRate  float64
+	burstRate float64
+	calmMean  float64
+	burstMean float64
+
+	burst    bool
+	next     sim.Handle // pending arrival
+	arriveFn sim.Action
+	switchFn sim.Action
+	arrivals uint64
+}
+
+// NewSource builds a source emitting arrivals at the given long-run mean
+// rate (this source's share of Config.Rate), uniformly over homes home
+// sites. emit is invoked from within the event loop, once per arrival.
+func NewSource(sched *sim.Scheduler, cfg Config, rate float64, homes int, stream *rng.Stream, emit func(home int)) (*Source, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, fmt.Errorf("arrival: source from disabled config")
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("arrival: source rate %v must be positive and finite", rate)
+	}
+	if homes < 1 {
+		return nil, fmt.Errorf("arrival: %d home sites < 1", homes)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("arrival: nil random stream")
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("arrival: nil emit callback")
+	}
+	s := &Source{
+		sched:    sched,
+		strm:     stream,
+		proc:     cfg.Process,
+		emit:     emit,
+		homes:    homes,
+		calmRate: rate,
+	}
+	if cfg.Process == MMPP {
+		// Solve the long-run mean for the calm intensity: over one
+		// calm+burst cycle the process spends Tc at λ_calm and Tb at
+		// F·λ_calm, so mean = λ_calm·(Tc + F·Tb)/(Tc + Tb) = rate.
+		tc, tb, f := cfg.calmMean(), cfg.burstMean(), cfg.BurstFactor
+		s.calmMean, s.burstMean = tc, tb
+		s.calmRate = rate * (tc + tb) / (tc + f*tb)
+		s.burstRate = f * s.calmRate
+	}
+	s.arriveFn = s.arrive
+	s.switchFn = s.switchPhase
+	return s, nil
+}
+
+// Start schedules the first arrival (and, for MMPP, the first phase
+// switch). Call once, before the scheduler runs.
+func (s *Source) Start() {
+	s.scheduleNext()
+	if s.proc == MMPP {
+		s.scheduleSwitch()
+	}
+}
+
+// Arrivals returns the number of arrivals emitted so far.
+func (s *Source) Arrivals() uint64 { return s.arrivals }
+
+// Bursting reports whether an MMPP source is currently in its burst
+// phase (always false for Poisson).
+func (s *Source) Bursting() bool { return s.burst }
+
+// rate returns the current phase's intensity.
+func (s *Source) rate() float64 {
+	if s.burst {
+		return s.burstRate
+	}
+	return s.calmRate
+}
+
+func (s *Source) scheduleNext() {
+	s.next = s.sched.After(s.strm.Exp(1/s.rate()), s.arriveFn)
+	s.next.SetKind(EventKindArrival)
+}
+
+func (s *Source) scheduleSwitch() {
+	mean := s.calmMean
+	if s.burst {
+		mean = s.burstMean
+	}
+	ev := s.sched.After(s.strm.Exp(mean), s.switchFn)
+	ev.SetKind(EventKindPhase)
+}
+
+func (s *Source) arrive() {
+	s.arrivals++
+	home := s.strm.Intn(s.homes)
+	s.scheduleNext()
+	s.emit(home)
+}
+
+// switchPhase toggles calm↔burst. The pending arrival was drawn at the
+// old intensity; by memorylessness of the exponential, cancelling it and
+// drawing fresh at the new intensity leaves the process exact.
+func (s *Source) switchPhase() {
+	s.burst = !s.burst
+	s.sched.Cancel(s.next)
+	s.scheduleNext()
+	s.scheduleSwitch()
+}

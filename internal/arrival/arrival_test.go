@@ -1,0 +1,145 @@
+package arrival
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"disabled zero value", Config{}, true},
+		{"poisson", DefaultPoisson(0.4), true},
+		{"mmpp", DefaultMMPP(0.4), true},
+		{"bad process", Config{Enabled: true, Process: 9, Rate: 1}, false},
+		{"zero rate", Config{Enabled: true, Process: Poisson, Rate: 0}, false},
+		{"negative rate", Config{Enabled: true, Process: Poisson, Rate: -1}, false},
+		{"inf rate", Config{Enabled: true, Process: Poisson, Rate: math.Inf(1)}, false},
+		{"nan rate", Config{Enabled: true, Process: Poisson, Rate: math.NaN()}, false},
+		{"burst factor below one", Config{Enabled: true, Process: MMPP, Rate: 1, BurstFactor: 0.5}, false},
+		{"negative calm dwell", Config{Enabled: true, Process: MMPP, Rate: 1, BurstFactor: 2, CalmMean: -1}, false},
+		{"negative burst dwell", Config{Enabled: true, Process: MMPP, Rate: 1, BurstFactor: 2, BurstMean: -1}, false},
+		{"mmpp factor one", Config{Enabled: true, Process: MMPP, Rate: 1, BurstFactor: 1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("config %+v validated", tc.cfg)
+			}
+		})
+	}
+}
+
+// runSource drives one source for the given horizon and returns its
+// arrival count and the arrival time sequence.
+func runSource(t *testing.T, cfg Config, rate float64, seed uint64, horizon float64) (uint64, []float64) {
+	t.Helper()
+	sched := sim.New()
+	var times []float64
+	src, err := NewSource(sched, cfg, rate, 4, rng.NewStream(seed), func(home int) {
+		if home < 0 || home >= 4 {
+			t.Fatalf("home %d out of range", home)
+		}
+		times = append(times, sched.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	sched.RunUntil(horizon)
+	if src.Arrivals() != uint64(len(times)) {
+		t.Fatalf("source counted %d arrivals, emitted %d", src.Arrivals(), len(times))
+	}
+	return src.Arrivals(), times
+}
+
+// TestLongRunRate checks that both processes realize their configured
+// long-run mean rate: the MMPP calm/burst intensities are solved so the
+// cycle-weighted mean equals Rate.
+func TestLongRunRate(t *testing.T) {
+	const rate, horizon = 0.5, 200_000.0
+	for _, cfg := range []Config{DefaultPoisson(rate), DefaultMMPP(rate)} {
+		n, _ := runSource(t, cfg, rate, 11, horizon)
+		got := float64(n) / horizon
+		if math.Abs(got-rate)/rate > 0.05 {
+			t.Errorf("%s: realized rate %.4f, want %.2f ± 5%%", cfg.Process, got, rate)
+		}
+	}
+}
+
+// TestMMPPBurstier verifies that the burst phase actually concentrates
+// arrivals: the dispersion (variance/mean of per-window counts) of an
+// MMPP with 8× bursts must exceed the Poisson dispersion of 1.
+func TestMMPPBurstier(t *testing.T) {
+	cfg := DefaultMMPP(0.5)
+	cfg.BurstFactor = 8
+	_, times := runSource(t, cfg, 0.5, 5, 100_000)
+	const window = 50.0
+	counts := make(map[int]float64)
+	for _, at := range times {
+		counts[int(at/window)]++
+	}
+	nw := int(100_000 / window)
+	var mean, m2 float64
+	for i := 0; i < nw; i++ {
+		mean += counts[i]
+	}
+	mean /= float64(nw)
+	for i := 0; i < nw; i++ {
+		d := counts[i] - mean
+		m2 += d * d
+	}
+	dispersion := m2 / float64(nw) / mean
+	if dispersion < 1.5 {
+		t.Fatalf("MMPP dispersion %.2f not over-dispersed vs Poisson (1.0)", dispersion)
+	}
+}
+
+// TestDeterminism: two same-seed sources emit identical arrival-time
+// sequences, including across MMPP phase switches.
+func TestDeterminism(t *testing.T) {
+	for _, cfg := range []Config{DefaultPoisson(0.3), DefaultMMPP(0.3)} {
+		_, a := runSource(t, cfg, 0.3, 42, 20_000)
+		_, b := runSource(t, cfg, 0.3, 42, 20_000)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d arrivals on the same seed", cfg.Process, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d at %v vs %v", cfg.Process, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestNewSourceErrors(t *testing.T) {
+	sched := sim.New()
+	stream := rng.NewStream(1)
+	emit := func(int) {}
+	ok := DefaultPoisson(1)
+	if _, err := NewSource(sched, Config{}, 1, 1, stream, emit); err == nil {
+		t.Error("disabled config accepted")
+	}
+	if _, err := NewSource(sched, ok, 0, 1, stream, emit); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSource(sched, ok, 1, 0, stream, emit); err == nil {
+		t.Error("zero homes accepted")
+	}
+	if _, err := NewSource(sched, ok, 1, 1, nil, emit); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := NewSource(sched, ok, 1, 1, stream, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}

@@ -44,11 +44,13 @@ type Conservation struct {
 }
 
 // NewConservation builds the auditor. capacity is the closed population
-// bound (NumSites × MPL); tableTotal reads the load table; sites (optional)
-// reports the per-site census into the provided buffer.
+// bound (NumSites × MPL), or 0 for an open system (unbounded in-flight
+// population — the open-arrival extension); tableTotal reads the load
+// table; sites (optional) reports the per-site census into the provided
+// buffer.
 func NewConservation(capacity int, tableTotal func() int, sites func(buf []SiteCounts) []SiteCounts) *Conservation {
-	if capacity < 1 {
-		panic("check: conservation capacity < 1")
+	if capacity < 0 {
+		panic("check: negative conservation capacity")
 	}
 	if tableTotal == nil {
 		panic("check: nil tableTotal")
@@ -91,7 +93,7 @@ func (c *Conservation) check(t float64) {
 		return
 	}
 	inflight := c.submitted - c.completed - c.rejected
-	if inflight > uint64(c.capacity) {
+	if c.capacity > 0 && inflight > uint64(c.capacity) {
 		c.failf("check: conservation: t=%v: %d queries in flight exceed closed population %d",
 			t, inflight, c.capacity)
 		return
@@ -352,14 +354,19 @@ type FaultTotals struct {
 	// Abandoned counts lost queries whose retry budget ran out (each is
 	// also a rejection).
 	Abandoned uint64
+	// Preempted counts losses resolved outside the retry path entirely:
+	// the query completed through a hedge clone, or a deadline abort
+	// withdrew it, while it was awaiting recovery (overload extension).
+	Preempted uint64
 	// PendingRecovery counts queries currently lost and awaiting their
-	// watchdog (not yet retried or abandoned).
+	// watchdog (not yet retried, abandoned, or preempted).
 	PendingRecovery int
 }
 
 // FaultConservation audits the fault layer's loss accounting between
-// every pair of events: every loss must be retried, abandoned, or still
-// awaiting its watchdog — lost == retried + abandoned + pendingRecovery
+// every pair of events: every loss must be retried, abandoned, preempted
+// (resolved by a hedge win or deadline abort), or still awaiting its
+// watchdog — lost == retried + abandoned + preempted + pendingRecovery
 // — so no query silently vanishes. It also re-checks the closed
 // population bound using the rejection-aware in-flight count.
 type FaultConservation struct {
@@ -373,11 +380,11 @@ type FaultConservation struct {
 }
 
 // NewFaultConservation builds the auditor. capacity is the closed
-// population bound (NumSites × MPL); totals reads the fault layer's
-// counters.
+// population bound (NumSites × MPL), or 0 for an open system; totals
+// reads the fault layer's counters.
 func NewFaultConservation(capacity int, totals func() FaultTotals) *FaultConservation {
-	if capacity < 1 {
-		panic("check: fault-conservation capacity < 1")
+	if capacity < 0 {
+		panic("check: negative fault-conservation capacity")
 	}
 	if totals == nil {
 		panic("check: nil fault totals")
@@ -428,9 +435,9 @@ func (f *FaultConservation) check(t float64) {
 			t, tot.PendingRecovery)
 		return
 	}
-	if tot.Lost != tot.Retried+tot.Abandoned+uint64(tot.PendingRecovery) {
-		f.failf("check: fault-conservation: t=%v: %d lost != %d retried + %d abandoned + %d pending recovery",
-			t, tot.Lost, tot.Retried, tot.Abandoned, tot.PendingRecovery)
+	if tot.Lost != tot.Retried+tot.Abandoned+tot.Preempted+uint64(tot.PendingRecovery) {
+		f.failf("check: fault-conservation: t=%v: %d lost != %d retried + %d abandoned + %d preempted + %d pending recovery",
+			t, tot.Lost, tot.Retried, tot.Abandoned, tot.Preempted, tot.PendingRecovery)
 		return
 	}
 	if f.completed+f.rejected > f.submitted {
@@ -438,7 +445,7 @@ func (f *FaultConservation) check(t float64) {
 			t, f.completed, f.rejected, f.submitted)
 		return
 	}
-	if inflight := f.submitted - f.completed - f.rejected; inflight > uint64(f.capacity) {
+	if inflight := f.submitted - f.completed - f.rejected; f.capacity > 0 && inflight > uint64(f.capacity) {
 		f.failf("check: fault-conservation: t=%v: %d queries in flight exceed closed population %d",
 			t, inflight, f.capacity)
 	}
@@ -457,15 +464,19 @@ type AdmissionTotals struct {
 	// Shed counts queries rejected outright by admission control (each
 	// is also a rejection).
 	Shed uint64
+	// Aborted counts parked queries withdrawn by a deadline abort before
+	// their resubmission timer fired (overload extension).
+	Aborted uint64
 	// Waiting counts queries currently parked awaiting resubmission.
 	Waiting int
 }
 
 // AdmissionConservation audits the overload-admission ledger between
-// every pair of events: every deferral must be resubmitted or still
-// parked — deferred == resubmitted + waiting — so no bounced query
-// silently vanishes; sheds never exceed observed rejections; and the
-// rejection-aware in-flight count respects the closed population.
+// every pair of events: every deferral must be resubmitted, still
+// parked, or withdrawn by a deadline abort — deferred == resubmitted +
+// waiting + aborted — so no bounced query silently vanishes; sheds
+// never exceed observed rejections; and the rejection-aware in-flight
+// count respects the closed population.
 type AdmissionConservation struct {
 	violation
 	capacity int
@@ -477,11 +488,11 @@ type AdmissionConservation struct {
 }
 
 // NewAdmissionConservation builds the auditor. capacity is the closed
-// population bound (NumSites × MPL); totals reads the admission
-// controller's counters.
+// population bound (NumSites × MPL), or 0 for an open system; totals
+// reads the admission controller's counters.
 func NewAdmissionConservation(capacity int, totals func() AdmissionTotals) *AdmissionConservation {
-	if capacity < 1 {
-		panic("check: admission-conservation capacity < 1")
+	if capacity < 0 {
+		panic("check: negative admission-conservation capacity")
 	}
 	if totals == nil {
 		panic("check: nil admission totals")
@@ -525,9 +536,9 @@ func (a *AdmissionConservation) check(t float64) {
 		a.failf("check: admission-conservation: t=%v: negative waiting count %d", t, tot.Waiting)
 		return
 	}
-	if tot.Deferred != tot.Resubmitted+uint64(tot.Waiting) {
-		a.failf("check: admission-conservation: t=%v: %d deferred != %d resubmitted + %d waiting",
-			t, tot.Deferred, tot.Resubmitted, tot.Waiting)
+	if tot.Deferred != tot.Resubmitted+tot.Aborted+uint64(tot.Waiting) {
+		a.failf("check: admission-conservation: t=%v: %d deferred != %d resubmitted + %d waiting + %d aborted",
+			t, tot.Deferred, tot.Resubmitted, tot.Waiting, tot.Aborted)
 		return
 	}
 	if tot.Shed > a.rejected {
@@ -540,7 +551,7 @@ func (a *AdmissionConservation) check(t float64) {
 			t, a.completed, a.rejected, a.submitted)
 		return
 	}
-	if inflight := a.submitted - a.completed - a.rejected; inflight > uint64(a.capacity) {
+	if inflight := a.submitted - a.completed - a.rejected; a.capacity > 0 && inflight > uint64(a.capacity) {
 		a.failf("check: admission-conservation: t=%v: %d queries in flight exceed closed population %d",
 			t, inflight, a.capacity)
 	}

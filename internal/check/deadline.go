@@ -1,0 +1,91 @@
+package check
+
+import "dqalloc/internal/sim"
+
+// DeadlineTotals is the overload layer's deadline/hedge ledger, read by
+// the deadline-conservation auditor through a closure so the auditor
+// stays decoupled from the system package.
+type DeadlineTotals struct {
+	// Armed counts deadline watchdogs armed (one per query, at its first
+	// allocation).
+	Armed uint64
+	// Met counts deadlines resolved by completion before expiry.
+	Met uint64
+	// Missed counts deadline expiries; each aborts its query.
+	Missed uint64
+	// Cancelled counts armed deadlines retired by a rejection path
+	// (admission shed after deferral, retry budget exhausted) before
+	// either completing or expiring.
+	Cancelled uint64
+	// Pending counts deadlines currently armed.
+	Pending int
+
+	// HedgesLaunched counts hedge clones issued to a second site.
+	HedgesLaunched uint64
+	// HedgeWins counts races the clone won.
+	HedgeWins uint64
+	// HedgeCancelled counts clones cancelled (primary finished first,
+	// deadline abort) or destroyed by faults before finishing.
+	HedgeCancelled uint64
+	// HedgePending counts clones currently racing.
+	HedgePending int
+}
+
+// DeadlineConservation audits the deadline/hedge ledger between every
+// pair of events: every armed deadline is met, missed, cancelled, or
+// still pending — armed == met + missed + cancelled + pending — and
+// every launched hedge clone wins, is cancelled, or is still racing —
+// launched == wins + cancelled + racing — so no watchdog or clone
+// silently vanishes.
+type DeadlineConservation struct {
+	violation
+	totals func() DeadlineTotals
+}
+
+// NewDeadlineConservation builds the auditor over the overload layer's
+// counters.
+func NewDeadlineConservation(totals func() DeadlineTotals) *DeadlineConservation {
+	if totals == nil {
+		panic("check: nil deadline totals")
+	}
+	return &DeadlineConservation{totals: totals}
+}
+
+// Name implements Auditor.
+func (d *DeadlineConservation) Name() string { return "deadline-conservation" }
+
+// EventFired implements EventObserver: the ledger identities must hold
+// whenever the model is quiescent.
+func (d *DeadlineConservation) EventFired(e *sim.Event) {
+	if d.err == nil {
+		d.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (d *DeadlineConservation) Finalize(f Final) {
+	if d.err == nil {
+		d.check(f.End)
+	}
+}
+
+func (d *DeadlineConservation) check(t float64) {
+	tot := d.totals()
+	if tot.Pending < 0 {
+		d.failf("check: deadline-conservation: t=%v: negative pending count %d", t, tot.Pending)
+		return
+	}
+	if tot.HedgePending < 0 {
+		d.failf("check: deadline-conservation: t=%v: negative racing-clone count %d", t, tot.HedgePending)
+		return
+	}
+	if tot.Armed != tot.Met+tot.Missed+tot.Cancelled+uint64(tot.Pending) {
+		d.failf("check: deadline-conservation: t=%v: %d armed != %d met + %d missed + %d cancelled + %d pending",
+			t, tot.Armed, tot.Met, tot.Missed, tot.Cancelled, tot.Pending)
+		return
+	}
+	if tot.HedgesLaunched != tot.HedgeWins+tot.HedgeCancelled+uint64(tot.HedgePending) {
+		d.failf("check: deadline-conservation: t=%v: %d hedges != %d wins + %d cancelled + %d racing",
+			t, tot.HedgesLaunched, tot.HedgeWins, tot.HedgeCancelled, tot.HedgePending)
+	}
+}

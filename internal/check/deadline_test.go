@@ -1,0 +1,130 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeadlineConservation(t *testing.T) {
+	t.Run("balanced ledger passes", func(t *testing.T) {
+		tot := DeadlineTotals{
+			Armed: 10, Met: 5, Missed: 2, Cancelled: 1, Pending: 2,
+			HedgesLaunched: 4, HedgeWins: 1, HedgeCancelled: 2, HedgePending: 1,
+		}
+		d := NewDeadlineConservation(func() DeadlineTotals { return tot })
+		d.check(1)
+		d.Finalize(Final{End: 2})
+		if err := d.Err(); err != nil {
+			t.Fatalf("balanced ledger flagged: %v", err)
+		}
+	})
+	t.Run("leaked watchdog fails", func(t *testing.T) {
+		tot := DeadlineTotals{Armed: 3, Met: 1, Pending: 1}
+		d := NewDeadlineConservation(func() DeadlineTotals { return tot })
+		d.check(1)
+		if err := d.Err(); err == nil || !strings.Contains(err.Error(), "armed") {
+			t.Fatalf("leaked watchdog not flagged: %v", err)
+		}
+	})
+	t.Run("leaked clone fails", func(t *testing.T) {
+		tot := DeadlineTotals{HedgesLaunched: 2, HedgeWins: 1}
+		d := NewDeadlineConservation(func() DeadlineTotals { return tot })
+		d.check(1)
+		if err := d.Err(); err == nil || !strings.Contains(err.Error(), "hedges") {
+			t.Fatalf("leaked clone not flagged: %v", err)
+		}
+	})
+	t.Run("negative pendings fail", func(t *testing.T) {
+		d := NewDeadlineConservation(func() DeadlineTotals { return DeadlineTotals{Pending: -1} })
+		d.check(1)
+		if d.Err() == nil {
+			t.Fatal("negative pending not flagged")
+		}
+		d2 := NewDeadlineConservation(func() DeadlineTotals { return DeadlineTotals{HedgePending: -1} })
+		d2.check(1)
+		if d2.Err() == nil {
+			t.Fatal("negative hedge pending not flagged")
+		}
+	})
+	if got := NewDeadlineConservation(func() DeadlineTotals { return DeadlineTotals{} }).Name(); got != "deadline-conservation" {
+		t.Fatalf("name %q", got)
+	}
+}
+
+// TestOpenCapacityUnbounded: capacity 0 means an open population — the
+// in-flight bound is waived across the conservation auditors while the
+// other identities keep applying.
+func TestOpenCapacityUnbounded(t *testing.T) {
+	c := NewConservation(0, func() int { return 0 }, nil)
+	for i := 0; i < 100; i++ {
+		c.Submitted(float64(i))
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("open conservation flagged unbounded in-flight: %v", err)
+	}
+
+	f := NewFaultConservation(0, func() FaultTotals { return FaultTotals{} })
+	for i := 0; i < 100; i++ {
+		f.Submitted(float64(i))
+	}
+	if err := f.Err(); err != nil {
+		t.Fatalf("open fault-conservation flagged unbounded in-flight: %v", err)
+	}
+
+	a := NewAdmissionConservation(0, func() AdmissionTotals { return AdmissionTotals{} })
+	for i := 0; i < 100; i++ {
+		a.Submitted(float64(i))
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("open admission-conservation flagged unbounded in-flight: %v", err)
+	}
+
+	for _, fn := range []func(){
+		func() { NewConservation(-1, func() int { return 0 }, nil) },
+		func() { NewFaultConservation(-1, func() FaultTotals { return FaultTotals{} }) },
+		func() { NewAdmissionConservation(-1, func() AdmissionTotals { return AdmissionTotals{} }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("negative capacity did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPreemptedBalancesFaultLedger: preempted losses (hedge wins /
+// deadline aborts of lost queries) are a fourth resolution channel.
+func TestPreemptedBalancesFaultLedger(t *testing.T) {
+	tot := FaultTotals{Lost: 5, Retried: 2, Abandoned: 1, Preempted: 2}
+	f := NewFaultConservation(4, func() FaultTotals { return tot })
+	f.Lost(1)
+	if err := f.Err(); err != nil {
+		t.Fatalf("preempted-balanced ledger flagged: %v", err)
+	}
+	tot.Preempted = 1
+	f2 := NewFaultConservation(4, func() FaultTotals { return tot })
+	f2.Lost(1)
+	if err := f2.Err(); err == nil || !strings.Contains(err.Error(), "preempted") {
+		t.Fatalf("unbalanced preempted ledger not flagged: %v", err)
+	}
+}
+
+// TestAbortedBalancesAdmissionLedger: deadline aborts of parked queries
+// are a third resolution channel for deferrals.
+func TestAbortedBalancesAdmissionLedger(t *testing.T) {
+	tot := AdmissionTotals{Deferred: 4, Resubmitted: 2, Waiting: 1, Aborted: 1}
+	a := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+	a.Submitted(1)
+	if err := a.Err(); err != nil {
+		t.Fatalf("aborted-balanced ledger flagged: %v", err)
+	}
+	tot.Aborted = 0
+	a2 := NewAdmissionConservation(4, func() AdmissionTotals { return tot })
+	a2.Submitted(1)
+	if err := a2.Err(); err == nil {
+		t.Fatal("unbalanced aborted ledger not flagged")
+	}
+}

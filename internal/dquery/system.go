@@ -159,7 +159,12 @@ type Results struct {
 	Completed uint64
 	// MeanResponse is the mean end-to-end response time of a join query.
 	MeanResponse float64
-	// P95Response approximates the 95th percentile response time.
+	// P95Response is the 95th percentile response time, read from a
+	// log-bucketed histogram with ≤2% relative error per sample.
+	//
+	// Deprecated name: earlier revisions approximated this from a coarse
+	// fixed-range linear histogram that clipped at 2000 time units; the
+	// field keeps its name for compatibility but is now a real quantile.
 	P95Response float64
 	// CPUUtil and DiskUtil are site means; MaxCPUUtil is the hottest
 	// site's CPU utilization — the convoy indicator for static plans.
@@ -195,7 +200,7 @@ type System struct {
 	measuring bool
 	startAt   float64
 	responses stats.Welford
-	respHist  *stats.Histogram
+	respHist  *stats.LogHistogram
 	shipped   float64
 }
 
@@ -246,7 +251,7 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
-	s.respHist = stats.NewHistogram(0, 2000, 400)
+	s.respHist = stats.NewLogHistogram(0.001, 1e7, 0.02)
 	return s, nil
 }
 

@@ -1,0 +1,128 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/arrival"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// OverloadRow is one cell of the overload & tail-robustness study: one
+// allocation policy at one offered load and burstiness level, with
+// deadlines and hedging on, averaged over the runner's replications.
+type OverloadRow struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Rate is the offered arrival rate (queries per time unit,
+	// system-wide); Burst is the MMPP burst factor (1 = plain Poisson).
+	Rate  float64
+	Burst float64
+	// Arrivals and Completed are totals across replications.
+	Arrivals  uint64
+	Completed uint64
+	// MeanResponse is the mean response time of completed queries.
+	MeanResponse float64
+	// P50, P95 and P99 are the measured response-time quantiles,
+	// averaged across replications.
+	P50 float64
+	P95 float64
+	P99 float64
+	// MissFrac is deadline misses over deadline outcomes (met+missed).
+	MissFrac float64
+	// Hedged, HedgeWins, Aborted and Rejected are totals across
+	// replications.
+	Hedged    uint64
+	HedgeWins uint64
+	Aborted   uint64
+	Rejected  uint64
+	// Throughput is completed queries per time unit, averaged.
+	Throughput float64
+}
+
+// OverloadSweep runs each policy across an offered-load × burstiness
+// grid under open arrivals with deadlines and hedging enabled, every
+// replication fully audited — the overload extension's counterpart of
+// DegradationSweep. burst == 1 selects a plain Poisson source; any
+// other level selects an MMPP source with that burst factor and the
+// default dwell times. The paper's closed terminals bound the backlog
+// by construction; this sweep asks how the allocation policies degrade
+// when that bound is removed and arrivals cluster.
+func OverloadSweep(r Runner, kinds []policy.Kind, rates, bursts []float64) ([]OverloadRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 || len(bursts) == 0 {
+		return nil, fmt.Errorf("exper: overload sweep: empty rate or burst grid")
+	}
+	rows := make([]OverloadRow, 0, len(kinds)*len(rates)*len(bursts))
+	for _, kind := range kinds {
+		for _, rate := range rates {
+			for _, burst := range bursts {
+				cfg := r.applyHorizons(system.Default())
+				cfg.PolicyKind = kind
+				cfg.Audit = true
+				if burst == 1 {
+					cfg.Arrival = arrival.DefaultPoisson(rate)
+				} else {
+					cfg.Arrival = arrival.DefaultMMPP(rate)
+					cfg.Arrival.BurstFactor = burst
+				}
+				cfg.Deadline = system.DefaultDeadline()
+				cfg.Hedge = system.DefaultHedge()
+				row := OverloadRow{Policy: kind.String(), Rate: rate, Burst: burst}
+				var missed, met uint64
+				for rep := 0; rep < r.Reps; rep++ {
+					cfg.Seed = r.BaseSeed + uint64(rep)
+					sys, err := newSystem(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("exper: overload sweep %v rate %v burst %v: %w",
+							kind, rate, burst, err)
+					}
+					res := sys.Run()
+					if err := sys.Audit(); err != nil {
+						return nil, fmt.Errorf("exper: overload sweep %v rate %v burst %v seed %d: %w",
+							kind, rate, burst, cfg.Seed, err)
+					}
+					row.Arrivals += res.OpenArrivals
+					row.Completed += res.Completed
+					row.MeanResponse += res.MeanResponse
+					row.P50 += res.RespQuantiles.P50
+					row.P95 += res.RespQuantiles.P95
+					row.P99 += res.RespQuantiles.P99
+					met += res.DeadlineMet
+					missed += res.DeadlineMisses
+					row.Hedged += res.Hedged
+					row.HedgeWins += res.HedgeWins
+					row.Aborted += res.QueriesAborted
+					row.Rejected += res.QueriesRejected
+					row.Throughput += res.Throughput
+				}
+				n := float64(r.Reps)
+				row.MeanResponse /= n
+				row.P50 /= n
+				row.P95 /= n
+				row.P99 /= n
+				row.Throughput /= n
+				if met+missed > 0 {
+					row.MissFrac = float64(missed) / float64(met+missed)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// DefaultOverloadRates returns the offered loads used in EXPERIMENTS.md:
+// moderate, near-saturation, and past the Table-7 baseline's capacity
+// (the 6-site system saturates near 0.57 queries per time unit).
+func DefaultOverloadRates() []float64 {
+	return []float64{0.30, 0.45, 0.60}
+}
+
+// DefaultBurstLevels returns the burstiness grid used in EXPERIMENTS.md:
+// plain Poisson and 4× bursts.
+func DefaultBurstLevels() []float64 {
+	return []float64{1, 4}
+}

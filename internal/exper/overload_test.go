@@ -1,0 +1,85 @@
+package exper
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+// TestOverloadSweep exercises the overload grid end to end: open bursty
+// arrivals, deadlines, and hedging across four policies, every
+// replication audited. Any ledger violation (a watchdog or hedge clone
+// leaking) surfaces as a sweep error here.
+func TestOverloadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload sweep is slow")
+	}
+	r := Runner{Reps: 2, BaseSeed: 41, Warmup: 400, Measure: 4000}
+	kinds := []policy.Kind{policy.Local, policy.BNQ, policy.BNQRD, policy.LERT}
+	rates := []float64{0.30, 0.50}
+	bursts := []float64{1, 4}
+	rows, err := OverloadSweep(r, kinds, rates, bursts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kinds)*len(rates)*len(bursts) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(kinds)*len(rates)*len(bursts))
+	}
+	for _, row := range rows {
+		if row.Arrivals == 0 {
+			t.Errorf("%s rate=%v burst=%v: no arrivals", row.Policy, row.Rate, row.Burst)
+		}
+		if row.Completed == 0 {
+			t.Errorf("%s rate=%v burst=%v: no completions", row.Policy, row.Rate, row.Burst)
+		}
+		if row.MissFrac < 0 || row.MissFrac > 1 {
+			t.Errorf("%s rate=%v burst=%v: miss fraction %v outside [0,1]",
+				row.Policy, row.Rate, row.Burst, row.MissFrac)
+		}
+		if row.P50 > row.P95 || row.P95 > row.P99 {
+			t.Errorf("%s rate=%v burst=%v: quantiles not monotone: p50=%v p95=%v p99=%v",
+				row.Policy, row.Rate, row.Burst, row.P50, row.P95, row.P99)
+		}
+		if row.HedgeWins > row.Hedged {
+			t.Errorf("%s rate=%v burst=%v: hedge wins %d exceed launches %d",
+				row.Policy, row.Rate, row.Burst, row.HedgeWins, row.Hedged)
+		}
+	}
+	// The load-aware policies must launch hedges somewhere on the grid
+	// (LOCAL never transfers, so it never hedges).
+	var hedged uint64
+	for _, row := range rows {
+		if row.Policy != policy.Local.String() {
+			hedged += row.Hedged
+		}
+	}
+	if hedged == 0 {
+		t.Error("no hedges launched anywhere on the load-aware grid")
+	}
+}
+
+func TestOverloadSweepRejectsEmptyGrid(t *testing.T) {
+	r := Runner{Reps: 1, BaseSeed: 1, Warmup: 10, Measure: 100}
+	if _, err := OverloadSweep(r, []policy.Kind{policy.Local}, nil, []float64{1}); err == nil {
+		t.Error("empty rate grid accepted")
+	}
+	if _, err := OverloadSweep(r, []policy.Kind{policy.Local}, []float64{0.3}, nil); err == nil {
+		t.Error("empty burst grid accepted")
+	}
+}
+
+func TestDefaultOverloadLevels(t *testing.T) {
+	rates := DefaultOverloadRates()
+	if len(rates) < 3 {
+		t.Fatalf("want at least 3 rates, got %d", len(rates))
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			t.Errorf("rates not strictly increasing: %v", rates)
+		}
+	}
+	bursts := DefaultBurstLevels()
+	if len(bursts) < 2 || bursts[0] != 1 {
+		t.Fatalf("want Poisson baseline first, got %v", bursts)
+	}
+}

@@ -73,6 +73,18 @@ func (d *DiskArray[T]) Drain() []T {
 	return out
 }
 
+// RemoveFunc withdraws the first matching read across the disks (in
+// disk-index order) without completing it. See FCFS.RemoveFunc.
+func (d *DiskArray[T]) RemoveFunc(match func(T) bool) (T, bool) {
+	for _, disk := range d.disks {
+		if job, ok := disk.RemoveFunc(match); ok {
+			return job, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
 // NumDisks returns the number of disks in the array.
 func (d *DiskArray[T]) NumDisks() int { return len(d.disks) }
 

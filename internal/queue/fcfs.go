@@ -116,6 +116,42 @@ func (f *FCFS[T]) Drain() []T {
 	return out
 }
 
+// RemoveFunc withdraws the first job matching the predicate — queued or
+// in service — without completing it, and reports whether one matched.
+// Removing the job in service cancels its pending completion event and
+// starts the next job fresh (the elapsed service is forfeited, matching
+// Drain's crash semantics); removing a queued job just closes the gap.
+// This is the deadline-abort / hedge-cancellation primitive.
+func (f *FCFS[T]) RemoveFunc(match func(T) bool) (T, bool) {
+	var zero T
+	for i := range f.queue {
+		if !match(f.queue[i].job) {
+			continue
+		}
+		job := f.queue[i].job
+		now := f.sched.Now()
+		inService := i == 0 && f.busy
+		if inService {
+			f.sched.Cancel(f.next)
+			f.next = sim.Handle{}
+		}
+		copy(f.queue[i:], f.queue[i+1:])
+		f.queue[len(f.queue)-1] = fcfsEntry[T]{}
+		f.queue = f.queue[:len(f.queue)-1]
+		f.qlen.Set(now, float64(len(f.queue)))
+		if inService {
+			if len(f.queue) > 0 {
+				f.startNext()
+			} else {
+				f.busy = false
+				f.util.Set(now, 0)
+			}
+		}
+		return job, true
+	}
+	return zero, false
+}
+
 func (f *FCFS[T]) startNext() {
 	now := f.sched.Now()
 	f.busy = true

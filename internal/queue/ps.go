@@ -108,6 +108,33 @@ func (p *PS[T]) Drain() []T {
 	return out
 }
 
+// RemoveFunc withdraws the first job matching the predicate without
+// completing it, and reports whether one matched. Elapsed sharing is
+// applied to every job first, then the next departure is rescheduled
+// over the survivors — who from this instant share the processor one
+// way fewer. This is the deadline-abort / hedge-cancellation primitive.
+func (p *PS[T]) RemoveFunc(match func(T) bool) (T, bool) {
+	var zero T
+	for i := range p.jobs {
+		if !match(p.jobs[i].job) {
+			continue
+		}
+		p.advance()
+		job := p.jobs[i].job
+		copy(p.jobs[i:], p.jobs[i+1:])
+		p.jobs[len(p.jobs)-1] = psJob[T]{}
+		p.jobs = p.jobs[:len(p.jobs)-1]
+		now := p.sched.Now()
+		p.load.Set(now, float64(len(p.jobs)))
+		if len(p.jobs) == 0 {
+			p.util.Set(now, 0)
+		}
+		p.reschedule()
+		return job, true
+	}
+	return zero, false
+}
+
 // advance applies elapsed processor sharing to every active job.
 func (p *PS[T]) advance() {
 	now := p.sched.Now()

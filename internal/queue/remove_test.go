@@ -1,0 +1,154 @@
+package queue
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+)
+
+// TestFCFSRemoveQueued removes a waiting job: the job in service is
+// untouched and completes on schedule.
+func TestFCFSRemoveQueued(t *testing.T) {
+	sched := sim.New()
+	var done []int
+	f := NewFCFS[int](sched, func(j int) { done = append(done, j) })
+	f.Enqueue(1, 10)
+	f.Enqueue(2, 10)
+	f.Enqueue(3, 10)
+	job, ok := f.RemoveFunc(func(j int) bool { return j == 2 })
+	if !ok || job != 2 {
+		t.Fatalf("RemoveFunc = (%d, %v), want (2, true)", job, ok)
+	}
+	if f.QueueLen() != 2 {
+		t.Fatalf("queue length %d, want 2", f.QueueLen())
+	}
+	sched.Run()
+	if len(done) != 2 || done[0] != 1 || done[1] != 3 {
+		t.Fatalf("completions %v, want [1 3]", done)
+	}
+	if sched.Now() != 20 {
+		t.Fatalf("finished at %v, want 20 (job 2's service never ran)", sched.Now())
+	}
+}
+
+// TestFCFSRemoveInService removes the job in service: its completion
+// event is cancelled and the next job starts fresh at that instant.
+func TestFCFSRemoveInService(t *testing.T) {
+	sched := sim.New()
+	var done []int
+	f := NewFCFS[int](sched, func(j int) { done = append(done, j) })
+	f.Enqueue(1, 10)
+	f.Enqueue(2, 7)
+	sched.RunUntil(4) // job 1 is mid-service
+	job, ok := f.RemoveFunc(func(j int) bool { return j == 1 })
+	if !ok || job != 1 {
+		t.Fatalf("RemoveFunc = (%d, %v), want (1, true)", job, ok)
+	}
+	if !f.Busy() || f.QueueLen() != 1 {
+		t.Fatalf("busy %v queue %d, want service of job 2 started", f.Busy(), f.QueueLen())
+	}
+	sched.Run()
+	if len(done) != 1 || done[0] != 2 {
+		t.Fatalf("completions %v, want [2]", done)
+	}
+	if sched.Now() != 11 { // 4 (removal) + 7 (job 2 fresh)
+		t.Fatalf("job 2 finished at %v, want 11", sched.Now())
+	}
+}
+
+// TestFCFSRemoveLastGoesIdle removes the only job: the server must go
+// idle with no dangling completion event.
+func TestFCFSRemoveLastGoesIdle(t *testing.T) {
+	sched := sim.New()
+	f := NewFCFS[int](sched, func(int) { t.Fatal("unexpected completion") })
+	f.Enqueue(1, 10)
+	sched.RunUntil(3)
+	if _, ok := f.RemoveFunc(func(j int) bool { return j == 1 }); !ok {
+		t.Fatal("job not found")
+	}
+	if f.Busy() || f.QueueLen() != 0 {
+		t.Fatalf("busy %v queue %d after removing the only job", f.Busy(), f.QueueLen())
+	}
+	sched.Run() // no completion may fire
+}
+
+func TestFCFSRemoveAbsent(t *testing.T) {
+	sched := sim.New()
+	f := NewFCFS[int](sched, func(int) {})
+	f.Enqueue(1, 5)
+	if _, ok := f.RemoveFunc(func(j int) bool { return j == 99 }); ok {
+		t.Fatal("absent job reported removed")
+	}
+	if f.QueueLen() != 1 {
+		t.Fatalf("queue length %d, want 1", f.QueueLen())
+	}
+}
+
+// TestPSRemove removes one of two sharing jobs mid-service: the
+// survivor speeds up to full rate from the removal instant.
+func TestPSRemove(t *testing.T) {
+	sched := sim.New()
+	var done []int
+	p := NewPS[int](sched, func(j int) { done = append(done, j) })
+	p.Enqueue(1, 10)
+	p.Enqueue(2, 10)
+	sched.RunUntil(4) // each has received 2 units, 8 remain apiece
+	job, ok := p.RemoveFunc(func(j int) bool { return j == 1 })
+	if !ok || job != 1 {
+		t.Fatalf("RemoveFunc = (%d, %v), want (1, true)", job, ok)
+	}
+	if p.QueueLen() != 1 {
+		t.Fatalf("queue length %d, want 1", p.QueueLen())
+	}
+	sched.Run()
+	if len(done) != 1 || done[0] != 2 {
+		t.Fatalf("completions %v, want [2]", done)
+	}
+	if sched.Now() != 12 { // 4 + remaining 8 at full rate
+		t.Fatalf("job 2 finished at %v, want 12", sched.Now())
+	}
+}
+
+// TestPSRemoveLastGoesIdle empties the processor via removal.
+func TestPSRemoveLastGoesIdle(t *testing.T) {
+	sched := sim.New()
+	p := NewPS[int](sched, func(int) { t.Fatal("unexpected completion") })
+	p.Enqueue(1, 10)
+	sched.RunUntil(2)
+	if _, ok := p.RemoveFunc(func(j int) bool { return j == 1 }); !ok {
+		t.Fatal("job not found")
+	}
+	if p.QueueLen() != 0 {
+		t.Fatalf("queue length %d, want 0", p.QueueLen())
+	}
+	sched.Run()
+}
+
+func TestDiskArrayRemove(t *testing.T) {
+	sched := sim.New()
+	var done []int
+	d := NewDiskArray[int](sched, 3, SelectRandom, rng.NewStream(1), func(j int) { done = append(done, j) })
+	for i := 1; i <= 6; i++ {
+		d.Enqueue(i, 5)
+	}
+	job, ok := d.RemoveFunc(func(j int) bool { return j == 4 })
+	if !ok || job != 4 {
+		t.Fatalf("RemoveFunc = (%d, %v), want (4, true)", job, ok)
+	}
+	if d.QueueLen() != 5 {
+		t.Fatalf("queue length %d, want 5", d.QueueLen())
+	}
+	if _, ok := d.RemoveFunc(func(j int) bool { return j == 4 }); ok {
+		t.Fatal("job 4 removed twice")
+	}
+	sched.Run()
+	if len(done) != 5 {
+		t.Fatalf("%d completions, want 5", len(done))
+	}
+	for _, j := range done {
+		if j == 4 {
+			t.Fatal("removed job completed anyway")
+		}
+	}
+}

@@ -52,8 +52,12 @@ type Event struct {
 	//	0x43 system:   failover watchdog timeout
 	//	0x44 system:   query retry after loss
 	//	0x45 system:   admission-control deferral
+	//	0x46 system:   deadline expiry
+	//	0x47 system:   hedge launch timer
 	//	0x51 fault:    site crash
 	//	0x52 fault:    site repair
+	//	0x61 arrival:  open arrival
+	//	0x62 arrival:  MMPP phase switch
 	Kind byte
 
 	// gen is bumped every time the record is retired to the free list;

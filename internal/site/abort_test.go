@@ -1,0 +1,78 @@
+package site
+
+import (
+	"testing"
+
+	"dqalloc/internal/queue"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+func abortTestSite(t *testing.T, done func(*workload.Query)) (*sim.Scheduler, *Site) {
+	t.Helper()
+	sched := sim.New()
+	cfg := Config{
+		NumDisks:      2,
+		DiskTime:      1,
+		DiskTimeDev:   0.2,
+		DiskSelection: queue.SelectRandom,
+		Classes:       []workload.Class{{Name: "io", PageCPUTime: 0.05, NumReads: 20, MsgLength: 1}},
+	}
+	s, err := New(0, sched, cfg, rng.NewStream(9), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, s
+}
+
+// TestSiteAbort aborts one of two executing queries mid-run: the site's
+// census drops by one, the occupancy invariant holds, and only the
+// survivor completes.
+func TestSiteAbort(t *testing.T) {
+	var completed []*workload.Query
+	sched, s := abortTestSite(t, func(q *workload.Query) { completed = append(completed, q) })
+	qa := &workload.Query{ID: 1, ReadsTotal: 30}
+	qb := &workload.Query{ID: 2, ReadsTotal: 30}
+	s.Execute(qa)
+	s.Execute(qb)
+	sched.RunUntil(5)
+	if s.Active() != 2 {
+		t.Fatalf("active %d, want 2", s.Active())
+	}
+	if !s.Abort(qa) {
+		t.Fatal("Abort did not find the executing query")
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active %d after abort, want 1", s.Active())
+	}
+	cpu, disk := s.Occupancy()
+	if cpu+disk != s.Active() {
+		t.Fatalf("occupancy %d+%d != active %d", cpu, disk, s.Active())
+	}
+	if s.Abort(qa) {
+		t.Fatal("aborted query found twice")
+	}
+	sched.Run()
+	if len(completed) != 1 || completed[0] != qb {
+		t.Fatalf("completions %v, want only the survivor", completed)
+	}
+	if s.Active() != 0 {
+		t.Fatalf("active %d at end, want 0", s.Active())
+	}
+}
+
+// TestSiteAbortAbsent: a query never admitted (or already shipped away)
+// is reported absent and the site is untouched.
+func TestSiteAbortAbsent(t *testing.T) {
+	sched, s := abortTestSite(t, func(*workload.Query) {})
+	q := &workload.Query{ID: 1, ReadsTotal: 5}
+	s.Execute(q)
+	sched.RunUntil(1)
+	if s.Abort(&workload.Query{ID: 99, ReadsTotal: 5}) {
+		t.Fatal("absent query reported aborted")
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active %d, want 1", s.Active())
+	}
+}

@@ -182,6 +182,25 @@ func (s *Site) Crash() []*workload.Query {
 	return lost
 }
 
+// Abort withdraws one executing query without completing it (the
+// deadline-abort / hedge-cancellation extension): wherever its current
+// cycle has it — sharing the CPU or queued at a disk — it is removed
+// and the pending service event adjusted, exactly as if that one query
+// had crashed. Reports whether the query was present; false means it
+// is not at this site (e.g. still in transit on the ring).
+func (s *Site) Abort(q *workload.Query) bool {
+	match := func(j *workload.Query) bool { return j == q }
+	if _, ok := s.cpu.RemoveFunc(match); ok {
+		s.active--
+		return true
+	}
+	if _, ok := s.disks.RemoveFunc(match); ok {
+		s.active--
+		return true
+	}
+	return false
+}
+
 // CPUUtilization returns the CPU busy fraction over the stats window
 // ending at t.
 func (s *Site) CPUUtilization(t float64) float64 { return s.cpu.Utilization(t) }

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+func TestLogHistogramBasics(t *testing.T) {
+	h := NewLogHistogram(0.001, 1e7, 0.02)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: count %d quantile %v", h.Count(), h.Quantile(0.5))
+	}
+	h.Add(1e-9) // below range: clamps to lo
+	h.Add(1e9)  // above range: overflow
+	h.Add(42)
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow %d, want 1", h.Overflow())
+	}
+	if got := h.Quantile(0); got != 0.001 {
+		t.Fatalf("q0 = %v, want clamp to lo", got)
+	}
+	if got := h.Quantile(1); got != 1e7 {
+		t.Fatalf("q1 = %v, want hi", got)
+	}
+	mid := h.Quantile(0.5)
+	if math.Abs(mid-42)/42 > 0.02 {
+		t.Fatalf("median %v not within 2%% of 42", mid)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Overflow() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("reset did not clear: count %d overflow %d", h.Count(), h.Overflow())
+	}
+}
+
+func TestLogHistogramConstructionPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		lo, hi, relErr float64
+	}{
+		{"zero lo", 0, 10, 0.02},
+		{"inverted", 10, 1, 0.02},
+		{"zero relErr", 1, 10, 0},
+		{"relErr one", 1, 10, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewLogHistogram(%v,%v,%v) did not panic", tc.lo, tc.hi, tc.relErr)
+				}
+			}()
+			NewLogHistogram(tc.lo, tc.hi, tc.relErr)
+		})
+	}
+}
+
+// TestLogHistogramQuantileBrackets is the satellite property test: on
+// small runs drawn from long-tailed distributions, every estimated
+// quantile must bracket the exact sorted-sample quantile within the
+// histogram's advertised relative error.
+func TestLogHistogramQuantileBrackets(t *testing.T) {
+	const relErr = 0.02
+	stream := rng.NewStream(7)
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + int(stream.Float64()*990)
+		h := NewLogHistogram(0.001, 1e7, relErr)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Lognormal-ish long tail spanning several decades.
+			v := math.Exp(stream.Exp(1.5)) * (0.01 + stream.Float64())
+			samples[i] = v
+			h.Add(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range quantiles {
+			est := h.Quantile(q)
+			// The histogram's rank rule: the value at rank ceil(q·n).
+			k := int(math.Ceil(q * float64(n)))
+			if k < 1 {
+				k = 1
+			}
+			if k > n {
+				k = n
+			}
+			exact := samples[k-1]
+			if exact < 0.001 || exact >= 1e7 {
+				continue // outside the range the bound applies to
+			}
+			if diff := math.Abs(est - exact); diff > relErr*exact+1e-12 {
+				t.Fatalf("trial %d n=%d q=%v: estimate %v vs exact %v (rel err %v > %v)",
+					trial, n, q, est, exact, diff/exact, relErr)
+			}
+		}
+	}
+}
+
+func TestLogHistogramSummaryMonotone(t *testing.T) {
+	h := NewLogHistogram(0.01, 1e6, 0.02)
+	stream := rng.NewStream(3)
+	for i := 0; i < 5000; i++ {
+		h.Add(stream.Exp(100))
+	}
+	s := h.Summary()
+	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999) {
+		t.Fatalf("summary not monotone: %+v", s)
+	}
+	// Exponential(100): p50 ≈ 69.3, p99 ≈ 460.5. Allow generous sampling
+	// slack on top of the 2% bucket error.
+	if s.P50 < 60 || s.P50 > 80 {
+		t.Fatalf("p50 = %v, want ≈ 69.3", s.P50)
+	}
+	if s.P99 < 400 || s.P99 > 520 {
+		t.Fatalf("p99 = %v, want ≈ 460.5", s.P99)
+	}
+}

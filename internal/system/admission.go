@@ -80,6 +80,7 @@ type admissionRuntime struct {
 	shed        uint64
 	deferred    uint64
 	resubmitted uint64
+	aborted     uint64 // parked queries withdrawn by a deadline abort
 	waiting     int
 }
 
@@ -89,6 +90,7 @@ func (ar *admissionRuntime) totals() check.AdmissionTotals {
 		Deferred:    ar.deferred,
 		Resubmitted: ar.resubmitted,
 		Shed:        ar.shed,
+		Aborted:     ar.aborted,
 		Waiting:     ar.waiting,
 	}
 }
@@ -108,6 +110,7 @@ func (s *System) admissionBounce(q *workload.Query) {
 	ar := s.adm
 	if ar.cfg.Defer && q.Defers < ar.cfg.MaxDefers {
 		q.Defers++
+		q.Phase = phaseDeferred
 		ar.deferred++
 		ar.waiting++
 		ev := s.sched.After(ar.stream.Exp(ar.cfg.DeferDelay), func() { s.resubmit(q) })
@@ -122,6 +125,9 @@ func (s *System) admissionBounce(q *workload.Query) {
 // policy runs again over the (possibly changed) load view, and admission
 // applies again at whichever site it now picks.
 func (s *System) resubmit(q *workload.Query) {
+	if s.dropDefunct(q) {
+		return // withdrawn by a deadline abort while parked
+	}
 	s.adm.waiting--
 	s.adm.resubmitted++
 	s.allocate(q)

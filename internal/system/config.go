@@ -10,6 +10,7 @@ package system
 import (
 	"fmt"
 
+	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
@@ -136,6 +137,24 @@ type Config struct {
 	// built without the subsystem.
 	Fault fault.Config
 
+	// Arrival replaces the closed terminals with an open arrival process
+	// — per-class Poisson or bursty 2-state MMPP sources (overload
+	// extension). Disabled (the zero value) by default, preserving the
+	// paper's closed model bit for bit.
+	Arrival arrival.Config
+
+	// Deadline arms a per-query response-time watchdog that aborts the
+	// query wherever it is when the budget expires. Disabled (the zero
+	// value) by default; a disabled run is event-for-event identical to
+	// one built without the subsystem.
+	Deadline DeadlineConfig
+
+	// Hedge races straggling remote queries against a clone at the
+	// next-best up site; the first finisher wins and the loser is
+	// cancelled. Disabled (the zero value) by default; a disabled run is
+	// event-for-event identical to one built without the subsystem.
+	Hedge HedgeConfig
+
 	// Audit attaches the internal/check runtime auditors to the run:
 	// query conservation, utilization bounds, Little's law, event-clock
 	// monotonicity, and ring message conservation. Off by default so hot
@@ -249,6 +268,15 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.Admission.validate(); err != nil {
+		return err
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if err := c.Deadline.validate(); err != nil {
+		return err
+	}
+	if err := c.Hedge.validate(); err != nil {
 		return err
 	}
 	if c.CPUSpeeds != nil {

@@ -50,6 +50,7 @@ type faultRuntime struct {
 	lost            uint64
 	retried         uint64
 	abandoned       uint64
+	preempted       uint64 // losses resolved by a hedge win or deadline abort
 	pendingRecovery int
 }
 
@@ -71,6 +72,7 @@ func (fr *faultRuntime) totals() check.FaultTotals {
 		Lost:            fr.lost,
 		Retried:         fr.retried,
 		Abandoned:       fr.abandoned,
+		Preempted:       fr.preempted,
 		PendingRecovery: fr.pendingRecovery,
 	}
 }
@@ -159,11 +161,20 @@ func (s *System) armWatchdog(q *workload.Query, e *faultPending) {
 // message drop). The query stays in the in-flight population; its
 // armed watchdog will notice the loss and retry or reject it.
 func (s *System) faultLost(q *workload.Query) {
+	if s.hedge != nil {
+		if race := s.hedge.byClone[q]; race != nil {
+			// A racing clone died; clones carry no watchdog, so the loss
+			// settles immediately instead of entering the retry ledger.
+			s.cloneDied(q, race)
+			return
+		}
+	}
 	e := s.faults.pending[q]
 	if e == nil || e.lost {
 		return // already accounted; nothing further can be lost
 	}
 	e.lost = true
+	q.Phase = phaseLost
 	s.faults.lost++
 	s.faults.pendingRecovery++
 	if s.aud != nil {
@@ -193,6 +204,19 @@ func (s *System) faultTimeout(q *workload.Query) {
 func (s *System) faultRetryOrAbandon(q *workload.Query, e *faultPending) {
 	e.attempt++
 	if e.attempt > s.faults.cfg.MaxRetries {
+		if s.hedge != nil {
+			if race := s.hedge.races[q]; race != nil && race.clone != nil {
+				// The retry budget ran out but a hedge clone is still
+				// racing: let the clone carry the query instead of
+				// rejecting it. The loss counts as preempted.
+				race.primaryDead = true
+				q.Phase = phaseDone
+				s.faults.pendingRecovery--
+				s.faults.preempted++
+				delete(s.faults.pending, q)
+				return
+			}
+		}
 		s.faults.pendingRecovery--
 		s.faults.abandoned++
 		delete(s.faults.pending, q)
@@ -229,6 +253,7 @@ func (s *System) faultRedispatch(q *workload.Query) {
 		s.aud.Retried(s.sched.Now())
 	}
 	s.dispatch(q, exec)
+	s.hedgeArm(q)
 	s.armWatchdog(q, e)
 }
 
@@ -244,14 +269,27 @@ func (s *System) faultComplete(q *workload.Query) {
 }
 
 // rejectQuery gives up on a query: it never completes, the rejection is
-// counted, and — the terminal surviving regardless — its terminal
+// counted, its deadline watchdog and any unfired hedge race are retired,
+// and — in closed mode, the terminal surviving regardless — its terminal
 // returns to the think state, preserving the closed population.
 func (s *System) rejectQuery(q *workload.Query) {
+	s.deadlineCancel(q)
+	if s.hedge != nil {
+		// Every rejection path reaches here with no live clone (a racing
+		// clone preempts abandonment), so only an idle race can remain.
+		if race := s.hedge.races[q]; race != nil {
+			s.sched.Cancel(race.timer)
+			delete(s.hedge.races, q)
+		}
+	}
+	q.Phase = phaseDone
 	s.rejected++
 	if s.aud != nil {
 		s.aud.Rejected(s.sched.Now())
 	}
-	s.startThink(q.Home)
+	if s.arr == nil {
+		s.startThink(q.Home)
+	}
 }
 
 // shipMessage builds the ring message dispatching q to site exec, with
@@ -262,6 +300,9 @@ func (s *System) shipMessage(q *workload.Query, from, to int, size float64) netw
 		To:   to,
 		Size: size,
 		OnDeliver: func() {
+			if s.dropDefunct(q) {
+				return // cancelled in transit; commitment already released
+			}
 			if !s.up(to) {
 				// The destination died while the query was in flight.
 				s.releaseAllocation(q)
@@ -273,6 +314,9 @@ func (s *System) shipMessage(q *workload.Query, from, to int, size float64) netw
 	}
 	if s.faults != nil {
 		m.OnDrop = func() {
+			if s.dropDefunct(q) {
+				return
+			}
 			s.releaseAllocation(q)
 			s.faultLost(q)
 		}

@@ -133,7 +133,7 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 		From:      from,
 		To:        best,
 		Size:      migSize,
-		OnDeliver: func() { s.sites[best].Execute(q) },
+		OnDeliver: func() { s.execDeliver(q, best) },
 	})
 	return true
 }

@@ -1,0 +1,566 @@
+package system
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/arrival"
+	"dqalloc/internal/check"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+// This file is the overload & tail-robustness extension: open (possibly
+// bursty) arrivals replacing the closed terminals, per-query deadlines
+// that abort a query wherever it currently is, and hedged execution that
+// races a straggling remote query against a clone at the next-best site.
+//
+// Everything here is gated on s.arr / s.dl / s.hedge being non-nil; a run
+// with all three knobs disabled schedules no extra events, draws no extra
+// random numbers, and is bit-identical to a build without the subsystem.
+
+// Scheduler event kinds for the overload layer (see sim.Event.Kind).
+const (
+	// eventKindDeadline tags deadline watchdog expirations.
+	eventKindDeadline byte = 0x46
+	// eventKindHedge tags hedge launch timers.
+	eventKindHedge byte = 0x47
+)
+
+// Query lifecycle phases, stored in workload.Query.Phase so a deadline
+// abort or hedge cancellation knows where the attempt currently is. The
+// zero value phaseNone means "not yet dispatched".
+const (
+	phaseNone int8 = iota
+	// phaseDeferred: parked by admission control, awaiting resubmission.
+	phaseDeferred
+	// phaseCommitted: dispatched and counted in the load table — in
+	// transit toward, queued at, or in service at its execution site.
+	phaseCommitted
+	// phaseResult: execution finished, result page set in transit home.
+	phaseResult
+	// phaseLost: execution wiped out by a fault, awaiting its watchdog.
+	phaseLost
+	// phaseDone: completed, rejected, or cancelled; nothing in flight.
+	phaseDone
+)
+
+// Response-time histogram shape: log-spaced buckets covering [histLo,
+// histHi) with ≤ histRelErr relative quantile error (internal/stats).
+const (
+	histLo     = 0.001
+	histHi     = 1e7
+	histRelErr = 0.02
+)
+
+// hedgeMinSamples is the measured-completion count a class must reach
+// before its histogram quantile drives the hedge delay; below it (and
+// throughout warmup) the configured MinDelay applies.
+const hedgeMinSamples = 32
+
+// DeadlineConfig parameterizes per-query deadlines. The zero value
+// (Enabled == false) disables them.
+type DeadlineConfig struct {
+	// Enabled turns deadlines on.
+	Enabled bool
+	// Deadline is each query's response-time budget, relative to its
+	// submission instant. A query not completed when it expires is
+	// aborted wherever it is — queued, in service, or in transit — with
+	// its load-table commitment released.
+	Deadline float64
+}
+
+// DefaultDeadline returns a moderate deadline: 400 time units, a few
+// multiples of the baseline mean response time.
+func DefaultDeadline() DeadlineConfig {
+	return DeadlineConfig{Enabled: true, Deadline: 400}
+}
+
+// validate reports the first deadline-config error, if any.
+func (d DeadlineConfig) validate() error {
+	if !d.Enabled {
+		return nil
+	}
+	if math.IsNaN(d.Deadline) || math.IsInf(d.Deadline, 0) || d.Deadline <= 0 {
+		return fmt.Errorf("system: deadline %v must be positive and finite", d.Deadline)
+	}
+	return nil
+}
+
+// HedgeConfig parameterizes hedged execution. The zero value
+// (Enabled == false) disables it.
+type HedgeConfig struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Quantile selects the hedge trigger: a remote query still unfinished
+	// after its class's Quantile response time is raced against a clone
+	// at the next-best up site. Must lie in (0, 1).
+	Quantile float64
+	// MinDelay floors the hedge delay; it also applies whenever the
+	// class's histogram has too few samples to estimate the quantile
+	// (fewer than 32 measured completions, e.g. during warmup).
+	MinDelay float64
+}
+
+// DefaultHedge returns the classic tail-hedging setting: re-issue at the
+// p95 response time, never sooner than 50 time units.
+func DefaultHedge() HedgeConfig {
+	return HedgeConfig{Enabled: true, Quantile: 0.95, MinDelay: 50}
+}
+
+// validate reports the first hedge-config error, if any.
+func (h HedgeConfig) validate() error {
+	if !h.Enabled {
+		return nil
+	}
+	switch {
+	case math.IsNaN(h.Quantile) || h.Quantile <= 0 || h.Quantile >= 1:
+		return fmt.Errorf("system: hedge quantile %v outside (0,1)", h.Quantile)
+	case math.IsNaN(h.MinDelay) || math.IsInf(h.MinDelay, 0) || h.MinDelay <= 0:
+		return fmt.Errorf("system: hedge MinDelay %v must be positive and finite", h.MinDelay)
+	}
+	return nil
+}
+
+// arrivalRuntime is the per-run state of the open-arrival subsystem: one
+// source per query class with positive arrival rate.
+type arrivalRuntime struct {
+	cfg     arrival.Config
+	sources []*arrival.Source
+}
+
+// deadlineRuntime is the per-run state of the deadline subsystem.
+type deadlineRuntime struct {
+	cfg DeadlineConfig
+	// timers maps every query with an armed deadline to its watchdog.
+	timers map[*workload.Query]sim.Handle
+
+	armed     uint64
+	met       uint64
+	missed    uint64
+	cancelled uint64
+}
+
+// hedgeRuntime is the per-run state of the hedging subsystem.
+type hedgeRuntime struct {
+	cfg HedgeConfig
+	// races maps a hedged primary to its race; byClone indexes the same
+	// races by the clone once one is launched.
+	races   map[*workload.Query]*hedgeRace
+	byClone map[*workload.Query]*hedgeRace
+
+	launched     uint64
+	wins         uint64
+	cancelled    uint64
+	activeClones int
+}
+
+// hedgeRace is one primary/clone race.
+type hedgeRace struct {
+	primary *workload.Query
+	// clone is the racing re-issue, nil before the timer fires and after
+	// the clone dies.
+	clone *workload.Query
+	// timer is the pending hedge launch.
+	timer sim.Handle
+	// fired marks that the launch decision was taken (at most one clone
+	// per primary, even across fault retries).
+	fired bool
+	// primaryDead marks that the primary exhausted its retry budget while
+	// the clone was still racing: the clone alone carries the query.
+	primaryDead bool
+}
+
+// setupArrivals builds the open-arrival runtime during New. astream must
+// be the root's dedicated arrival child (Child 10); each class with a
+// positive share of the offered load gets its own source and sub-stream.
+func (s *System) setupArrivals(astream *rng.Stream) error {
+	ar := &arrivalRuntime{cfg: s.cfg.Arrival}
+	for c := range s.cfg.Classes {
+		rate := s.cfg.Arrival.Rate * s.cfg.ClassProbs[c]
+		if rate <= 0 {
+			continue
+		}
+		class := c
+		src, err := arrival.NewSource(s.sched, s.cfg.Arrival, rate, s.cfg.NumSites,
+			astream.Child(uint64(c+1)),
+			func(home int) { s.submitOpen(class, home) })
+		if err != nil {
+			return err
+		}
+		ar.sources = append(ar.sources, src)
+	}
+	s.arr = ar
+	return nil
+}
+
+// submitOpen is the open-arrival counterpart of submit: the source
+// already chose the class and home terminal, so only the read count is
+// sampled here.
+func (s *System) submitOpen(class, home int) {
+	q := s.gen.NewOfClass(class, home, s.sched.Now())
+	if s.noise != nil {
+		s.noise.Perturb(q)
+	}
+	if s.cfg.Placement != nil {
+		q.Object = s.objStream.Intn(s.cfg.Placement.NumObjects())
+	}
+	if s.aud != nil {
+		s.aud.Submitted(s.sched.Now())
+	}
+	s.allocate(q)
+}
+
+// openArrivals sums the lifetime arrival counts across sources (zero in
+// closed mode).
+func (s *System) openArrivals() uint64 {
+	if s.arr == nil {
+		return 0
+	}
+	var n uint64
+	for _, src := range s.arr.sources {
+		n += src.Arrivals()
+	}
+	return n
+}
+
+// overloadTotals implements the closure read by
+// check.NewDeadlineConservation, merging the deadline and hedge ledgers
+// (either subsystem may be disabled).
+func (s *System) overloadTotals() check.DeadlineTotals {
+	var t check.DeadlineTotals
+	if s.dl != nil {
+		t.Armed, t.Met, t.Missed, t.Cancelled = s.dl.armed, s.dl.met, s.dl.missed, s.dl.cancelled
+		t.Pending = len(s.dl.timers)
+	}
+	if s.hedge != nil {
+		t.HedgesLaunched, t.HedgeWins, t.HedgeCancelled = s.hedge.launched, s.hedge.wins, s.hedge.cancelled
+		t.HedgePending = s.hedge.activeClones
+	}
+	return t
+}
+
+// audRetire reports to the auditors that one population member left
+// without completing or being counted in Results.QueriesRejected — a
+// cancelled hedge clone, or a primary whose clone won.
+func (s *System) audRetire(now float64) {
+	if s.aud != nil {
+		s.aud.Rejected(now)
+	}
+}
+
+// markDefunct flags a query that was cancelled while in transit on the
+// ring (or while parked by admission): its pending delivery event cannot
+// be cancelled, so the delivery consumes the flag and drops the query.
+func (s *System) markDefunct(q *workload.Query) {
+	s.defunct[q] = struct{}{}
+}
+
+// dropDefunct consumes a defunct flag, reporting whether the query was
+// cancelled while this delivery was pending. Free when the overload
+// subsystems are off (the map is nil and the length check short-circuits).
+func (s *System) dropDefunct(q *workload.Query) bool {
+	if len(s.defunct) == 0 {
+		return false
+	}
+	if _, ok := s.defunct[q]; ok {
+		delete(s.defunct, q)
+		return true
+	}
+	return false
+}
+
+// execDeliver lands a shipped (or migrated) query at its execution site,
+// unless it was cancelled in transit.
+func (s *System) execDeliver(q *workload.Query, exec int) {
+	if s.dropDefunct(q) {
+		return
+	}
+	s.sites[exec].Execute(q)
+}
+
+// resultDeliver lands a result page set at the home terminal, unless the
+// query was aborted while the result was in transit.
+func (s *System) resultDeliver(q *workload.Query) {
+	if s.dropDefunct(q) {
+		return
+	}
+	s.complete(q)
+}
+
+// resultDropped is the fault path of a result return: the loss only
+// matters if the query is still live.
+func (s *System) resultDropped(q *workload.Query) {
+	if s.dropDefunct(q) {
+		return
+	}
+	s.faultLost(q)
+}
+
+// deadlineArm starts a query's deadline watchdog at its first allocation
+// attempt; deferrals and retries keep the original watchdog.
+func (s *System) deadlineArm(q *workload.Query) {
+	if s.dl == nil {
+		return
+	}
+	if _, ok := s.dl.timers[q]; ok {
+		return
+	}
+	remaining := q.SubmitTime + s.dl.cfg.Deadline - s.sched.Now()
+	if remaining < 0 {
+		remaining = 0
+	}
+	ev := s.sched.After(remaining, func() { s.deadlineExpire(q) })
+	ev.SetKind(eventKindDeadline)
+	s.dl.timers[q] = ev
+	s.dl.armed++
+}
+
+// deadlineMet retires the watchdog of a query that completed in time.
+func (s *System) deadlineMet(q *workload.Query) {
+	if s.dl == nil {
+		return
+	}
+	if ev, ok := s.dl.timers[q]; ok {
+		s.sched.Cancel(ev)
+		delete(s.dl.timers, q)
+		s.dl.met++
+	}
+}
+
+// deadlineCancel retires the watchdog of a query leaving the population
+// through a rejection path (admission shed, retry budget exhausted).
+func (s *System) deadlineCancel(q *workload.Query) {
+	if s.dl == nil {
+		return
+	}
+	if ev, ok := s.dl.timers[q]; ok {
+		s.sched.Cancel(ev)
+		delete(s.dl.timers, q)
+		s.dl.cancelled++
+	}
+}
+
+// deadlineExpire aborts a query whose deadline passed: the attempt is
+// withdrawn from wherever it currently is (with exactly-once load-table
+// release), any racing hedge clone is withdrawn with it, and the query
+// counts as missed, aborted, and rejected. In closed mode the terminal
+// returns to thinking, preserving the population.
+func (s *System) deadlineExpire(q *workload.Query) {
+	if _, ok := s.dl.timers[q]; !ok {
+		return
+	}
+	delete(s.dl.timers, q)
+	s.dl.missed++
+	now := s.sched.Now()
+	if s.hedge != nil {
+		if race := s.hedge.races[q]; race != nil {
+			s.sched.Cancel(race.timer)
+			if race.clone != nil {
+				s.cancelAttempt(race.clone)
+				delete(s.hedge.byClone, race.clone)
+				s.hedge.activeClones--
+				s.hedge.cancelled++
+				s.audRetire(now)
+			}
+			delete(s.hedge.races, q)
+		}
+	}
+	if q.Phase != phaseDone {
+		s.cancelAttempt(q)
+	}
+	s.aborted++
+	s.rejected++
+	if s.aud != nil {
+		s.aud.Rejected(now)
+	}
+	if s.arr == nil {
+		s.startThink(q.Home)
+	}
+}
+
+// cancelAttempt withdraws one in-flight attempt (a deadline-aborted
+// query, a hedge loser, or a fault-orphaned primary) from wherever it
+// currently is, releasing its load-table commitment exactly once and
+// retiring its fault watchdog. The phase tells it what is outstanding:
+//
+//   - phaseCommitted: the attempt holds a table commitment and is either
+//     at its site (aborted in place) or in transit (marked defunct so the
+//     delivery drops it).
+//   - phaseResult: execution already released the commitment; only the
+//     homeward result message remains, marked defunct.
+//   - phaseDeferred: parked by admission; the resubmission timer's query
+//     is marked defunct and the admission ledger records the abort.
+//   - phaseLost: nothing is in flight; the loss ledger records that the
+//     pending recovery was preempted.
+func (s *System) cancelAttempt(q *workload.Query) {
+	switch q.Phase {
+	case phaseCommitted:
+		if !s.sites[q.Exec].Abort(q) {
+			s.markDefunct(q)
+		}
+		s.releaseAllocation(q)
+	case phaseResult:
+		s.markDefunct(q)
+	case phaseDeferred:
+		s.markDefunct(q)
+		s.adm.waiting--
+		s.adm.aborted++
+	case phaseLost:
+		// Nothing in flight; the watchdog retirement below settles it.
+	}
+	if s.faults != nil {
+		if e := s.faults.pending[q]; e != nil {
+			if e.lost {
+				s.faults.pendingRecovery--
+				s.faults.preempted++
+			}
+			s.sched.Cancel(e.timer)
+			delete(s.faults.pending, q)
+		}
+	}
+	q.Phase = phaseDone
+}
+
+// hedgeArm schedules the hedge decision for a newly dispatched remote
+// query. Local executions are not hedged (there is no straggling network
+// leg to race), and a query re-dispatched by the fault layer keeps its
+// original race.
+func (s *System) hedgeArm(q *workload.Query) {
+	if s.hedge == nil || q.Exec == q.Home {
+		return
+	}
+	if _, ok := s.hedge.races[q]; ok {
+		return
+	}
+	race := &hedgeRace{primary: q}
+	race.timer = s.sched.After(s.hedgeDelay(q.Class), func() { s.hedgeFire(q) })
+	race.timer.SetKind(eventKindHedge)
+	s.hedge.races[q] = race
+}
+
+// hedgeDelay returns the class's current hedge trigger: its measured
+// response-time quantile once enough samples exist, floored by MinDelay.
+func (s *System) hedgeDelay(class int) float64 {
+	h := s.respHists[class]
+	if h.Count() >= hedgeMinSamples {
+		if d := h.Quantile(s.hedge.cfg.Quantile); d > s.hedge.cfg.MinDelay {
+			return d
+		}
+	}
+	return s.hedge.cfg.MinDelay
+}
+
+// hedgeFire launches the clone if the primary is still committed when
+// the trigger fires: the policy picks the best up site excluding the
+// primary's, and a fresh copy of the query races the original there.
+// The clone joins the auditor population as a submission; it carries no
+// deadline, no fault watchdog, and no nested hedge of its own.
+func (s *System) hedgeFire(q *workload.Query) {
+	race := s.hedge.races[q]
+	if race == nil || race.fired {
+		return
+	}
+	race.fired = true
+	if q.Phase != phaseCommitted {
+		return
+	}
+	exec := s.hedgeSite(q)
+	if exec == policy.NoSite {
+		return
+	}
+	clone := &workload.Query{
+		ID:         q.ID,
+		Class:      q.Class,
+		Home:       q.Home,
+		Object:     q.Object,
+		ReadsTotal: q.ReadsTotal,
+		EstReads:   q.EstReads,
+		EstPageCPU: q.EstPageCPU,
+		SubmitTime: q.SubmitTime,
+	}
+	race.clone = clone
+	s.hedge.byClone[clone] = race
+	s.hedge.launched++
+	s.hedge.activeClones++
+	if s.aud != nil {
+		s.aud.Submitted(s.sched.Now())
+	}
+	s.dispatch(clone, exec)
+}
+
+// hedgeSite runs the allocation policy over the candidate sites that are
+// up and distinct from the primary's execution site, returning NoSite
+// when none exists.
+func (s *System) hedgeSite(q *workload.Query) int {
+	s.hedgeScratch = s.hedgeScratch[:0]
+	for _, c := range s.candidateSites(q) {
+		if c != q.Exec && s.up(c) {
+			s.hedgeScratch = append(s.hedgeScratch, c)
+		}
+	}
+	if len(s.hedgeScratch) == 0 {
+		return policy.NoSite
+	}
+	saved := s.env.Candidates
+	s.env.Candidates = s.hedgeScratch
+	exec := s.pol.Select(q, q.Home, s.env)
+	s.env.Candidates = saved
+	return exec
+}
+
+// hedgeResolve settles a race at completion time: whichever of primary
+// and clone finished first wins, the loser's attempt is withdrawn, and
+// the primary — the logical query whose watchdog, deadline, and terminal
+// the rest of complete() must retire — is returned. Queries with no race
+// pass through untouched.
+func (s *System) hedgeResolve(q *workload.Query) *workload.Query {
+	now := s.sched.Now()
+	if race := s.hedge.byClone[q]; race != nil {
+		// The clone won the race.
+		s.sched.Cancel(race.timer)
+		delete(s.hedge.byClone, q)
+		s.hedge.activeClones--
+		s.hedge.wins++
+		primary := race.primary
+		delete(s.hedge.races, primary)
+		if !race.primaryDead {
+			s.cancelAttempt(primary)
+		}
+		// The primary leaves the population; the clone is the completion.
+		s.audRetire(now)
+		return primary
+	}
+	if race := s.hedge.races[q]; race != nil {
+		// The primary won (or finished unraced).
+		s.sched.Cancel(race.timer)
+		delete(s.hedge.races, q)
+		if race.clone != nil {
+			s.cancelAttempt(race.clone)
+			delete(s.hedge.byClone, race.clone)
+			s.hedge.activeClones--
+			s.hedge.cancelled++
+			s.audRetire(now)
+		}
+	}
+	return q
+}
+
+// cloneDied handles a fault destroying a racing clone (site crash or
+// message drop): clones carry no watchdog, so the loss retires the clone
+// outright. If the primary had already exhausted its retry budget, the
+// logical query dies with the clone and is rejected.
+func (s *System) cloneDied(clone *workload.Query, race *hedgeRace) {
+	clone.Phase = phaseDone
+	race.clone = nil
+	delete(s.hedge.byClone, clone)
+	s.hedge.activeClones--
+	s.hedge.cancelled++
+	s.audRetire(s.sched.Now())
+	if race.primaryDead {
+		delete(s.hedge.races, race.primary)
+		s.rejectQuery(race.primary)
+	}
+}

@@ -22,6 +22,9 @@ type ClassResults struct {
 	// NormWait is the normalized mean waiting time Ŵ = MeanWait /
 	// MeanExecService (Section 3's fairness currency).
 	NormWait float64
+	// RespQuantiles are the class's measured response-time tail quantiles
+	// from the log-bucketed histogram (≤2% relative quantile error).
+	RespQuantiles stats.Quantiles
 }
 
 // Results holds the measurements of one simulation run over the measured
@@ -120,6 +123,26 @@ type Results struct {
 	// and EstCPUErr is zero.
 	EstReadsErr float64
 	EstCPUErr   float64
+	// RespQuantiles are the measured response-time tail quantiles
+	// (p50/p90/p95/p99/p999) over all classes, from the log-bucketed
+	// histogram (≤2% relative quantile error).
+	RespQuantiles stats.Quantiles
+	// OpenArrivals counts queries injected by the open-arrival sources
+	// over the run's lifetime (zero in closed mode).
+	OpenArrivals uint64
+	// DeadlineMet and DeadlineMisses count queries completing within and
+	// beyond their deadline over the run's lifetime (zero without
+	// deadlines). Each miss aborts its query.
+	DeadlineMet    uint64
+	DeadlineMisses uint64
+	// QueriesAborted counts queries withdrawn mid-flight by a deadline
+	// abort over the run's lifetime (each is also counted in
+	// QueriesRejected).
+	QueriesAborted uint64
+	// Hedged counts hedge clones launched and HedgeWins the races the
+	// clone finished first (lifetime; zero without hedging).
+	Hedged    uint64
+	HedgeWins uint64
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

@@ -68,6 +68,24 @@ type System struct {
 	herd        uint64 // measured remote allocations onto a truly busier site
 	estReadsErr stats.Welford
 	estCPUErr   stats.Welford
+
+	arr     *arrivalRuntime  // open-arrival sources, nil in closed mode
+	dl      *deadlineRuntime // per-query deadlines, nil when disabled
+	hedge   *hedgeRuntime    // hedged execution, nil when disabled
+	aborted uint64           // queries withdrawn by a deadline abort
+
+	// defunct flags queries cancelled while a delivery for them was in
+	// flight; the delivery consumes the flag. nil unless deadlines or
+	// hedging are on.
+	defunct      map[*workload.Query]struct{}
+	hedgeScratch []int // reusable candidate buffer for hedge re-selection
+
+	// respHists are the per-class measured response-time histograms (plus
+	// the all-classes aggregate) behind the tail quantiles in Results and
+	// the hedge trigger. Always built; adding a sample costs no
+	// allocation and no events, so disabled-knob digests are unaffected.
+	respHists   []*stats.LogHistogram
+	allRespHist *stats.LogHistogram
 }
 
 // New assembles a system from cfg. The configuration is validated and the
@@ -175,19 +193,49 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 
+	if cfg.Arrival.Enabled {
+		// Child 10 is the arrival layer's dedicated stream, so open-mode
+		// runs never perturb the closed-mode streams.
+		if err := s.setupArrivals(root.Child(10)); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	if cfg.Deadline.Enabled {
+		s.dl = &deadlineRuntime{cfg: cfg.Deadline, timers: make(map[*workload.Query]sim.Handle)}
+	}
+	if cfg.Hedge.Enabled {
+		s.hedge = &hedgeRuntime{
+			cfg:     cfg.Hedge,
+			races:   make(map[*workload.Query]*hedgeRace),
+			byClone: make(map[*workload.Query]*hedgeRace),
+		}
+	}
+	if s.dl != nil || s.hedge != nil {
+		s.defunct = make(map[*workload.Query]struct{})
+	}
+
 	if cfg.Audit {
+		// Open arrivals unbound the population; hedge clones join the
+		// audited population too, so either knob waives the closed bound.
+		capacity := cfg.NumSites * cfg.MPL
+		if cfg.Arrival.Enabled || cfg.Hedge.Enabled {
+			capacity = 0
+		}
 		auditors := []check.Auditor{
-			check.NewConservation(cfg.NumSites*cfg.MPL, s.table.Total, s.siteCounts),
+			check.NewConservation(capacity, s.table.Total, s.siteCounts),
 			check.NewUtilization(),
 			check.NewLittlesLaw(),
 			check.NewMonotonicity(),
 			check.NewRingConservation(s.ring),
 		}
 		if s.faults != nil {
-			auditors = append(auditors, check.NewFaultConservation(cfg.NumSites*cfg.MPL, s.faults.totals))
+			auditors = append(auditors, check.NewFaultConservation(capacity, s.faults.totals))
 		}
 		if s.adm != nil {
-			auditors = append(auditors, check.NewAdmissionConservation(cfg.NumSites*cfg.MPL, s.adm.totals))
+			auditors = append(auditors, check.NewAdmissionConservation(capacity, s.adm.totals))
+		}
+		if s.dl != nil || s.hedge != nil {
+			auditors = append(auditors, check.NewDeadlineConservation(s.overloadTotals))
 		}
 		s.aud = check.NewSet(auditors...)
 		s.sched.Observe(s.aud.EventFired)
@@ -202,16 +250,29 @@ func New(cfg Config) (*System, error) {
 	s.services = make([]stats.Welford, n)
 	s.execSvcs = make([]stats.Welford, n)
 	s.batchW = stats.NewBatchMeans(24)
+	s.respHists = make([]*stats.LogHistogram, n)
+	for i := range s.respHists {
+		s.respHists[i] = stats.NewLogHistogram(histLo, histHi, histRelErr)
+	}
+	s.allRespHist = stats.NewLogHistogram(histLo, histHi, histRelErr)
 	return s, nil
 }
 
 // Run executes the simulation — warmup followed by the measured horizon —
 // and returns the collected results.
 func (s *System) Run() Results {
-	// Every terminal starts in its think state.
-	for home := range s.sites {
-		for t := 0; t < s.cfg.MPL; t++ {
-			s.startThink(home)
+	if s.arr != nil {
+		// Open mode: the arrival sources drive submissions; the closed
+		// terminals stay idle.
+		for _, src := range s.arr.sources {
+			src.Start()
+		}
+	} else {
+		// Every terminal starts in its think state.
+		for home := range s.sites {
+			for t := 0; t < s.cfg.MPL; t++ {
+				s.startThink(home)
+			}
 		}
 	}
 	if s.cfg.Warmup > 0 {
@@ -278,6 +339,7 @@ func (s *System) submit(home int) {
 // candidate set, or every copy holder down) is rejected rather than
 // dispatched.
 func (s *System) allocate(q *workload.Query) {
+	s.deadlineArm(q)
 	if s.cfg.Placement != nil {
 		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
 	}
@@ -300,6 +362,7 @@ func (s *System) allocate(q *workload.Query) {
 	s.recordAlloc(q, exec)
 	s.faultArm(q)
 	s.dispatch(q, exec)
+	s.hedgeArm(q)
 }
 
 // recordAlloc accumulates the measured-window allocation statistics at
@@ -344,6 +407,7 @@ func relErr(est, truth float64) float64 {
 // the fault layer's retry path.
 func (s *System) dispatch(q *workload.Query, exec int) {
 	q.Exec = exec
+	q.Phase = phaseCommitted
 	s.table.Assign(exec, s.bound(q))
 	s.table.AssignWork(exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
 	if exec == q.Home {
@@ -368,7 +432,7 @@ func (s *System) dispatch(q *workload.Query, exec int) {
 		From:      q.Home,
 		To:        exec,
 		Size:      size,
-		OnDeliver: func() { s.sites[exec].Execute(q) },
+		OnDeliver: func() { s.execDeliver(q, exec) },
 	})
 }
 
@@ -382,6 +446,7 @@ func (s *System) onExecDone(q *workload.Query) {
 		s.complete(q)
 		return
 	}
+	q.Phase = phaseResult
 	size := s.cfg.Classes[q.Class].MsgLength
 	q.Service += s.ring.TransmitTime(size)
 	q.NetService += s.ring.TransmitTime(size)
@@ -389,22 +454,31 @@ func (s *System) onExecDone(q *workload.Query) {
 		From:      q.Exec,
 		To:        q.Home,
 		Size:      size,
-		OnDeliver: func() { s.complete(q) },
+		OnDeliver: func() { s.resultDeliver(q) },
 	}
 	if s.faults != nil {
 		// A dropped result page set loses the execution's output; the
 		// load-table commitment was already released above, so only the
 		// loss is recorded and the watchdog re-runs the query.
-		m.OnDrop = func() { s.faultLost(q) }
+		m.OnDrop = func() { s.resultDropped(q) }
 	}
 	s.ring.Send(m)
 }
 
 // complete returns results to the query's terminal of origin, records
-// metrics, and puts the terminal back into its think state.
+// metrics, and puts the terminal back into its think state. q is the
+// finishing attempt (possibly a hedge clone); the race, fault watchdog,
+// and deadline all settle against the logical query.
 func (s *System) complete(q *workload.Query) {
 	now := s.sched.Now()
-	s.faultComplete(q)
+	key := q
+	if s.hedge != nil {
+		key = s.hedgeResolve(q)
+	}
+	s.faultComplete(key)
+	s.deadlineMet(key)
+	key.Phase = phaseDone
+	q.Phase = phaseDone
 	if s.measuring {
 		response := now - q.SubmitTime
 		// Waiting is response minus pure execution service (disk + CPU).
@@ -419,6 +493,8 @@ func (s *System) complete(q *workload.Query) {
 		s.allWaits.Add(wait)
 		s.batchW.Add(wait)
 		s.allResp.Add(response)
+		s.respHists[q.Class].Add(response)
+		s.allRespHist.Add(response)
 		if q.Remote() {
 			s.remote++
 		}
@@ -429,7 +505,9 @@ func (s *System) complete(q *workload.Query) {
 	if s.aud != nil {
 		s.aud.Completed(now)
 	}
-	s.startThink(q.Home)
+	if s.arr == nil {
+		s.startThink(q.Home)
+	}
 }
 
 // bound classifies q exactly as the allocation heuristics do, so that
@@ -459,6 +537,7 @@ func (s *System) collect(end float64) Results {
 			MeanResp:        s.responses[c].Mean(),
 			MeanService:     s.services[c].Mean(),
 			MeanExecService: s.execSvcs[c].Mean(),
+			RespQuantiles:   s.respHists[c].Summary(),
 		}
 		if cr.MeanExecService > 0 {
 			cr.NormWait = cr.MeanWait / cr.MeanExecService
@@ -496,6 +575,17 @@ func (s *System) collect(end float64) Results {
 	}
 	r.EstReadsErr = s.estReadsErr.Mean()
 	r.EstCPUErr = s.estCPUErr.Mean()
+	r.RespQuantiles = s.allRespHist.Summary()
+	r.OpenArrivals = s.openArrivals()
+	r.QueriesAborted = s.aborted
+	if s.dl != nil {
+		r.DeadlineMet = s.dl.met
+		r.DeadlineMisses = s.dl.missed
+	}
+	if s.hedge != nil {
+		r.Hedged = s.hedge.launched
+		r.HedgeWins = s.hedge.wins
+	}
 	if s.adm != nil {
 		r.QueriesShed = s.adm.shed
 		r.QueriesDeferred = s.adm.deferred

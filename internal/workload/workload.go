@@ -145,6 +145,12 @@ type Query struct {
 	// admission extension): each time an overloaded site bounces the
 	// query it is parked and resubmitted, up to the configured budget.
 	Defers int
+
+	// Phase is scratch space for the system layer's lifecycle tracking
+	// (deadline aborts and hedged execution need to know where a query
+	// currently is to cancel it). The workload package assigns it no
+	// meaning.
+	Phase int8
 }
 
 // ExecService returns the pure execution service received (disk + CPU,
@@ -212,7 +218,21 @@ func (g *Generator) Classes() []Class { return g.classes }
 // New samples a query submitted by a terminal at the given home site at
 // the given simulated time.
 func (g *Generator) New(home int, now float64) *Query {
-	class := g.sampleClass()
+	return g.build(g.sampleClass(), home, now)
+}
+
+// NewOfClass samples a query of a fixed class — the open-arrival
+// extension's entry point, where each class has its own arrival source
+// and therefore no class draw happens here. It consumes exactly one
+// read-count draw from the generator's stream.
+func (g *Generator) NewOfClass(class, home int, now float64) *Query {
+	if class < 0 || class >= len(g.classes) {
+		panic(fmt.Sprintf("workload: class %d out of range", class))
+	}
+	return g.build(class, home, now)
+}
+
+func (g *Generator) build(class, home int, now float64) *Query {
 	c := g.classes[class]
 	reads := g.sampleReads(c.NumReads)
 	q := &Query{

@@ -16,6 +16,13 @@
 //     the open-arrival hot path.
 //   - table8 — the Table-8 reproduction harness end to end, the
 //     heaviest composite workload in the repo.
+//   - parallel/<POLICY>/sites=<n>/reps=<r>/workers=<w> — a sharded
+//     replication batch on exper.Runner's worker pool: `reps`
+//     independent replications spread over `workers` goroutines
+//     (workers = GOMAXPROCS), reporting *aggregate* events/sec across
+//     the whole batch. This is multi-core kernel throughput — each
+//     worker owns its scheduler, so the number scales with cores until
+//     memory bandwidth saturates.
 //
 // Numbers come from testing.Benchmark, so ns/op, B/op and allocs/op
 // mean exactly what `go test -bench` reports. The simulation inside
@@ -24,11 +31,14 @@
 //
 // Usage:
 //
-//	dqbench [-quick] [-label note] [-o path]
+//	dqbench [-quick] [-label note] [-o path] [-suite layer] [-sched impl]
 //
 // -quick shrinks horizons for CI smoke use; quick numbers are for
 // "did it run, is throughput nonzero" checks, not for comparison
-// against full-suite baselines.
+// against full-suite baselines. -sched selects the kernel's
+// future-event list (calendar, the default, or heap, the reference
+// implementation); both fire bit-identical event streams, so a heap
+// report is a same-workload baseline for the calendar's numbers.
 package main
 
 import (
@@ -65,7 +75,10 @@ type Report struct {
 	Label string `json:"label,omitempty"`
 	// Quick marks reduced-horizon CI runs whose numbers must not be
 	// compared against full-suite baselines.
-	Quick      bool     `json:"quick"`
+	Quick bool `json:"quick"`
+	// Scheduler is the kernel implementation every result in this report
+	// ran on: "calendar" or "heap".
+	Scheduler  string   `json:"scheduler"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Results    []Result `json:"results"`
@@ -93,7 +106,8 @@ func run(args []string, w io.Writer) error {
 		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
 		label = fs.String("label", "", "free-form provenance note stored in the report")
 		out   = fs.String("o", "", "output path (default BENCH_<date>.json)")
-		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, or table8")
+		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, or parallel")
+		sched = fs.String("sched", "calendar", "scheduler implementation: calendar or heap")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -102,16 +116,23 @@ func run(args []string, w io.Writer) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	impl, err := sim.ParseImpl(*sched)
+	if err != nil {
+		return err
+	}
 
 	all := *suite == "all"
-	if !all && *suite != "kernel" && *suite != "macro" && *suite != "table8" && *suite != "overload" {
-		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, or overload)", *suite)
+	switch *suite {
+	case "all", "kernel", "macro", "table8", "overload", "parallel":
+	default:
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, or parallel)", *suite)
 	}
 
 	rep := Report{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Label:      *label,
 		Quick:      *quick,
+		Scheduler:  impl.String(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
@@ -121,8 +142,8 @@ func run(args []string, w io.Writer) error {
 		if *quick {
 			churn = 20_000
 		}
-		fmt.Fprintf(w, "kernel/churn (%d events/op) ...\n", churn)
-		rep.Results = append(rep.Results, benchKernelChurn(churn))
+		fmt.Fprintf(w, "kernel/churn (%d events/op, %s) ...\n", churn, impl)
+		rep.Results = append(rep.Results, benchKernelChurn(impl, churn))
 	}
 
 	if all || *suite == "macro" {
@@ -133,7 +154,7 @@ func run(args []string, w io.Writer) error {
 		}
 		for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.BNQRD, policy.LERT} {
 			for _, sites := range []int{4, 8, 16} {
-				r, err := benchMacro(kind, sites, measure)
+				r, err := benchMacro(impl, kind, sites, measure)
 				if err != nil {
 					return err
 				}
@@ -151,7 +172,7 @@ func run(args []string, w io.Writer) error {
 		if *quick {
 			measure = 1200
 		}
-		r, err := benchOverload(measure)
+		r, err := benchOverload(impl, measure)
 		if err != nil {
 			return err
 		}
@@ -162,9 +183,9 @@ func run(args []string, w io.Writer) error {
 
 	if all || *suite == "table8" {
 		// Composite: the Table-8 harness.
-		runner := exper.Runner{Reps: 2, BaseSeed: 1, Warmup: 1000, Measure: 6000}
+		runner := exper.Runner{Reps: 2, BaseSeed: 1, Warmup: 1000, Measure: 6000, Scheduler: impl}
 		if *quick {
-			runner = exper.Runner{Reps: 1, BaseSeed: 1, Warmup: 300, Measure: 1500}
+			runner = exper.Runner{Reps: 1, BaseSeed: 1, Warmup: 300, Measure: 1500, Scheduler: impl}
 		}
 		fmt.Fprintln(w, "table8 ...")
 		t8, err := benchTable8(runner)
@@ -172,6 +193,24 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		rep.Results = append(rep.Results, t8)
+	}
+
+	if all || *suite == "parallel" {
+		// Sharded replications across the worker pool: aggregate
+		// events/sec at GOMAXPROCS.
+		measure := 4000.0
+		reps := 2 * runtime.GOMAXPROCS(0)
+		if *quick {
+			measure = 1200
+			reps = runtime.GOMAXPROCS(0)
+		}
+		r, err := benchParallel(impl, measure, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %.0f aggregate events/sec\n",
+			r.Name, r.NsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
 	}
 
 	path := *out
@@ -193,12 +232,12 @@ func run(args []string, w io.Writer) error {
 // benchKernelChurn measures the scheduler alone: a rolling window of
 // 1024 pending events, every fired event scheduling one replacement
 // at an exponential offset, until `events` events have fired.
-func benchKernelChurn(events int) Result {
+func benchKernelChurn(impl sim.Impl, events int) Result {
 	const window = 1024
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			s := sim.New()
+			s := sim.NewImpl(impl)
 			st := rng.NewStream(1)
 			fired := 0
 			var tick sim.Action
@@ -223,8 +262,9 @@ func benchKernelChurn(events int) Result {
 // benchMacro measures one full replication (system build + run) under
 // the given policy and site count. The seed is fixed, so every op fires
 // the identical event sequence.
-func benchMacro(kind policy.Kind, sites int, measure float64) (Result, error) {
+func benchMacro(impl sim.Impl, kind policy.Kind, sites int, measure float64) (Result, error) {
 	cfg := system.Default()
+	cfg.Scheduler = impl
 	cfg.PolicyKind = kind
 	cfg.NumSites = sites
 	cfg.Seed = 1
@@ -258,8 +298,9 @@ func benchMacro(kind policy.Kind, sites int, measure float64) (Result, error) {
 // extensions all on — MMPP arrivals at burst factor 4, deadlines and
 // hedging — so regressions on the open-arrival hot path (histogram
 // adds, watchdog arm/cancel, hedge races) show up in events/sec.
-func benchOverload(measure float64) (Result, error) {
+func benchOverload(impl sim.Impl, measure float64) (Result, error) {
 	cfg := system.Default()
+	cfg.Scheduler = impl
 	cfg.PolicyKind = policy.LERT
 	cfg.Seed = 1
 	cfg.Warmup = 500
@@ -316,6 +357,49 @@ func benchTable8(r exper.Runner) (Result, error) {
 		return Result{}, runErr
 	}
 	return finish("table8", br, 0), nil
+}
+
+// benchParallel measures a sharded replication batch: `reps`
+// independent replications of the default macro model spread across
+// exper.Runner's worker pool at GOMAXPROCS workers, each worker owning
+// its own scheduler and model. events/op is the deterministic batch
+// total (fixed seed sequence), so events/sec is aggregate multi-core
+// kernel throughput.
+func benchParallel(impl sim.Impl, measure float64, reps int) (Result, error) {
+	cfg := system.Default()
+	cfg.PolicyKind = policy.LERT
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	runner := exper.Runner{
+		Reps:      reps,
+		BaseSeed:  1,
+		Warmup:    500,
+		Measure:   measure,
+		Parallel:  true,
+		Workers:   workers,
+		Scheduler: impl,
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			agg, err := runner.Run(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			events = agg.Events
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	name := fmt.Sprintf("parallel/%s/sites=%d/reps=%d/workers=%d",
+		cfg.PolicyName(), cfg.NumSites, reps, workers)
+	return finish(name, br, events), nil
 }
 
 // finish converts a BenchmarkResult into a report Result.

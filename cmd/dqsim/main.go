@@ -19,6 +19,7 @@ import (
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
+	"dqalloc/internal/sim"
 	"dqalloc/internal/system"
 	"dqalloc/internal/workload"
 )
@@ -54,6 +55,7 @@ func run(args []string, w io.Writer) error {
 		faultTO    = fs.Float64("fault-timeout", 0, "watchdog detection timeout (0 = fault default)")
 		faultTries = fs.Int("fault-retries", -1, "max query retries after loss (-1 = fault default)")
 		audit      = fs.Bool("audit", false, "run invariant auditors and fail on any violation")
+		schedName  = fs.String("sched", "calendar", "event scheduler: calendar (default) or heap (reference; identical results)")
 
 		estNoise  = fs.Float64("est-noise", 0, "estimation-error sigma on both demand estimates (0 = exact)")
 		noiseDist = fs.String("est-noise-dist", "lognormal", "estimation-error distribution: lognormal or uniform")
@@ -99,6 +101,9 @@ func run(args []string, w io.Writer) error {
 	cfg.Warmup = *warmup
 	cfg.Measure = *measure
 	cfg.Audit = *audit
+	if cfg.Scheduler, err = sim.ParseImpl(*schedName); err != nil {
+		return err
+	}
 	if *mttf > 0 || *drop > 0 || *netDelay > 0 {
 		fc := fault.Default()
 		fc.MTTF = math.Inf(1) // crashes off unless -mttf is given

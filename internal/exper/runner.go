@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"dqalloc/internal/policy"
+	"dqalloc/internal/sim"
 	"dqalloc/internal/stats"
 	"dqalloc/internal/system"
 )
@@ -51,6 +52,14 @@ type Runner struct {
 	// Workers caps the worker pool used by Parallel mode. Zero or
 	// negative means GOMAXPROCS. Ignored when Parallel is false.
 	Workers int
+	// Scheduler selects the kernel's future-event list for every
+	// replication (the runner owns this choice, overwriting whatever the
+	// configuration carries). The zero value is sim.Calendar, the
+	// default; sim.Heap runs the reference implementation. Results are
+	// identical either way — the scheduler trades only speed — so
+	// benchmark harnesses can compare implementations on byte-identical
+	// workloads.
+	Scheduler sim.Impl
 }
 
 // Quick returns a runner sized for tests and demos (a few seconds per
@@ -94,6 +103,10 @@ type Aggregate struct {
 	RemoteFrac   float64
 	// Completed is the total completions across replications.
 	Completed uint64
+	// Events is the total count of kernel events fired across
+	// replications — the numerator of aggregate events/sec when the
+	// replication batch is timed (dqbench's parallel suite).
+	Events uint64
 }
 
 // Run executes cfg across the runner's replications and aggregates.
@@ -108,8 +121,8 @@ func (r Runner) Run(cfg system.Config) (Aggregate, error) {
 	return aggregate(cfg.PolicyName(), results), nil
 }
 
-// applyHorizons overlays the runner's warmup/measure overrides, when set,
-// on the configuration.
+// applyHorizons overlays the runner's warmup/measure overrides, when
+// set, and its scheduler selection on the configuration.
 func (r Runner) applyHorizons(cfg system.Config) system.Config {
 	if r.Warmup > 0 {
 		cfg.Warmup = r.Warmup
@@ -117,6 +130,7 @@ func (r Runner) applyHorizons(cfg system.Config) system.Config {
 	if r.Measure > 0 {
 		cfg.Measure = r.Measure
 	}
+	cfg.Scheduler = r.Scheduler
 	return cfg
 }
 
@@ -137,6 +151,7 @@ func aggregate(policyName string, results []system.Results) Aggregate {
 		agg.Throughput += res.Throughput
 		agg.RemoteFrac += res.RemoteFrac
 		agg.Completed += res.Completed
+		agg.Events += res.EventsFired
 	}
 	n := float64(len(results))
 	agg.MeanWait = stats.MeanCI(waits)

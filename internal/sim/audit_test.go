@@ -1,0 +1,118 @@
+package sim
+
+import "testing"
+
+// auditScheduler validates every structural invariant of s's
+// future-event list and free list. It is shared by the fuzz target and
+// the differential property tests, and branches on the implementation:
+// heap order and index mapping for Impl Heap; bucket-list ordering,
+// bucket mapping, cursor position, overflow routing, and count
+// bookkeeping for Impl Calendar.
+func auditScheduler(t *testing.T, s *Scheduler) {
+	t.Helper()
+	if s.hp != nil {
+		auditHeap(t, &s.hp.items, s.hp.base)
+	} else {
+		auditCalendar(t, s.cal)
+	}
+	for i, e := range s.free {
+		if e.index != -1 || e.action != nil || e.next != nil || e.prev != nil {
+			t.Fatalf("free[%d] not retired: index %d, action nil=%v, linked=%v",
+				i, e.index, e.action == nil, e.next != nil || e.prev != nil)
+		}
+	}
+}
+
+// auditHeap checks the binary-heap invariants: parent ≤ child under the
+// (time, seq) order, every record knows its own position, and no record
+// lost its action while pending.
+func auditHeap(t *testing.T, items *[]*Event, base int32) {
+	t.Helper()
+	for i, e := range *items {
+		if e.index != base+int32(i) {
+			t.Fatalf("heap[%d] has index %d (base %d)", i, e.index, base)
+		}
+		if i > 0 && less(e, (*items)[(i-1)/2]) {
+			t.Fatalf("heap order violated at %d: (%v,%d) < parent", i, e.time, e.seq)
+		}
+		if e.action == nil {
+			t.Fatalf("pending heap[%d] has nil action", i)
+		}
+	}
+}
+
+// auditCalendar checks the calendar queue: each bucket is a consistent
+// doubly-linked list sorted by (time, seq) whose members map to that
+// bucket under the current (start, width) geometry, the scan cursor has
+// not passed a pending event, overflow events genuinely lie beyond the
+// bucket span, and the population counters agree with the structures.
+func auditCalendar(t *testing.T, c *calendar) {
+	t.Helper()
+	if c.nb != len(c.buckets) {
+		t.Fatalf("nb %d but %d buckets", c.nb, len(c.buckets))
+	}
+	inBuckets := 0
+	for i := range c.buckets {
+		b := c.buckets[i]
+		if (b.head == nil) != (b.tail == nil) {
+			t.Fatalf("bucket %d has head nil=%v tail nil=%v", i, b.head == nil, b.tail == nil)
+		}
+		var prev *Event
+		for e := b.head; e != nil; e = e.next {
+			inBuckets++
+			if i < c.cur {
+				t.Fatalf("cursor %d passed pending event in bucket %d", c.cur, i)
+			}
+			if e.prev != prev {
+				t.Fatalf("bucket %d list has broken prev link at seq %d", i, e.seq)
+			}
+			if prev != nil && !less(prev, e) {
+				t.Fatalf("bucket %d not sorted: (%v,%d) before (%v,%d)",
+					i, prev.time, prev.seq, e.time, e.seq)
+			}
+			if int(e.index) != i {
+				t.Fatalf("event in bucket %d has index %d", i, e.index)
+			}
+			if e.action == nil {
+				t.Fatalf("pending event in bucket %d has nil action", i)
+			}
+			if j, ovf := c.mapTime(e.time); ovf || j != i {
+				t.Fatalf("event at t=%v sits in bucket %d, maps to (%d, ovf=%v)", e.time, i, j, ovf)
+			}
+			prev = e
+		}
+		if b.tail != prev {
+			t.Fatalf("bucket %d tail does not terminate its list", i)
+		}
+	}
+	if inBuckets != c.inBuckets {
+		t.Fatalf("inBuckets %d, counted %d", c.inBuckets, inBuckets)
+	}
+	if c.count != c.inBuckets+c.ovf.len() {
+		t.Fatalf("count %d != %d bucketed + %d overflow", c.count, c.inBuckets, c.ovf.len())
+	}
+	if c.ovf.base != int32(c.nb) {
+		t.Fatalf("overflow base %d, nb %d", c.ovf.base, c.nb)
+	}
+	auditHeap(t, &c.ovf.items, c.ovf.base)
+	for _, e := range c.ovf.items {
+		if _, ovf := c.mapTime(e.time); !ovf {
+			t.Fatalf("overflow event at t=%v maps inside the bucket span", e.time)
+		}
+		if e.next != nil || e.prev != nil {
+			t.Fatalf("overflow event at t=%v still bucket-linked", e.time)
+		}
+	}
+}
+
+// mapTime replicates place's routing arithmetic for the auditor.
+func (c *calendar) mapTime(tm float64) (bucket int, overflow bool) {
+	d := (tm - c.start) * c.invw
+	if d >= float64(c.nb) {
+		return 0, true
+	}
+	if d > 0 {
+		return int(d), false
+	}
+	return 0, false
+}

@@ -1,0 +1,314 @@
+package sim
+
+// calendar is the kernel's default future-event list: an adaptive
+// calendar queue (Brown, CACM 31(10), 1988; two-level variant) with
+// amortized O(1) insert, pop-min, and cancel, replacing the binary
+// heap's O(log n) sift on every operation.
+//
+// Layout. The bucket array spans one "year" of simulated time starting
+// at start: bucket i holds the pending events with
+//
+//	(time - start) * invw  in  [i, i+1)
+//
+// as a doubly-linked list kept sorted by (time, seq), so the head of the
+// first non-empty bucket is the global minimum and pop is an unlink.
+// Events beyond the year (index >= nb) go to an overflow min-heap; when
+// the buckets drain, the year jumps to the overflow's minimum and the
+// newly-due prefix migrates into buckets (each far-future event pays one
+// O(log n) detour, once, instead of every event paying O(log n)).
+//
+// Adaptivity. The bucket count tracks the population (double when count
+// > 2·nb, halve when count < nb/2) and every rebuild re-estimates the
+// bucket width from the bulk spread of the pending set (estimateWidth:
+// mean gap over the earliest 7/8 of events × calWidthFactor, the far
+// tail excluded), so skewed event-time distributions spread over the
+// array instead of piling into one bucket. A sorted-insert walk that
+// exceeds calWalkTrigger links flags the width as stale and forces a
+// same-size rebuild — the escape hatch for distributions that drift
+// without changing the population.
+//
+// Determinism. Pop order is by (time, seq) exactly — the same total
+// order as the reference heap — because bucket mapping is monotone in
+// time (subtraction and multiplication by a positive width are
+// monotone), within-bucket lists are sorted, and overflow events are
+// strictly later than every bucketed event. Bucket-width and resize
+// heuristics can therefore never change the fire order, only the cost
+// of maintaining it: trace digests are bit-identical to the heap's by
+// construction. See DESIGN.md §12.
+type calendar struct {
+	buckets []bucket
+	nb      int     // len(buckets), kept >= calMinBuckets
+	width   float64 // simulated-time span of one bucket
+	invw    float64 // 1/width; bucket mapping multiplies, never divides
+	start   float64 // left edge of buckets[0]'s span
+	cur     int     // scan cursor: buckets[:cur] are empty
+
+	inBuckets int       // events currently in buckets
+	ovf       eventHeap // far-future events, time beyond the bucket span
+	count     int       // total pending (inBuckets + ovf.len())
+
+	scratch      []*Event // rebuild staging, capacity reused
+	sinceRebuild int      // inserts since the last rebuild (thrash guard)
+	staleWidth   bool     // a sorted-insert walk blew past calWalkTrigger
+}
+
+// bucket is one calendar slot: a (time, seq)-sorted doubly-linked list
+// threaded through the pooled Event records themselves, so membership
+// costs no allocation.
+type bucket struct {
+	head, tail *Event
+}
+
+const (
+	// calMinBuckets is the smallest bucket array; below this the
+	// constant factors of resizing outweigh scan cost.
+	calMinBuckets = 8
+	// calWidthFactor scales the estimated mean event gap into a bucket
+	// width; see estimateWidth.
+	calWidthFactor = 8
+	// calWalkTrigger is the sorted-insert walk length past which the
+	// bucket width is declared stale (events are piling into one bucket).
+	calWalkTrigger = 64
+)
+
+func newCalendar() *calendar {
+	c := &calendar{
+		buckets: make([]bucket, calMinBuckets),
+		nb:      calMinBuckets,
+		width:   1,
+		invw:    1,
+	}
+	c.ovf.base = calMinBuckets
+	return c
+}
+
+func (c *calendar) len() int { return c.count }
+
+// insert schedules e, growing the bucket array or refreshing a stale
+// width when the population calls for it.
+func (c *calendar) insert(e *Event) {
+	c.count++
+	c.sinceRebuild++
+	c.place(e)
+	if c.count > 2*c.nb {
+		c.rebuild(2 * c.nb)
+	} else if c.staleWidth {
+		c.staleWidth = false
+		if c.sinceRebuild > c.count/2 {
+			c.rebuild(c.nb)
+		}
+	}
+}
+
+// place routes e to its bucket or the overflow heap. It performs no
+// resize checks, so rebuild and overflow migration can reuse it.
+func (c *calendar) place(e *Event) {
+	d := (e.time - c.start) * c.invw
+	if d >= float64(c.nb) {
+		// Beyond the bucket span: far-future overflow.
+		c.ovf.push(e)
+		return
+	}
+	i := 0
+	if d > 0 {
+		i = int(d)
+	}
+	// After a year jump, start can exceed an insert's time; such events
+	// clamp into bucket 0, which the cursor reset below keeps correct
+	// (within-bucket order handles any time range).
+	if i < c.cur {
+		c.cur = i
+	}
+	c.inBuckets++
+	e.index = int32(i)
+	b := &c.buckets[i]
+	// Sorted insert scanning from the tail: new events usually carry the
+	// latest (time, seq) in their bucket — in particular, a same-instant
+	// burst appends in O(1) because seq always increases.
+	p := b.tail
+	walk := 0
+	for p != nil && less(e, p) {
+		p = p.prev
+		walk++
+	}
+	if walk > calWalkTrigger {
+		c.staleWidth = true
+	}
+	if p == nil {
+		e.prev = nil
+		e.next = b.head
+		if b.head != nil {
+			b.head.prev = e
+		} else {
+			b.tail = e
+		}
+		b.head = e
+	} else {
+		e.prev = p
+		e.next = p.next
+		if p.next != nil {
+			p.next.prev = e
+		} else {
+			b.tail = e
+		}
+		p.next = e
+	}
+}
+
+// unlink removes a bucketed event from its list in O(1).
+func (c *calendar) unlink(e *Event) {
+	b := &c.buckets[e.index]
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.next, e.prev = nil, nil
+}
+
+// peek returns the earliest pending event without removing it, or nil.
+// It advances the scan cursor past drained buckets and jumps the year
+// when only far-future events remain; both moves are state the next
+// peek/pop reuses, never information loss.
+func (c *calendar) peek() *Event {
+	if c.count == 0 {
+		return nil
+	}
+	if c.inBuckets == 0 {
+		c.jump()
+	}
+	for c.buckets[c.cur].head == nil {
+		c.cur++
+	}
+	return c.buckets[c.cur].head
+}
+
+// pop removes and returns the earliest pending event, or nil.
+func (c *calendar) pop() *Event {
+	e := c.peek()
+	if e == nil {
+		return nil
+	}
+	c.unlink(e)
+	c.inBuckets--
+	c.count--
+	if c.nb > calMinBuckets && c.count < c.nb/2 {
+		c.rebuild(c.nb / 2)
+	}
+	return e
+}
+
+// remove cancels a pending event wherever it sits.
+func (c *calendar) remove(e *Event) {
+	if int(e.index) >= c.nb {
+		c.ovf.remove(e)
+	} else {
+		c.unlink(e)
+		c.inBuckets--
+	}
+	c.count--
+	if c.nb > calMinBuckets && c.count < c.nb/2 {
+		c.rebuild(c.nb / 2)
+	}
+}
+
+// jump re-anchors the year at the earliest far-future event — only
+// legal with empty buckets — and migrates the newly-due overflow prefix
+// into buckets. The migration bound uses the exact expression place
+// routes by, so a migrated event can never bounce back to overflow.
+func (c *calendar) jump() {
+	c.start = c.ovf.min().time
+	c.cur = 0
+	for c.ovf.len() > 0 && (c.ovf.min().time-c.start)*c.invw < float64(c.nb) {
+		c.place(c.ovf.pop())
+	}
+}
+
+// rebuild resizes the bucket array to nb slots, re-estimates the bucket
+// width, and re-inserts every pending event. Collection walks buckets in
+// scan order then drains the overflow heap, which yields the events in
+// ascending (time, seq) — so every re-insert is an O(1) tail append and
+// the whole rebuild is O(count). Backing arrays (buckets, scratch,
+// overflow) are reused across rebuilds: steady-state oscillation across
+// a resize boundary allocates nothing once capacities are warm.
+func (c *calendar) rebuild(nb int) {
+	if nb < calMinBuckets {
+		nb = calMinBuckets
+	}
+	sc := c.scratch[:0]
+	for i := c.cur; i < c.nb; i++ {
+		for e := c.buckets[i].head; e != nil; e = e.next {
+			sc = append(sc, e)
+		}
+	}
+	for c.ovf.len() > 0 {
+		sc = append(sc, c.ovf.pop())
+	}
+	c.setWidth(c.estimateWidth(sc))
+	if cap(c.buckets) >= nb {
+		c.buckets = c.buckets[:nb]
+		for i := range c.buckets {
+			c.buckets[i] = bucket{}
+		}
+	} else {
+		c.buckets = make([]bucket, nb)
+	}
+	c.nb = nb
+	c.ovf.base = int32(nb)
+	c.inBuckets = 0
+	c.cur = 0
+	if len(sc) > 0 {
+		c.start = sc[0].time
+	}
+	for i, e := range sc {
+		e.next, e.prev = nil, nil
+		c.place(e)
+		sc[i] = nil
+	}
+	c.scratch = sc[:0]
+	c.sinceRebuild = 0
+	c.staleWidth = false
+}
+
+func (c *calendar) setWidth(w float64) {
+	c.width = w
+	c.invw = 1 / w
+}
+
+// estimateWidth derives the new bucket width from the sorted pending
+// set using a bulk-spread rule: the average gap across the earliest 7/8
+// of the events (the far tail is excluded so one distant straggler
+// can't blow the span up), scaled by calWidthFactor. Compared with
+// Brown's head-sampling rule this sees the whole distribution, which
+// matters for heavy-tailed offsets: sampling only the queue head reads
+// the smallest order-statistic spacings and yields a span far narrower
+// than the pending window, pushing the bulk of events through the
+// overflow heap. The factor balances sorted-insert walk length (wider
+// buckets hold more events) against overflow traffic (a short year
+// expires sooner); the estimate tunes only performance — fire order is
+// width-independent. With fewer than two distinct times the current
+// width stands.
+func (c *calendar) estimateWidth(sorted []*Event) float64 {
+	n := len(sorted)
+	if n < 2 {
+		return c.width
+	}
+	q := n - 1
+	if n >= 8 {
+		q = n - n/8
+	}
+	spread := sorted[q].time - sorted[0].time
+	w := calWidthFactor * spread / float64(q)
+	// Degenerate spreads (all same-instant, subnormal gaps,
+	// near-overflow times) keep the old width; correctness never
+	// depends on it.
+	if !(w > 1e-300) || w > 1e300 {
+		return c.width
+	}
+	return w
+}

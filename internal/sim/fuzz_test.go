@@ -5,38 +5,69 @@ import (
 	"testing"
 )
 
-// FuzzSchedulerHeap drives a scheduler through a random interleaving of
+// FuzzSchedulerHeap drives the calendar-queue scheduler and the
+// reference heap scheduler side by side through a random interleaving of
 // At, After, Cancel, and Step operations decoded from the fuzz input,
 // checking after every operation that
 //
-//   - the binary heap is well-formed (parent ≤ child under the
-//     (time, seq) order) and every record knows its own position,
-//   - the free list holds only retired records (index -1, nil action,
-//     no live handle),
+//   - both future-event lists are structurally sound (auditScheduler:
+//     heap order and index mapping for the heap; sorted bucket lists,
+//     bucket/overflow routing, cursor and count bookkeeping for the
+//     calendar queue),
+//   - the two implementations agree operation for operation: identical
+//     Cancel results, pending counts, clocks, and — via the fire
+//     cross-check below — identical pop order,
 //   - events fire in non-decreasing time order with FIFO tie-break
 //     (ascending seq at equal times),
-//   - handle liveness matches the model (Cancel succeeds exactly once,
-//     fired events' handles go stale), and
+//   - handle liveness matches the model on both (Cancel succeeds
+//     exactly once, fired events' handles go stale), and
 //   - non-finite event times are rejected by panic without corrupting
-//     the calendar.
+//     either calendar.
 //
 // Scheduled times are quantized to small integers so that same-instant
-// collisions — the FIFO tie-break's interesting case — are common.
+// collisions — the FIFO tie-break's interesting case — are common, and
+// every 16th delay lands far in the future to exercise the calendar
+// queue's overflow heap and year jumps. Long insert or drain runs in the
+// input cross the calendar's bucket-resize boundaries (count > 2·nb and
+// count < nb/2), so rebuilds are covered by construction.
 func FuzzSchedulerHeap(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 3, 3, 3})
 	f.Add([]byte{0, 0, 0, 0, 3, 2, 0, 2, 1, 3, 3, 3, 3})
 	f.Add([]byte{4, 0, 4, 3, 4})
 	f.Add([]byte{1, 7, 1, 7, 1, 7, 2, 0, 2, 0, 3, 3})
+	// Grow far past several resize boundaries, then drain back through
+	// the shrink boundaries.
+	grow := make([]byte, 0, 200)
+	for i := 0; i < 60; i++ {
+		grow = append(grow, 0, byte(i))
+	}
+	for i := 0; i < 60; i++ {
+		grow = append(grow, 3)
+	}
+	f.Add(grow)
+	// Far-future heavy: odd delay bytes ≥ 0x10 overflow the year span.
+	f.Add([]byte{0, 0x9f, 0, 0xaf, 0, 1, 3, 3, 3, 0, 0xff, 2, 0, 3})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s := New()
+		cal := New()
+		ref := NewImpl(Heap)
+		if cal.Impl() != Calendar || ref.Impl() != Heap {
+			t.Fatal("implementation selection broken")
+		}
 		nop := func() {}
-		var live []Handle
+		var calLive, refLive []Handle
 		lastTime := math.Inf(-1)
 		var lastSeq uint64
 
-		// The observer validates the global fire order: time never
-		// decreases, and same-instant events fire in scheduling order.
-		s.Observe(func(e *Event) {
+		// The calendar scheduler's observer validates the global fire
+		// order: time never decreases, and same-instant events fire in
+		// scheduling order. The reference scheduler's observer records
+		// its stream for the cross-check.
+		var calFired, refFired []struct {
+			time float64
+			seq  uint64
+		}
+		cal.Observe(func(e *Event) {
 			if e.time < lastTime {
 				t.Fatalf("fired time %v after %v", e.time, lastTime)
 			}
@@ -46,61 +77,85 @@ func FuzzSchedulerHeap(f *testing.F) {
 			lastTime = e.time
 			lastSeq = e.seq
 			if e.index >= 0 {
-				t.Fatalf("fired event still claims heap position %d", e.index)
+				t.Fatalf("fired event still claims list position %d", e.index)
 			}
+			calFired = append(calFired, struct {
+				time float64
+				seq  uint64
+			}{e.time, e.seq})
+		})
+		ref.Observe(func(e *Event) {
+			refFired = append(refFired, struct {
+				time float64
+				seq  uint64
+			}{e.time, e.seq})
 		})
 
 		audit := func() {
 			t.Helper()
-			for i, e := range s.heap {
-				if int(e.index) != i {
-					t.Fatalf("heap[%d] has index %d", i, e.index)
-				}
-				if i > 0 && less(e, s.heap[(i-1)/2]) {
-					t.Fatalf("heap order violated at %d: (%v,%d) < parent", i, e.time, e.seq)
-				}
-				if e.action == nil {
-					t.Fatalf("pending heap[%d] has nil action", i)
-				}
+			auditScheduler(t, cal)
+			auditScheduler(t, ref)
+			if cal.Len() != ref.Len() {
+				t.Fatalf("calendar holds %d pending, heap %d", cal.Len(), ref.Len())
 			}
-			for i, e := range s.free {
-				if e.index != -1 || e.action != nil {
-					t.Fatalf("free[%d] not retired: index %d, action nil=%v", i, e.index, e.action == nil)
+			if cal.Now() != ref.Now() {
+				t.Fatalf("clocks diverged: calendar %v, heap %v", cal.Now(), ref.Now())
+			}
+			if len(calFired) != len(refFired) {
+				t.Fatalf("calendar fired %d events, heap %d", len(calFired), len(refFired))
+			}
+			for i := range calFired {
+				if calFired[i] != refFired[i] {
+					t.Fatalf("fire stream diverged at %d: calendar %+v, heap %+v",
+						i, calFired[i], refFired[i])
 				}
 			}
 			livePending := 0
-			for _, h := range live {
-				if h.Scheduled() {
+			for i := range calLive {
+				cs, rs := calLive[i].Scheduled(), refLive[i].Scheduled()
+				if cs != rs {
+					t.Fatalf("handle %d liveness diverged: calendar %v, heap %v", i, cs, rs)
+				}
+				if cs {
 					livePending++
 				}
 			}
-			if livePending != s.Len() {
-				t.Fatalf("%d live handles vs %d pending events", livePending, s.Len())
+			if livePending != cal.Len() {
+				t.Fatalf("%d live handles vs %d pending events", livePending, cal.Len())
 			}
 		}
 
 		for i := 0; i < len(data); i++ {
 			switch data[i] % 5 {
-			case 0, 1: // schedule, quantized delay so time ties are common
+			case 0, 1: // schedule; quantized delay so time ties are common
 				var d byte
 				if i+1 < len(data) {
 					i++
 					d = data[i]
 				}
 				delay := float64(d % 8)
-				var h Handle
-				if data[i]%2 == 0 {
-					h = s.After(delay, nop)
-				} else {
-					h = s.At(s.Now()+delay, nop)
+				if d%16 == 9 {
+					// A far-future event: lands well beyond the calendar's
+					// bucket span, exercising overflow and year jumps.
+					delay = 1000 + float64(d)
 				}
-				if !h.Scheduled() {
+				var ch, rh Handle
+				if data[i]%2 == 0 {
+					ch = cal.After(delay, nop)
+					rh = ref.After(delay, nop)
+				} else {
+					ch = cal.At(cal.Now()+delay, nop)
+					rh = ref.At(ref.Now()+delay, nop)
+				}
+				if !ch.Scheduled() || !rh.Scheduled() {
 					t.Fatal("fresh handle not scheduled")
 				}
-				h.SetKind(0x7f)
-				live = append(live, h)
-			case 2: // cancel a (possibly stale) tracked handle
-				if len(live) == 0 {
+				ch.SetKind(0x7f)
+				rh.SetKind(0x7f)
+				calLive = append(calLive, ch)
+				refLive = append(refLive, rh)
+			case 2: // cancel a (possibly stale) tracked handle on both
+				if len(calLive) == 0 {
 					continue
 				}
 				var idx byte
@@ -108,53 +163,70 @@ func FuzzSchedulerHeap(f *testing.F) {
 					i++
 					idx = data[i]
 				}
-				h := live[int(idx)%len(live)]
-				was := h.Scheduled()
-				if got := s.Cancel(h); got != was {
-					t.Fatalf("Cancel = %v on handle with Scheduled = %v", got, was)
+				j := int(idx) % len(calLive)
+				ch, rh := calLive[j], refLive[j]
+				was := ch.Scheduled()
+				cg, rg := cal.Cancel(ch), ref.Cancel(rh)
+				if cg != rg {
+					t.Fatalf("Cancel diverged: calendar %v, heap %v", cg, rg)
 				}
-				if h.Scheduled() {
+				if cg != was {
+					t.Fatalf("Cancel = %v on handle with Scheduled = %v", cg, was)
+				}
+				if ch.Scheduled() {
 					t.Fatal("handle still scheduled after Cancel")
 				}
-				if s.Cancel(h) {
+				if cal.Cancel(ch) || ref.Cancel(rh) {
 					t.Fatal("double Cancel succeeded")
 				}
-			case 3: // fire the earliest event
-				before := s.Len()
-				fired := s.Step()
-				if fired != (before > 0) {
-					t.Fatalf("Step = %v with %d pending", fired, before)
+			case 3: // fire the earliest event on both
+				before := cal.Len()
+				cf, rf := cal.Step(), ref.Step()
+				if cf != rf {
+					t.Fatalf("Step diverged: calendar %v, heap %v", cf, rf)
+				}
+				if cf != (before > 0) {
+					t.Fatalf("Step = %v with %d pending", cf, before)
 				}
 			case 4: // non-finite times must panic and leave no trace
-				before := s.Len()
-				for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-					func() {
-						defer func() {
-							if recover() == nil {
-								t.Fatalf("At(%v) did not panic", bad)
-							}
+				before := cal.Len()
+				for _, s := range []*Scheduler{cal, ref} {
+					for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+						func() {
+							defer func() {
+								if recover() == nil {
+									t.Fatalf("At(%v) did not panic", bad)
+								}
+							}()
+							s.At(bad, nop)
 						}()
-						s.At(bad, nop)
-					}()
+					}
 				}
-				if s.Len() != before {
-					t.Fatalf("rejected times changed pending count %d -> %d", before, s.Len())
+				if cal.Len() != before {
+					t.Fatalf("rejected times changed pending count %d -> %d", before, cal.Len())
 				}
 			}
 			audit()
 		}
 
-		// Drain: everything left must fire, in order, exactly once.
-		remaining := s.Len()
-		for s.Step() {
+		// Drain: everything left must fire, in order, exactly once, and
+		// the two streams must stay identical to the end.
+		remaining := cal.Len()
+		for cal.Step() {
+			if !ref.Step() {
+				t.Fatal("heap drained before calendar")
+			}
 			remaining--
 			audit()
+		}
+		if ref.Step() {
+			t.Fatal("calendar drained before heap")
 		}
 		if remaining != 0 {
 			t.Fatalf("drain fired %d fewer events than were pending", -remaining)
 		}
-		for _, h := range live {
-			if h.Scheduled() {
+		for i := range calLive {
+			if calLive[i].Scheduled() || refLive[i].Scheduled() {
 				t.Fatal("handle scheduled after drain")
 			}
 		}

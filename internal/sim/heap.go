@@ -1,0 +1,93 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (time, seq). It
+// serves two roles: as the reference future-event-list implementation
+// (Impl Heap, the pre-calendar kernel kept for differential testing),
+// and as the calendar queue's overflow store for far-future events. Each
+// pending event's index field records base + its heap position, so
+// Cancel can locate and remove an arbitrary event in O(log n); base lets
+// the calendar distinguish overflow positions from bucket numbers.
+type eventHeap struct {
+	items []*Event
+	base  int32
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+// min returns the earliest pending event without removing it, or nil.
+func (h *eventHeap) min() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *eventHeap) push(e *Event) {
+	i := len(h.items)
+	e.index = h.base + int32(i)
+	h.items = append(h.items, e)
+	h.up(i)
+}
+
+// pop removes and returns the earliest pending event. The caller must
+// know the heap is non-empty.
+func (h *eventHeap) pop() *Event {
+	e := h.items[0]
+	h.removeAt(0)
+	return e
+}
+
+// remove unlinks a pending event wherever it sits in the heap.
+func (h *eventHeap) remove(e *Event) {
+	h.removeAt(int(e.index - h.base))
+}
+
+// removeAt deletes the element at heap position i, preserving heap order.
+func (h *eventHeap) removeAt(i int) {
+	last := len(h.items) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = h.base + int32(i)
+	h.items[j].index = h.base + int32(j)
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && less(h.items[right], h.items[left]) {
+			child = right
+		}
+		if !less(h.items[child], h.items[i]) {
+			return
+		}
+		h.swap(i, child)
+		i = child
+	}
+}

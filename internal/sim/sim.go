@@ -6,12 +6,23 @@
 // for a given seed and configuration. This kernel is the reproduction's
 // substitute for the DISS simulation-language runtime used by the paper.
 //
+// Two future-event-list implementations sit behind the same API: an
+// adaptive calendar queue (the default — amortized O(1) per operation,
+// see calendar.go and DESIGN.md §12) and the original binary heap, kept
+// as a config-selectable reference (Impl Heap) that the differential
+// tests and fuzz target cross-check the calendar against. Both fire
+// events in the identical (time, seq) order, so trace digests are
+// bit-identical whichever is selected.
+//
 // Event records are pooled: once an event fires or is cancelled its
 // record returns to a per-scheduler free list and is reused by the next
-// At/After, so the steady-state hot path allocates nothing. Handles are
-// generation-counted — a handle to a retired (and possibly reused) event
-// is detected as stale rather than acting on the wrong event. See
-// DESIGN.md §10 for the performance model.
+// At/After, so the steady-state hot path allocates nothing. Fresh
+// records are carved from slabs — contiguous arrays of Events — so a
+// scheduler's working set stays cache-dense instead of scattering one
+// heap object per event. Handles are generation-counted — a handle to a
+// retired (and possibly reused) event is detected as stale rather than
+// acting on the wrong event. See DESIGN.md §10 for the performance
+// model.
 package sim
 
 import (
@@ -28,9 +39,16 @@ type Action func()
 // observers receive the live record of the event being fired, whose
 // fields are valid for the duration of the observer call.
 type Event struct {
-	time  float64
-	seq   uint64
-	index int32 // position in the heap, -1 once fired or cancelled
+	time float64
+	seq  uint64
+	// index locates the pending event inside its future-event list — a
+	// heap position for Impl Heap, a bucket number (or overflow-heap
+	// position offset by the bucket count) for Impl Calendar — and is -1
+	// once the event fires or is cancelled.
+	index int32
+	// next and prev thread the event through its calendar bucket's
+	// sorted list; nil outside a bucket.
+	next, prev *Event
 
 	// Kind is a free-form discriminator mixed into the trace digest (and
 	// visible to fire observers) so that digests distinguish event types,
@@ -100,16 +118,57 @@ func (h Handle) SetKind(k byte) {
 	h.e.Kind = k
 }
 
+// Impl selects the future-event-list implementation behind a Scheduler.
+type Impl int
+
+const (
+	// Calendar is the default: an adaptive calendar queue with
+	// amortized O(1) schedule/fire/cancel (see calendar.go).
+	Calendar Impl = iota
+	// Heap is the reference binary-heap implementation the calendar
+	// queue is differentially tested against — O(log n) per operation,
+	// bit-identical fire order.
+	Heap
+)
+
+// String returns the implementation name as used in flags and reports.
+func (i Impl) String() string {
+	switch i {
+	case Calendar:
+		return "calendar"
+	case Heap:
+		return "heap"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseImpl converts a flag value to an Impl.
+func ParseImpl(s string) (Impl, error) {
+	switch s {
+	case "calendar":
+		return Calendar, nil
+	case "heap":
+		return Heap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler implementation %q (want calendar or heap)", s)
+	}
+}
+
 // Scheduler owns the simulated clock and the future-event list.
 //
 // Scheduler is not safe for concurrent use: the model is single-threaded by
 // design so that runs are reproducible. All model code runs inside event
 // actions on one goroutine.
 type Scheduler struct {
-	now     float64
-	seq     uint64
-	heap    []*Event
+	now float64
+	seq uint64
+	// Exactly one of cal and hp is non-nil; hp == nil selects the
+	// calendar-queue fast path on every dispatch below.
+	cal     *calendar
+	hp      *eventHeap
 	free    []*Event // retired records awaiting reuse
+	slab    []Event  // contiguous backing for fresh records
 	fired   uint64
 	stopped bool
 
@@ -128,16 +187,43 @@ type Scheduler struct {
 	observer func(e *Event)
 }
 
-// New returns a Scheduler with the clock at zero and an empty event list.
+// New returns a Scheduler with the clock at zero and an empty event
+// list, using the default calendar-queue implementation.
 func New() *Scheduler {
-	return &Scheduler{}
+	return NewImpl(Calendar)
+}
+
+// NewImpl returns a Scheduler backed by the selected future-event-list
+// implementation. Both implementations fire the same events in the same
+// order; Heap exists as the differential-testing reference.
+func NewImpl(impl Impl) *Scheduler {
+	s := &Scheduler{}
+	if impl == Heap {
+		s.hp = &eventHeap{}
+	} else {
+		s.cal = newCalendar()
+	}
+	return s
+}
+
+// Impl reports which future-event-list implementation backs s.
+func (s *Scheduler) Impl() Impl {
+	if s.hp != nil {
+		return Heap
+	}
+	return Calendar
 }
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() float64 { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int {
+	if s.hp != nil {
+		return s.hp.len()
+	}
+	return s.cal.len()
+}
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -227,11 +313,37 @@ func (s *Scheduler) At(t float64, action Action) Handle {
 		e.Kind = 0
 		e.action = action
 	} else {
-		e = &Event{time: t, seq: s.seq, action: action}
+		e = s.newRecord()
+		e.time = t
+		e.seq = s.seq
+		e.action = action
 	}
 	s.seq++
-	s.push(e)
+	if s.hp != nil {
+		s.hp.push(e)
+	} else {
+		s.cal.insert(e)
+	}
 	return Handle{e: e, gen: e.gen}
+}
+
+// slabSize is how many Event records one slab allocation carves out.
+// Slabs keep a scheduler's pooled records contiguous — the hot window of
+// a simulation walks a few cache-dense arrays instead of pointer-chasing
+// individually allocated objects — and divide allocation count during
+// pool growth by the same factor.
+const slabSize = 64
+
+// newRecord returns a fresh record from the current slab, starting a new
+// slab when the current one is exhausted. Only pool growth reaches here;
+// the steady state recycles via the free list.
+func (s *Scheduler) newRecord() *Event {
+	if len(s.slab) == 0 {
+		s.slab = make([]Event, slabSize)
+	}
+	e := &s.slab[0]
+	s.slab = s.slab[1:]
+	return e
 }
 
 // After schedules action to run d time units from now. Negative or
@@ -251,7 +363,11 @@ func (s *Scheduler) Cancel(h Handle) bool {
 	if e == nil || e.gen != h.gen || e.index < 0 {
 		return false
 	}
-	s.remove(int(e.index))
+	if s.hp != nil {
+		s.hp.remove(e)
+	} else {
+		s.cal.remove(e)
+	}
 	s.retire(e)
 	return true
 }
@@ -265,14 +381,29 @@ func (s *Scheduler) retire(e *Event) {
 	s.free = append(s.free, e)
 }
 
+// peek returns the earliest pending event without firing it, or nil.
+func (s *Scheduler) peek() *Event {
+	if s.hp != nil {
+		return s.hp.min()
+	}
+	return s.cal.peek()
+}
+
 // Step fires the single earliest pending event, advancing the clock to its
 // time. It reports whether an event was fired.
 func (s *Scheduler) Step() bool {
-	if len(s.heap) == 0 {
-		return false
+	var e *Event
+	if s.hp != nil {
+		if s.hp.len() == 0 {
+			return false
+		}
+		e = s.hp.pop()
+	} else {
+		e = s.cal.pop()
+		if e == nil {
+			return false
+		}
 	}
-	e := s.heap[0]
-	s.remove(0)
 	e.index = -1
 	s.now = e.time
 	action := e.action
@@ -301,7 +432,11 @@ func (s *Scheduler) RunUntil(t float64) {
 		panic(fmt.Sprintf("sim: RunUntil(%v) precedes current time %v", t, s.now))
 	}
 	s.stopped = false
-	for !s.stopped && len(s.heap) > 0 && s.heap[0].time <= t {
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.time > t {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < t {
@@ -314,66 +449,12 @@ func (s *Scheduler) RunUntil(t float64) {
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // less orders events by time, breaking ties by scheduling order so that
-// same-instant events fire FIFO.
+// same-instant events fire FIFO. Both future-event-list implementations
+// order by exactly this predicate, which is what makes their fire
+// streams — and therefore all trace digests — bit-identical.
 func less(a, b *Event) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
 	return a.seq < b.seq
-}
-
-func (s *Scheduler) push(e *Event) {
-	e.index = int32(len(s.heap))
-	s.heap = append(s.heap, e)
-	s.up(int(e.index))
-}
-
-// remove deletes the element at heap position i, preserving heap order.
-func (s *Scheduler) remove(i int) {
-	last := len(s.heap) - 1
-	if i != last {
-		s.swap(i, last)
-	}
-	s.heap[last] = nil
-	s.heap = s.heap[:last]
-	if i < last {
-		s.down(i)
-		s.up(i)
-	}
-}
-
-func (s *Scheduler) swap(i, j int) {
-	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].index = int32(i)
-	s.heap[j].index = int32(j)
-}
-
-func (s *Scheduler) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(s.heap[i], s.heap[parent]) {
-			return
-		}
-		s.swap(i, parent)
-		i = parent
-	}
-}
-
-func (s *Scheduler) down(i int) {
-	n := len(s.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		child := left
-		if right := left + 1; right < n && less(s.heap[right], s.heap[left]) {
-			child = right
-		}
-		if !less(s.heap[child], s.heap[i]) {
-			return
-		}
-		s.swap(i, child)
-		i = child
-	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"dqalloc/internal/rng"
 )
 
 func TestSchedulerFiresInTimeOrder(t *testing.T) {
@@ -217,20 +219,51 @@ func TestRandomCancelQuick(t *testing.T) {
 }
 
 func BenchmarkSchedulerChurn(b *testing.B) {
-	s := New()
-	r := rand.New(rand.NewSource(1))
-	// Keep a rolling window of 1000 pending events.
-	var schedule func()
-	n := 0
-	schedule = func() {
-		n++
-		if n < b.N {
-			s.After(r.Float64(), schedule)
-		}
+	for _, impl := range []Impl{Calendar, Heap} {
+		b.Run(impl.String(), func(b *testing.B) {
+			s := NewImpl(impl)
+			r := rand.New(rand.NewSource(1))
+			// Keep a rolling window of 1000 pending events.
+			var schedule func()
+			n := 0
+			schedule = func() {
+				n++
+				if n < b.N {
+					s.After(r.Float64(), schedule)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < 1000 && n < b.N; i++ {
+				s.After(r.Float64(), schedule)
+			}
+			s.Run()
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < 1000 && n < b.N; i++ {
-		s.After(r.Float64(), schedule)
+}
+
+// BenchmarkKernelChurnExp mirrors the dqbench kernel/churn suite — a
+// 1024-event rolling window with exponential offsets — per
+// implementation, so `go test -bench` reproduces the acceptance metric
+// without the dqbench harness.
+func BenchmarkKernelChurnExp(b *testing.B) {
+	for _, impl := range []Impl{Calendar, Heap} {
+		b.Run(impl.String(), func(b *testing.B) {
+			const window = 1024
+			s := NewImpl(impl)
+			st := rng.NewStream(1)
+			var tick Action
+			n := 0
+			tick = func() {
+				n++
+				if n+window <= b.N {
+					s.After(st.Exp(1), tick)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < window && i < b.N; i++ {
+				s.After(st.Exp(1), tick)
+			}
+			s.Run()
+		})
 	}
-	s.Run()
 }

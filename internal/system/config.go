@@ -16,6 +16,7 @@ import (
 	"dqalloc/internal/policy"
 	"dqalloc/internal/queue"
 	"dqalloc/internal/replica"
+	"dqalloc/internal/sim"
 	"dqalloc/internal/site"
 	"dqalloc/internal/workload"
 )
@@ -155,6 +156,15 @@ type Config struct {
 	// event-for-event identical to one built without the subsystem.
 	Hedge HedgeConfig
 
+	// Scheduler selects the kernel's future-event list implementation:
+	// sim.Calendar (the default adaptive calendar queue) or sim.Heap (the
+	// reference binary heap). The two are observationally identical —
+	// every run fires the same events in the same order with either, and
+	// TraceDigest values match bit for bit — so this knob trades only
+	// performance, and exists chiefly so regression suites can
+	// cross-check the implementations on full macro runs.
+	Scheduler sim.Impl
+
 	// Audit attaches the internal/check runtime auditors to the run:
 	// query conservation, utilization bounds, Little's law, event-clock
 	// monotonicity, and ring message conservation. Off by default so hot
@@ -278,6 +288,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Hedge.validate(); err != nil {
 		return err
+	}
+	if c.Scheduler != sim.Calendar && c.Scheduler != sim.Heap {
+		return fmt.Errorf("system: invalid Scheduler %d", c.Scheduler)
 	}
 	if c.CPUSpeeds != nil {
 		if len(c.CPUSpeeds) != c.NumSites {

@@ -6,6 +6,7 @@ import (
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
+	"dqalloc/internal/sim"
 )
 
 // This file is the digest-equivalence gate for kernel optimizations: the
@@ -73,5 +74,51 @@ func TestDigestEquivalencePooledKernel(t *testing.T) {
 					r.TraceDigest, g.want)
 			}
 		})
+	}
+}
+
+// TestDigestEquivalenceSchedulerImpls is the same gate for the
+// calendar-queue scheduler: both kernel implementations must reproduce
+// every golden digest bit for bit. The calendar queue is the default, so
+// TestDigestEquivalencePooledKernel already covers it on the full
+// golden table; here the reference heap replays that table, and the
+// fault-on and noise-on configurations — the heaviest consumers of
+// event cancellation and record reuse, where a routing or free-list
+// divergence would surface first — run under both implementations
+// explicitly. A mismatch means a scheduler implementation reordered or
+// dropped events, which the calendar's design forbids by construction
+// (see DESIGN.md §12).
+func TestDigestEquivalenceSchedulerImpls(t *testing.T) {
+	for _, g := range goldenDigests {
+		t.Run("golden/heap/"+g.mode.String()+"/"+g.kind.String(), func(t *testing.T) {
+			cfg := imperfectCfg(g.kind, g.mode)
+			cfg.Scheduler = sim.Heap
+			r := runDigest(t, cfg)
+			if r.TraceDigest != g.want {
+				t.Errorf("heap digest %#x, want golden %#x — the scheduler changed the event stream",
+					r.TraceDigest, g.want)
+			}
+		})
+	}
+	heavy := []struct {
+		name string
+		cfg  Config
+		want uint64
+	}{
+		{"fault-on/LERT/periodic", faultOnConfig(), 0xb9301bf99abd3f78},
+		{"noise-on/LERT/perfect", noiseOnConfig(), 0x43c038fbbd5ab1a8},
+	}
+	for _, g := range heavy {
+		for _, impl := range []sim.Impl{sim.Calendar, sim.Heap} {
+			t.Run(g.name+"/"+impl.String(), func(t *testing.T) {
+				cfg := g.cfg
+				cfg.Scheduler = impl
+				r := runDigest(t, cfg)
+				if r.TraceDigest != g.want {
+					t.Errorf("%v digest %#x, want golden %#x — the scheduler changed the event stream",
+						impl, r.TraceDigest, g.want)
+				}
+			})
+		}
 	}
 }

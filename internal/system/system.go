@@ -94,7 +94,7 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, sched: sim.New()}
+	s := &System{cfg: cfg, sched: sim.NewImpl(cfg.Scheduler)}
 	root := rng.NewStream(cfg.Seed)
 
 	var err error

@@ -42,12 +42,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -60,7 +64,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dqbench:", err)
 		os.Exit(1)
 	}
@@ -100,7 +106,7 @@ type Result struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dqbench", flag.ContinueOnError)
 	var (
 		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
@@ -137,7 +143,9 @@ func run(args []string, w io.Writer) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	if all || *suite == "kernel" {
+	// SIGINT/SIGTERM between layers: stop benchmarking, but still flush
+	// whatever completed into the report, then exit non-zero.
+	if ctx.Err() == nil && (all || *suite == "kernel") {
 		churn := 200_000
 		if *quick {
 			churn = 20_000
@@ -146,14 +154,18 @@ func run(args []string, w io.Writer) error {
 		rep.Results = append(rep.Results, benchKernelChurn(impl, churn))
 	}
 
-	if all || *suite == "macro" {
+	if ctx.Err() == nil && (all || *suite == "macro") {
 		// One replication per policy and site count.
 		measure := 5000.0
 		if *quick {
 			measure = 1500
 		}
+	macro:
 		for _, kind := range []policy.Kind{policy.Local, policy.BNQ, policy.BNQRD, policy.LERT} {
 			for _, sites := range []int{4, 8, 16} {
+				if ctx.Err() != nil {
+					break macro
+				}
 				r, err := benchMacro(impl, kind, sites, measure)
 				if err != nil {
 					return err
@@ -165,7 +177,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if all || *suite == "overload" {
+	if ctx.Err() == nil && (all || *suite == "overload") {
 		// Macro-style run with every overload subsystem enabled: bursty
 		// MMPP arrivals, deadlines, hedging — the tail-robustness hot path.
 		measure := 4000.0
@@ -181,7 +193,7 @@ func run(args []string, w io.Writer) error {
 		rep.Results = append(rep.Results, r)
 	}
 
-	if all || *suite == "table8" {
+	if ctx.Err() == nil && (all || *suite == "table8") {
 		// Composite: the Table-8 harness.
 		runner := exper.Runner{Reps: 2, BaseSeed: 1, Warmup: 1000, Measure: 6000, Scheduler: impl}
 		if *quick {
@@ -195,7 +207,7 @@ func run(args []string, w io.Writer) error {
 		rep.Results = append(rep.Results, t8)
 	}
 
-	if all || *suite == "parallel" {
+	if ctx.Err() == nil && (all || *suite == "parallel") {
 		// Sharded replications across the worker pool: aggregate
 		// events/sec at GOMAXPROCS.
 		measure := 4000.0
@@ -222,11 +234,41 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeFileAtomic(path, data); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s (%d results)\n", path, len(rep.Results))
+	if ctx.Err() != nil {
+		return fmt.Errorf("interrupted: partial report written to %s", path)
+	}
 	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so a
+// crash or interrupt mid-write never leaves a truncated report where a
+// previous good one stood.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // benchKernelChurn measures the scheduler alone: a rolling window of

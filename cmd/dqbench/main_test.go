@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -15,7 +17,7 @@ import (
 func TestRunKernelSuite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-suite", "kernel", "-label", "unit test", "-o", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-suite", "kernel", "-label", "unit test", "-o", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -54,7 +56,7 @@ func TestRunOverloadSuite(t *testing.T) {
 		t.Skip("runs a real benchmark")
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"-quick", "-suite", "overload", "-o", path}, io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-suite", "overload", "-o", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -74,13 +76,63 @@ func TestRunOverloadSuite(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-suite", "nope"}, io.Discard); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-suite", "nope"}, io.Discard); err == nil {
 		t.Error("unknown suite accepted")
 	}
-	if err := run([]string{"extra"}, io.Discard); err == nil {
+	if err := run(ctx, []string{"extra"}, io.Discard); err == nil {
 		t.Error("stray positional argument accepted")
 	}
-	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+	if err := run(ctx, []string{"-no-such-flag"}, io.Discard); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunInterruptedFlushesPartialReport is the SIGINT/SIGTERM contract:
+// a cancelled context skips the remaining benchmarks but still writes a
+// valid (possibly empty) report and exits non-zero.
+func TestRunInterruptedFlushesPartialReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // "signal" arrives before the first layer
+	err := run(ctx, []string{"-quick", "-suite", "kernel", "-o", path}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("run = %v, want interrupted error", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("partial report not written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("partial report does not parse: %v", err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("cancelled run still produced results: %+v", rep.Results)
+	}
+}
+
+// TestWriteFileAtomic checks the temp-and-rename discipline: content
+// lands intact, an existing file is replaced, and no temp files remain.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := writeFileAtomic(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("content = %q, %v; want \"new\"", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp residue left in %s: %v", dir, entries)
 	}
 }

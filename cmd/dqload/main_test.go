@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/serve"
+)
+
+// startTarget builds an in-process dqserve-equivalent server for the
+// loader to drive, pre-warmed with one clean report per site so the
+// first decisions are not spent waiting for the reporter warm-up.
+func startTarget(t *testing.T, numSites int) *httptest.Server {
+	t.Helper()
+	cfg := serve.Default()
+	cfg.NumSites = numSites
+	cfg.Policy = policy.BNQ
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	for s := 0; s < numSites; s++ {
+		body := fmt.Sprintf(`{"site":%d,"num_io":0,"num_cpu":0}`, s)
+		resp, err := http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	return ts
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := run(ctx, []string{"-rate", "0"}, &buf); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := run(ctx, []string{"-floor", "1.5"}, &buf); err == nil {
+		t.Error("floor above 1 accepted")
+	}
+	if err := run(ctx, []string{"stray"}, &buf); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+func TestRunDrivesServerAndMeetsFloor(t *testing.T) {
+	ts := startTarget(t, 3)
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-sites", "3", "-rate", "400", "-duration", "400ms",
+		"-report-period", "25ms", "-service-mean", "5ms", "-floor", "0.9",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "availability=") || !strings.Contains(out, "sent=") {
+		t.Errorf("summary missing: %q", out)
+	}
+	if strings.Contains(out, "sent=0 ") {
+		t.Errorf("no requests sent: %q", out)
+	}
+}
+
+func TestRunFailsBelowFloor(t *testing.T) {
+	// A server that exists only long enough to reserve a port: every
+	// request fails at the transport, so availability is zero.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", url, "-rate", "500", "-duration", "150ms", "-floor", "0.9",
+		"-timeout", "200ms",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("run = %v, want below-floor error\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "availability=0.0000") {
+		t.Errorf("summary should show zero availability: %q", buf.String())
+	}
+}
+
+// TestRunInterruptFlushesPartialResults is the SIGINT/SIGTERM contract:
+// cancellation mid-run still prints the summary and exits non-zero.
+func TestRunInterruptFlushesPartialResults(t *testing.T) {
+	ts := startTarget(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(150*time.Millisecond, cancel)
+	var buf bytes.Buffer
+	err := run(ctx, []string{
+		"-url", ts.URL, "-sites", "3", "-rate", "300", "-duration", "30s",
+		"-report-period", "25ms",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("run = %v, want interrupted error", err)
+	}
+	if !strings.Contains(buf.String(), "availability=") {
+		t.Errorf("partial summary not flushed: %q", buf.String())
+	}
+}

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dqalloc/internal/exper"
 	"dqalloc/internal/noise"
@@ -25,14 +29,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dqsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dqsweep", flag.ContinueOnError)
+	fs.SetOutput(w)
 	var (
 		param    = fs.String("param", "think", "swept parameter: think, mpl, sites, pio, msg, info-period, est-noise, hyst")
 		from     = fs.Float64("from", 150, "first value")
@@ -61,19 +68,24 @@ func run(args []string) error {
 	}
 	runner := exper.Runner{Reps: *reps, BaseSeed: *seed, Warmup: *warmup, Measure: *measure}
 
-	fmt.Println("param,value,policy,mean_wait,wait_ci_half,mean_response,fairness,cpu_util,disk_util,subnet_util,throughput,remote_frac")
+	fmt.Fprintln(w, "param,value,policy,mean_wait,wait_ci_half,mean_response,fairness,cpu_util,disk_util,subnet_util,throughput,remote_frac")
 	for v := *from; v <= *to+1e-9; v += *step {
 		cfg := system.Default()
 		if err := apply(&cfg, v); err != nil {
 			return err
 		}
 		for _, kind := range kinds {
+			// SIGINT/SIGTERM: completed rows are already flushed — stop
+			// before the next replication and exit non-zero.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted: partial sweep emitted")
+			}
 			cfg.PolicyKind = kind
 			agg, err := runner.Run(cfg)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s,%g,%s,%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%.4f,%.5f,%.4f\n",
+			fmt.Fprintf(w, "%s,%g,%s,%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%.4f,%.5f,%.4f\n",
 				*param, v, agg.Policy,
 				agg.MeanWait.Mean, agg.MeanWait.HalfWide, agg.MeanResponse,
 				agg.Fairness.Mean, agg.CPUUtil, agg.DiskUtil, agg.SubnetUtil,

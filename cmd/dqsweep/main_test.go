@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"dqalloc/internal/policy"
@@ -92,21 +95,45 @@ func TestParsePolicies(t *testing.T) {
 }
 
 func TestRunSweepSmoke(t *testing.T) {
-	err := run([]string{
+	ctx := context.Background()
+	var buf bytes.Buffer
+	err := run(ctx, []string{
 		"-param", "think", "-from", "300", "-to", "350", "-step", "50",
 		"-policies", "LOCAL", "-reps", "1", "-warmup", "200", "-measure", "1500",
-	})
+	}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = run([]string{
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("sweep emitted %d lines, want header + 2 rows:\n%s", lines, buf.String())
+	}
+	err = run(ctx, []string{
 		"-param", "est-noise", "-from", "0", "-to", "0.5", "-step", "0.5",
 		"-policies", "LERT", "-reps", "1", "-warmup", "200", "-measure", "1500",
-	})
+	}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-step", "0"}); err == nil {
+	if err := run(ctx, []string{"-step", "0"}, &buf); err == nil {
 		t.Error("zero step accepted")
+	}
+}
+
+// TestRunSweepInterrupted: a cancelled context stops the sweep before
+// the next replication, keeps the rows already emitted, and returns a
+// non-zero (error) status.
+func TestRunSweepInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{
+		"-param", "think", "-from", "300", "-to", "400", "-step", "50",
+		"-policies", "LOCAL,LERT", "-reps", "1", "-warmup", "200", "-measure", "1500",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("run = %v, want interrupted error", err)
+	}
+	if !strings.HasPrefix(buf.String(), "param,value,policy,") {
+		t.Errorf("header not flushed before interrupt:\n%s", buf.String())
 	}
 }

@@ -153,6 +153,10 @@ type Broadcaster struct {
 	cpu     []int
 	cpuWork []float64
 	ioWork  []float64
+	// updated is the simulation time each site's entry was last applied,
+	// so consumers (and tests) can observe staleness directly instead of
+	// inferring it from value changes.
+	updated []float64
 	next    sim.Handle
 	// tickFn is the recurring snapshot action, bound once at
 	// construction so each round schedules the next without allocating
@@ -193,6 +197,7 @@ func NewBroadcaster(sched *sim.Scheduler, table *Table, period float64) (*Broadc
 		cpu:     make([]int, table.NumSites()),
 		cpuWork: make([]float64, table.NumSites()),
 		ioWork:  make([]float64, table.NumSites()),
+		updated: make([]float64, table.NumSites()),
 	}
 	b.tickFn = b.tick
 	b.snapshot()
@@ -244,11 +249,24 @@ func (b *Broadcaster) CPUWork(site int) float64 { return b.cpuWork[site] }
 // IOWork returns the site's estimated disk work as of the last broadcast.
 func (b *Broadcaster) IOWork(site int) float64 { return b.ioWork[site] }
 
+// LastUpdate returns the simulation time site's entry was last applied
+// (the initial construction snapshot counts). An entry whose age
+// exceeds the broadcast period has been dropped or delayed at least
+// once; age beyond K periods means K consecutive losses.
+func (b *Broadcaster) LastUpdate(site int) float64 { return b.updated[site] }
+
+// Age returns how stale site's entry is at the current simulation time.
+func (b *Broadcaster) Age(site int) float64 { return b.sched.Now() - b.updated[site] }
+
 func (b *Broadcaster) snapshot() {
 	copy(b.io, b.table.io)
 	copy(b.cpu, b.table.cpu)
 	copy(b.cpuWork, b.table.cpuWork)
 	copy(b.ioWork, b.table.ioWork)
+	now := b.sched.Now()
+	for i := range b.updated {
+		b.updated[i] = now
+	}
 }
 
 // broadcastOnce refreshes the snapshot, consulting the perturbation
@@ -280,6 +298,7 @@ func (b *Broadcaster) apply(site, io, cpu int, cpuWork, ioWork float64) {
 	b.cpu[site] = cpu
 	b.cpuWork[site] = cpuWork
 	b.ioWork[site] = ioWork
+	b.updated[site] = b.sched.Now()
 }
 
 func (b *Broadcaster) tick() {

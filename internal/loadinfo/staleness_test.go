@@ -1,0 +1,121 @@
+package loadinfo
+
+import (
+	"testing"
+
+	"dqalloc/internal/sim"
+	"dqalloc/internal/workload"
+)
+
+// These tests pin the staleness *semantics* of the broadcaster: how old
+// an entry can get under loss, and that the age is directly observable
+// through LastUpdate/Age rather than inferred from value changes — the
+// property the live server's TTL machinery (internal/serve) relies on.
+
+func TestLastUpdateTracksBroadcastRounds(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(3)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 3; site++ {
+		if got := b.LastUpdate(site); got != 0 {
+			t.Errorf("site %d initial LastUpdate = %v, want 0 (construction snapshot)", site, got)
+		}
+	}
+	s.RunUntil(25) // broadcasts at 10 and 20
+	for site := 0; site < 3; site++ {
+		if got := b.LastUpdate(site); got != 20 {
+			t.Errorf("site %d LastUpdate = %v, want 20", site, got)
+		}
+		if got := b.Age(site); got != 5 {
+			t.Errorf("site %d Age = %v, want 5", site, got)
+		}
+	}
+}
+
+// TestEntriesOlderThanKPeriodsAreObservablyStale: K consecutive lost
+// reports leave the entry's age beyond K×period, visibly, while the
+// clean sites stay within one period of fresh.
+func TestEntriesOlderThanKPeriodsAreObservablyStale(t *testing.T) {
+	const period, K = 10.0, 3
+	s := sim.New()
+	tb := NewTable(2)
+	b, err := NewBroadcaster(s, tb, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 0's status messages are always lost; site 1's always arrive.
+	b.SetPerturb(func(site int) (bool, float64) { return site == 0, 0 })
+	s.At(1, func() { tb.Assign(0, workload.IOBound) })
+	s.RunUntil(K*period + 5) // rounds at 10, 20, 30 all dropped for site 0
+
+	if age := b.Age(0); age <= K*period {
+		t.Errorf("lossy site age = %v, want > %v (K=%d consecutive losses)", age, K*period, K)
+	}
+	if age := b.Age(1); age > period {
+		t.Errorf("clean site age = %v, want <= one period (%v)", age, period)
+	}
+	// The stale value is the construction-time snapshot, consistent with
+	// the stale age.
+	if got := b.NumQueries(0); got != 0 {
+		t.Errorf("stale entry shows %d queries, want the t=0 value 0", got)
+	}
+}
+
+// TestDelayedEntryStampsArrivalTime: a delayed status message refreshes
+// LastUpdate at its *application* instant, so Age reflects when the
+// view last changed, not when the message was sent.
+func TestDelayedEntryStampsArrivalTime(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(1)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetPerturb(func(int) (bool, float64) { return false, 4 })
+	s.RunUntil(12) // broadcast at 10, delayed application due at 14
+	if got := b.LastUpdate(0); got != 0 {
+		t.Errorf("LastUpdate = %v before the delayed message lands, want 0", got)
+	}
+	s.RunUntil(15)
+	if got := b.LastUpdate(0); got != 14 {
+		t.Errorf("LastUpdate = %v, want the arrival time 14", got)
+	}
+}
+
+// TestStopIdempotentUnderPerturbation: Stop called repeatedly — before,
+// between, and after perturbed rounds with delayed messages still in
+// flight — must never cancel an event it does not own, and the drained
+// schedule must leave the last applied state intact.
+func TestStopIdempotentUnderPerturbation(t *testing.T) {
+	s := sim.New()
+	tb := NewTable(2)
+	b, err := NewBroadcaster(s, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round defers both sites' messages by 7, so each tick leaves
+	// delayed-info events pending past the next Stop.
+	b.SetPerturb(func(int) (bool, float64) { return false, 7 })
+	s.At(5, func() { tb.Assign(1, workload.CPUBound) })
+	s.At(12, func() { b.Stop(); b.Stop() }) // tick at 10 in flight toward 17
+	s.At(13, func() { b.Stop() })
+	// A foreign event after the stops must survive them.
+	fired := false
+	s.At(30, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("Stop cancelled an event it did not own")
+	}
+	// The delayed messages from the t=10 round still land at 17 — they
+	// were already in flight when Stop arrived — but no round after 10
+	// ever runs.
+	if got := b.NumQueries(1); got != 1 {
+		t.Errorf("in-flight delayed message lost: site 1 shows %d, want 1", got)
+	}
+	if got := b.LastUpdate(1); got != 17 {
+		t.Errorf("LastUpdate = %v, want 17 (the in-flight application)", got)
+	}
+}

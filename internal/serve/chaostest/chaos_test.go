@@ -1,0 +1,276 @@
+package chaostest
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/serve"
+)
+
+// chaosConfig is the serve configuration under test: short TTL so
+// staleness is actually exercised within a few hundred steps.
+func chaosConfig() serve.Config {
+	cfg := serve.Default()
+	cfg.NumSites = 6
+	cfg.Policy = policy.LERT
+	cfg.TTL = 100 * time.Millisecond
+	cfg.GapFactor = 3
+	cfg.OpenFor = 200 * time.Millisecond
+	return cfg
+}
+
+// baseline is a healthy scenario: reports every 5 steps (50ms of fake
+// time) against a 100ms TTL.
+func baseline() Scenario {
+	return Scenario{
+		Steps:            2000,
+		StepDt:           10 * time.Millisecond,
+		ReportEvery:      5,
+		FirstCleanRounds: 2,
+		Seed:             42,
+	}
+}
+
+func TestChaosRunIsDeterministic(t *testing.T) {
+	sc := baseline()
+	sc.LossProb = 0.3
+	sc.MaxDelaySteps = 3
+	sc.ChurnPeriod = 20
+	sc.ChurnSilence = 10
+	a, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.Decided != b.Decided || a.BreakerOpens != b.BreakerOpens {
+		t.Fatalf("same scenario diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestChaosReportLossAvailability: with 30% report loss and delays, the
+// staleness ladder (fresh view → AssumeBusy aging → round-robin
+// fallback) must keep availability at or above 99%, and every attempt
+// must resolve exactly once.
+func TestChaosReportLossAvailability(t *testing.T) {
+	sc := baseline()
+	sc.LossProb = 0.3
+	sc.MaxDelaySteps = 3
+	res, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("outcome counts do not conserve: %+v", res)
+	}
+	if a := res.Availability(); a < 0.99 {
+		t.Errorf("availability %.4f under 30%% report loss, want >= 0.99 (%+v)", a, res)
+	}
+	if res.Decided == 0 {
+		t.Error("no policy decisions at all — the table never went fresh")
+	}
+}
+
+// TestChaosSiteChurn: sites that stop reporting must trip their
+// breakers (opens observed) without dragging availability below 99%,
+// and once the churn ends and clean reports resume, every breaker must
+// return to closed.
+func TestChaosSiteChurn(t *testing.T) {
+	sc := baseline()
+	sc.Steps = 3000
+	sc.ChurnPeriod = 15
+	sc.ChurnSilence = 10
+	res, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("outcome counts do not conserve: %+v", res)
+	}
+	if res.BreakerOpens == 0 {
+		t.Error("churn never tripped a breaker — gap detection is dead")
+	}
+	if a := res.Availability(); a < 0.99 {
+		t.Errorf("availability %.4f under churn, want >= 0.99 (%+v)", a, res)
+	}
+	// A second, fault-free leg proves recovery: same core semantics,
+	// fresh run with no faults must end with every breaker closed.
+	calm := baseline()
+	calmRes, err := Run(chaosConfig(), calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, st := range calmRes.FinalBreakers {
+		if st != "closed" {
+			t.Errorf("site %d breaker %q after calm run, want closed", s, st)
+		}
+	}
+}
+
+// TestChaosBlackoutDegradesInOrder: when every report stops, the server
+// must degrade through the documented ladder — policy decisions while
+// fresh, round-robin fallback while stale-but-within-gap, NoSites once
+// the breakers trip — rather than inventing decisions from dead data.
+func TestChaosBlackoutDegradesInOrder(t *testing.T) {
+	sc := baseline()
+	sc.Steps = 400
+	sc.FirstCleanRounds = 2
+	sc.LossProb = 1.0
+	res, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("outcome counts do not conserve: %+v", res)
+	}
+	if res.Decided == 0 || res.Fallback == 0 || res.NoSites == 0 {
+		t.Errorf("blackout should produce all three ladder stages, got %+v", res)
+	}
+	for s, st := range res.FinalBreakers {
+		if st != "open" {
+			t.Errorf("site %d breaker %q after blackout, want open", s, st)
+		}
+	}
+}
+
+// TestHTTPChaosSmoke runs the real HTTP server under concurrent chaos —
+// lossy reporters, mixed clients including slow ones with hopeless
+// deadlines — then drains and asserts the service-level invariants:
+// every request accounted exactly once, p99 decision latency bounded,
+// and zero goroutine leaks after shutdown.
+func TestHTTPChaosSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := serve.Default()
+	cfg.NumSites = 4
+	cfg.Policy = policy.BNQ
+	cfg.TTL = 150 * time.Millisecond
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Lossy reporters: each site reports every 30ms, dropping 30%.
+	for s := 0; s < cfg.NumSites; s++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			r := rng.NewStream(uint64(100 + site))
+			tick := time.NewTicker(30 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if r.Bernoulli(0.3) {
+						continue
+					}
+					body := fmt.Sprintf(`{"site":%d,"num_io":%d,"num_cpu":%d}`, site, r.Intn(5), r.Intn(5))
+					resp, err := http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader(body))
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(s)
+	}
+	// Give the reporters one period so some views are fresh.
+	time.Sleep(60 * time.Millisecond)
+
+	// Clients: 4 workers × 40 requests; every tenth request is a "slow
+	// client" carrying a deadline that cannot be met.
+	var sent, answered atomic.Int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewStream(uint64(200 + id))
+			for i := 0; i < 40; i++ {
+				body := fmt.Sprintf(`{"class":%d,"home":%d}`, r.Intn(2), r.Intn(cfg.NumSites))
+				if i%10 == 9 {
+					body = fmt.Sprintf(`{"class":%d,"home":%d,"deadline_ms":0.000001}`, r.Intn(2), r.Intn(cfg.NumSites))
+				}
+				sent.Add(1)
+				resp, err := http.Post(ts.URL+"/v1/decide", "application/json", strings.NewReader(body))
+				if err != nil {
+					continue
+				}
+				resp.Body.Close()
+				answered.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}(c)
+	}
+
+	// Let the clients finish, then stop the reporters and drain.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		time.Sleep(3 * time.Second)
+		select {
+		case <-done:
+		default:
+			close(stop)
+		}
+	}()
+	<-done
+	select {
+	case <-stop:
+	default:
+		close(stop)
+	}
+
+	st := srv.Stats()
+	resolved := st.Decided + st.Fallback + st.NoCapacity + st.Unavailable +
+		st.Shed + st.Expired + st.Malformed + st.Draining
+	if st.Requests != resolved {
+		t.Errorf("exactly-once violated: %d requests, %d resolved (%+v)", st.Requests, resolved, st)
+	}
+	if got, want := int64(st.Requests), sent.Load(); got != want {
+		t.Errorf("server saw %d requests, clients sent %d", got, want)
+	}
+	if answered.Load() != sent.Load() {
+		t.Errorf("transport failures under chaos: %d sent, %d answered", sent.Load(), answered.Load())
+	}
+	if st.Decided+st.Fallback == 0 {
+		t.Error("no requests were routed at all")
+	}
+	if st.LatencyP99US > 2e6 {
+		t.Errorf("p99 decision latency %.0fus unbounded (> 2s)", st.LatencyP99US)
+	}
+
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Zero goroutine leaks: everything the server and harness spawned
+	// must wind down (AfterFunc timers and HTTP keepalives need a beat).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

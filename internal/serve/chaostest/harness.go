@@ -1,0 +1,268 @@
+// Package chaostest is a deterministic fault-injection harness for the
+// serve decision engine. A Scenario describes the chaos — report loss,
+// report delay, site churn (sites going silent and returning) — and Run
+// replays it against a serve.Core on a fake clock, with every random
+// draw taken from seeded rng streams. The same scenario therefore
+// produces bit-identical results on every run, so availability floors
+// and degradation ladders can be asserted exactly rather than
+// statistically.
+//
+// The harness closes the feedback loop the way cmd/dqload does for a
+// live server: each routed decision raises the chosen site's synthetic
+// outstanding count, which falls again after a random service interval,
+// and the (possibly lost, possibly delayed) reports carry those counts
+// back into the live table.
+package chaostest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/rng"
+	"dqalloc/internal/serve"
+	"dqalloc/internal/workload"
+)
+
+// Clock is a manually advanced time source for deterministic replay.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts at a fixed instant so scenarios are reproducible.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current fake time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake time forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Scenario describes one deterministic chaos run. Time advances in
+// fixed steps; one decision is attempted per step and report rounds
+// happen every ReportEvery steps.
+type Scenario struct {
+	// Steps is the number of decision steps to replay.
+	Steps int
+	// StepDt is the simulated time per step.
+	StepDt time.Duration
+	// ReportEvery is the number of steps between report rounds; each
+	// round every site attempts one report.
+	ReportEvery int
+	// FirstCleanRounds exempts the initial rounds from loss and churn so
+	// the table warms up before the faults start.
+	FirstCleanRounds int
+	// LossProb is the per-site, per-round probability a report is lost.
+	LossProb float64
+	// MaxDelaySteps delays each delivered report uniformly by 0..this
+	// many steps (stale-on-arrival reports).
+	MaxDelaySteps int
+	// ChurnPeriod, when positive, silences one randomly chosen site
+	// every ChurnPeriod rounds for ChurnSilence rounds — the site keeps
+	// serving but stops reporting, as in a partition or agent crash.
+	ChurnPeriod  int
+	ChurnSilence int
+	// Seed drives every random draw in the scenario.
+	Seed uint64
+}
+
+// Result aggregates one run. Decisions always equals the sum of the
+// four outcome counters — every attempt resolves exactly once.
+type Result struct {
+	Decisions  int
+	Decided    int
+	Fallback   int
+	NoCapacity int
+	NoSites    int
+	// BreakerOpens counts breaker open transitions over the run.
+	BreakerOpens uint64
+	// Digest is an FNV-1a fold of the (site, outcome) decision stream;
+	// equal scenarios yield equal digests.
+	Digest uint64
+	// FinalBreakers is each site's breaker state at the end of the run.
+	FinalBreakers []string
+}
+
+// Availability is the fraction of decision attempts that received a
+// routing decision (policy or degraded fallback).
+func (r Result) Availability() float64 {
+	if r.Decisions == 0 {
+		return 1
+	}
+	return float64(r.Decided+r.Fallback) / float64(r.Decisions)
+}
+
+// Conserved reports whether every decision resolved to exactly one
+// outcome.
+func (r Result) Conserved() bool {
+	return r.Decided+r.Fallback+r.NoCapacity+r.NoSites == r.Decisions
+}
+
+// pendingReport is a captured load snapshot in flight toward the server.
+type pendingReport struct {
+	due                 int // step index at which it arrives
+	site, numIO, numCPU int
+	cpuWork, ioWork     float64
+}
+
+// completion releases one synthetic outstanding query.
+type completion struct {
+	due  int
+	site int
+	io   bool
+}
+
+// Run replays sc against a fresh Core built from cfg (cfg.Clock is
+// overridden). It returns an error only for invalid configuration;
+// chaos outcomes are reported in the Result, never as errors.
+func Run(cfg serve.Config, sc Scenario) (Result, error) {
+	if sc.Steps <= 0 || sc.StepDt <= 0 || sc.ReportEvery <= 0 {
+		return Result{}, fmt.Errorf("chaostest: Steps, StepDt, and ReportEvery must be positive")
+	}
+	clk := NewClock()
+	cfg.Clock = clk.Now
+	core, err := serve.NewCore(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	root := rng.NewStream(sc.Seed)
+	lossRng := root.Child(10)
+	delayRng := root.Child(11)
+	queryRng := root.Child(12)
+	svcRng := root.Child(13)
+	churnRng := root.Child(14)
+
+	numIO := make([]int, cfg.NumSites)
+	numCPU := make([]int, cfg.NumSites)
+	silentUntil := make([]int, cfg.NumSites) // round index, exclusive
+	var inFlight []pendingReport
+	var completions []completion
+	var res Result
+	round := 0
+
+	for step := 0; step < sc.Steps; step++ {
+		// Deliver reports whose delay has elapsed.
+		kept := inFlight[:0]
+		for _, pr := range inFlight {
+			if pr.due > step {
+				kept = append(kept, pr)
+				continue
+			}
+			if err := core.Report(pr.site, pr.numIO, pr.numCPU, pr.cpuWork, pr.ioWork, 0, clk.Now()); err != nil {
+				return Result{}, err
+			}
+		}
+		inFlight = kept
+
+		// Release completed synthetic queries.
+		keptC := completions[:0]
+		for _, c := range completions {
+			if c.due > step {
+				keptC = append(keptC, c)
+				continue
+			}
+			if c.io {
+				numIO[c.site]--
+			} else {
+				numCPU[c.site]--
+			}
+		}
+		completions = keptC
+
+		// Report round: churn, loss, and delay apply per site.
+		if step%sc.ReportEvery == 0 {
+			faulty := round >= sc.FirstCleanRounds
+			if faulty && sc.ChurnPeriod > 0 && round%sc.ChurnPeriod == 0 {
+				s := churnRng.Intn(cfg.NumSites)
+				silentUntil[s] = round + sc.ChurnSilence
+			}
+			for s := 0; s < cfg.NumSites; s++ {
+				if faulty && round < silentUntil[s] {
+					continue // churned away: the site reports nothing
+				}
+				if faulty && lossRng.Bernoulli(sc.LossProb) {
+					continue // report lost in transit
+				}
+				delay := 0
+				if sc.MaxDelaySteps > 0 {
+					delay = delayRng.Intn(sc.MaxDelaySteps + 1)
+				}
+				inFlight = append(inFlight, pendingReport{
+					due: step + delay, site: s,
+					numIO: numIO[s], numCPU: numCPU[s],
+					cpuWork: float64(numCPU[s]), ioWork: float64(numIO[s]),
+				})
+			}
+			round++
+		}
+
+		// One decision attempt per step.
+		q := &workload.Query{
+			Class: queryRng.Intn(len(cfg.Classes)),
+			Home:  queryRng.Intn(cfg.NumSites),
+		}
+		q.Exec = q.Home
+		cl := cfg.Classes[q.Class]
+		q.EstReads, q.EstPageCPU = cl.NumReads, cl.PageCPUTime
+
+		site, out := core.Decide(q, clk.Now())
+		res.Decisions++
+		res.Digest = fold(res.Digest, site)
+		res.Digest = fold(res.Digest, int(out))
+		switch out {
+		case serve.OutcomeDecided:
+			res.Decided++
+		case serve.OutcomeFallback:
+			res.Fallback++
+		case serve.OutcomeNoCapacity:
+			res.NoCapacity++
+		case serve.OutcomeNoSites:
+			res.NoSites++
+		}
+		if out == serve.OutcomeDecided || out == serve.OutcomeFallback {
+			io := policy.QueryBound(q, cfg.DiskTime, cfg.NumDisks) == workload.IOBound
+			if io {
+				numIO[site]++
+			} else {
+				numCPU[site]++
+			}
+			completions = append(completions, completion{
+				due: step + 1 + svcRng.Intn(8), site: site, io: io,
+			})
+		}
+
+		clk.Advance(sc.StepDt)
+	}
+
+	res.BreakerOpens = core.BreakerOpens()
+	res.FinalBreakers = core.Breakers()
+	return res, nil
+}
+
+// fold mixes one value into a running FNV-1a 64 digest.
+func fold(h uint64, v int) uint64 {
+	const prime = 0x100000001b3
+	if h == 0 {
+		h = 0xcbf29ce484222325
+	}
+	u := uint64(int64(v))
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= prime
+		u >>= 8
+	}
+	return h
+}

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// fakeClock is a manually advanced time source shared by the staleness
+// and breaker tests, so TTL and cooldown transitions are exact rather
+// than sleep-based.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

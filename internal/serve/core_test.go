@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/workload"
+)
+
+// coreConfig returns a small BNQ core config on a fake clock.
+func coreConfig(clk *fakeClock) Config {
+	cfg := Default()
+	cfg.NumSites = 4
+	cfg.Policy = policy.BNQ
+	cfg.TTL = 100 * time.Millisecond
+	cfg.OpenFor = 200 * time.Millisecond
+	cfg.Clock = clk.Now
+	return cfg
+}
+
+// reportAll ingests a clean zero-load report from every site.
+func reportAll(t *testing.T, c *Core, now time.Time) {
+	t.Helper()
+	for s := 0; s < c.cfg.NumSites; s++ {
+		if err := c.Report(s, 0, 0, 0, 0, 0, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newQuery(cfg Config, class, home int) *workload.Query {
+	q := &workload.Query{Class: class, Home: home, Exec: home}
+	cfg.classMeans(q)
+	return q
+}
+
+func TestCoreNoSitesBeforeAnyReport(t *testing.T) {
+	clk := newFakeClock()
+	cfg := coreConfig(clk)
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+	if out != OutcomeNoSites || site != policy.NoSite {
+		t.Fatalf("Decide = (%d, %v), want (NoSite, no-sites)", site, out)
+	}
+	if c.Ready(clk.Now()) {
+		t.Error("Ready with no reports")
+	}
+}
+
+func TestCoreDecidesAndSpreadsViaDeltas(t *testing.T) {
+	clk := newFakeClock()
+	cfg := coreConfig(clk)
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, c, clk.Now())
+	if !c.Ready(clk.Now()) {
+		t.Fatal("not Ready after clean reports")
+	}
+
+	// With optimistic commitment, a burst of BNQ decisions inside one
+	// report period must spread across sites instead of herding onto
+	// one momentarily idle victim.
+	counts := make([]int, cfg.NumSites)
+	for i := 0; i < 8; i++ {
+		site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+		if out != OutcomeDecided {
+			t.Fatalf("decision %d: outcome %v", i, out)
+		}
+		counts[site]++
+	}
+	for s, n := range counts {
+		if n != 2 {
+			t.Fatalf("BNQ burst herded: per-site counts %v (site %d got %d, want 2)", counts, s, n)
+		}
+	}
+}
+
+func TestCoreFallbackRoundRobinWhenAllViewsExpire(t *testing.T) {
+	clk := newFakeClock()
+	cfg := coreConfig(clk)
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, c, clk.Now())
+
+	// Older than TTL (stale view) but inside the breaker gap (3×TTL):
+	// the sites are reachable, the information is expired.
+	clk.Advance(150 * time.Millisecond)
+	var sites []int
+	for i := 0; i < 8; i++ {
+		site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+		if out != OutcomeFallback {
+			t.Fatalf("decision %d: outcome %v, want fallback", i, out)
+		}
+		sites = append(sites, site)
+	}
+	for i, s := range sites {
+		if s != i%cfg.NumSites {
+			t.Fatalf("fallback order %v is not round-robin", sites)
+		}
+	}
+
+	// Past the gap every breaker opens: no sites at all.
+	clk.Advance(200 * time.Millisecond)
+	if _, out := c.Decide(newQuery(cfg, 0, 0), clk.Now()); out != OutcomeNoSites {
+		t.Fatalf("outcome %v, want no-sites past the breaker gap", out)
+	}
+
+	// One site recovers: decisions flow there.
+	if err := c.Report(2, 0, 0, 0, 0, 0, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+	if out != OutcomeDecided || site != 2 {
+		t.Fatalf("Decide = (%d, %v), want (2, decided)", site, out)
+	}
+}
+
+func TestCoreAdmissionCap(t *testing.T) {
+	clk := newFakeClock()
+	cfg := coreConfig(clk)
+	cfg.NumSites = 2
+	cfg.AdmitMax = 3
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sites already report 3 committed queries: every decision is
+	// at the cap.
+	for s := 0; s < 2; s++ {
+		if err := c.Report(s, 3, 0, 0, 0, 0, clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, out := c.Decide(newQuery(cfg, 0, 0), clk.Now()); out != OutcomeNoCapacity {
+		t.Fatalf("outcome %v, want no-capacity", out)
+	}
+	// Capacity opens up at one site.
+	if err := c.Report(0, 1, 0, 0, 0, 0, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+	if out != OutcomeDecided || site != 0 {
+		t.Fatalf("Decide = (%d, %v), want (0, decided)", site, out)
+	}
+	// The optimistic deltas now hold site 0 at the cap again (1+1=2...
+	// one more decision reaches 3).
+	site, out = c.Decide(newQuery(cfg, 0, 0), clk.Now())
+	if out != OutcomeDecided || site != 0 {
+		t.Fatalf("second Decide = (%d, %v), want (0, decided)", site, out)
+	}
+	if _, out = c.Decide(newQuery(cfg, 0, 0), clk.Now()); out != OutcomeNoCapacity {
+		t.Fatalf("outcome %v, want no-capacity at the cap", out)
+	}
+	if err := c.Report(99, 0, 0, 0, 0, 0, clk.Now()); err == nil {
+		t.Error("out-of-range report site accepted")
+	}
+}

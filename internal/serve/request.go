@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxBodyBytes bounds request bodies; both wire types fit in a fraction
+// of this.
+const maxBodyBytes = 1 << 16
+
+// absurd is the upper bound on demand-estimate fields: a query claiming
+// more is a client bug (or an attack), not a workload, and is rejected
+// with 400 rather than fed to the cost functions.
+const absurd = 1e12
+
+// DecideRequest is the wire form of "which site runs this query".
+type DecideRequest struct {
+	// Class indexes the configured class table.
+	Class int `json:"class"`
+	// Home is the site whose client submits the query (the arrival site
+	// of the paper's procedure).
+	Home int `json:"home"`
+	// EstReads and EstPageCPU override the class-mean demand estimates;
+	// zero means "use the class mean", matching the simulator's
+	// cost-based-optimizer default.
+	EstReads   float64 `json:"est_reads,omitempty"`
+	EstPageCPU float64 `json:"est_page_cpu,omitempty"`
+	// DeadlineMS caps how long the client will wait for the decision;
+	// zero means the server default. Clamped to the server maximum.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+// DecideResponse answers a successful decision.
+type DecideResponse struct {
+	// Site is the chosen execution site.
+	Site int `json:"site"`
+	// Mode is "policy" for a normal decision, "fallback" for the
+	// all-views-expired round-robin path.
+	Mode string `json:"mode"`
+	// Policy names the deciding policy.
+	Policy string `json:"policy"`
+}
+
+// ReportRequest is the wire form of one site's load report — the live
+// analogue of a loadinfo status broadcast.
+type ReportRequest struct {
+	// Site identifies the reporting site.
+	Site int `json:"site"`
+	// NumIO and NumCPU are the site's current query counts by bound.
+	NumIO  int `json:"num_io"`
+	NumCPU int `json:"num_cpu"`
+	// CPUWork and IOWork are the outstanding estimated demands (for the
+	// WORK policy; zero is fine for count-based policies).
+	CPUWork float64 `json:"cpu_work,omitempty"`
+	IOWork  float64 `json:"io_work,omitempty"`
+	// Rejected is how many queries the site refused since its last
+	// report — the rejection feedback that trips circuit breakers.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeStrict unmarshals a JSON object into v rejecting non-objects
+// (null would silently zero-fill), unknown fields, and trailing garbage.
+func decodeStrict(data []byte, v any) error {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return fmt.Errorf("expected a JSON object")
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// finiteNonNeg rejects NaN, infinities, negatives, and absurd values.
+func finiteNonNeg(name string, v float64) error {
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return fmt.Errorf("%s must be finite", name)
+	case v < 0:
+		return fmt.Errorf("%s %v is negative", name, v)
+	case v > absurd:
+		return fmt.Errorf("%s %v exceeds %v", name, v, absurd)
+	}
+	return nil
+}
+
+// DecodeDecideRequest parses and validates a decide request body for a
+// service with the given class and site counts. Every error maps to a
+// 4xx response; no input may panic (fuzz-tested).
+func DecodeDecideRequest(data []byte, numClasses, numSites int) (DecideRequest, error) {
+	var req DecideRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return DecideRequest{}, fmt.Errorf("malformed decide request: %w", err)
+	}
+	switch {
+	case req.Class < 0 || req.Class >= numClasses:
+		return DecideRequest{}, fmt.Errorf("class %d out of range [0,%d)", req.Class, numClasses)
+	case req.Home < 0 || req.Home >= numSites:
+		return DecideRequest{}, fmt.Errorf("home %d out of range [0,%d)", req.Home, numSites)
+	}
+	if err := finiteNonNeg("est_reads", req.EstReads); err != nil {
+		return DecideRequest{}, err
+	}
+	if err := finiteNonNeg("est_page_cpu", req.EstPageCPU); err != nil {
+		return DecideRequest{}, err
+	}
+	if err := finiteNonNeg("deadline_ms", req.DeadlineMS); err != nil {
+		return DecideRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeReportRequest parses and validates a load-report body.
+func DecodeReportRequest(data []byte, numSites int) (ReportRequest, error) {
+	var rep ReportRequest
+	if err := decodeStrict(data, &rep); err != nil {
+		return ReportRequest{}, fmt.Errorf("malformed report: %w", err)
+	}
+	switch {
+	case rep.Site < 0 || rep.Site >= numSites:
+		return ReportRequest{}, fmt.Errorf("site %d out of range [0,%d)", rep.Site, numSites)
+	case rep.NumIO < 0:
+		return ReportRequest{}, fmt.Errorf("num_io %d is negative", rep.NumIO)
+	case rep.NumCPU < 0:
+		return ReportRequest{}, fmt.Errorf("num_cpu %d is negative", rep.NumCPU)
+	case rep.Rejected < 0:
+		return ReportRequest{}, fmt.Errorf("rejected %d is negative", rep.Rejected)
+	}
+	if err := finiteNonNeg("cpu_work", rep.CPUWork); err != nil {
+		return ReportRequest{}, err
+	}
+	if err := finiteNonNeg("io_work", rep.IOWork); err != nil {
+		return ReportRequest{}, err
+	}
+	return rep, nil
+}

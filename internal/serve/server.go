@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dqalloc/internal/stats"
+	"dqalloc/internal/workload"
+)
+
+// request resolution states: exactly one of the decision loop and the
+// waiting handler resolves each request, via CAS.
+const (
+	resolvePending = iota
+	resolveDecided // the loop resolved it (any Outcome)
+	resolveExpired // the handler's deadline fired first
+)
+
+// decideReq is one queued decision.
+type decideReq struct {
+	ctx      context.Context
+	q        workload.Query
+	enqueued time.Time
+	resolved atomic.Int32
+	done     chan decideResult // buffered, cap 1
+}
+
+type decideResult struct {
+	site    int
+	outcome Outcome
+}
+
+// Stats is a point-in-time snapshot of the service counters. The
+// decide counters conserve: Requests = Decided + Fallback + NoCapacity
+// + Unavailable + Shed + Expired + Malformed + Draining.
+type Stats struct {
+	Requests    uint64 `json:"requests"`
+	Decided     uint64 `json:"decided"`
+	Fallback    uint64 `json:"fallback"`
+	NoCapacity  uint64 `json:"no_capacity"`
+	Unavailable uint64 `json:"unavailable"`
+	Shed        uint64 `json:"shed"`
+	Expired     uint64 `json:"expired"`
+	Malformed   uint64 `json:"malformed"`
+	Draining    uint64 `json:"draining"`
+
+	Reports    uint64 `json:"reports"`
+	BadReports uint64 `json:"bad_reports"`
+
+	// LateDecides counts decisions the loop completed after the waiting
+	// handler had already timed out; they are Expired above (each
+	// request resolves once) and tracked here for observability.
+	LateDecides uint64 `json:"late_decides"`
+
+	BreakerOpens uint64   `json:"breaker_opens"`
+	Breakers     []string `json:"breakers"`
+
+	QueueDepth int `json:"queue_depth"`
+
+	// Decision latency quantiles in microseconds (enqueue → resolve),
+	// from a log-bucketed histogram (≤2% relative error).
+	LatencyP50US float64 `json:"latency_p50_us"`
+	LatencyP99US float64 `json:"latency_p99_us"`
+}
+
+// Server is the dqserve HTTP layer: handlers decode and enqueue, a
+// single decision loop decides, and every request resolves exactly once.
+type Server struct {
+	cfg   Config
+	core  *Core
+	clock func() time.Time
+	mux   *http.ServeMux
+
+	queue    chan *decideReq
+	loopDone chan struct{}
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	mu   sync.Mutex
+	st   Stats
+	hist *stats.LogHistogram
+}
+
+// NewServer builds the service and starts its decision loop. Callers
+// must eventually call Shutdown (or Close) to stop the loop.
+func NewServer(cfg Config) (*Server, error) {
+	core, err := NewCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		core:     core,
+		clock:    cfg.clock(),
+		queue:    make(chan *decideReq, cfg.QueueBound),
+		loopDone: make(chan struct{}),
+		// 1µs–60s decision latencies at ≤2% relative error.
+		hist: stats.NewLogHistogram(1, 60e6, 0.02),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/decide", s.handleDecide)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	go s.loop()
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Core exposes the decision engine (report ingestion in embedders).
+func (s *Server) Core() *Core { return s.core }
+
+// BeginDrain flips the server into draining: readiness reports 503 and
+// new decide requests are refused, while queued and in-flight requests
+// still complete. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Shutdown) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully stops the decision loop: drain mode, then the
+// queue is closed and the loop exits once the backlog is resolved.
+// The embedding HTTP server must stop accepting requests first (e.g.
+// http.Server.Shutdown); handlers still running while the queue closes
+// would otherwise send on a closed channel. Idempotent; the context
+// bounds the wait for the backlog.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.queue)
+	}
+	select {
+	case <-s.loopDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Close is Shutdown with a short grace period, for tests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// loop is the single decision goroutine: it owns the Core and resolves
+// queued requests in FIFO order until the queue is closed and empty.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for req := range s.queue {
+		// A request whose deadline passed while queued is expired
+		// without deciding — its handler may have already resolved it.
+		if req.ctx.Err() != nil {
+			if req.resolved.CompareAndSwap(resolvePending, resolveExpired) {
+				s.note(&s.st.Expired, req)
+			}
+			continue
+		}
+		site, out := s.core.Decide(&req.q, s.clock())
+		if req.resolved.CompareAndSwap(resolvePending, resolveDecided) {
+			switch out {
+			case OutcomeDecided:
+				s.note(&s.st.Decided, req)
+			case OutcomeFallback:
+				s.note(&s.st.Fallback, req)
+			case OutcomeNoCapacity:
+				s.note(&s.st.NoCapacity, req)
+			case OutcomeNoSites:
+				s.note(&s.st.Unavailable, req)
+			}
+			req.done <- decideResult{site, out}
+		} else {
+			// The handler timed out mid-decision and owns the Expired
+			// count; the optimistic table delta it committed washes out
+			// at the site's next report.
+			s.mu.Lock()
+			s.st.LateDecides++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// note bumps one resolution counter and records the request's
+// enqueue→resolve latency.
+func (s *Server) note(counter *uint64, req *decideReq) {
+	lat := s.clock().Sub(req.enqueued)
+	s.mu.Lock()
+	*counter++
+	s.hist.Add(float64(lat.Microseconds()) + 1) // keep zero out of the log buckets
+	s.mu.Unlock()
+}
+
+// bump increments one counter not tied to a queued request.
+func (s *Server) bump(counter *uint64) {
+	s.mu.Lock()
+	*counter++
+	s.mu.Unlock()
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody reads a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.bump(&s.st.Requests)
+	if s.draining.Load() {
+		s.bump(&s.st.Draining)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		s.bump(&s.st.Malformed)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	dr, err := DecodeDecideRequest(body, len(s.cfg.Classes), s.cfg.NumSites)
+	if err != nil {
+		s.bump(&s.st.Malformed)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if dr.DeadlineMS > 0 {
+		deadline = time.Duration(dr.DeadlineMS * float64(time.Millisecond))
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	req := &decideReq{
+		ctx:      ctx,
+		enqueued: s.clock(),
+		done:     make(chan decideResult, 1),
+	}
+	req.q = workload.Query{Class: dr.Class, Home: dr.Home, Exec: dr.Home,
+		EstReads: dr.EstReads, EstPageCPU: dr.EstPageCPU}
+	s.cfg.classMeans(&req.q)
+
+	select {
+	case s.queue <- req:
+	default:
+		// Backpressure: the decision queue is full; shed now rather
+		// than let latency collapse for everyone.
+		s.bump(&s.st.Shed)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "decision queue full")
+		return
+	}
+
+	select {
+	case res := <-req.done:
+		s.writeDecision(w, res)
+	case <-ctx.Done():
+		if req.resolved.CompareAndSwap(resolvePending, resolveExpired) {
+			s.note(&s.st.Expired, req)
+			writeError(w, http.StatusGatewayTimeout, "decision deadline exceeded")
+			return
+		}
+		// The loop won the race; its result is (or is about to be) in
+		// the buffered channel.
+		s.writeDecision(w, <-req.done)
+	}
+}
+
+// writeDecision maps a loop resolution to its HTTP response.
+func (s *Server) writeDecision(w http.ResponseWriter, res decideResult) {
+	switch res.outcome {
+	case OutcomeDecided:
+		writeJSON(w, http.StatusOK, DecideResponse{Site: res.site, Mode: "policy", Policy: s.core.Policy()})
+	case OutcomeFallback:
+		writeJSON(w, http.StatusOK, DecideResponse{Site: res.site, Mode: "fallback", Policy: s.core.Policy()})
+	case OutcomeNoCapacity:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "all candidate sites at admission cap")
+	default: // OutcomeNoSites
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no routable sites")
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		s.bump(&s.st.BadReports)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	rep, err := DecodeReportRequest(body, s.cfg.NumSites)
+	if err != nil {
+		s.bump(&s.st.BadReports)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.core.Report(rep.Site, rep.NumIO, rep.NumCPU, rep.CPUWork, rep.IOWork, rep.Rejected, s.clock()); err != nil {
+		s.bump(&s.st.BadReports)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.bump(&s.st.Reports)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.st
+	st.LatencyP50US = s.hist.Quantile(0.5)
+	st.LatencyP99US = s.hist.Quantile(0.99)
+	s.mu.Unlock()
+	st.Breakers = s.core.Breakers()
+	st.BreakerOpens = s.core.BreakerOpens()
+	st.QueueDepth = len(s.queue)
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case !s.core.Ready(s.clock()):
+		writeError(w, http.StatusServiceUnavailable, "no live sites (no fresh reports)")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}

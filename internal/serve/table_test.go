@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"dqalloc/internal/workload"
+)
+
+func TestLiveTableFreshAndAged(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLiveTable(3, time.Second, 500)
+
+	lt.Ingest(0, 2, 3, 10, 20, clk.Now())
+	lt.BeginDecision(clk.Now())
+	if !lt.Fresh(0) {
+		t.Fatal("just-ingested entry reads stale")
+	}
+	if got := lt.NumQueries(0); got != 5 {
+		t.Errorf("NumQueries(0) = %d, want 5", got)
+	}
+	if got := lt.NumIOQueries(0); got != 2 {
+		t.Errorf("NumIOQueries(0) = %d, want 2", got)
+	}
+	if got := lt.CPUWork(0); got != 10 {
+		t.Errorf("CPUWork(0) = %v, want 10", got)
+	}
+
+	// Site 1 never reported: stale from the start, assume-busy view.
+	if lt.Fresh(1) {
+		t.Error("never-reported entry reads fresh")
+	}
+	if got := lt.NumQueries(1); got != 500 {
+		t.Errorf("stale NumQueries = %d, want assume-busy 500", got)
+	}
+	if got := lt.IOWork(1); got != 500 {
+		t.Errorf("stale IOWork = %v, want 500", got)
+	}
+
+	// Past the TTL the fresh entry ages into the same degraded view.
+	clk.Advance(1001 * time.Millisecond)
+	lt.BeginDecision(clk.Now())
+	if lt.Fresh(0) {
+		t.Error("entry older than TTL reads fresh")
+	}
+	if got := lt.NumQueries(0); got != 500 {
+		t.Errorf("aged NumQueries = %d, want 500", got)
+	}
+}
+
+func TestLiveTableOptimisticDeltas(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLiveTable(2, time.Second, 99)
+	lt.Ingest(0, 1, 1, 5, 5, clk.Now())
+	lt.BeginDecision(clk.Now())
+
+	lt.NoteAssign(0, workload.IOBound, 2, 4)
+	lt.NoteAssign(0, workload.CPUBound, 8, 1)
+	if got := lt.NumQueries(0); got != 4 {
+		t.Errorf("NumQueries with deltas = %d, want 4", got)
+	}
+	if got := lt.NumIOQueries(0); got != 2 {
+		t.Errorf("NumIOQueries with delta = %d, want 2", got)
+	}
+	if got := lt.CPUWork(0); got != 15 {
+		t.Errorf("CPUWork with deltas = %v, want 15", got)
+	}
+	if got := lt.Committed(0); got != 4 {
+		t.Errorf("Committed = %d, want 4", got)
+	}
+
+	// The next report is authoritative: deltas cleared, not stacked.
+	lt.Ingest(0, 2, 2, 6, 6, clk.Now())
+	if got := lt.NumQueries(0); got != 4 {
+		t.Errorf("NumQueries after re-report = %d, want 4 (reported only)", got)
+	}
+	if got := lt.CPUWork(0); got != 6 {
+		t.Errorf("CPUWork after re-report = %v, want 6", got)
+	}
+
+	// Committed ignores staleness so the admission cap still binds.
+	clk.Advance(2 * time.Second)
+	lt.BeginDecision(clk.Now())
+	if got := lt.Committed(0); got != 4 {
+		t.Errorf("stale Committed = %d, want 4", got)
+	}
+	if got := lt.NumQueries(0); got != 99 {
+		t.Errorf("stale NumQueries = %d, want 99", got)
+	}
+}

@@ -68,6 +68,7 @@ type tally struct {
 	unavailable int64
 	expired     int64
 	rejected4xx int64
+	badSite     int64
 	netErrors   int64
 	hist        *stats.LogHistogram
 }
@@ -160,7 +161,7 @@ arrivals:
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			site, ok := postDecide(client, *url, class, home, *deadlineMS, tl)
+			site, ok := postDecide(client, *url, class, home, *sites, *deadlineMS, tl)
 			if !ok {
 				return
 			}
@@ -188,8 +189,8 @@ arrivals:
 	if tl.sent > 0 {
 		avail = float64(tl.routed()) / float64(tl.sent)
 	}
-	fmt.Fprintf(w, "dqload: sent=%d decided=%d fallback=%d shed=%d unavailable=%d expired=%d rejected=%d net_errors=%d\n",
-		tl.sent, tl.decided, tl.fallback, tl.shed, tl.unavailable, tl.expired, tl.rejected4xx, tl.netErrors)
+	fmt.Fprintf(w, "dqload: sent=%d decided=%d fallback=%d shed=%d unavailable=%d expired=%d rejected=%d bad_site=%d net_errors=%d\n",
+		tl.sent, tl.decided, tl.fallback, tl.shed, tl.unavailable, tl.expired, tl.rejected4xx, tl.badSite, tl.netErrors)
 	fmt.Fprintf(w, "dqload: availability=%.4f latency_us p50=%.0f p99=%.0f\n",
 		avail, tl.hist.Quantile(0.50), tl.hist.Quantile(0.99))
 	if interrupted {
@@ -202,8 +203,12 @@ arrivals:
 }
 
 // postDecide issues one decision request, classifies the outcome into
-// the tally, and returns the chosen site when one was granted.
-func postDecide(client *http.Client, base string, class, home int, deadlineMS float64, tl *tally) (site int, ok bool) {
+// the tally, and returns the chosen site when one was granted. A site
+// id outside [0, sites) — the server was configured with more sites
+// than this driver emulates — is counted as badSite, not routed, so a
+// topology mismatch fails the availability floor instead of panicking
+// a worker.
+func postDecide(client *http.Client, base string, class, home, sites int, deadlineMS float64, tl *tally) (site int, ok bool) {
 	req := serve.DecideRequest{Class: class, Home: home, DeadlineMS: deadlineMS}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -227,6 +232,10 @@ func postDecide(client *http.Client, base string, class, home int, deadlineMS fl
 		var dr serve.DecideResponse
 		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
 			tl.netErrors++
+			return 0, false
+		}
+		if dr.Site < 0 || dr.Site >= sites {
+			tl.badSite++
 			return 0, false
 		}
 		if dr.Mode == "fallback" {

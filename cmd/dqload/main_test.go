@@ -94,6 +94,35 @@ func TestRunFailsBelowFloor(t *testing.T) {
 	}
 }
 
+// TestRunRejectsOutOfRangeSites: a server configured with more sites
+// than the driver emulates returns site ids the driver has no state
+// for; they must be tallied as bad_site (and sink availability), never
+// panic a worker with an out-of-range index.
+func TestRunRejectsOutOfRangeSites(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"site":7,"mode":"policy","policy":"BNQ"}`)
+	})
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-sites", "3", "-rate", "300", "-duration", "200ms",
+		"-floor", "0.5",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("run = %v, want below-floor error\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bad_site=") || strings.Contains(out, "bad_site=0 ") {
+		t.Errorf("summary should count out-of-range sites: %q", out)
+	}
+}
+
 // TestRunInterruptFlushesPartialResults is the SIGINT/SIGTERM contract:
 // cancellation mid-run still prints the summary and exits non-zero.
 func TestRunInterruptFlushesPartialResults(t *testing.T) {

@@ -157,8 +157,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
+		// Drain budget blown: force-close the listener and connections.
+		// Handlers may still be mid-flight, but enqueue refuses once the
+		// queue is closed (serve.Server.enqueue), so stopping the
+		// decision loop now is safe; give it a fresh beat to flush the
+		// backlog since dctx has already expired.
 		hs.Close()
-		srv.Shutdown(dctx)
+		fctx, fcancel := context.WithTimeout(context.Background(), time.Second)
+		defer fcancel()
+		srv.Shutdown(fctx)
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := srv.Shutdown(dctx); err != nil {

@@ -151,17 +151,23 @@ func (c *Core) Decide(q *workload.Query, now time.Time) (int, Outcome) {
 	if !anyFresh {
 		// Every surviving view has expired: the table would read
 		// AssumeBusy everywhere, so pretending to cost sites is theater.
-		// Degrade honestly to round-robin over the routable sites.
+		// Degrade honestly to round-robin over the routable sites. The
+		// admission cap still binds — Committed ignores staleness, so a
+		// staleness episode must not drive sites past AdmitMax.
 		for i := 0; i < c.cfg.NumSites; i++ {
 			s := (c.rr + i) % c.cfg.NumSites
 			if !c.up[s] {
+				continue
+			}
+			if c.cfg.AdmitMax > 0 && c.table.Committed(s) >= c.cfg.AdmitMax {
 				continue
 			}
 			c.rr = (s + 1) % c.cfg.NumSites
 			c.commit(q, s, now)
 			return s, OutcomeFallback
 		}
-		return policy.NoSite, OutcomeNoSites // unreachable: anyUp held
+		// anyUp held, so some site was routable: they were all capped.
+		return policy.NoSite, OutcomeNoCapacity
 	}
 	s := c.pol.Select(q, q.Home, &c.env)
 	if s == policy.NoSite {

@@ -123,6 +123,47 @@ func TestCoreFallbackRoundRobinWhenAllViewsExpire(t *testing.T) {
 	}
 }
 
+// TestCoreFallbackRespectsAdmissionCap: the round-robin fallback taken
+// when every view has expired must still honor AdmitMax — a staleness
+// episode is not a license to drive sites past the admission cap.
+func TestCoreFallbackRespectsAdmissionCap(t *testing.T) {
+	clk := newFakeClock()
+	cfg := coreConfig(clk)
+	cfg.AdmitMax = 5
+	c, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 reports at the cap; everyone else has room.
+	for s := 0; s < cfg.NumSites; s++ {
+		n := 0
+		if s == 1 {
+			n = cfg.AdmitMax
+		}
+		if err := c.Report(s, n, 0, 0, 0, 0, clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Expire every view (stale, but inside the breaker gap): fallback
+	// round-robin must skip the capped site. Sites 0, 2, 3 have 5 slots
+	// each, so exactly 15 fallback decisions fit.
+	clk.Advance(150 * time.Millisecond)
+	for i := 0; i < 15; i++ {
+		site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
+		if out != OutcomeFallback {
+			t.Fatalf("decision %d: outcome %v, want fallback", i, out)
+		}
+		if site == 1 {
+			t.Fatalf("decision %d: fallback routed to capped site 1", i)
+		}
+	}
+	// The optimistic commitments now hold every uncapped site at the
+	// cap: refuse with no-capacity rather than overrun.
+	if _, out := c.Decide(newQuery(cfg, 0, 0), clk.Now()); out != OutcomeNoCapacity {
+		t.Fatalf("outcome %v, want no-capacity once every routable site is capped", out)
+	}
+}
+
 func TestCoreAdmissionCap(t *testing.T) {
 	clk := newFakeClock()
 	cfg := coreConfig(clk)

@@ -78,6 +78,7 @@ type Server struct {
 	mux   *http.ServeMux
 
 	queue    chan *decideReq
+	qmu      sync.RWMutex // pairs enqueue sends with Shutdown's close
 	loopDone chan struct{}
 	draining atomic.Bool
 	closed   atomic.Bool
@@ -129,14 +130,15 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Shutdown gracefully stops the decision loop: drain mode, then the
 // queue is closed and the loop exits once the backlog is resolved.
-// The embedding HTTP server must stop accepting requests first (e.g.
-// http.Server.Shutdown); handlers still running while the queue closes
-// would otherwise send on a closed channel. Idempotent; the context
-// bounds the wait for the backlog.
+// Handlers still in flight are safe: enqueue holds qmu.RLock across its
+// send and refuses once closed is set, so the close below can never
+// race a send. Idempotent; the context bounds the wait for the backlog.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
 	if s.closed.CompareAndSwap(false, true) {
+		s.qmu.Lock()
 		close(s.queue)
+		s.qmu.Unlock()
 	}
 	select {
 	case <-s.loopDone:
@@ -187,6 +189,31 @@ func (s *Server) loop() {
 			s.st.LateDecides++
 			s.mu.Unlock()
 		}
+	}
+}
+
+// enqueue status: queued, shed (queue full), or refused (queue closed).
+const (
+	enqueueOK = iota
+	enqueueFull
+	enqueueClosed
+)
+
+// enqueue offers req to the decision queue. The read-lock pairs with
+// Shutdown's write-lock around close(queue): closed is set before the
+// close and checked under the lock here, so a handler racing Shutdown
+// observes enqueueClosed instead of sending on a closed channel.
+func (s *Server) enqueue(req *decideReq) int {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed.Load() {
+		return enqueueClosed
+	}
+	select {
+	case s.queue <- req:
+		return enqueueOK
+	default:
+		return enqueueFull
 	}
 }
 
@@ -268,9 +295,15 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		EstReads: dr.EstReads, EstPageCPU: dr.EstPageCPU}
 	s.cfg.classMeans(&req.q)
 
-	select {
-	case s.queue <- req:
-	default:
+	switch s.enqueue(req) {
+	case enqueueOK:
+	case enqueueClosed:
+		// Shutdown closed the queue between the draining check above
+		// and the send; answer as a drain refusal.
+		s.bump(&s.st.Draining)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	default: // enqueueFull
 		// Backpressure: the decision queue is full; shed now rather
 		// than let latency collapse for everyone.
 		s.bump(&s.st.Shed)
@@ -288,9 +321,16 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusGatewayTimeout, "decision deadline exceeded")
 			return
 		}
-		// The loop won the race; its result is (or is about to be) in
-		// the buffered channel.
-		s.writeDecision(w, <-req.done)
+		// The loop won the race. The resolution is terminal, so the
+		// CAS losing means it is readable: decided means a result is
+		// (or is about to be) in the buffered channel; expired means
+		// the loop saw the dead context at dequeue, took the Expired
+		// count, and will never send — receiving would hang forever.
+		if req.resolved.Load() == resolveDecided {
+			s.writeDecision(w, <-req.done)
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, "decision deadline exceeded")
 	}
 }
 

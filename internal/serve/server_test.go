@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -231,6 +233,107 @@ func TestServerBackpressureSheds(t *testing.T) {
 	st := s.Stats()
 	if st.Shed != 1 || st.Expired != 1 || st.Requests != 2 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestServerHandlerDoesNotHangWhenLoopExpiresRequest pins the loss side
+// of the expiry race: when the decision loop dequeues a request whose
+// context is already dead, it claims it as expired without ever sending
+// on req.done — the waiting handler must answer 504, not block forever
+// on the channel.
+func TestServerHandlerDoesNotHangWhenLoopExpiresRequest(t *testing.T) {
+	cfg := Default()
+	cfg.NumSites = 3
+	cfg.Policy = policy.BNQ
+	// Long deadlines so only the test's cancel wakes the handler.
+	cfg.DefaultDeadline = 5 * time.Second
+	cfg.MaxDeadline = 5 * time.Second
+	core, err := NewCore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		core:     core,
+		clock:    time.Now,
+		queue:    make(chan *decideReq, cfg.QueueBound),
+		loopDone: make(chan struct{}),
+		hist:     stats.NewLogHistogram(1, 60e6, 0.02),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := httptest.NewRequest(http.MethodPost, "/v1/decide",
+		strings.NewReader(`{"class":0,"home":0}`)).WithContext(ctx)
+	code := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		s.handleDecide(rec, r)
+		code <- rec.Code
+	}()
+	// Play the loop's expired branch: claim the queued request as
+	// expired, never sending a result.
+	var req *decideReq
+	select {
+	case req = <-s.queue:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never enqueued")
+	}
+	if !req.resolved.CompareAndSwap(resolvePending, resolveExpired) {
+		t.Fatal("request resolved before the test claimed it")
+	}
+	cancel()
+	select {
+	case c := <-code:
+		if c != http.StatusGatewayTimeout {
+			t.Fatalf("handler status %d, want 504", c)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler hung after losing the expiry race to the loop")
+	}
+}
+
+// TestServerShutdownEnqueueRaceIsSafe hammers handlers against Shutdown:
+// a handler that passes the draining check just before the queue closes
+// must get a clean drain refusal, never a send on a closed channel.
+func TestServerShutdownEnqueueRaceIsSafe(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		cfg := Default()
+		cfg.NumSites = 2
+		cfg.Policy = policy.BNQ
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for k := 0; k < 20; k++ {
+					rec := httptest.NewRecorder()
+					srv.handleDecide(rec, httptest.NewRequest(http.MethodPost, "/v1/decide",
+						strings.NewReader(`{"class":0,"home":0}`)))
+					switch rec.Code {
+					case http.StatusOK, http.StatusServiceUnavailable,
+						http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					default:
+						t.Errorf("unexpected status %d", rec.Code)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := srv.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+		close(start)
+		wg.Wait()
 	}
 }
 

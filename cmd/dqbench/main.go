@@ -23,6 +23,14 @@
 //     the whole batch. This is multi-core kernel throughput — each
 //     worker owns its scheduler, so the number scales with cores until
 //     memory bandwidth saturates.
+//   - replication/LERT/rebuild — one audited replication with a partial
+//     placement, aggressive site crashes and the self-healing replica
+//     manager on, timing the rebuild/degraded-read hot path (crash
+//     wipes, deficit timers, fragment shipments, availability
+//     recounts).
+//   - serve/LERT/decide — the live allocation service's decision loop:
+//     a warmed serve.Core fed Report/Decide cycles, reported as
+//     decisions/sec (the events_per_sec column counts decisions).
 //
 // Numbers come from testing.Benchmark, so ns/op, B/op and allocs/op
 // mean exactly what `go test -bench` reports. The simulation inside
@@ -57,10 +65,14 @@ import (
 
 	"dqalloc/internal/arrival"
 	"dqalloc/internal/exper"
+	"dqalloc/internal/fault"
 	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
 	"dqalloc/internal/rng"
+	"dqalloc/internal/serve"
 	"dqalloc/internal/sim"
 	"dqalloc/internal/system"
+	"dqalloc/internal/workload"
 )
 
 func main() {
@@ -112,7 +124,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
 		label = fs.String("label", "", "free-form provenance note stored in the report")
 		out   = fs.String("o", "", "output path (default BENCH_<date>.json)")
-		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, or parallel")
+		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, parallel, replication, or serve")
 		sched = fs.String("sched", "calendar", "scheduler implementation: calendar or heap")
 	)
 	fs.SetOutput(w)
@@ -129,9 +141,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	all := *suite == "all"
 	switch *suite {
-	case "all", "kernel", "macro", "table8", "overload", "parallel":
+	case "all", "kernel", "macro", "table8", "overload", "parallel", "replication", "serve":
 	default:
-		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, or parallel)", *suite)
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, parallel, replication, or serve)", *suite)
 	}
 
 	rep := Report{
@@ -189,6 +201,37 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
+	}
+
+	if ctx.Err() == nil && (all || *suite == "replication") {
+		// Self-healing hot path: crashes, rebuild shipments, degraded
+		// reads and the replication-conservation auditor, all on.
+		measure := 4000.0
+		if *quick {
+			measure = 1200
+		}
+		r, err := benchReplication(impl, measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
+	}
+
+	if ctx.Err() == nil && (all || *suite == "serve") {
+		// The live allocation service's decision loop, in decisions/sec.
+		decisions := 200_000
+		if *quick {
+			decisions = 20_000
+		}
+		r, err := benchServe(decisions)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f decisions/sec\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
 		rep.Results = append(rep.Results, r)
 	}
@@ -376,6 +419,110 @@ func benchOverload(impl sim.Impl, measure float64) (Result, error) {
 		return Result{}, runErr
 	}
 	return finish("overload/LERT/mmpp", br, events), nil
+}
+
+// benchReplication measures one audited replication with a 2-copy
+// partial placement, frequent site crashes and the self-healing replica
+// manager on — the rebuild and degraded-read hot path.
+func benchReplication(impl sim.Impl, measure float64) (Result, error) {
+	cfg := system.Default()
+	cfg.Scheduler = impl
+	cfg.PolicyKind = policy.LERT
+	cfg.Seed = 1
+	cfg.Warmup = 500
+	cfg.Measure = measure
+	placement, err := replica.NewRoundRobin(cfg.NumSites, 10*cfg.NumSites, 2)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Placement = placement
+	cfg.Fault = fault.Default()
+	cfg.Fault.MTTF = 1500
+	cfg.Fault.MTTR = 600
+	cfg.Replication = replica.DefaultManager()
+	cfg.Replication.FragmentSize = 2
+	cfg.Replication.RebuildDelay = 10
+	cfg.Audit = true
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := system.New(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			res := sys.Run()
+			if err := sys.Audit(); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if res.ReplicasRebuilt == 0 {
+				runErr = fmt.Errorf("replication bench rebuilt nothing")
+				b.Fatal(runErr)
+			}
+			events = res.EventsFired
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return finish("replication/LERT/rebuild", br, events), nil
+}
+
+// benchServe measures the live allocation service's synchronous decision
+// path: a warmed serve.Core taking `decisions` Decide calls, with a
+// fresh zero-load Report cycle every 64 decisions so the view never goes
+// stale. events/op counts decisions, so events_per_sec is decisions/sec.
+func benchServe(decisions int) (Result, error) {
+	cfg := serve.Default()
+	base := time.Unix(0, 0)
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core, err := serve.NewCore(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			now := base
+			queries := make([]workload.Query, cfg.NumSites*len(cfg.Classes))
+			for d := 0; d < decisions; d++ {
+				if d%64 == 0 {
+					for s := 0; s < cfg.NumSites; s++ {
+						if err := core.Report(s, 0, 0, 0, 0, 0, now); err != nil {
+							runErr = err
+							b.Fatal(err)
+						}
+					}
+				}
+				q := &queries[d%len(queries)]
+				class := d % len(cfg.Classes)
+				*q = workload.Query{
+					Class:      class,
+					Home:       d % cfg.NumSites,
+					EstReads:   cfg.Classes[class].NumReads,
+					EstPageCPU: cfg.Classes[class].PageCPUTime,
+				}
+				q.Exec = q.Home
+				if site, out := core.Decide(q, now); out != serve.OutcomeDecided || site == policy.NoSite {
+					runErr = fmt.Errorf("decision %d: outcome %v site %d", d, out, site)
+					b.Fatal(runErr)
+				}
+				now = now.Add(50 * time.Microsecond)
+			}
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	name := fmt.Sprintf("serve/%s/decide/decisions=%d", cfg.Policy, decisions)
+	return finish(name, br, uint64(decisions)), nil
 }
 
 // benchTable8 measures the Table-8 reproduction harness end to end

@@ -19,6 +19,7 @@ import (
 	"dqalloc/internal/fault"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
 	"dqalloc/internal/sim"
 	"dqalloc/internal/system"
 	"dqalloc/internal/workload"
@@ -71,6 +72,18 @@ func run(args []string, w io.Writer) error {
 		deadline  = fs.Float64("deadline", 0, "per-query response-time deadline (0 = off)")
 		hedgeQ    = fs.Float64("hedge-quantile", 0, "hedge remote stragglers past this response quantile (0 = off)")
 		jsonOut   = fs.Bool("json", false, "emit results as a JSON array instead of text")
+
+		objects   = fs.Int("objects", 0, "number of DB objects in a round-robin partial placement (0 = every site holds everything)")
+		copies    = fs.Int("copies", 2, "copies per object for -objects")
+		rebuild   = fs.Bool("rebuild", false, "self-healing replica manager: crash-driven re-replication and degraded reads (requires -objects)")
+		minCopies = fs.Int("min-copies", 0, "replication floor for -rebuild (0 = -copies)")
+		maxCopies = fs.Int("max-copies", 0, "replication ceiling for -rebuild (0 = the floor)")
+		fragSize  = fs.Float64("frag-size", 8, "fragment transfer size for rebuilds and degraded fetches")
+		rebuildD  = fs.Float64("rebuild-delay", 25, "staging delay before a deficit's rebuild transfer")
+		scanP     = fs.Float64("scan", 0, "load-driven add/drop scan period for -rebuild (0 = off)")
+		hotRate   = fs.Float64("hot", 0.05, "EWMA access rate above which -scan promotes a fragment")
+		coldRate  = fs.Float64("cold", 0.005, "EWMA access rate below which -scan demotes a fragment")
+		degraded  = fs.String("degraded", "fetch", "no-up-holder behavior for -rebuild: fetch or reject")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,6 +181,41 @@ func run(args []string, w io.Writer) error {
 			MaxDefers:  *admitTry,
 		}
 	}
+	if *objects > 0 {
+		p, err := replica.NewRoundRobin(*sites, *objects, *copies)
+		if err != nil {
+			return err
+		}
+		cfg.Placement = p
+	}
+	if *rebuild {
+		if *objects <= 0 {
+			return fmt.Errorf("-rebuild requires -objects")
+		}
+		rc := replica.DefaultManager()
+		rc.MinCopies = *copies
+		if *minCopies > 0 {
+			rc.MinCopies = *minCopies
+		}
+		rc.MaxCopies = rc.MinCopies
+		if *maxCopies > 0 {
+			rc.MaxCopies = *maxCopies
+		}
+		rc.FragmentSize = *fragSize
+		rc.RebuildDelay = *rebuildD
+		rc.ScanPeriod = *scanP
+		rc.HotRate = *hotRate
+		rc.ColdRate = *coldRate
+		switch strings.ToLower(*degraded) {
+		case "fetch":
+			rc.Degraded = replica.DegradedFetch
+		case "reject":
+			rc.Degraded = replica.DegradedReject
+		default:
+			return fmt.Errorf("unknown -degraded mode %q (want fetch or reject)", *degraded)
+		}
+		cfg.Replication = rc
+	}
 	// Validate eagerly so flag mistakes surface as one clean error even
 	// when -reps is zero.
 	if err := cfg.Validate(); err != nil {
@@ -260,6 +308,16 @@ func printResults(w io.Writer, r system.Results) {
 	}
 	if r.QueriesShed > 0 || r.QueriesDeferred > 0 {
 		fmt.Fprintf(w, "  admission: shed=%d deferred=%d\n", r.QueriesShed, r.QueriesDeferred)
+	}
+	if r.ReplicasRebuilt > 0 || r.ReplicasAdded > 0 || r.ReplicasDropped > 0 || r.RebuildsAborted > 0 {
+		fmt.Fprintf(w, "  replicas: rebuilt=%d added=%d dropped=%d aborted=%d (lat %.3f)\n",
+			r.ReplicasRebuilt, r.ReplicasAdded, r.ReplicasDropped, r.RebuildsAborted, r.MeanRebuildLatency)
+	}
+	if r.DegradedReads > 0 || r.NoReplicaRejects > 0 {
+		fmt.Fprintf(w, "  degraded: reads=%d noreplica=%d\n", r.DegradedReads, r.NoReplicaRejects)
+	}
+	if r.MinFragAvailability > 0 && r.MinFragAvailability < 1 {
+		fmt.Fprintf(w, "  frag avail         %10.4f (min %.4f)\n", r.FragAvailability, r.MinFragAvailability)
 	}
 	if r.EstReadsErr > 0 || r.EstCPUErr > 0 {
 		fmt.Fprintf(w, "  est. error         %10.3f reads / %.3f cpu (herd %0.3f)\n",

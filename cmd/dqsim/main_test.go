@@ -135,11 +135,56 @@ func TestRunFlagErrors(t *testing.T) {
 		"negative deadline":   {"-deadline", "-10"},
 		"hedge quantile >= 1": {"-hedge-quantile", "1"},
 		"negative hedge":      {"-hedge-quantile", "-0.5"},
+		"rebuild unplaced":    {"-rebuild"},
+		"copies over sites":   {"-objects", "12", "-copies", "9"},
+		"bad degraded mode":   {"-objects", "12", "-rebuild", "-degraded", "maybe"},
+		"floor over initial":  {"-objects", "12", "-copies", "2", "-rebuild", "-min-copies", "3"},
+		"ceiling over sites":  {"-objects", "12", "-rebuild", "-max-copies", "9"},
+		"scan without rates":  {"-objects", "12", "-rebuild", "-scan", "100", "-hot", "0.01", "-cold", "0.05"},
+		"zero fragment":       {"-objects", "12", "-rebuild", "-frag-size", "0"},
 	}
 	for name, args := range cases {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("%s: args %v accepted", name, args)
 		}
+	}
+}
+
+func TestRunWithReplicationFlags(t *testing.T) {
+	// Crash-driven re-replication with degraded fetches, audited.
+	err := run([]string{
+		"-policy", "LERT", "-mpl", "5",
+		"-warmup", "200", "-measure", "3000",
+		"-objects", "30", "-copies", "2", "-rebuild",
+		"-frag-size", "2", "-rebuild-delay", "10",
+		"-mttf", "1500", "-mttr", "300",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load-driven add/drop plus the reject mode, audited.
+	err = run([]string{
+		"-policy", "BNQ", "-mpl", "5",
+		"-warmup", "200", "-measure", "3000",
+		"-objects", "30", "-copies", "2", "-rebuild", "-max-copies", "4",
+		"-scan", "200", "-hot", "1e-4", "-cold", "1e-5",
+		"-degraded", "reject",
+		"-mttf", "2000", "-mttr", "300",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A static partial placement without the manager still runs.
+	err = run([]string{
+		"-policy", "LERT", "-mpl", "5",
+		"-warmup", "200", "-measure", "1500",
+		"-objects", "30", "-copies", "2",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -183,6 +228,56 @@ func TestRunGoldenText(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "results.golden", buf.Bytes())
+}
+
+// replicationGoldenArgs is a deterministic crash-and-rebuild run pinning
+// the replication output surface.
+func replicationGoldenArgs(jsonOut bool) []string {
+	args := []string{
+		"-policy", "LERT", "-mpl", "5", "-seed", "3",
+		"-warmup", "500", "-measure", "6000",
+		"-objects", "30", "-copies", "2", "-rebuild",
+		"-frag-size", "2", "-rebuild-delay", "10",
+		"-mttf", "1500", "-mttr", "600",
+		"-audit",
+	}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	return args
+}
+
+func TestRunReplicationGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(replicationGoldenArgs(false), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replicas: rebuilt=", "frag avail"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("replication output missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+	checkGolden(t, "results_replication.golden", buf.Bytes())
+}
+
+func TestRunReplicationGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(replicationGoldenArgs(true), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	for _, field := range []string{
+		"ReplicasRebuilt", "RebuildsAborted", "DegradedReads",
+		"NoReplicaRejects", "FragAvailability", "MinFragAvailability",
+	} {
+		if _, ok := parsed[0][field]; !ok {
+			t.Errorf("JSON result missing field %q", field)
+		}
+	}
+	checkGolden(t, "results_replication_json.golden", buf.Bytes())
 }
 
 func TestRunGoldenJSON(t *testing.T) {

@@ -556,3 +556,101 @@ func (a *AdmissionConservation) check(t float64) {
 			t, inflight, a.capacity)
 	}
 }
+
+// ReplicationState is the replica manager's invariant snapshot, read by
+// the replication-conservation auditor through a closure so the auditor
+// stays decoupled from the system and replica packages. Mutations must
+// change whenever any other field can have changed; the auditor skips
+// its (O(objects × sites)) re-scan while it is stable.
+type ReplicationState struct {
+	// Mutations is the manager's placement/transfer change counter plus
+	// any system-side violation counters.
+	Mutations uint64
+	// Deficient counts fragments below MinCopies; Uncovered those among
+	// them with neither a scheduled rebuild nor a shipment in flight.
+	Deficient, Uncovered int
+	// ZeroCopy and OverMax count fragments outside [1, MaxCopies].
+	ZeroCopy, OverMax int
+	// Inconsistent counts fragments whose copy counter disagrees with
+	// their holder set (a leak or duplication across a crash/rebuild
+	// race).
+	Inconsistent int
+	// InFlight is the number of live fragment shipments; the transfer
+	// ledger identity is Launched == Rebuilt + Added + Aborted + InFlight.
+	InFlight                          int
+	Launched, Rebuilt, Added, Aborted uint64
+	// BadExec counts queries that started executing at a site holding no
+	// copy of their fragment without being marked degraded (which would
+	// have fetched it first).
+	BadExec uint64
+}
+
+// ReplicationConservation audits the self-healing replica manager at
+// every event boundary: every fragment keeps between 1 and MaxCopies
+// copies, every deficit is covered by a scheduled rebuild or an
+// in-flight shipment, the transfer ledger balances (no shipment leaked
+// or double-counted across crash/rebuild races), holder sets stay
+// consistent with copy counts, and no query executes against a missing
+// fragment undeclared.
+type ReplicationConservation struct {
+	violation
+	state func() ReplicationState
+
+	lastMutations uint64
+	checkedOnce   bool
+}
+
+// NewReplicationConservation builds the auditor; state reads the replica
+// manager's snapshot.
+func NewReplicationConservation(state func() ReplicationState) *ReplicationConservation {
+	if state == nil {
+		panic("check: nil replication state")
+	}
+	return &ReplicationConservation{state: state}
+}
+
+// Name implements Auditor.
+func (r *ReplicationConservation) Name() string { return "replication-conservation" }
+
+// EventFired implements EventObserver.
+func (r *ReplicationConservation) EventFired(e *sim.Event) {
+	if r.err == nil {
+		r.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (r *ReplicationConservation) Finalize(fin Final) {
+	if r.err == nil {
+		r.checkedOnce = false // force one last full scan
+		r.check(fin.End)
+	}
+}
+
+func (r *ReplicationConservation) check(t float64) {
+	st := r.state()
+	if r.checkedOnce && st.Mutations == r.lastMutations {
+		return
+	}
+	r.lastMutations = st.Mutations
+	r.checkedOnce = true
+	switch {
+	case st.ZeroCopy > 0:
+		r.failf("check: replication-conservation: t=%v: %d fragments lost their last copy", t, st.ZeroCopy)
+	case st.OverMax > 0:
+		r.failf("check: replication-conservation: t=%v: %d fragments exceed MaxCopies", t, st.OverMax)
+	case st.Inconsistent > 0:
+		r.failf("check: replication-conservation: t=%v: %d fragments with holder/count mismatch", t, st.Inconsistent)
+	case st.Uncovered > 0:
+		r.failf("check: replication-conservation: t=%v: %d of %d deficient fragments have no rebuild scheduled or in flight",
+			t, st.Uncovered, st.Deficient)
+	case st.InFlight < 0:
+		r.failf("check: replication-conservation: t=%v: negative in-flight count %d", t, st.InFlight)
+	case st.Launched != st.Rebuilt+st.Added+st.Aborted+uint64(st.InFlight):
+		r.failf("check: replication-conservation: t=%v: %d launched != %d rebuilt + %d added + %d aborted + %d in flight",
+			t, st.Launched, st.Rebuilt, st.Added, st.Aborted, st.InFlight)
+	case st.BadExec > 0:
+		r.failf("check: replication-conservation: t=%v: %d queries executed at sites lacking their fragment",
+			t, st.BadExec)
+	}
+}

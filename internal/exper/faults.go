@@ -34,6 +34,15 @@ type DegradationRow struct {
 	Rejected  uint64
 	// Crashes is the total site failures across replications.
 	Crashes uint64
+	// FragAvailability and MinFragAvailability weight availability by
+	// fragment reachability instead of raw site-time: the fraction of
+	// the measured window each fragment had at least one up holder
+	// (mean and minimum across fragments). Both are 1 when the run has
+	// no Placement — every site serves everything — which is exactly
+	// the gap this column closes: a 97%-up system can still have
+	// fragments unreachable far more often than 3% of the time.
+	FragAvailability    float64
+	MinFragAvailability float64
 }
 
 // DegradationSweep runs each policy across the given MTTF levels on the
@@ -46,7 +55,10 @@ type DegradationRow struct {
 // sweep is the experiment behind that sentence: LOCAL degrades by
 // losing its home site's capacity outright, while the load-aware
 // policies reroute around the outage.
-func DegradationSweep(r Runner, kinds []policy.Kind, mttfs []float64, fcfg fault.Config) ([]DegradationRow, error) {
+// Additional opts mutate each cell's configuration before it runs —
+// typically setting a partial Placement so the sweep also reports
+// fragment-weighted availability.
+func DegradationSweep(r Runner, kinds []policy.Kind, mttfs []float64, fcfg fault.Config, opts ...func(*system.Config)) ([]DegradationRow, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,6 +74,9 @@ func DegradationSweep(r Runner, kinds []policy.Kind, mttfs []float64, fcfg fault
 			cfg.Fault = fcfg
 			cfg.Fault.Enabled = true
 			cfg.Fault.MTTF = mttf
+			for _, opt := range opts {
+				opt(&cfg)
+			}
 			row := DegradationRow{Policy: kind.String(), MTTF: mttf}
 			for rep := 0; rep < r.Reps; rep++ {
 				cfg.Seed = r.BaseSeed + uint64(rep)
@@ -83,12 +98,22 @@ func DegradationSweep(r Runner, kinds []policy.Kind, mttfs []float64, fcfg fault
 				row.Retried += res.QueriesRetried
 				row.Rejected += res.QueriesRejected
 				row.Crashes += res.SiteCrashes
+				if cfg.Placement != nil {
+					row.FragAvailability += res.FragAvailability
+					row.MinFragAvailability += res.MinFragAvailability
+				} else {
+					// No placement: every fragment is everywhere.
+					row.FragAvailability++
+					row.MinFragAvailability++
+				}
 			}
 			n := float64(r.Reps)
 			row.Availability /= n
 			row.MeanWait /= n
 			row.MeanResponse /= n
 			row.AvailResponse /= n
+			row.FragAvailability /= n
+			row.MinFragAvailability /= n
 			rows = append(rows, row)
 		}
 	}

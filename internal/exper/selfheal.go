@@ -1,0 +1,159 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
+	"dqalloc/internal/system"
+)
+
+// SelfHealRow is one cell of the self-healing replication study: one
+// allocation policy at one failure intensity and one replication degree,
+// with crash-driven re-replication either on or off, averaged over the
+// runner's replications.
+type SelfHealRow struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// MTTF is the per-site mean time to failure (+Inf = no failures).
+	MTTF float64
+	// Copies is the initial number of copies per fragment.
+	Copies int
+	// Rebuild reports whether the replica manager (crash-driven
+	// re-replication plus degraded remote reads) was on.
+	Rebuild bool
+	// FragAvailability and MinFragAvailability are the mean and minimum
+	// per-fragment availability — the fraction of the measured window
+	// each fragment had at least one up holder.
+	FragAvailability    float64
+	MinFragAvailability float64
+	// MeanRebuildLatency is the mean deficit-to-restored time of
+	// completed rebuilds (0 when Rebuild is off or nothing was rebuilt).
+	MeanRebuildLatency float64
+	// ReplicasRebuilt and RebuildsAborted are totals across
+	// replications.
+	ReplicasRebuilt uint64
+	RebuildsAborted uint64
+	// DegradedReads and NoReplicaRejects are totals across replications.
+	DegradedReads    uint64
+	NoReplicaRejects uint64
+	// MeanResponse is the mean response time of completed queries.
+	MeanResponse float64
+	// Completed, Rejected and Crashes are totals across replications.
+	Completed uint64
+	Rejected  uint64
+	Crashes   uint64
+}
+
+// SelfHealSweep runs each policy across the given MTTF levels and
+// replication degrees on the Table-7 baseline with a round-robin partial
+// placement, once with the static placement and once with the
+// self-healing replica manager on — every replication fully audited,
+// including the replication-conservation auditor on the manager runs.
+// fcfg supplies the non-MTTF fault knobs; its MTTF field is overridden
+// per level. rcfg supplies the manager knobs; its MinCopies is pinned to
+// the sweep's copy count (the manager restores exactly the configured
+// degree) and MaxCopies raised to it when needed.
+//
+// This is the experiment behind the tentpole claim: re-replication must
+// buy strictly higher minimum per-fragment availability than a static
+// placement under the same crash schedule — and the sweep shows where it
+// does not (rebuild traffic shares the ring with queries, so frequent
+// crashes plus large fragments can stretch deficit windows until
+// self-healing stops paying for itself).
+func SelfHealSweep(r Runner, kinds []policy.Kind, mttfs []float64, copies []int, fcfg fault.Config, rcfg replica.ManagerConfig) ([]SelfHealRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mttfs) == 0 {
+		return nil, fmt.Errorf("exper: self-heal sweep: no MTTF levels")
+	}
+	if len(copies) == 0 {
+		return nil, fmt.Errorf("exper: self-heal sweep: no copy levels")
+	}
+	rows := make([]SelfHealRow, 0, len(kinds)*len(mttfs)*len(copies)*2)
+	for _, kind := range kinds {
+		for _, mttf := range mttfs {
+			for _, k := range copies {
+				for _, rebuild := range []bool{false, true} {
+					row, err := replicationCell(r, kind, mttf, k, rebuild, fcfg, rcfg)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// replicationCell averages one (policy, MTTF, copies, rebuild) cell over
+// the runner's replications.
+func replicationCell(r Runner, kind policy.Kind, mttf float64, copies int, rebuild bool, fcfg fault.Config, rcfg replica.ManagerConfig) (SelfHealRow, error) {
+	cfg := r.applyHorizons(system.Default())
+	cfg.PolicyKind = kind
+	cfg.Audit = true
+	cfg.Fault = fcfg
+	cfg.Fault.Enabled = true
+	cfg.Fault.MTTF = mttf
+	placement, err := replica.NewRoundRobin(cfg.NumSites, 10*cfg.NumSites, copies)
+	if err != nil {
+		return SelfHealRow{}, fmt.Errorf("exper: self-heal sweep: %w", err)
+	}
+	cfg.Placement = placement
+	if rebuild {
+		cfg.Replication = rcfg
+		cfg.Replication.Enabled = true
+		cfg.Replication.MinCopies = copies
+		if cfg.Replication.MaxCopies < copies {
+			cfg.Replication.MaxCopies = copies
+		}
+	}
+	row := SelfHealRow{Policy: kind.String(), MTTF: mttf, Copies: copies, Rebuild: rebuild}
+	var latWeight float64
+	for rep := 0; rep < r.Reps; rep++ {
+		cfg.Seed = r.BaseSeed + uint64(rep)
+		sys, err := newSystem(cfg)
+		if err != nil {
+			return SelfHealRow{}, fmt.Errorf("exper: self-heal sweep %v mttf %v copies %d rebuild %v: %w",
+				kind, mttf, copies, rebuild, err)
+		}
+		res := sys.Run()
+		if err := sys.Audit(); err != nil {
+			return SelfHealRow{}, fmt.Errorf("exper: self-heal sweep %v mttf %v copies %d rebuild %v seed %d: %w",
+				kind, mttf, copies, rebuild, cfg.Seed, err)
+		}
+		row.FragAvailability += res.FragAvailability
+		row.MinFragAvailability += res.MinFragAvailability
+		row.MeanResponse += res.MeanResponse
+		row.ReplicasRebuilt += res.ReplicasRebuilt
+		row.RebuildsAborted += res.RebuildsAborted
+		row.DegradedReads += res.DegradedReads
+		row.NoReplicaRejects += res.NoReplicaRejects
+		row.Completed += res.Completed
+		row.Rejected += res.QueriesRejected
+		row.Crashes += res.SiteCrashes
+		// The latency mean weights each replication by its rebuild count.
+		if res.ReplicasRebuilt > 0 {
+			row.MeanRebuildLatency += res.MeanRebuildLatency * float64(res.ReplicasRebuilt)
+			latWeight += float64(res.ReplicasRebuilt)
+		}
+	}
+	n := float64(r.Reps)
+	row.FragAvailability /= n
+	row.MinFragAvailability /= n
+	row.MeanResponse /= n
+	if latWeight > 0 {
+		row.MeanRebuildLatency /= latWeight
+	}
+	return row, nil
+}
+
+// DefaultReplicationMTTFLevels returns the failure intensities used for
+// the replication study in EXPERIMENTS.md: no failures, rare failures,
+// and crashes frequent enough that rebuilds race the next outage.
+func DefaultReplicationMTTFLevels() []float64 {
+	return DefaultMTTFLevels()
+}

@@ -1,0 +1,151 @@
+package exper
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/replica"
+	"dqalloc/internal/system"
+)
+
+// replicationKnobs returns manager knobs sized so rebuilds are fast
+// relative to the test's crash rate (small fragments, short staging).
+func replicationKnobs() replica.ManagerConfig {
+	rcfg := replica.DefaultManager()
+	rcfg.FragmentSize = 1
+	rcfg.RebuildDelay = 10
+	return rcfg
+}
+
+// TestSelfHealSweepAudited is the tentpole's capstone: LERT across a
+// MTTF ladder at two replication degrees, rebuild on and off, every
+// replication audited — including the replication-conservation auditor
+// on every rebuild-on rep. Under frequent crashes re-replication must
+// buy strictly higher minimum per-fragment availability than the static
+// placement.
+func TestSelfHealSweepAudited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication sweep is slow")
+	}
+	r := Runner{Reps: 2, BaseSeed: 3, Warmup: 1000, Measure: 10000}
+	fcfg := fault.Default()
+	fcfg.MTTR = 600
+	mttfs := []float64{math.Inf(1), 1500}
+	rows, err := SelfHealSweep(r, []policy.Kind{policy.LERT}, mttfs, []int{1, 2}, fcfg, replicationKnobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(mttfs)*2*2 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(mttfs)*2*2)
+	}
+	cell := func(mttf float64, copies int, rebuild bool) SelfHealRow {
+		for _, row := range rows {
+			if row.MTTF == mttf && row.Copies == copies && row.Rebuild == rebuild {
+				return row
+			}
+		}
+		t.Fatalf("missing cell mttf=%v copies=%d rebuild=%v", mttf, copies, rebuild)
+		return SelfHealRow{}
+	}
+
+	for _, row := range rows {
+		if row.Completed == 0 {
+			t.Errorf("%s mttf=%v copies=%d rebuild=%v: no completions",
+				row.Policy, row.MTTF, row.Copies, row.Rebuild)
+		}
+		if math.IsInf(row.MTTF, 1) {
+			if row.FragAvailability != 1 || row.MinFragAvailability != 1 {
+				t.Errorf("mttf=+Inf copies=%d rebuild=%v: availability (%v, %v), want (1, 1)",
+					row.Copies, row.Rebuild, row.FragAvailability, row.MinFragAvailability)
+			}
+			if row.ReplicasRebuilt != 0 {
+				t.Errorf("mttf=+Inf: %d rebuilds without crashes", row.ReplicasRebuilt)
+			}
+		}
+		if !row.Rebuild && (row.ReplicasRebuilt != 0 || row.DegradedReads != 0) {
+			t.Errorf("static cell rebuilt %d / degraded %d", row.ReplicasRebuilt, row.DegradedReads)
+		}
+	}
+
+	on, off := cell(1500, 2, true), cell(1500, 2, false)
+	if on.ReplicasRebuilt == 0 {
+		t.Fatal("crash-heavy rebuild-on cell rebuilt nothing")
+	}
+	if on.MeanRebuildLatency <= 0 {
+		t.Errorf("rebuilds happened but mean latency %v", on.MeanRebuildLatency)
+	}
+	if on.MinFragAvailability <= off.MinFragAvailability {
+		t.Errorf("rebuild-on min fragment availability %v not above rebuild-off %v",
+			on.MinFragAvailability, off.MinFragAvailability)
+	}
+	if on.FragAvailability <= off.FragAvailability {
+		t.Errorf("rebuild-on mean fragment availability %v not above rebuild-off %v",
+			on.FragAvailability, off.FragAvailability)
+	}
+
+	// A single copy can never be rebuilt (the last copy survives its
+	// site's crash) — the manager serves the window degraded instead.
+	single := cell(1500, 1, true)
+	if single.ReplicasRebuilt != 0 {
+		t.Errorf("single-copy cell rebuilt %d replicas", single.ReplicasRebuilt)
+	}
+	if single.DegradedReads == 0 {
+		t.Error("single-copy cell under crashes served no degraded reads")
+	}
+}
+
+func TestSelfHealSweepRejectsEmptyLevels(t *testing.T) {
+	r := Runner{Reps: 1, BaseSeed: 1, Warmup: 10, Measure: 100}
+	if _, err := SelfHealSweep(r, []policy.Kind{policy.Local}, nil, []int{2}, fault.Default(), replica.DefaultManager()); err == nil {
+		t.Error("empty MTTF levels accepted")
+	}
+	if _, err := SelfHealSweep(r, []policy.Kind{policy.Local}, []float64{1000}, nil, fault.Default(), replica.DefaultManager()); err == nil {
+		t.Error("empty copy levels accepted")
+	}
+}
+
+// TestDegradationSweepFragAvailability: satellite check for the latent
+// gap — with a partial Placement the degradation sweep must report
+// fragment-weighted availability below 1 under crashes, and exactly 1
+// in the unplaced baseline (every site serves everything).
+func TestDegradationSweepFragAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep is slow")
+	}
+	r := Runner{Reps: 2, BaseSeed: 41, Warmup: 400, Measure: 6000}
+	fcfg := fault.Default()
+	fcfg.MTTR = 300
+	placed, err := DegradationSweep(r, []policy.Kind{policy.LERT}, []float64{1500}, fcfg,
+		func(cfg *system.Config) {
+			p, err := replica.NewRoundRobin(cfg.NumSites, 10*cfg.NumSites, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Placement = p
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := placed[0]
+	if row.FragAvailability <= 0 || row.FragAvailability >= 1 {
+		t.Errorf("placed sweep fragment availability %v outside (0,1) despite crashes", row.FragAvailability)
+	}
+	if row.MinFragAvailability > row.FragAvailability {
+		t.Errorf("min %v above mean %v", row.MinFragAvailability, row.FragAvailability)
+	}
+	if row.FragAvailability < row.Availability {
+		t.Errorf("2-copy fragment availability %v below site availability %v",
+			row.FragAvailability, row.Availability)
+	}
+
+	plain, err := DegradationSweep(r, []policy.Kind{policy.LERT}, []float64{1500}, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].FragAvailability != 1 || plain[0].MinFragAvailability != 1 {
+		t.Errorf("unplaced sweep reports fragment availability (%v, %v), want (1, 1)",
+			plain[0].FragAvailability, plain[0].MinFragAvailability)
+	}
+}

@@ -25,6 +25,12 @@ type Message struct {
 	// acceptable for messages whose loss nobody must recover from.
 	OnDrop func()
 
+	// Kind tags the transmission-complete event in the trace digest; the
+	// zero value means EventKindTransmit (an ordinary query/result
+	// message). The replica manager stamps fragment-copy shipments with
+	// its own kind so traces distinguish data movement from queries.
+	Kind byte
+
 	enqueuedAt float64
 }
 
@@ -214,7 +220,11 @@ func (r *Ring) transmit(m Message) {
 	} else {
 		ev = r.sched.After(hold, r.completeFn)
 	}
-	ev.SetKind(EventKindTransmit)
+	if m.Kind != 0 {
+		ev.SetKind(m.Kind)
+	} else {
+		ev.SetKind(EventKindTransmit)
+	}
 }
 
 func (r *Ring) complete() {

@@ -43,6 +43,14 @@ type Env struct {
 	// extension. nil means the paper's homogeneous sites (speed 1
 	// everywhere). LERT consults this; the count-based policies cannot.
 	CPUSpeeds []float64
+	// Penalty adds a per-site surcharge to every cost the Selector
+	// evaluates. The replica manager installs it for degraded remote
+	// reads: when no up site holds a fragment, every site pays the ring
+	// fetch time, so cost-based policies rank fallback sites with the
+	// transfer priced in. nil means no surcharge (the common path). The
+	// count-based LOCAL and RANDOM policies ignore it — they never
+	// compare costs.
+	Penalty func(site int) float64
 }
 
 // NoSite is returned by Select when no candidate site may execute the
@@ -75,6 +83,14 @@ func (e *Env) candidateAllowed(site int) bool {
 
 // siteUp reports the site's liveness (true when no mask is installed).
 func (e *Env) siteUp(site int) bool { return e.Up == nil || e.Up[site] }
+
+// penalty returns the site's cost surcharge (0 without a hook).
+func (e *Env) penalty(site int) float64 {
+	if e.Penalty == nil {
+		return 0
+	}
+	return e.Penalty(site)
+}
 
 // allowed reports whether site may execute the query: it must hold a
 // copy and be up.
@@ -318,13 +334,13 @@ func (sel *Selector) Select(q *workload.Query, arrival int, env *Env) int {
 	localOK := env.allowed(arrival)
 	localCost := math.Inf(1)
 	if localOK {
-		localCost = sel.cost.SiteCost(q, arrival, arrival, env)
+		localCost = sel.cost.SiteCost(q, arrival, arrival, env) + env.penalty(arrival)
 	}
 	best := NoSite
 	minCost := math.Inf(1)
 	ties := 0
 	consider := func(remote int) {
-		cur := sel.cost.SiteCost(q, remote, arrival, env)
+		cur := sel.cost.SiteCost(q, remote, arrival, env) + env.penalty(remote)
 		switch {
 		case cur < minCost:
 			best, minCost, ties = remote, cur, 1

@@ -1,0 +1,637 @@
+package replica
+
+import (
+	"fmt"
+	"math"
+
+	"dqalloc/internal/rng"
+	"dqalloc/internal/stats"
+)
+
+// This file is the self-healing replica manager: live placement state
+// that a running simulation mutates, instead of the static Placement
+// table. Three control loops act on it (all driven by the system layer,
+// which owns the event scheduler and the ring):
+//
+//   - crash-driven re-replication: a site crash wipes the fragment
+//     copies it held (except a fragment's last copy, which survives on
+//     stable storage); any fragment left below MinCopies gets a timed
+//     rebuild that ships the fragment from an up holder to an up
+//     non-holder and installs the new copy only when the transfer
+//     completes.
+//   - load-driven add/drop: per-fragment EWMA access rates promote hot
+//     fragments up to MaxCopies and demote cold ones down to MinCopies,
+//     with a hysteresis gap (HotRate > ColdRate) and a per-fragment
+//     cooldown so noisy estimates don't make placement flap.
+//   - degraded remote reads: when no up site holds a fragment the
+//     system either pays an explicit ring fetch at the chosen site or
+//     rejects the query; the manager only guarantees a fragment always
+//     has at least one copy to fetch from.
+//
+// The manager is pure bookkeeping — it schedules no events and sends no
+// messages itself, so it stays deterministic and testable in isolation;
+// its only nondeterminism source is the dedicated rng stream used to
+// pick donors, targets, and drop victims.
+
+// DegradedMode selects what allocation does when no up site holds a
+// queried fragment.
+type DegradedMode int
+
+const (
+	// DegradedFetch (the default) lets allocation fall back to any up
+	// site, which pays an explicit ring fetch of the fragment before
+	// executing — degraded but available.
+	DegradedFetch DegradedMode = iota
+	// DegradedReject rejects the query outright with NoReplica
+	// accounting.
+	DegradedReject
+)
+
+// String names the mode.
+func (m DegradedMode) String() string {
+	switch m {
+	case DegradedFetch:
+		return "fetch"
+	case DegradedReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// ManagerConfig parameterizes the self-healing replica manager. The
+// zero value (Enabled == false) disables it: placement stays static and
+// the simulation is bit-identical to a build without the manager.
+type ManagerConfig struct {
+	// Enabled turns the manager on. Requires a Placement.
+	Enabled bool
+
+	// MinCopies is the replication floor: a fragment dropping below it
+	// (site crash wiping a copy) triggers a rebuild. MaxCopies is the
+	// ceiling load-driven promotion may grow a fragment to. Every
+	// object's initial placement must lie within [MinCopies, MaxCopies].
+	MinCopies int
+	MaxCopies int
+
+	// FragmentSize is the ring transfer size of one fragment copy — the
+	// rebuild shipment and the degraded-read fetch both pay it. It is
+	// deliberately much larger than a query descriptor (MsgLength ~1).
+	FragmentSize float64
+
+	// RebuildDelay is the staging delay between detecting a deficit and
+	// starting the rebuild transfer; it is also the retry backoff when a
+	// rebuild cannot be planned (no up donor or target) or is aborted
+	// mid-copy.
+	RebuildDelay float64
+
+	// ScanPeriod is the load-driven control loop's period; 0 disables
+	// load-driven add/drop (crash-driven rebuilds still run).
+	ScanPeriod float64
+	// RateTau is the EWMA time constant of the per-fragment access-rate
+	// estimate (accesses per time unit).
+	RateTau float64
+	// HotRate and ColdRate are the promote/demote thresholds. The gap
+	// between them is the hysteresis band; HotRate must exceed ColdRate.
+	HotRate  float64
+	ColdRate float64
+	// Cooldown is the minimum time between load-driven placement changes
+	// of the same fragment.
+	Cooldown float64
+
+	// Degraded selects the no-up-holder behavior (fetch or reject).
+	Degraded DegradedMode
+}
+
+// DefaultManager returns a moderate self-healing configuration for the
+// Table-7 time scale: fragments of 8 message-units, rebuilds staged 25
+// time units after the deficit, load-driven add/drop off.
+func DefaultManager() ManagerConfig {
+	return ManagerConfig{
+		Enabled:      true,
+		MinCopies:    2,
+		MaxCopies:    4,
+		FragmentSize: 8,
+		RebuildDelay: 25,
+		RateTau:      500,
+		Cooldown:     1000,
+	}
+}
+
+// LoadDriven reports whether the load-driven add/drop loop is on.
+func (c ManagerConfig) LoadDriven() bool { return c.Enabled && c.ScanPeriod > 0 }
+
+// Validate reports the first configuration error for a system of
+// numSites sites. A disabled config is always valid.
+func (c ManagerConfig) Validate(numSites int) error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.MinCopies < 1:
+		return fmt.Errorf("replica: MinCopies %d < 1", c.MinCopies)
+	case c.MaxCopies < c.MinCopies:
+		return fmt.Errorf("replica: MaxCopies %d < MinCopies %d", c.MaxCopies, c.MinCopies)
+	case c.MaxCopies > numSites:
+		return fmt.Errorf("replica: MaxCopies %d exceeds %d sites", c.MaxCopies, numSites)
+	case !(c.FragmentSize > 0) || math.IsInf(c.FragmentSize, 1):
+		return fmt.Errorf("replica: FragmentSize %v must be positive and finite", c.FragmentSize)
+	case !(c.RebuildDelay > 0) || math.IsInf(c.RebuildDelay, 1):
+		return fmt.Errorf("replica: RebuildDelay %v must be positive and finite", c.RebuildDelay)
+	case c.ScanPeriod < 0 || math.IsNaN(c.ScanPeriod) || math.IsInf(c.ScanPeriod, 1):
+		return fmt.Errorf("replica: ScanPeriod %v must be finite and non-negative", c.ScanPeriod)
+	case c.Degraded != DegradedFetch && c.Degraded != DegradedReject:
+		return fmt.Errorf("replica: invalid degraded mode %d", c.Degraded)
+	}
+	if c.ScanPeriod > 0 {
+		switch {
+		case !(c.RateTau > 0) || math.IsInf(c.RateTau, 1):
+			return fmt.Errorf("replica: RateTau %v must be positive and finite", c.RateTau)
+		case !(c.HotRate > 0) || math.IsNaN(c.HotRate):
+			return fmt.Errorf("replica: load-driven scan needs positive HotRate, got %v", c.HotRate)
+		case c.ColdRate < 0 || math.IsNaN(c.ColdRate):
+			return fmt.Errorf("replica: negative ColdRate %v", c.ColdRate)
+		case c.ColdRate >= c.HotRate:
+			return fmt.Errorf("replica: ColdRate %v must be below HotRate %v (hysteresis gap)",
+				c.ColdRate, c.HotRate)
+		case c.Cooldown < 0 || math.IsNaN(c.Cooldown) || math.IsInf(c.Cooldown, 1):
+			return fmt.Errorf("replica: Cooldown %v must be finite and non-negative", c.Cooldown)
+		}
+	}
+	return nil
+}
+
+// transfer is one in-flight fragment shipment (at most one per object).
+type transfer struct {
+	id            uint64
+	donor, target int
+	add           bool // load-driven add, not a deficit rebuild
+}
+
+// Drop records one load-driven copy removal for the caller's
+// availability accounting.
+type Drop struct {
+	Object, Site int
+}
+
+// CommitStatus classifies the outcome of a transfer delivery.
+type CommitStatus int
+
+const (
+	// CommitStale means the delivered transfer was already aborted (a
+	// crash invalidated it mid-copy); the delivery is ignored.
+	CommitStale CommitStatus = iota
+	// CommitInstalled means the copy was installed at the target.
+	CommitInstalled
+	// CommitAborted means the record was live but the install was
+	// impossible (target down or already holding); the transfer aborts.
+	CommitAborted
+)
+
+// Manager is the live placement plus the bookkeeping of the three
+// control loops. It is built from a static Placement, which it never
+// mutates.
+type Manager struct {
+	cfg      ManagerConfig
+	numSites int
+	holds    [][]bool // object -> site -> holds a copy
+	copies   []int    // object -> live copy count
+	cands    [][]int  // object -> cached sorted candidate list
+	dirty    []bool   // cands[o] needs a rebuild
+
+	pending   []bool      // a rebuild-start event is scheduled
+	inflight  []*transfer // the object's in-flight shipment, nil if none
+	deficitAt []float64   // when the object last fell below MinCopies
+
+	rate       []float64 // EWMA access rate (accesses per time unit)
+	rateAt     []float64 // last rate update instant
+	lastChange []float64 // last load-driven add/drop (cooldown clock)
+
+	stream *rng.Stream
+	nextID uint64
+
+	mutations uint64 // bumped on every placement/transfer change
+	deficient int    // objects with copies < MinCopies
+
+	launched, rebuilt, added, dropped, aborted uint64
+	inflightN                                  int
+	rebuildLatency                             stats.Welford
+}
+
+// NewManager builds a live manager seeded from the static placement p.
+// stream is the manager's dedicated random stream (donor/target/victim
+// choices); it must not be shared with any other subsystem.
+func NewManager(p *Placement, cfg ManagerConfig, stream *rng.Stream) (*Manager, error) {
+	if p == nil {
+		return nil, fmt.Errorf("replica: manager needs a placement")
+	}
+	if err := cfg.Validate(p.NumSites()); err != nil {
+		return nil, err
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("replica: nil random stream")
+	}
+	n := p.NumObjects()
+	m := &Manager{
+		cfg:        cfg,
+		numSites:   p.NumSites(),
+		holds:      make([][]bool, n),
+		copies:     make([]int, n),
+		cands:      make([][]int, n),
+		dirty:      make([]bool, n),
+		pending:    make([]bool, n),
+		inflight:   make([]*transfer, n),
+		deficitAt:  make([]float64, n),
+		rate:       make([]float64, n),
+		rateAt:     make([]float64, n),
+		lastChange: make([]float64, n),
+		stream:     stream,
+	}
+	for o := 0; o < n; o++ {
+		m.holds[o] = make([]bool, m.numSites)
+		init := p.Candidates(o)
+		if len(init) < cfg.MinCopies || len(init) > cfg.MaxCopies {
+			return nil, fmt.Errorf("replica: object %d starts with %d copies outside [%d,%d]",
+				o, len(init), cfg.MinCopies, cfg.MaxCopies)
+		}
+		for _, s := range init {
+			m.holds[o][s] = true
+		}
+		m.copies[o] = len(init)
+		m.cands[o] = append([]int(nil), init...)
+	}
+	return m, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() ManagerConfig { return m.cfg }
+
+// NumSites returns the number of sites the placement spans.
+func (m *Manager) NumSites() int { return m.numSites }
+
+// NumObjects returns the number of managed objects.
+func (m *Manager) NumObjects() int { return len(m.copies) }
+
+// Holds reports whether site currently stores a copy of object.
+func (m *Manager) Holds(site, object int) bool { return m.holds[object][site] }
+
+// Copies returns object's live copy count.
+func (m *Manager) Copies(object int) int { return m.copies[object] }
+
+// Pending reports whether object has a scheduled rebuild-start event.
+func (m *Manager) Pending(object int) bool { return m.pending[object] }
+
+// InFlight reports whether object has a shipment on the ring.
+func (m *Manager) InFlight(object int) bool { return m.inflight[object] != nil }
+
+// Mutations returns a counter bumped on every placement or transfer
+// change — auditors use it to skip re-scans when nothing moved.
+func (m *Manager) Mutations() uint64 { return m.mutations }
+
+// Candidates returns the sites currently holding a copy of object,
+// sorted ascending. The returned slice is shared and valid until the
+// next placement mutation; callers must not mutate or retain it.
+func (m *Manager) Candidates(object int) []int {
+	if m.dirty[object] {
+		c := m.cands[object][:0]
+		for s := 0; s < m.numSites; s++ {
+			if m.holds[object][s] {
+				c = append(c, s)
+			}
+		}
+		m.cands[object] = c
+		m.dirty[object] = false
+	}
+	return m.cands[object]
+}
+
+// UpHolders returns how many up sites hold a copy of object.
+func (m *Manager) UpHolders(object int, up []bool) int {
+	n := 0
+	for s := 0; s < m.numSites; s++ {
+		if m.holds[object][s] && (up == nil || up[s]) {
+			n++
+		}
+	}
+	return n
+}
+
+// removeCopy drops object's copy at site, maintaining the deficit
+// bookkeeping. The caller guarantees the copy exists.
+func (m *Manager) removeCopy(object, site int, now float64) {
+	m.holds[object][site] = false
+	m.copies[object]--
+	m.dirty[object] = true
+	m.mutations++
+	if m.copies[object] == m.cfg.MinCopies-1 {
+		m.deficient++
+		m.deficitAt[object] = now
+	}
+}
+
+// installCopy adds object's copy at site, maintaining the deficit
+// bookkeeping; reports whether the install resolved a deficit.
+func (m *Manager) installCopy(object, site int, now float64, viaRebuild bool) {
+	m.holds[object][site] = true
+	m.copies[object]++
+	m.dirty[object] = true
+	m.mutations++
+	if m.copies[object] == m.cfg.MinCopies {
+		m.deficient--
+		if viaRebuild {
+			m.rebuildLatency.Add(now - m.deficitAt[object])
+		}
+	}
+}
+
+// OnCrash wipes the fragment copies the crashed site held — except a
+// fragment's last copy, which survives on stable storage — and aborts
+// every in-flight shipment whose donor or target crashed mid-copy. It
+// returns the objects the caller must (re)schedule a rebuild for: each
+// is newly deficient (or its covering transfer just aborted) and has
+// neither a pending rebuild event nor a live shipment.
+func (m *Manager) OnCrash(site int, now float64) []int {
+	for o, t := range m.inflight {
+		if t != nil && (t.donor == site || t.target == site) {
+			m.abortTransfer(o)
+		}
+	}
+	for o := range m.holds {
+		if m.holds[o][site] && m.copies[o] > 1 {
+			m.removeCopy(o, site, now)
+		}
+	}
+	var schedule []int
+	for o := range m.copies {
+		if m.copies[o] < m.cfg.MinCopies && !m.pending[o] && m.inflight[o] == nil {
+			m.pending[o] = true
+			schedule = append(schedule, o)
+		}
+	}
+	return schedule
+}
+
+// abortTransfer retires object's in-flight shipment.
+func (m *Manager) abortTransfer(object int) {
+	m.inflight[object] = nil
+	m.inflightN--
+	m.aborted++
+	m.mutations++
+}
+
+// PlanRebuild picks a donor (uniform among up holders) and a target
+// (uniform among up non-holders) for object's pending rebuild. ok is
+// false when no donor or no target is currently up — the caller should
+// retry after RebuildDelay; the object stays pending.
+func (m *Manager) PlanRebuild(object int, up []bool) (donor, target int, ok bool) {
+	return m.plan(object, up)
+}
+
+// PlanAdd is PlanRebuild for a load-driven promotion: same donor/target
+// rule, no pending requirement.
+func (m *Manager) PlanAdd(object int, up []bool) (donor, target int, ok bool) {
+	return m.plan(object, up)
+}
+
+func (m *Manager) plan(object int, up []bool) (donor, target int, ok bool) {
+	holders, others := 0, 0
+	for s := 0; s < m.numSites; s++ {
+		if up != nil && !up[s] {
+			continue
+		}
+		if m.holds[object][s] {
+			holders++
+		} else {
+			others++
+		}
+	}
+	if holders == 0 || others == 0 {
+		return -1, -1, false
+	}
+	dk, tk := m.stream.Intn(holders), m.stream.Intn(others)
+	donor, target = -1, -1
+	for s := 0; s < m.numSites; s++ {
+		if up != nil && !up[s] {
+			continue
+		}
+		if m.holds[object][s] {
+			if dk == 0 && donor < 0 {
+				donor = s
+			}
+			dk--
+		} else {
+			if tk == 0 && target < 0 {
+				target = s
+			}
+			tk--
+		}
+	}
+	return donor, target, true
+}
+
+// Begin registers object's shipment from donor to target and returns
+// its transfer id, which Commit and Abort must echo. add marks a
+// load-driven promotion (it also starts the object's cooldown).
+func (m *Manager) Begin(object, donor, target int, add bool, now float64) uint64 {
+	if m.inflight[object] != nil {
+		panic(fmt.Sprintf("replica: object %d already has a shipment in flight", object))
+	}
+	m.nextID++
+	m.inflight[object] = &transfer{id: m.nextID, donor: donor, target: target, add: add}
+	m.inflightN++
+	m.pending[object] = false
+	m.launched++
+	m.mutations++
+	if add {
+		m.lastChange[object] = now
+	}
+	return m.nextID
+}
+
+// Commit lands object's shipment: if the record with the given id is
+// still live and the target can take the copy, the copy is installed.
+// needMore reports that the object is still below MinCopies afterwards
+// (or the install failed while deficient): the caller must schedule
+// another rebuild; the object has been marked pending again.
+func (m *Manager) Commit(object int, id uint64, now float64, up []bool) (st CommitStatus, needMore bool) {
+	t := m.inflight[object]
+	if t == nil || t.id != id {
+		return CommitStale, false
+	}
+	if (up != nil && !up[t.target]) || m.holds[object][t.target] {
+		// Unreachable under the crash-abort discipline (a crashed donor
+		// or target aborts the record first), kept as a safety net.
+		m.abortTransfer(object)
+		return CommitAborted, m.markPendingIfDeficient(object)
+	}
+	target, add := t.target, t.add
+	m.inflight[object] = nil
+	m.inflightN--
+	m.installCopy(object, target, now, !add)
+	if add {
+		m.added++
+	} else {
+		m.rebuilt++
+	}
+	return CommitInstalled, m.markPendingIfDeficient(object)
+}
+
+// Abort retires object's shipment after a ring drop. live reports
+// whether the record was still current; needMore that the object
+// remains deficient and was marked pending for a retry.
+func (m *Manager) Abort(object int, id uint64) (live, needMore bool) {
+	t := m.inflight[object]
+	if t == nil || t.id != id {
+		return false, false
+	}
+	m.abortTransfer(object)
+	return true, m.markPendingIfDeficient(object)
+}
+
+// markPendingIfDeficient re-marks object as pending when it is still
+// below MinCopies and nothing is scheduled or in flight to fix that.
+func (m *Manager) markPendingIfDeficient(object int) bool {
+	if m.copies[object] < m.cfg.MinCopies && !m.pending[object] && m.inflight[object] == nil {
+		m.pending[object] = true
+		return true
+	}
+	return false
+}
+
+// Touch records one access to object at time now, updating its EWMA
+// rate estimate. Call on every allocation when the load-driven loop is
+// on; it draws no random numbers.
+func (m *Manager) Touch(object int, now float64) {
+	m.decayRate(object, now)
+	m.rate[object] += 1 / m.cfg.RateTau
+}
+
+func (m *Manager) decayRate(object int, now float64) {
+	if dt := now - m.rateAt[object]; dt > 0 {
+		m.rate[object] *= math.Exp(-dt / m.cfg.RateTau)
+		m.rateAt[object] = now
+	}
+}
+
+// Rate returns object's access-rate estimate decayed to now.
+func (m *Manager) Rate(object int, now float64) float64 {
+	m.decayRate(object, now)
+	return m.rate[object]
+}
+
+// Scan runs one load-driven control step: it returns the hot fragments
+// to promote (the caller plans and launches their transfers) and
+// performs the cold demotions inline, returning them for the caller's
+// availability accounting. canDrop vetoes dropping a copy a site is
+// still executing queries against; a fragment's last up copy is never
+// dropped.
+func (m *Manager) Scan(now float64, up []bool, canDrop func(site, object int) bool) (promote []int, drops []Drop) {
+	for o := range m.copies {
+		m.decayRate(o, now)
+		if m.pending[o] || m.inflight[o] != nil || now-m.lastChange[o] < m.cfg.Cooldown {
+			continue
+		}
+		switch r := m.rate[o]; {
+		case r > m.cfg.HotRate && m.copies[o] < m.cfg.MaxCopies:
+			promote = append(promote, o)
+		case r < m.cfg.ColdRate && m.copies[o] > m.cfg.MinCopies:
+			if site, ok := m.dropVictim(o, up, canDrop); ok {
+				m.removeCopy(o, site, now)
+				m.dropped++
+				m.lastChange[o] = now
+				drops = append(drops, Drop{Object: o, Site: site})
+			}
+		}
+	}
+	return promote, drops
+}
+
+// dropVictim picks a uniform up holder of object that canDrop allows,
+// keeping at least one other up copy alive.
+func (m *Manager) dropVictim(object int, up []bool, canDrop func(site, object int) bool) (int, bool) {
+	if m.UpHolders(object, up) < 2 {
+		return -1, false
+	}
+	eligible := 0
+	for s := 0; s < m.numSites; s++ {
+		if m.holds[object][s] && (up == nil || up[s]) && canDrop(s, object) {
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return -1, false
+	}
+	k := m.stream.Intn(eligible)
+	for s := 0; s < m.numSites; s++ {
+		if m.holds[object][s] && (up == nil || up[s]) && canDrop(s, object) {
+			if k == 0 {
+				return s, true
+			}
+			k--
+		}
+	}
+	return -1, false
+}
+
+// Rebuilt, Added, Dropped and Aborted return the lifetime ledger
+// counters; MeanRebuildLatency the mean deficit→install latency of
+// completed deficit rebuilds.
+func (m *Manager) Rebuilt() uint64             { return m.rebuilt }
+func (m *Manager) Added() uint64               { return m.added }
+func (m *Manager) Dropped() uint64             { return m.dropped }
+func (m *Manager) Aborted() uint64             { return m.aborted }
+func (m *Manager) MeanRebuildLatency() float64 { return m.rebuildLatency.Mean() }
+
+// AuditState snapshots the invariants the replication-conservation
+// auditor asserts. It costs O(objects × sites); callers should gate on
+// Mutations.
+type AuditState struct {
+	// Deficient counts objects below MinCopies; Uncovered those among
+	// them with neither a pending rebuild event nor a live shipment
+	// (must be zero at every event boundary).
+	Deficient, Uncovered int
+	// ZeroCopy and OverMax count objects outside [1, MaxCopies] (must
+	// be zero: the last copy survives crashes, promotion is bounded).
+	ZeroCopy, OverMax int
+	// Inconsistent counts objects whose copy counter disagrees with
+	// their holder bitmap (must be zero).
+	Inconsistent int
+	// InFlight is the number of live shipments; the ledger identity is
+	// Launched == Rebuilt + Added + Aborted + InFlight.
+	InFlight                          int
+	Launched, Rebuilt, Added, Aborted uint64
+}
+
+// Audit computes the current invariant snapshot.
+func (m *Manager) Audit() AuditState {
+	st := AuditState{
+		InFlight: m.inflightN,
+		Launched: m.launched,
+		Rebuilt:  m.rebuilt,
+		Added:    m.added,
+		Aborted:  m.aborted,
+	}
+	for o := range m.copies {
+		n := 0
+		for s := 0; s < m.numSites; s++ {
+			if m.holds[o][s] {
+				n++
+			}
+		}
+		if n != m.copies[o] {
+			st.Inconsistent++
+		}
+		switch {
+		case m.copies[o] < 1:
+			st.ZeroCopy++
+		case m.copies[o] > m.cfg.MaxCopies:
+			st.OverMax++
+		}
+		if m.copies[o] < m.cfg.MinCopies {
+			st.Deficient++
+			if !m.pending[o] && m.inflight[o] == nil {
+				st.Uncovered++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,359 @@
+package replica
+
+import (
+	"testing"
+
+	"dqalloc/internal/rng"
+)
+
+func testManager(t *testing.T, sites, objects, copies int, cfg ManagerConfig) *Manager {
+	t.Helper()
+	p, err := NewRoundRobin(sites, objects, copies)
+	if err != nil {
+		t.Fatalf("placement: %v", err)
+	}
+	m, err := NewManager(p, cfg, rng.NewStream(7).Child(11))
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	return m
+}
+
+func allUp(n int) []bool {
+	up := make([]bool, n)
+	for i := range up {
+		up[i] = true
+	}
+	return up
+}
+
+func auditClean(t *testing.T, m *Manager) AuditState {
+	t.Helper()
+	st := m.Audit()
+	if st.ZeroCopy != 0 || st.OverMax != 0 || st.Uncovered != 0 || st.Inconsistent != 0 {
+		t.Fatalf("audit violation: %+v", st)
+	}
+	if st.Launched != st.Rebuilt+st.Added+st.Aborted+uint64(st.InFlight) {
+		t.Fatalf("ledger leak: %+v", st)
+	}
+	return st
+}
+
+func TestReplicaManagerConfigValidate(t *testing.T) {
+	base := DefaultManager()
+	cases := map[string]func(*ManagerConfig){
+		"min below one":     func(c *ManagerConfig) { c.MinCopies = 0 },
+		"max below min":     func(c *ManagerConfig) { c.MaxCopies = 1 },
+		"max above sites":   func(c *ManagerConfig) { c.MaxCopies = 7 },
+		"zero fragment":     func(c *ManagerConfig) { c.FragmentSize = 0 },
+		"zero rebuild":      func(c *ManagerConfig) { c.RebuildDelay = 0 },
+		"negative scan":     func(c *ManagerConfig) { c.ScanPeriod = -1 },
+		"bad degraded mode": func(c *ManagerConfig) { c.Degraded = DegradedMode(9) },
+		"scan without hot":  func(c *ManagerConfig) { c.ScanPeriod = 50 },
+		"inverted hysteresis": func(c *ManagerConfig) {
+			c.ScanPeriod = 50
+			c.HotRate, c.ColdRate = 0.1, 0.2
+		},
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(6); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	if err := base.Validate(6); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	off := ManagerConfig{}
+	if err := off.Validate(1); err != nil {
+		t.Errorf("disabled config invalid: %v", err)
+	}
+}
+
+func TestReplicaManagerRejectsBadInitialPlacement(t *testing.T) {
+	p, err := NewRoundRobin(4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultManager() // MinCopies 2 > initial 1
+	if _, err := NewManager(p, cfg, rng.NewStream(1)); err == nil {
+		t.Fatal("single-copy placement accepted with MinCopies=2")
+	}
+}
+
+func TestReplicaManagerCrashWipesExceptLastCopy(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 2, 3
+	m := testManager(t, 4, 8, 2, cfg)
+
+	sched := m.OnCrash(0, 100)
+	if len(sched) == 0 {
+		t.Fatal("crash of a holder scheduled no rebuilds")
+	}
+	for _, o := range sched {
+		if m.Copies(o) != 1 {
+			t.Fatalf("object %d: %d copies after wipe", o, m.Copies(o))
+		}
+		if m.Holds(0, o) {
+			t.Fatalf("object %d still held at crashed site", o)
+		}
+		if !m.Pending(o) {
+			t.Fatalf("object %d deficient but not pending", o)
+		}
+	}
+	// Crash every other site too: each fragment's last copy must survive.
+	for s := 1; s < 4; s++ {
+		m.OnCrash(s, 100+float64(s))
+	}
+	for o := 0; o < m.NumObjects(); o++ {
+		if m.Copies(o) != 1 {
+			t.Fatalf("object %d: %d copies after total outage (want last copy to survive)", o, m.Copies(o))
+		}
+	}
+	auditClean(t, m)
+}
+
+func TestReplicaManagerRebuildLifecycle(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 2, 3
+	m := testManager(t, 4, 4, 2, cfg)
+	up := allUp(4)
+
+	sched := m.OnCrash(0, 50)
+	up[0] = false
+	o := sched[0]
+	donor, target, ok := m.PlanRebuild(o, up)
+	if !ok {
+		t.Fatal("plan failed with up donors and targets")
+	}
+	if !m.Holds(donor, o) || m.Holds(target, o) || donor == 0 || target == 0 {
+		t.Fatalf("bad plan donor=%d target=%d", donor, target)
+	}
+	id := m.Begin(o, donor, target, false, 50)
+	if m.Pending(o) || !m.InFlight(o) {
+		t.Fatal("begin did not move pending -> in-flight")
+	}
+	st, needMore := m.Commit(o, id, 80, up)
+	if st != CommitInstalled || needMore {
+		t.Fatalf("commit: %v needMore=%v", st, needMore)
+	}
+	if m.Copies(o) != 2 || !m.Holds(target, o) {
+		t.Fatalf("copy not installed: copies=%d", m.Copies(o))
+	}
+	if m.Rebuilt() != 1 {
+		t.Fatalf("rebuilt=%d", m.Rebuilt())
+	}
+	if got := m.MeanRebuildLatency(); got != 30 {
+		t.Fatalf("rebuild latency %v, want 30", got)
+	}
+	// A replayed (stale) delivery must be ignored.
+	if st, _ := m.Commit(o, id, 90, up); st != CommitStale {
+		t.Fatalf("replayed commit: %v", st)
+	}
+	auditClean(t, m)
+}
+
+func TestReplicaManagerCrashAbortsMidCopy(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 2, 3
+	m := testManager(t, 4, 4, 2, cfg)
+	up := allUp(4)
+
+	sched := m.OnCrash(0, 50)
+	up[0] = false
+	o := sched[0]
+	donor, target, _ := m.PlanRebuild(o, up)
+	id := m.Begin(o, donor, target, false, 50)
+
+	// The donor dies mid-copy: the shipment aborts and the object is
+	// re-marked pending for another attempt.
+	resched := m.OnCrash(donor, 60)
+	up[donor] = false
+	if m.InFlight(o) {
+		t.Fatal("shipment survived its donor")
+	}
+	found := false
+	for _, r := range resched {
+		if r == o {
+			found = true
+		}
+	}
+	if !found || !m.Pending(o) {
+		t.Fatalf("aborted object not rescheduled (resched=%v pending=%v)", resched, m.Pending(o))
+	}
+	// The stale delivery arrives anyway and must be a no-op.
+	if st, _ := m.Commit(o, id, 70, up); st != CommitStale {
+		t.Fatalf("stale delivery landed: %v", st)
+	}
+	if m.Aborted() != 1 {
+		t.Fatalf("aborted=%d", m.Aborted())
+	}
+	auditClean(t, m)
+}
+
+func TestReplicaManagerRingDropAbort(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 2, 3
+	m := testManager(t, 4, 4, 2, cfg)
+	up := allUp(4)
+
+	o := m.OnCrash(0, 10)[0]
+	up[0] = false
+	donor, target, _ := m.PlanRebuild(o, up)
+	id := m.Begin(o, donor, target, false, 10)
+	live, needMore := m.Abort(o, id)
+	if !live || !needMore {
+		t.Fatalf("drop abort live=%v needMore=%v", live, needMore)
+	}
+	if live, _ := m.Abort(o, id); live {
+		t.Fatal("double abort reported live")
+	}
+	auditClean(t, m)
+}
+
+func TestReplicaManagerLoadDrivenScan(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 1, 3
+	cfg.ScanPeriod = 100
+	cfg.RateTau = 100
+	cfg.HotRate = 0.05
+	cfg.ColdRate = 0.01
+	cfg.Cooldown = 0
+	m := testManager(t, 4, 2, 2, cfg)
+	up := allUp(4)
+	anyDrop := func(site, object int) bool { return true }
+
+	// Hammer object 0; leave object 1 untouched so its rate decays to 0.
+	for i := 0; i < 200; i++ {
+		m.Touch(0, float64(i))
+	}
+	promote, drops := m.Scan(250, up, anyDrop)
+	if len(promote) != 1 || promote[0] != 0 {
+		t.Fatalf("promote=%v, want [0]", promote)
+	}
+	if len(drops) != 1 || drops[0].Object != 1 {
+		t.Fatalf("drops=%v, want object 1", drops)
+	}
+	if m.Copies(1) != 1 || m.Dropped() != 1 {
+		t.Fatalf("cold object not demoted: copies=%d dropped=%d", m.Copies(1), m.Dropped())
+	}
+	// Promotion flows through the same transfer machinery.
+	donor, target, ok := m.PlanAdd(0, up)
+	if !ok {
+		t.Fatal("plan add failed")
+	}
+	id := m.Begin(0, donor, target, true, 250)
+	if st, _ := m.Commit(0, id, 260, up); st != CommitInstalled {
+		t.Fatalf("add commit: %v", st)
+	}
+	if m.Copies(0) != 3 || m.Added() != 1 {
+		t.Fatalf("hot object not promoted: copies=%d added=%d", m.Copies(0), m.Added())
+	}
+	// At MaxCopies and with the other object at MinCopies, a second scan
+	// changes nothing.
+	promote, drops = m.Scan(261, up, anyDrop)
+	if len(promote) != 0 || len(drops) != 0 {
+		t.Fatalf("steady-state scan moved copies: %v %v", promote, drops)
+	}
+	auditClean(t, m)
+}
+
+func TestReplicaManagerScanGuards(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 1, 3
+	cfg.ScanPeriod = 100
+	cfg.RateTau = 100
+	cfg.HotRate = 0.5
+	cfg.ColdRate = 0.4
+	cfg.Cooldown = 0
+	m := testManager(t, 4, 1, 2, cfg)
+	up := allUp(4)
+
+	// canDrop veto: active queries pin every copy.
+	if _, drops := m.Scan(10, up, func(int, int) bool { return false }); len(drops) != 0 {
+		t.Fatalf("dropped pinned copies: %v", drops)
+	}
+	// Last-up-copy guard: with one holder down, the surviving up copy
+	// must not be dropped even though copies > MinCopies.
+	holders := m.Candidates(0)
+	up[holders[0]] = false
+	if _, drops := m.Scan(20, up, func(int, int) bool { return true }); len(drops) != 0 {
+		t.Fatalf("dropped the last up copy: %v", drops)
+	}
+	auditClean(t, m)
+}
+
+// TestReplicaManagerCrashStorm runs a deterministic storm of crashes,
+// plans, drops, and commits and re-checks the audit invariants after
+// every step — the unit-level version of the system auditor.
+func TestReplicaManagerCrashStorm(t *testing.T) {
+	cfg := DefaultManager()
+	cfg.MinCopies, cfg.MaxCopies = 2, 4
+	m := testManager(t, 6, 30, 3, cfg)
+	up := allUp(6)
+	r := rng.NewStream(42)
+
+	type flight struct {
+		object int
+		id     uint64
+	}
+	var flights []flight
+	pendingSet := map[int]bool{}
+	now := 0.0
+	for step := 0; step < 500; step++ {
+		now += 1
+		switch r.Intn(4) {
+		case 0: // crash or repair a site
+			s := r.Intn(6)
+			if up[s] {
+				up[s] = false
+				for _, o := range m.OnCrash(s, now) {
+					pendingSet[o] = true
+				}
+				// Drop flights the crash aborted.
+				kept := flights[:0]
+				for _, f := range flights {
+					if m.InFlight(f.object) {
+						kept = append(kept, f)
+					} else if m.Pending(f.object) {
+						pendingSet[f.object] = true
+					}
+				}
+				flights = kept
+			} else {
+				up[s] = true
+			}
+		case 1: // start a pending rebuild
+			for o := range pendingSet {
+				if donor, target, ok := m.PlanRebuild(o, up); ok {
+					id := m.Begin(o, donor, target, false, now)
+					flights = append(flights, flight{o, id})
+					delete(pendingSet, o)
+				}
+				break
+			}
+		case 2: // deliver a flight
+			if len(flights) > 0 {
+				f := flights[0]
+				flights = flights[1:]
+				if _, needMore := m.Commit(f.object, f.id, now, up); needMore {
+					pendingSet[f.object] = true
+				}
+			}
+		case 3: // ring-drop a flight
+			if len(flights) > 0 {
+				f := flights[0]
+				flights = flights[1:]
+				if _, needMore := m.Abort(f.object, f.id); needMore {
+					pendingSet[f.object] = true
+				}
+			}
+		}
+		auditClean(t, m)
+	}
+	st := auditClean(t, m)
+	if st.Launched == 0 {
+		t.Fatal("storm launched no rebuilds")
+	}
+}

@@ -92,6 +92,15 @@ type Config struct {
 	// a copy. nil means fully replicated — the paper's main environment.
 	Placement *replica.Placement
 
+	// Replication configures the self-healing replica manager on top of
+	// Placement: crash-driven re-replication (a fragment dropping below
+	// MinCopies gets rebuilt over the ring), load-driven replica add/drop
+	// from EWMA access rates, and degraded remote reads when no up site
+	// holds a fragment. Disabled (the zero value) by default; a disabled
+	// run — including one with a static Placement — is event-for-event
+	// identical to a build without the subsystem. Requires Placement.
+	Replication replica.ManagerConfig
+
 	// Migration enables mid-execution query migration at cycle
 	// boundaries (the future-work extension of Section 6.2).
 	Migration MigrationConfig
@@ -254,6 +263,14 @@ func (c Config) Validate() error {
 	if c.Placement != nil && c.Placement.NumSites() != c.NumSites {
 		return fmt.Errorf("system: placement spans %d sites, system has %d",
 			c.Placement.NumSites(), c.NumSites)
+	}
+	if c.Replication.Enabled {
+		if c.Placement == nil {
+			return fmt.Errorf("system: replica manager requires a Placement")
+		}
+		if err := c.Replication.Validate(c.NumSites); err != nil {
+			return fmt.Errorf("system: %w", err)
+		}
 	}
 	if err := c.Migration.validate(); err != nil {
 		return err

@@ -84,7 +84,7 @@ func (s *System) setupFaults(root *rng.Stream) error {
 		cfg:     s.cfg.Fault,
 		pending: make(map[*workload.Query]*faultPending),
 	}
-	inj, err := fault.NewInjector(s.sched, s.cfg.NumSites, s.cfg.Fault, root.Child(4), s.onSiteCrash, nil)
+	inj, err := fault.NewInjector(s.sched, s.cfg.NumSites, s.cfg.Fault, root.Child(4), s.onSiteCrash, s.onSiteRepair)
 	if err != nil {
 		return err
 	}
@@ -132,6 +132,24 @@ func (s *System) onSiteCrash(site int) {
 		s.releaseAllocation(q)
 		s.faultLost(q)
 	}
+	if s.repl != nil {
+		// The crash wipes the site's fragment copies (except last copies,
+		// which survive on stable storage) and aborts shipments it was
+		// donating or receiving; newly uncovered deficits get rebuild
+		// timers.
+		s.replScheduleDeficits(s.repl.mgr.OnCrash(site, s.sched.Now()))
+	}
+	if s.avail != nil {
+		s.availRecountAll()
+	}
+}
+
+// onSiteRepair is the injector's repair callback: fragments whose
+// surviving copies live at the repaired site become reachable again.
+func (s *System) onSiteRepair(int) {
+	if s.avail != nil {
+		s.availRecountAll()
+	}
 }
 
 // releaseAllocation removes q's commitment from the load table (the
@@ -139,6 +157,7 @@ func (s *System) onSiteCrash(site int) {
 func (s *System) releaseAllocation(q *workload.Query) {
 	s.table.Complete(q.Exec, s.bound(q))
 	s.table.CompleteWork(q.Exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	s.replRelease(q, q.Exec)
 }
 
 // faultArm starts a newly dispatched query's watchdog.
@@ -237,10 +256,7 @@ func (s *System) faultRedispatch(q *workload.Query) {
 	if e == nil || !e.lost {
 		return
 	}
-	if s.cfg.Placement != nil {
-		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
-	}
-	exec := s.pol.Select(q, q.Home, s.env)
+	exec := s.selectSite(q)
 	if exec == policy.NoSite {
 		s.faultRetryOrAbandon(q, e)
 		return
@@ -309,7 +325,7 @@ func (s *System) shipMessage(q *workload.Query, from, to int, size float64) netw
 				s.faultLost(q)
 				return
 			}
-			s.sites[to].Execute(q)
+			s.landQuery(q, to)
 		},
 	}
 	if s.faults != nil {

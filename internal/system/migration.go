@@ -117,6 +117,8 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 	estCPU, estIO := q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime)
 	s.table.CompleteWork(q.Exec, estCPU, estIO)
 	s.table.AssignWork(best, estCPU, estIO)
+	s.replRelease(q, q.Exec)
+	s.replAssign(q, best)
 	from := q.Exec
 	q.Exec = best
 	q.Service += migTime
@@ -138,8 +140,12 @@ func (s *System) maybeMigrate(q *workload.Query) bool {
 	return true
 }
 
-// candidateSites returns the sites allowed to execute q.
+// candidateSites returns the sites allowed to execute q — the live copy
+// holders when the replica manager runs, the static placement otherwise.
 func (s *System) candidateSites(q *workload.Query) []int {
+	if s.repl != nil {
+		return s.repl.mgr.Candidates(q.Object)
+	}
 	if s.cfg.Placement != nil {
 		return s.cfg.Placement.Candidates(q.Object)
 	}

@@ -278,7 +278,7 @@ func (s *System) execDeliver(q *workload.Query, exec int) {
 	if s.dropDefunct(q) {
 		return
 	}
-	s.sites[exec].Execute(q)
+	s.landQuery(q, exec)
 }
 
 // resultDeliver lands a result page set at the home terminal, unless the

@@ -143,6 +143,35 @@ type Results struct {
 	// clone finished first (lifetime; zero without hedging).
 	Hedged    uint64
 	HedgeWins uint64
+	// ReplicasRebuilt, ReplicasAdded and ReplicasDropped count the replica
+	// manager's copy installs (deficit rebuilds and load-driven
+	// promotions) and load-driven removals over the run's lifetime;
+	// RebuildsAborted counts fragment shipments that died mid-copy (donor
+	// or target crash, ring drop). All zero without the replica manager.
+	ReplicasRebuilt uint64
+	ReplicasAdded   uint64
+	ReplicasDropped uint64
+	RebuildsAborted uint64
+	// DegradedReads counts dispatches of queries whose fragment no up
+	// site held: the chosen site fetched the fragment over the ring
+	// before executing (lifetime; zero without the replica manager).
+	DegradedReads uint64
+	// NoReplicaRejects counts queries rejected at allocation because no
+	// up site could serve their fragment — reject-mode degraded reads, or
+	// every site down (each is also counted in QueriesRejected).
+	NoReplicaRejects uint64
+	// MeanRebuildLatency is the mean time from a fragment falling below
+	// MinCopies to the rebuild restoring it (lifetime; zero when no
+	// deficit was repaired).
+	MeanRebuildLatency float64
+	// FragAvailability and MinFragAvailability are the mean and minimum,
+	// over fragments, of the fraction of the measured window each
+	// fragment had at least one up holder — fragment-weighted
+	// availability, which unlike Availability counts "site up but data
+	// gone" as unavailable. Both 1 when the database is fully replicated
+	// or failures are off.
+	FragAvailability    float64
+	MinFragAvailability float64
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

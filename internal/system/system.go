@@ -62,6 +62,9 @@ type System struct {
 	faults   *faultRuntime // fault-injection state, nil when disabled
 	rejected uint64        // queries given up on (no allowed site / retries exhausted / shed)
 
+	repl  *replRuntime // self-healing replica manager, nil when disabled
+	avail *fragAvail   // fragment reachability tracker, nil unless a placement runs under site failures
+
 	noise *noise.Injector   // estimation-error injector, nil when disabled
 	adm   *admissionRuntime // overload admission control, nil when disabled
 
@@ -192,6 +195,17 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("system: %w", err)
 		}
 	}
+	if cfg.Replication.Enabled {
+		// Child 11 is the replica manager's dedicated stream
+		// (donor/target/drop-victim picks), so a manager-off run's
+		// streams are untouched.
+		if err := s.setupReplication(root.Child(11)); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	if cfg.Placement != nil && cfg.Fault.SiteFailures() {
+		s.setupFragAvail()
+	}
 
 	if cfg.Arrival.Enabled {
 		// Child 10 is the arrival layer's dedicated stream, so open-mode
@@ -236,6 +250,9 @@ func New(cfg Config) (*System, error) {
 		}
 		if s.dl != nil || s.hedge != nil {
 			auditors = append(auditors, check.NewDeadlineConservation(s.overloadTotals))
+		}
+		if s.repl != nil {
+			auditors = append(auditors, check.NewReplicationConservation(s.replState))
 		}
 		s.aud = check.NewSet(auditors...)
 		s.sched.Observe(s.aud.EventFired)
@@ -301,6 +318,9 @@ func (s *System) beginMeasurement() {
 	if s.faults != nil {
 		s.faults.inj.ResetStats(now)
 	}
+	if s.avail != nil {
+		s.availReset(now)
+	}
 	if s.aud != nil {
 		s.aud.MeasureStarted(now)
 	}
@@ -340,24 +360,27 @@ func (s *System) submit(home int) {
 // dispatched.
 func (s *System) allocate(q *workload.Query) {
 	s.deadlineArm(q)
-	if s.cfg.Placement != nil {
-		s.env.Candidates = s.cfg.Placement.Candidates(q.Object)
-	}
-	exec := s.pol.Select(q, q.Home, s.env)
+	exec := s.selectSite(q)
 	if exec == policy.NoSite {
+		if s.repl != nil {
+			s.repl.noReplica++
+		}
 		s.rejectQuery(q)
 		return
 	}
 	if exec < 0 || exec >= s.cfg.NumSites {
 		panic(fmt.Sprintf("system: policy %s chose invalid site %d", s.pol.Name(), exec))
 	}
-	if s.cfg.Placement != nil && !s.cfg.Placement.Holds(exec, q.Object) {
+	if s.cfg.Placement != nil && !q.Degraded && !s.holdsLive(exec, q.Object) {
 		panic(fmt.Sprintf("system: policy %s chose site %d without a copy of object %d",
 			s.pol.Name(), exec, q.Object))
 	}
 	if s.adm != nil && s.overloadedAt(exec) {
 		s.admissionBounce(q)
 		return
+	}
+	if s.repl != nil && s.repl.cfg.LoadDriven() {
+		s.repl.mgr.Touch(q.Object, s.sched.Now())
 	}
 	s.recordAlloc(q, exec)
 	s.faultArm(q)
@@ -410,6 +433,7 @@ func (s *System) dispatch(q *workload.Query, exec int) {
 	q.Phase = phaseCommitted
 	s.table.Assign(exec, s.bound(q))
 	s.table.AssignWork(exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	s.replAssign(q, exec)
 	if exec == q.Home {
 		if !s.up(exec) {
 			// Only a policy ignoring Env.Up can pick a down site; treat
@@ -418,7 +442,7 @@ func (s *System) dispatch(q *workload.Query, exec int) {
 			s.faultLost(q)
 			return
 		}
-		s.sites[exec].Execute(q)
+		s.landQuery(q, exec)
 		return
 	}
 	size := s.cfg.Classes[q.Class].MsgLength
@@ -442,6 +466,7 @@ func (s *System) dispatch(q *workload.Query, exec int) {
 func (s *System) onExecDone(q *workload.Query) {
 	s.table.Complete(q.Exec, s.bound(q))
 	s.table.CompleteWork(q.Exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
+	s.replRelease(q, q.Exec)
 	if !q.Remote() {
 		s.complete(q)
 		return
@@ -608,6 +633,21 @@ func (s *System) collect(end float64) Results {
 		if r.Availability > 0 {
 			r.AvailResponse = r.MeanResponse / r.Availability
 		}
+	}
+	if s.cfg.Placement != nil {
+		r.FragAvailability, r.MinFragAvailability = 1, 1
+		if s.avail != nil {
+			r.FragAvailability, r.MinFragAvailability = s.availFinal(end)
+		}
+	}
+	if s.repl != nil {
+		r.ReplicasRebuilt = s.repl.mgr.Rebuilt()
+		r.ReplicasAdded = s.repl.mgr.Added()
+		r.ReplicasDropped = s.repl.mgr.Dropped()
+		r.RebuildsAborted = s.repl.mgr.Aborted()
+		r.MeanRebuildLatency = s.repl.mgr.MeanRebuildLatency()
+		r.DegradedReads = s.repl.degraded
+		r.NoReplicaRejects = s.repl.noReplica
 	}
 	r.TraceDigest = s.sched.Digest()
 	r.EventsFired = s.sched.Fired()

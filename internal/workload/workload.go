@@ -146,6 +146,12 @@ type Query struct {
 	// query it is parked and resubmitted, up to the configured budget.
 	Defers int
 
+	// Degraded marks an allocation that landed at a site holding no copy
+	// of the query's fragment (self-healing replication extension): the
+	// site must fetch the fragment over the ring before executing. Reset
+	// on every allocation attempt.
+	Degraded bool
+
 	// Phase is scratch space for the system layer's lifecycle tracking
 	// (deadline aborts and hedged execution need to know where a query
 	// currently is to cancel it). The workload package assigns it no

@@ -124,7 +124,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
 		label = fs.String("label", "", "free-form provenance note stored in the report")
 		out   = fs.String("o", "", "output path (default BENCH_<date>.json)")
-		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, parallel, replication, or serve")
+		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, parallel, parallel-query, replication, or serve")
 		sched = fs.String("sched", "calendar", "scheduler implementation: calendar or heap")
 	)
 	fs.SetOutput(w)
@@ -141,9 +141,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	all := *suite == "all"
 	switch *suite {
-	case "all", "kernel", "macro", "table8", "overload", "parallel", "replication", "serve":
+	case "all", "kernel", "macro", "table8", "overload", "parallel", "parallel-query", "replication", "serve":
 	default:
-		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, parallel, replication, or serve)", *suite)
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, parallel, parallel-query, replication, or serve)", *suite)
 	}
 
 	rep := Report{
@@ -213,6 +213,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			measure = 1200
 		}
 		r, err := benchReplication(impl, measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
+	}
+
+	if ctx.Err() == nil && (all || *suite == "parallel-query") {
+		// Operator-tree hot path: every query a join plan, the bottom join
+		// split fragment-and-replicate, operator auditors on.
+		measure := 4000.0
+		if *quick {
+			measure = 1200
+		}
+		r, err := benchParallelQuery(impl, measure)
 		if err != nil {
 			return err
 		}
@@ -472,6 +488,51 @@ func benchReplication(impl sim.Impl, measure float64) (Result, error) {
 		return Result{}, runErr
 	}
 	return finish("replication/LERT/rebuild", br, events), nil
+}
+
+// benchParallelQuery measures one audited replication of the
+// parallel-query study workload: every query an operator tree, dop-mode
+// placement splitting the bottom join across sites, the operator
+// conservation auditor checking every event — the plan engine's
+// dispatch/ship/deliver hot path.
+func benchParallelQuery(impl sim.Impl, measure float64) (Result, error) {
+	cfg := exper.ParallelWorkloadConfig()
+	cfg.Scheduler = impl
+	cfg.PolicyKind = policy.LERT
+	cfg.Parallel.Mode = policy.ParallelDOP
+	cfg.Seed = 1
+	cfg.Warmup = 500
+	cfg.Measure = measure
+	cfg.Audit = true
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := system.New(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			res := sys.Run()
+			if err := sys.Audit(); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			if res.ParallelQueries == 0 {
+				runErr = fmt.Errorf("parallel-query bench ran no plans")
+				b.Fatal(runErr)
+			}
+			events = res.EventsFired
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return finish("parallel-query/LERT/dop", br, events), nil
 }
 
 // benchServe measures the live allocation service's synchronous decision

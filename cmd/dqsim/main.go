@@ -73,6 +73,13 @@ func run(args []string, w io.Writer) error {
 		hedgeQ    = fs.Float64("hedge-quantile", 0, "hedge remote stragglers past this response quantile (0 = off)")
 		jsonOut   = fs.Bool("json", false, "emit results as a JSON array instead of text")
 
+		parMode     = fs.String("par-mode", "", "operator-tree plan placement: single, operator, or dop (default: monolithic queries)")
+		parJoin     = fs.Float64("par-join", 0.3, "probability a query becomes a join tree for -par-mode")
+		parFilter   = fs.Float64("par-filter", 0.25, "probability a join tree carries a filter for -par-mode")
+		parMaxDOP   = fs.Int("par-maxdop", 0, "degree-of-parallelism cap for -par-mode dop (0 = site count)")
+		parOverhead = fs.Float64("par-overhead", 2, "per-extra-site split overhead for -par-mode dop")
+		parHedge    = fs.Bool("par-hedge", false, "hedge straggling remote operators (requires -par-mode and -hedge-quantile)")
+
 		objects   = fs.Int("objects", 0, "number of DB objects in a round-robin partial placement (0 = every site holds everything)")
 		copies    = fs.Int("copies", 2, "copies per object for -objects")
 		rebuild   = fs.Bool("rebuild", false, "self-healing replica manager: crash-driven re-replication and degraded reads (requires -objects)")
@@ -180,6 +187,22 @@ func run(args []string, w io.Writer) error {
 			DeferDelay: *admitDef,
 			MaxDefers:  *admitTry,
 		}
+	}
+	if *parMode != "" {
+		mode, err := policy.ParseParallelMode(strings.ToLower(*parMode))
+		if err != nil {
+			return err
+		}
+		pc := system.DefaultParallel()
+		pc.Mode = mode
+		pc.JoinProb = *parJoin
+		pc.FilterProb = *parFilter
+		pc.MaxDOP = *parMaxDOP
+		pc.SplitOverhead = *parOverhead
+		pc.Hedge = *parHedge
+		cfg.Parallel = pc
+	} else if *parHedge {
+		return fmt.Errorf("-par-hedge requires -par-mode")
 	}
 	if *objects > 0 {
 		p, err := replica.NewRoundRobin(*sites, *objects, *copies)
@@ -305,6 +328,18 @@ func printResults(w io.Writer, r system.Results) {
 		fmt.Fprintf(w, "  avail. response    %10.3f\n", r.AvailResponse)
 		fmt.Fprintf(w, "  crashes=%d lost=%d retried=%d rejected=%d\n",
 			r.SiteCrashes, r.QueriesLost, r.QueriesRetried, r.QueriesRejected)
+	}
+	if r.ParallelQueries > 0 {
+		var wide uint64
+		for k := 1; k < len(r.DOPHist); k++ {
+			wide += r.DOPHist[k]
+		}
+		fmt.Fprintf(w, "  plans: parallel=%d wide=%d inter-bytes=%.1f\n",
+			r.ParallelQueries, wide, r.IntermediateBytes)
+	}
+	if r.Operators > 0 {
+		fmt.Fprintf(w, "  operators: spawned=%d done=%d aborted=%d preempted=%d\n",
+			r.Operators, r.OperatorsCompleted, r.OperatorsAborted, r.OperatorsPreempted)
 	}
 	if r.QueriesShed > 0 || r.QueriesDeferred > 0 {
 		fmt.Fprintf(w, "  admission: shed=%d deferred=%d\n", r.QueriesShed, r.QueriesDeferred)

@@ -280,6 +280,96 @@ func TestRunReplicationGoldenJSON(t *testing.T) {
 	checkGolden(t, "results_replication_json.golden", buf.Bytes())
 }
 
+func TestRunWithParallelFlags(t *testing.T) {
+	// Every placement mode runs audited, alone and under chaos.
+	for _, mode := range []string{"single", "operator", "dop"} {
+		err := run([]string{
+			"-policy", "LERT", "-sites", "4", "-mpl", "5",
+			"-warmup", "200", "-measure", "2000",
+			"-par-mode", mode, "-par-join", "0.6",
+			"-audit",
+		}, io.Discard)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	// Trees + deadlines + operator hedging + faults + partial placement.
+	err := run([]string{
+		"-policy", "LERT", "-sites", "4", "-mpl", "5",
+		"-warmup", "200", "-measure", "2000",
+		"-par-mode", "dop", "-par-join", "0.8", "-par-overhead", "0.5",
+		"-deadline", "300", "-hedge-quantile", "0.9", "-par-hedge",
+		"-objects", "12", "-copies", "2",
+		"-mttf", "1500", "-mttr", "300", "-drop", "0.03",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][]string{
+		"unknown mode":        {"-par-mode", "both"},
+		"hedge without trees": {"-par-hedge"},
+		"hedge without hedge": {"-par-mode", "dop", "-par-hedge"},
+		"bad join prob":       {"-par-mode", "dop", "-par-join", "1.5"},
+		"negative maxdop":     {"-par-mode", "dop", "-par-maxdop", "-1"},
+		"trees and migration": {"-par-mode", "single"},
+	} {
+		if name == "trees and migration" {
+			continue // no migration flag; covered by the config test
+		}
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("%s: args %v accepted", name, args)
+		}
+	}
+}
+
+// parallelGoldenArgs is a deterministic operator-tree run pinning the
+// parallel-query output surface.
+func parallelGoldenArgs(jsonOut bool) []string {
+	args := []string{
+		"-policy", "LERT", "-sites", "4", "-mpl", "5", "-seed", "3",
+		"-warmup", "500", "-measure", "6000",
+		"-par-mode", "dop", "-par-join", "0.7", "-par-overhead", "0.5",
+		"-audit",
+	}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	return args
+}
+
+func TestRunParallelGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(parallelGoldenArgs(false), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plans: parallel=", "operators: spawned="} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("parallel output missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+	checkGolden(t, "results_parallel.golden", buf.Bytes())
+}
+
+func TestRunParallelGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(parallelGoldenArgs(true), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	for _, field := range []string{
+		"Operators", "OperatorsCompleted", "ParallelQueries", "DOPHist",
+	} {
+		if _, ok := parsed[0][field]; !ok {
+			t.Errorf("JSON result missing field %q", field)
+		}
+	}
+	checkGolden(t, "results_parallel_json.golden", buf.Bytes())
+}
+
 func TestRunGoldenJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(goldenArgs(true), &buf); err != nil {

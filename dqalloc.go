@@ -87,6 +87,17 @@ type (
 	// re-issue straggling remote queries to a backup site; first
 	// completion wins).
 	HedgeConfig = system.HedgeConfig
+	// ParallelConfig parameterizes operator-tree queries (set
+	// Config.Parallel to turn some queries into scan/filter/join plans
+	// whose operators the allocator may place — and split — across
+	// sites).
+	ParallelConfig = system.ParallelConfig
+	// ParallelMode selects how a multi-operator plan is placed (see
+	// ParallelSingle, ParallelOperator, ParallelDOP).
+	ParallelMode = policy.ParallelMode
+	// Plan is an operator-tree query plan; Operator is one of its nodes.
+	Plan     = workload.Plan
+	Operator = workload.Operator
 	// Quantiles carries the log-histogram response-time quantiles
 	// (p50–p99.9) reported in Results.
 	Quantiles = stats.Quantiles
@@ -137,6 +148,19 @@ const (
 	SchedulerHeap = sim.Heap
 )
 
+// Plan-placement modes for Config.Parallel (DESIGN.md §15).
+const (
+	// ParallelSingle anchors each whole operator tree at one
+	// policy-chosen site.
+	ParallelSingle = policy.ParallelSingle
+	// ParallelOperator places each operator independently; intermediate
+	// results ship between sites.
+	ParallelOperator = policy.ParallelOperator
+	// ParallelDOP additionally splits the bottom join
+	// fragment-and-replicate across a cost-chosen set of sites.
+	ParallelDOP = policy.ParallelDOP
+)
+
 // Disk service distributions.
 const (
 	// DiskUniform is the paper's Table-7 simulation setting.
@@ -182,6 +206,12 @@ func DefaultDeadlineConfig() DeadlineConfig { return system.DefaultDeadline() }
 // never earlier than 50 time units after dispatch. Assign it to
 // Config.Hedge and adjust.
 func DefaultHedgeConfig() HedgeConfig { return system.DefaultHedge() }
+
+// DefaultParallelConfig returns an enabled operator-tree configuration:
+// 30% of queries become join plans placed per-operator across sites,
+// with the default selectivities and shipping costs. Assign it to
+// Config.Parallel, pick a Mode, and adjust.
+func DefaultParallelConfig() ParallelConfig { return system.DefaultParallel() }
 
 // DefaultConfig returns the paper's baseline configuration: 6 sites, 2
 // disks per site, 20 terminals per site with mean think time 350, a

@@ -29,6 +29,15 @@ type DeadlineTotals struct {
 	HedgeCancelled uint64
 	// HedgePending counts clones currently racing.
 	HedgePending int
+
+	// OpsAborted counts operator attempts withdrawn by deadline aborts of
+	// operator-split queries (parallel-query extension), and OpReleases
+	// the load-table releases those withdrawals performed. They must be
+	// equal at all times: a deadline abort releases every per-site
+	// commitment of the plan exactly once. Both zero without the
+	// parallel subsystem.
+	OpsAborted uint64
+	OpReleases uint64
 }
 
 // DeadlineConservation audits the deadline/hedge ledger between every
@@ -87,5 +96,10 @@ func (d *DeadlineConservation) check(t float64) {
 	if tot.HedgesLaunched != tot.HedgeWins+tot.HedgeCancelled+uint64(tot.HedgePending) {
 		d.failf("check: deadline-conservation: t=%v: %d hedges != %d wins + %d cancelled + %d racing",
 			t, tot.HedgesLaunched, tot.HedgeWins, tot.HedgeCancelled, tot.HedgePending)
+		return
+	}
+	if tot.OpsAborted != tot.OpReleases {
+		d.failf("check: deadline-conservation: t=%v: %d deadline-aborted operators released %d load-table entries (want exactly one each)",
+			t, tot.OpsAborted, tot.OpReleases)
 	}
 }

@@ -1,0 +1,92 @@
+package check
+
+import "dqalloc/internal/sim"
+
+// OperatorTotals is the parallel-query engine's operator ledger, read by
+// the operator-conservation auditor through a closure so the auditor
+// stays decoupled from the system package. One entry is one dispatched
+// operator attempt (a primary instance or its hedge clone).
+type OperatorTotals struct {
+	// Spawned counts operator attempts dispatched (load-table entry
+	// assigned, execution started or descriptor shipped).
+	Spawned uint64
+	// Completed counts attempts that finished their last CPU burst and
+	// delivered (or began delivering) their output.
+	Completed uint64
+	// Aborted counts attempts withdrawn deliberately — a deadline abort
+	// of the whole plan, a failed sibling collapsing the plan, or a hedge
+	// race's loser.
+	Aborted uint64
+	// Preempted counts attempts destroyed by faults: a site crash wiping
+	// the executing operator, or a dropped descriptor shipment.
+	Preempted uint64
+	// InFlight counts attempts currently dispatched and unretired.
+	InFlight int
+
+	// Commits and Releases count load-table Assign/Complete pairs made on
+	// behalf of operator attempts; TableLive is the current difference.
+	// Together they prove every per-site commitment is released exactly
+	// once — no leak, no double release.
+	Commits   uint64
+	Releases  uint64
+	TableLive int
+}
+
+// OperatorConservation audits the operator ledger between every pair of
+// events: every spawned operator attempt completes, is aborted, is
+// preempted by a fault, or is still in flight — spawned == completed +
+// aborted + preempted + in-flight — and every load-table commitment an
+// attempt made is released exactly once — commits == releases + live.
+type OperatorConservation struct {
+	violation
+	totals func() OperatorTotals
+}
+
+// NewOperatorConservation builds the auditor over the parallel engine's
+// counters.
+func NewOperatorConservation(totals func() OperatorTotals) *OperatorConservation {
+	if totals == nil {
+		panic("check: nil operator totals")
+	}
+	return &OperatorConservation{totals: totals}
+}
+
+// Name implements Auditor.
+func (o *OperatorConservation) Name() string { return "operator-conservation" }
+
+// EventFired implements EventObserver: the ledger identities must hold
+// whenever the model is quiescent.
+func (o *OperatorConservation) EventFired(e *sim.Event) {
+	if o.err == nil {
+		o.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (o *OperatorConservation) Finalize(f Final) {
+	if o.err == nil {
+		o.check(f.End)
+	}
+}
+
+func (o *OperatorConservation) check(t float64) {
+	tot := o.totals()
+	if tot.InFlight < 0 {
+		o.failf("check: operator-conservation: t=%v: negative in-flight count %d", t, tot.InFlight)
+		return
+	}
+	if tot.TableLive < 0 {
+		o.failf("check: operator-conservation: t=%v: negative live-commitment count %d (double release)",
+			t, tot.TableLive)
+		return
+	}
+	if tot.Spawned != tot.Completed+tot.Aborted+tot.Preempted+uint64(tot.InFlight) {
+		o.failf("check: operator-conservation: t=%v: %d spawned != %d completed + %d aborted + %d preempted + %d in flight",
+			t, tot.Spawned, tot.Completed, tot.Aborted, tot.Preempted, tot.InFlight)
+		return
+	}
+	if tot.Commits != tot.Releases+uint64(tot.TableLive) {
+		o.failf("check: operator-conservation: t=%v: %d commitments != %d releases + %d live (leak or double release)",
+			t, tot.Commits, tot.Releases, tot.TableLive)
+	}
+}

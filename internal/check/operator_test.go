@@ -1,0 +1,72 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOperatorConservation(t *testing.T) {
+	t.Run("balanced ledger passes", func(t *testing.T) {
+		tot := OperatorTotals{
+			Spawned: 12, Completed: 7, Aborted: 2, Preempted: 1, InFlight: 2,
+			Commits: 12, Releases: 10, TableLive: 2,
+		}
+		o := NewOperatorConservation(func() OperatorTotals { return tot })
+		o.check(1)
+		o.Finalize(Final{End: 2})
+		if err := o.Err(); err != nil {
+			t.Fatalf("balanced ledger flagged: %v", err)
+		}
+	})
+	t.Run("leaked operator fails", func(t *testing.T) {
+		tot := OperatorTotals{Spawned: 5, Completed: 3, InFlight: 1}
+		o := NewOperatorConservation(func() OperatorTotals { return tot })
+		o.check(1)
+		if err := o.Err(); err == nil || !strings.Contains(err.Error(), "spawned") {
+			t.Fatalf("leaked operator not flagged: %v", err)
+		}
+	})
+	t.Run("leaked commitment fails", func(t *testing.T) {
+		tot := OperatorTotals{Commits: 4, Releases: 2, TableLive: 1}
+		o := NewOperatorConservation(func() OperatorTotals { return tot })
+		o.check(1)
+		if err := o.Err(); err == nil || !strings.Contains(err.Error(), "leak or double release") {
+			t.Fatalf("leaked commitment not flagged: %v", err)
+		}
+	})
+	t.Run("double release fails", func(t *testing.T) {
+		o := NewOperatorConservation(func() OperatorTotals { return OperatorTotals{TableLive: -1} })
+		o.check(1)
+		if err := o.Err(); err == nil || !strings.Contains(err.Error(), "double release") {
+			t.Fatalf("negative live count not flagged: %v", err)
+		}
+	})
+	t.Run("negative in-flight fails", func(t *testing.T) {
+		o := NewOperatorConservation(func() OperatorTotals { return OperatorTotals{InFlight: -1} })
+		o.check(1)
+		if o.Err() == nil {
+			t.Fatal("negative in-flight not flagged")
+		}
+	})
+	t.Run("first violation sticks", func(t *testing.T) {
+		tot := OperatorTotals{Spawned: 1}
+		o := NewOperatorConservation(func() OperatorTotals { return tot })
+		o.check(1)
+		first := o.Err()
+		tot = OperatorTotals{}
+		o.check(2)
+		o.Finalize(Final{End: 3})
+		if o.Err() != first {
+			t.Fatal("later balanced check cleared the recorded violation")
+		}
+	})
+	if got := NewOperatorConservation(func() OperatorTotals { return OperatorTotals{} }).Name(); got != "operator-conservation" {
+		t.Fatalf("name %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil totals closure accepted")
+		}
+	}()
+	NewOperatorConservation(nil)
+}

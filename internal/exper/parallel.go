@@ -1,0 +1,140 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+	"dqalloc/internal/workload"
+)
+
+// ParallelQueryRow is one cell of the parallel-query study: one
+// allocation policy under one plan-placement mode, every replication
+// fully audited (operator conservation included), averaged over the
+// runner's replications.
+type ParallelQueryRow struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Mode is the plan-placement mode's name (single, operator, dop).
+	Mode string
+	// MeanResponse and MeanWait are replication means over completed
+	// queries.
+	MeanResponse float64
+	MeanWait     float64
+	// ParallelQueries and Operators are totals across replications:
+	// queries that became multi-operator plans, and operator attempts
+	// dispatched for them.
+	ParallelQueries uint64
+	Operators       uint64
+	// WideFrac is the fraction of multi-operator plans whose instances
+	// landed on two or more distinct sites (0 in single mode by
+	// construction).
+	WideFrac float64
+	// IntermediateBytes is the total ring volume of intermediate operator
+	// results across replications.
+	IntermediateBytes float64
+	// SubnetUtil and DiskUtil are replication means — the price the split
+	// pays (ring traffic) and the resource it spreads (disk service).
+	SubnetUtil float64
+	DiskUtil   float64
+	// Completed is the total completions across replications.
+	Completed uint64
+}
+
+// ParallelWorkloadConfig returns the workload the parallel-query study
+// runs on: the Table-7 system with a handful of large scan-heavy
+// queries per site instead of many small ones. Low multiprogramming
+// makes a single query's makespan disk-bound rather than queueing-bound
+// — the regime where splitting the bottom join across sites can pay —
+// and every submitted query becomes a join tree so the modes differ on
+// the whole workload. Shipping costs stay small (a result page is far
+// smaller than its input pages), so the split's overhead is startup
+// plus replication, as in the cost model.
+func ParallelWorkloadConfig() system.Config {
+	cfg := system.Default()
+	cfg.MPL = 2
+	cfg.ThinkTime = 150
+	cfg.Classes = []workload.Class{
+		{Name: "io", PageCPUTime: 0.05, NumReads: 48, MsgLength: 1},
+		{Name: "cpu", PageCPUTime: 0.4, NumReads: 32, MsgLength: 1},
+	}
+	par := system.DefaultParallel()
+	par.JoinProb = 1
+	par.FilterProb = 0.25
+	par.SelScan = 0.1
+	par.ShipBytesPerPage = 0.02
+	par.SplitOverhead = 0.5
+	cfg.Parallel = par
+	return cfg
+}
+
+// ParallelQuerySweep runs each policy under each plan-placement mode on
+// the ParallelWorkloadConfig workload with common random numbers and
+// full auditing. The study behind the tentpole claim: on a disk-bound
+// workload of large join queries, placing operators — and splitting the
+// bottom join — across sites must buy a lower mean response time than
+// anchoring every plan at one site, and the sweep quantifies the ring
+// traffic the improvement costs.
+func ParallelQuerySweep(r Runner, kinds []policy.Kind, modes []policy.ParallelMode) ([]ParallelQueryRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("exper: parallel-query sweep: no placement modes")
+	}
+	rows := make([]ParallelQueryRow, 0, len(kinds)*len(modes))
+	for _, kind := range kinds {
+		for _, mode := range modes {
+			row, err := parallelCell(r, kind, mode)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// parallelCell averages one (policy, mode) cell over the runner's
+// replications.
+func parallelCell(r Runner, kind policy.Kind, mode policy.ParallelMode) (ParallelQueryRow, error) {
+	cfg := r.applyHorizons(ParallelWorkloadConfig())
+	cfg.PolicyKind = kind
+	cfg.Audit = true
+	cfg.Parallel.Mode = mode
+	row := ParallelQueryRow{Policy: kind.String(), Mode: mode.String()}
+	var wide, plans uint64
+	for rep := 0; rep < r.Reps; rep++ {
+		cfg.Seed = r.BaseSeed + uint64(rep)
+		sys, err := newSystem(cfg)
+		if err != nil {
+			return ParallelQueryRow{}, fmt.Errorf("exper: parallel-query sweep %v %v: %w", kind, mode, err)
+		}
+		res := sys.Run()
+		if err := sys.Audit(); err != nil {
+			return ParallelQueryRow{}, fmt.Errorf("exper: parallel-query sweep %v %v seed %d: %w",
+				kind, mode, cfg.Seed, err)
+		}
+		row.MeanResponse += res.MeanResponse
+		row.MeanWait += res.MeanWait
+		row.SubnetUtil += res.SubnetUtil
+		row.DiskUtil += res.DiskUtil
+		row.ParallelQueries += res.ParallelQueries
+		row.Operators += res.Operators
+		row.IntermediateBytes += res.IntermediateBytes
+		row.Completed += res.Completed
+		plans += res.ParallelQueries
+		for k := 1; k < len(res.DOPHist); k++ {
+			wide += res.DOPHist[k]
+		}
+	}
+	n := float64(r.Reps)
+	row.MeanResponse /= n
+	row.MeanWait /= n
+	row.SubnetUtil /= n
+	row.DiskUtil /= n
+	if plans > 0 {
+		row.WideFrac = float64(wide) / float64(plans)
+	}
+	return row, nil
+}

@@ -1,0 +1,75 @@
+package exper
+
+import (
+	"testing"
+
+	"dqalloc/internal/policy"
+)
+
+// TestParallelQuerySweep is the acceptance experiment of the
+// parallel-query extension: on the disk-bound large-join workload,
+// spreading plans across sites (operator or dop mode) must beat
+// anchoring every plan at one site (single mode) on mean response, with
+// every replication audited. It also pins the bookkeeping each row
+// reports.
+func TestParallelQuerySweep(t *testing.T) {
+	r := Quick()
+	rows, err := ParallelQuerySweep(r, []policy.Kind{policy.LERT},
+		[]policy.ParallelMode{policy.ParallelSingle, policy.ParallelOperator, policy.ParallelDOP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byMode := map[string]ParallelQueryRow{}
+	for _, row := range rows {
+		byMode[row.Mode] = row
+		if row.ParallelQueries == 0 || row.Operators == 0 || row.Completed == 0 {
+			t.Fatalf("idle cell: %+v", row)
+		}
+		if row.MeanResponse <= 0 {
+			t.Fatalf("non-positive mean response: %+v", row)
+		}
+	}
+	single := byMode["single"]
+	if single.WideFrac != 0 {
+		t.Errorf("single mode split %v of its plans across sites", single.WideFrac)
+	}
+	if byMode["dop"].WideFrac == 0 {
+		t.Error("dop mode never split a plan across sites")
+	}
+	if byMode["operator"].IntermediateBytes == 0 {
+		t.Error("operator mode shipped no intermediate results")
+	}
+	best := byMode["operator"].MeanResponse
+	if dop := byMode["dop"].MeanResponse; dop < best {
+		best = dop
+	}
+	if best >= single.MeanResponse {
+		t.Errorf("no split mode beat single-site placement: single %.2f, operator %.2f, dop %.2f",
+			single.MeanResponse, byMode["operator"].MeanResponse, byMode["dop"].MeanResponse)
+	}
+}
+
+func TestParallelQuerySweepErrors(t *testing.T) {
+	if _, err := ParallelQuerySweep(Runner{}, []policy.Kind{policy.LERT},
+		[]policy.ParallelMode{policy.ParallelSingle}); err == nil {
+		t.Error("invalid runner accepted")
+	}
+	if _, err := ParallelQuerySweep(Quick(), []policy.Kind{policy.LERT}, nil); err == nil {
+		t.Error("empty mode list accepted")
+	}
+}
+
+// TestParallelWorkloadConfigValid keeps the study's workload admissible
+// on its own — the sweep depends on it building directly.
+func TestParallelWorkloadConfigValid(t *testing.T) {
+	cfg := ParallelWorkloadConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Parallel.Enabled || cfg.Parallel.JoinProb != 1 {
+		t.Fatalf("workload not all-join: %+v", cfg.Parallel)
+	}
+}

@@ -1,0 +1,109 @@
+package policy
+
+// This file holds the parallel-query extension's policy-layer pieces:
+// the placement-mode enumeration and the degree-of-parallelism cost
+// model. The per-operator site choices themselves reuse the existing
+// Policy implementations (a join or filter carrier is costed exactly
+// like a query with that operator's demands), which is how the
+// multi-resource balanced placement of WORK and LERT extends to
+// operators for free.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParallelMode selects how a multi-operator plan is placed.
+type ParallelMode int
+
+const (
+	// ParallelSingle places the whole operator tree at one policy-chosen
+	// site — intra-query parallelism off, operator model on. The baseline
+	// every split must beat.
+	ParallelSingle ParallelMode = iota + 1
+	// ParallelOperator places each operator independently via the
+	// allocation policy, costing it by its own per-resource demands;
+	// intermediate results ship between the chosen sites.
+	ParallelOperator
+	// ParallelDOP adds intra-operator parallelism: the bottom join is
+	// split fragment-and-replicate across a cost-model-chosen 1..K sites
+	// (the partitioned input's scan shares colocate with the join
+	// instances; the replicated input ships to each).
+	ParallelDOP
+)
+
+// String returns the mode name.
+func (m ParallelMode) String() string {
+	switch m {
+	case ParallelSingle:
+		return "single"
+	case ParallelOperator:
+		return "operator"
+	case ParallelDOP:
+		return "dop"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether m is a defined mode.
+func (m ParallelMode) Valid() bool {
+	return m == ParallelSingle || m == ParallelOperator || m == ParallelDOP
+}
+
+// SplitCost is the DOP cost model: the estimated completion time of a
+// join split k ways, where fixed is the work every instance repeats
+// (the replicated input's scan and per-instance join share), divisible
+// is the work the split divides (the partitioned input's scan and its
+// join share), and overhead is the per-extra-site price (startup plus
+// shipping the replicated input to one more site). At zero overhead the
+// cost is non-increasing in k — more sites never hurt — so overhead
+// alone bounds the useful degree of parallelism.
+func SplitCost(fixed, divisible, overhead float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return fixed + divisible/float64(k) + overhead*float64(k-1)
+}
+
+// ChooseDOP picks the degree of parallelism minimizing SplitCost over
+// 1..kmax, preferring the smallest k on ties (splitting must strictly
+// pay). The result always lies in [1, max(1, kmax)], so it never
+// exceeds the caller's up-candidate count.
+func ChooseDOP(fixed, divisible, overhead float64, kmax int) int {
+	if kmax < 1 {
+		return 1
+	}
+	best, bestCost := 1, SplitCost(fixed, divisible, overhead, 1)
+	for k := 2; k <= kmax; k++ {
+		if c := SplitCost(fixed, divisible, overhead, k); c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	return best
+}
+
+// ParseParallelMode maps a CLI spelling to its mode.
+func ParseParallelMode(s string) (ParallelMode, error) {
+	switch s {
+	case "single":
+		return ParallelSingle, nil
+	case "operator":
+		return ParallelOperator, nil
+	case "dop":
+		return ParallelDOP, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown parallel mode %q (want single, operator, or dop)", s)
+	}
+}
+
+// ValidSplitParams reports whether the cost-model inputs are usable:
+// finite and non-negative.
+func ValidSplitParams(fixed, divisible, overhead float64) bool {
+	for _, x := range [...]float64{fixed, divisible, overhead} {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChooseDOPBounds pins the property the engine's split placement
+// relies on: the chosen degree always lies in [1, max(1, kmax)], so a
+// split can never be asked to span more sites than the up-candidate
+// pool offers.
+func TestChooseDOPBounds(t *testing.T) {
+	for _, fixed := range []float64{0, 1, 50} {
+		for _, div := range []float64{0, 0.5, 10, 1000} {
+			for _, ov := range []float64{0, 0.1, 5, 1e6} {
+				for _, kmax := range []int{-3, 0, 1, 2, 7, 64} {
+					k := ChooseDOP(fixed, div, ov, kmax)
+					hi := kmax
+					if hi < 1 {
+						hi = 1
+					}
+					if k < 1 || k > hi {
+						t.Fatalf("ChooseDOP(%v,%v,%v,%d) = %d outside [1,%d]",
+							fixed, div, ov, kmax, k, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitCostMonotoneAtZeroOverhead: with no per-site price, more
+// sites never hurt — the cost is non-increasing in k, so ChooseDOP
+// saturates at kmax whenever any work is divisible.
+func TestSplitCostMonotoneAtZeroOverhead(t *testing.T) {
+	for _, div := range []float64{0.1, 3, 250} {
+		prev := math.Inf(1)
+		for k := 1; k <= 32; k++ {
+			c := SplitCost(5, div, 0, k)
+			if c > prev {
+				t.Fatalf("SplitCost(5,%v,0,%d) = %v > cost at k-1 = %v", div, k, c, prev)
+			}
+			prev = c
+		}
+		if k := ChooseDOP(5, div, 0, 8); k != 8 {
+			t.Fatalf("zero overhead, divisible %v: ChooseDOP = %d, want saturation at 8", div, k)
+		}
+	}
+}
+
+// TestChooseDOPTiePrefersSerial: splitting must strictly pay. With no
+// divisible work every k costs the same (plus overhead), so the degree
+// stays 1.
+func TestChooseDOPTiePrefersSerial(t *testing.T) {
+	if k := ChooseDOP(10, 0, 0, 8); k != 1 {
+		t.Fatalf("nothing divisible, zero overhead: ChooseDOP = %d, want 1", k)
+	}
+	if k := ChooseDOP(10, 0, 2, 8); k != 1 {
+		t.Fatalf("nothing divisible, positive overhead: ChooseDOP = %d, want 1", k)
+	}
+}
+
+// TestChooseDOPOverheadBound: a large enough per-site price makes every
+// split lose, and the optimum under SplitCost's convex tradeoff is
+// sqrt(divisible/overhead) rounded to a neighbor.
+func TestChooseDOPOverheadBound(t *testing.T) {
+	if k := ChooseDOP(0, 10, 1000, 16); k != 1 {
+		t.Fatalf("overhead dwarfs the divisible work: ChooseDOP = %d, want 1", k)
+	}
+	// divisible 100, overhead 1: continuous optimum k* = 10.
+	k := ChooseDOP(0, 100, 1, 16)
+	if k < 9 || k > 11 {
+		t.Fatalf("ChooseDOP(0,100,1,16) = %d, want near the sqrt optimum 10", k)
+	}
+	c1 := SplitCost(0, 100, 1, 1)
+	ck := SplitCost(0, 100, 1, k)
+	if ck >= c1 {
+		t.Fatalf("chosen split cost %v not below serial cost %v", ck, c1)
+	}
+}
+
+func TestParallelModeStringsAndParse(t *testing.T) {
+	for _, m := range []ParallelMode{ParallelSingle, ParallelOperator, ParallelDOP} {
+		if !m.Valid() {
+			t.Fatalf("mode %d invalid", m)
+		}
+		got, err := ParseParallelMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip of %v: got %v, err %v", m, got, err)
+		}
+	}
+	if ParallelMode(0).Valid() || ParallelMode(99).Valid() {
+		t.Error("out-of-range mode reported valid")
+	}
+	if ParallelMode(0).String() != "unknown" {
+		t.Errorf("zero mode string %q", ParallelMode(0).String())
+	}
+	if _, err := ParseParallelMode("both"); err == nil {
+		t.Error("unknown spelling accepted")
+	}
+}
+
+func TestValidSplitParams(t *testing.T) {
+	if !ValidSplitParams(0, 1, 2) {
+		t.Error("finite non-negative params rejected")
+	}
+	for _, bad := range [][3]float64{
+		{math.NaN(), 1, 1},
+		{1, math.Inf(1), 1},
+		{1, 1, math.Inf(-1)},
+		{-1, 1, 1},
+		{1, -0.5, 1},
+		{1, 1, -2},
+	} {
+		if ValidSplitParams(bad[0], bad[1], bad[2]) {
+			t.Errorf("params %v accepted", bad)
+		}
+	}
+}

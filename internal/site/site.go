@@ -234,6 +234,7 @@ func (s *Site) startRead(q *workload.Query) {
 		}
 	}
 	q.Service += service
+	q.DiskService += service
 	s.disks.Enqueue(q, service)
 }
 
@@ -241,6 +242,11 @@ func (s *Site) startRead(q *workload.Query) {
 // processing requirement, scaled by the site's CPU speed.
 func (s *Site) onDiskDone(q *workload.Query) {
 	mean := s.cfg.Classes[q.Class].PageCPUTime
+	if q.PageCPU > 0 {
+		// Operator carriers (parallel-query extension) override the class
+		// mean: a join or filter page costs differently than a scan page.
+		mean = q.PageCPU
+	}
 	if s.cfg.CPUSpeed > 0 {
 		mean /= s.cfg.CPUSpeed
 	}

@@ -165,6 +165,13 @@ type Config struct {
 	// event-for-event identical to one built without the subsystem.
 	Hedge HedgeConfig
 
+	// Parallel turns queries into small operator trees (scan/filter/join
+	// plans) that the allocator may split across sites, with
+	// intermediate results shipped over the ring. Disabled (the zero
+	// value) by default; a disabled run is event-for-event identical to
+	// one built without the subsystem.
+	Parallel ParallelConfig
+
 	// Scheduler selects the kernel's future-event list implementation:
 	// sim.Calendar (the default adaptive calendar queue) or sim.Heap (the
 	// reference binary heap). The two are observationally identical —
@@ -305,6 +312,19 @@ func (c Config) Validate() error {
 	}
 	if err := c.Hedge.validate(); err != nil {
 		return err
+	}
+	if err := c.Parallel.validate(); err != nil {
+		return err
+	}
+	if c.Parallel.Enabled {
+		if c.Parallel.Hedge && !c.Hedge.Enabled {
+			return fmt.Errorf("system: Parallel.Hedge requires Hedge.Enabled")
+		}
+		if c.Migration.Enabled {
+			// Migration's cycle hook would move operator carriers without
+			// the plan engine's knowledge.
+			return fmt.Errorf("system: parallel queries and migration are mutually exclusive")
+		}
 	}
 	if c.Scheduler != sim.Calendar && c.Scheduler != sim.Heap {
 		return fmt.Errorf("system: invalid Scheduler %d", c.Scheduler)

@@ -129,6 +129,20 @@ func (s *System) up(site int) bool {
 // re-allocate it.
 func (s *System) onSiteCrash(site int) {
 	for _, q := range s.sites[site].Crash() {
+		if s.par != nil {
+			if inst := s.par.instances[q]; inst != nil {
+				// An operator carrier died with the site; the plan engine
+				// settles it (and possibly the whole plan).
+				s.parAttemptLost(inst, q)
+				continue
+			}
+			if q.Phase == phaseDone {
+				// A sibling carrier's loss above already collapsed its plan
+				// and withdrew this (also-drained) carrier; nothing remains
+				// to release.
+				continue
+			}
+		}
 		s.releaseAllocation(q)
 		s.faultLost(q)
 	}

@@ -210,6 +210,10 @@ func (s *System) submitOpen(class, home int) {
 	if s.aud != nil {
 		s.aud.Submitted(s.sched.Now())
 	}
+	if s.par != nil {
+		s.parSubmit(q)
+		return
+	}
 	s.allocate(q)
 }
 
@@ -238,6 +242,9 @@ func (s *System) overloadTotals() check.DeadlineTotals {
 	if s.hedge != nil {
 		t.HedgesLaunched, t.HedgeWins, t.HedgeCancelled = s.hedge.launched, s.hedge.wins, s.hedge.cancelled
 		t.HedgePending = s.hedge.activeClones
+	}
+	if s.par != nil {
+		t.OpsAborted, t.OpReleases = s.par.dlOpsAborted, s.par.dlOpReleases
 	}
 	return t
 }
@@ -367,6 +374,11 @@ func (s *System) deadlineExpire(q *workload.Query) {
 			}
 			delete(s.hedge.races, q)
 		}
+	}
+	if s.par != nil {
+		// An operator-split query withdraws every per-site attempt (each
+		// releasing its commitment exactly once) and is then settled.
+		s.parDeadlineAbort(q)
 	}
 	if q.Phase != phaseDone {
 		s.cancelAttempt(q)

@@ -172,6 +172,31 @@ type Results struct {
 	// or failures are off.
 	FragAvailability    float64
 	MinFragAvailability float64
+	// Operators counts operator-carrier attempts dispatched by the
+	// parallel-query subsystem over the run's lifetime (hedge clones
+	// included); OperatorsCompleted/Aborted/Preempted split their fates
+	// (finished; withdrawn by a deadline abort, plan collapse, or lost
+	// hedge race; destroyed by a fault). All zero with the subsystem
+	// off. The json omitempty tags keep disabled-run JSON output
+	// byte-identical to builds without the subsystem.
+	Operators          uint64 `json:",omitempty"`
+	OperatorsCompleted uint64 `json:",omitempty"`
+	OperatorsAborted   uint64 `json:",omitempty"`
+	OperatorsPreempted uint64 `json:",omitempty"`
+	// ParallelQueries counts queries that became multi-operator plans;
+	// DOPHist[k-1] counts plans whose instances landed on exactly k
+	// distinct sites (nil until the first multi-operator plan).
+	ParallelQueries uint64   `json:",omitempty"`
+	DOPHist         []uint64 `json:",omitempty"`
+	// IntermediateBytes is the total ring size of intermediate operator
+	// results shipped between sites (lifetime).
+	IntermediateBytes float64 `json:",omitempty"`
+	// OpCPUBusy, OpDiskBusy and OpNetBusy are the per-resource busy-time
+	// ledger of completed operator attempts: realized CPU, disk, and
+	// network service folded into their logical queries (lifetime).
+	OpCPUBusy  float64 `json:",omitempty"`
+	OpDiskBusy float64 `json:",omitempty"`
+	OpNetBusy  float64 `json:",omitempty"`
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

@@ -77,6 +77,8 @@ type System struct {
 	hedge   *hedgeRuntime    // hedged execution, nil when disabled
 	aborted uint64           // queries withdrawn by a deadline abort
 
+	par *parallelRuntime // operator-tree queries, nil when disabled
+
 	// defunct flags queries cancelled while a delivery for them was in
 	// flight; the delivery consumes the flag. nil unless deadlines or
 	// hedging are on.
@@ -224,15 +226,25 @@ func New(cfg Config) (*System, error) {
 			byClone: make(map[*workload.Query]*hedgeRace),
 		}
 	}
-	if s.dl != nil || s.hedge != nil {
+	if cfg.Parallel.Enabled {
+		// Child 12 is the plan sampler's dedicated stream, so runs
+		// without operator trees — and enabled runs whose plans all
+		// degenerate to single scans — leave every other stream
+		// untouched.
+		if err := s.setupParallel(root.Child(12)); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	if s.dl != nil || s.hedge != nil || s.par != nil {
 		s.defunct = make(map[*workload.Query]struct{})
 	}
 
 	if cfg.Audit {
-		// Open arrivals unbound the population; hedge clones join the
-		// audited population too, so either knob waives the closed bound.
+		// Open arrivals unbound the population; hedge clones and
+		// operator carriers join the audited population too, so any of
+		// these knobs waives the closed bound.
 		capacity := cfg.NumSites * cfg.MPL
-		if cfg.Arrival.Enabled || cfg.Hedge.Enabled {
+		if cfg.Arrival.Enabled || cfg.Hedge.Enabled || cfg.Parallel.Enabled {
 			capacity = 0
 		}
 		auditors := []check.Auditor{
@@ -253,6 +265,9 @@ func New(cfg Config) (*System, error) {
 		}
 		if s.repl != nil {
 			auditors = append(auditors, check.NewReplicationConservation(s.replState))
+		}
+		if s.par != nil {
+			auditors = append(auditors, check.NewOperatorConservation(s.parTotals))
 		}
 		s.aud = check.NewSet(auditors...)
 		s.sched.Observe(s.aud.EventFired)
@@ -348,6 +363,10 @@ func (s *System) submit(home int) {
 	}
 	if s.aud != nil {
 		s.aud.Submitted(s.sched.Now())
+	}
+	if s.par != nil {
+		s.parSubmit(q)
+		return
 	}
 	s.allocate(q)
 }
@@ -464,6 +483,13 @@ func (s *System) dispatch(q *workload.Query, exec int) {
 // site. The query stops counting against the site; remote queries ship
 // their results home before the terminal sees them.
 func (s *System) onExecDone(q *workload.Query) {
+	if s.par != nil {
+		if inst := s.par.instances[q]; inst != nil {
+			// An operator carrier finished, not a whole query.
+			s.parOpDone(inst, q)
+			return
+		}
+	}
 	s.table.Complete(q.Exec, s.bound(q))
 	s.table.CompleteWork(q.Exec, q.EstCPUDemand(), q.EstDiskDemand(s.cfg.DiskTime))
 	s.replRelease(q, q.Exec)
@@ -648,6 +674,20 @@ func (s *System) collect(end float64) Results {
 		r.MeanRebuildLatency = s.repl.mgr.MeanRebuildLatency()
 		r.DegradedReads = s.repl.degraded
 		r.NoReplicaRejects = s.repl.noReplica
+	}
+	if s.par != nil {
+		r.Operators = s.par.spawned
+		r.OperatorsCompleted = s.par.completedOps
+		r.OperatorsAborted = s.par.abortedOps
+		r.OperatorsPreempted = s.par.preempted
+		r.ParallelQueries = s.par.parallelQueries
+		if s.par.parallelQueries > 0 {
+			r.DOPHist = s.par.dopHist
+		}
+		r.IntermediateBytes = s.par.interBytes
+		r.OpCPUBusy = s.par.opCPUBusy
+		r.OpDiskBusy = s.par.opDiskBusy
+		r.OpNetBusy = s.par.opNetBusy
 	}
 	r.TraceDigest = s.sched.Digest()
 	r.EventsFired = s.sched.Fired()

@@ -133,10 +133,18 @@ type Query struct {
 
 	// SubmitTime is when the query left its terminal; Service accumulates
 	// the actual service it has received (disk + CPU + transmissions),
-	// and NetService the transmission component alone.
-	SubmitTime float64
-	Service    float64
-	NetService float64
+	// NetService the transmission component alone, and DiskService the
+	// disk component alone (so the CPU share is derivable).
+	SubmitTime  float64
+	Service     float64
+	NetService  float64
+	DiskService float64
+
+	// PageCPU overrides the class's per-page CPU mean when positive. The
+	// parallel-query extension sets it on operator carriers (a join's
+	// per-page cost differs from a scan's); zero everywhere else, which
+	// leaves the class mean in force.
+	PageCPU float64
 
 	// Migrations counts mid-execution moves (migration extension).
 	Migrations int

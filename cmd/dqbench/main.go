@@ -66,6 +66,7 @@ import (
 	"dqalloc/internal/arrival"
 	"dqalloc/internal/exper"
 	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/replica"
 	"dqalloc/internal/rng"
@@ -124,7 +125,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		quick = fs.Bool("quick", false, "shrink horizons for CI smoke runs")
 		label = fs.String("label", "", "free-form provenance note stored in the report")
 		out   = fs.String("o", "", "output path (default BENCH_<date>.json)")
-		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, parallel, parallel-query, replication, or serve")
+		suite = fs.String("suite", "all", "which layer to run: all, kernel, macro, table8, overload, grayfail, parallel, parallel-query, replication, or serve")
 		sched = fs.String("sched", "calendar", "scheduler implementation: calendar or heap")
 	)
 	fs.SetOutput(w)
@@ -141,9 +142,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	all := *suite == "all"
 	switch *suite {
-	case "all", "kernel", "macro", "table8", "overload", "parallel", "parallel-query", "replication", "serve":
+	case "all", "kernel", "macro", "table8", "overload", "grayfail", "parallel", "parallel-query", "replication", "serve":
 	default:
-		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, parallel, parallel-query, replication, or serve)", *suite)
+		return fmt.Errorf("unknown suite %q (want all, kernel, macro, table8, overload, grayfail, parallel, parallel-query, replication, or serve)", *suite)
 	}
 
 	rep := Report{
@@ -197,6 +198,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			measure = 1200
 		}
 		r, err := benchOverload(impl, measure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.0f ns/op, %d allocs/op, %.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+		rep.Results = append(rep.Results, r)
+	}
+
+	if ctx.Err() == nil && (all || *suite == "grayfail") {
+		// Gray-failure hot path: fail-slow episodes with rate rescaling,
+		// ring brownouts, the suspicion detector and straggler hedging,
+		// conservation auditors on.
+		measure := 4000.0
+		if *quick {
+			measure = 1200
+		}
+		r, err := benchGrayFail(impl, measure)
 		if err != nil {
 			return err
 		}
@@ -437,6 +455,54 @@ func benchOverload(impl sim.Impl, measure float64) (Result, error) {
 	return finish("overload/LERT/mmpp", br, events), nil
 }
 
+// benchGrayFail measures one audited replication of the gray-failure
+// stack: frequent fail-slow episodes rescaling CPU and disk rates, ring
+// brownouts, the suspicion detector scoring every completion and
+// straggler hedging racing suspect primaries.
+func benchGrayFail(impl sim.Impl, measure float64) (Result, error) {
+	cfg := system.Default()
+	cfg.Scheduler = impl
+	cfg.PolicyKind = policy.LERT
+	cfg.Seed = 1
+	cfg.Warmup = 500
+	cfg.Measure = measure
+	fc := fault.DefaultSlow()
+	fc.SlowMTTF = 1000
+	fc.SlowMTTR = 300
+	fc.BrownoutMTTF = 1500
+	fc.BrownoutMTTR = 200
+	fc.BrownoutFactor = 3
+	cfg.Fault = fc
+	cfg.Suspect = loadinfo.DefaultSuspect()
+	cfg.Hedge = system.DefaultHedge()
+	cfg.Audit = true
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := system.New(cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			res := sys.Run()
+			if err := sys.Audit(); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			events = res.EventsFired
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return finish("grayfail/LERT/suspect", br, events), nil
+}
+
 // benchReplication measures one audited replication with a 2-copy
 // partial placement, frequent site crashes and the self-healing replica
 // manager on — the rebuild and degraded-read hot path.
@@ -556,7 +622,7 @@ func benchServe(decisions int) (Result, error) {
 			for d := 0; d < decisions; d++ {
 				if d%64 == 0 {
 					for s := 0; s < cfg.NumSites; s++ {
-						if err := core.Report(s, 0, 0, 0, 0, 0, now); err != nil {
+						if err := core.Report(s, 0, 0, 0, 0, 0, 0, now); err != nil {
 							runErr = err
 							b.Fatal(err)
 						}

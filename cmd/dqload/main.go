@@ -13,9 +13,16 @@
 // fraction of requests that received a routing decision — falls below
 // -floor. SIGINT/SIGTERM flush the partial summary and exit non-zero.
 //
+// With -closed the open-loop Poisson source is replaced by a fixed pool
+// of -concurrency workers that each keep exactly one request in flight
+// — decide, hold the chosen site's outstanding count for a synthetic
+// service time, repeat — so offered load self-regulates with server
+// latency, like the paper's closed terminal model.
+//
 // Usage:
 //
 //	dqload -url http://127.0.0.1:8080 -rate 200 -duration 10s -floor 0.99
+//	dqload -url http://127.0.0.1:8080 -closed -concurrency 16 -duration 10s -floor 0.99
 package main
 
 import (
@@ -84,6 +91,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		sites      = fs.Int("sites", 6, "number of sites to emulate (must match the server)")
 		classes    = fs.Int("classes", 2, "number of query classes (must match the server)")
 		rate       = fs.Float64("rate", 200, "mean request arrival rate per second (open loop)")
+		closed     = fs.Bool("closed", false, "closed-loop mode: -concurrency workers each keep one request in flight (-rate is ignored)")
+		workersN   = fs.Int("concurrency", 8, "closed-loop worker count for -closed")
 		duration   = fs.Duration("duration", 5*time.Second, "run length")
 		reportEach = fs.Duration("report-period", 100*time.Millisecond, "per-site load report period")
 		svcMean    = fs.Duration("service-mean", 20*time.Millisecond, "mean synthetic service time at a site")
@@ -100,6 +109,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if *sites <= 0 || *classes <= 0 || *rate <= 0 {
 		return fmt.Errorf("sites, classes, and rate must be positive")
+	}
+	if *closed && *workersN <= 0 {
+		return fmt.Errorf("-concurrency %d must be positive with -closed", *workersN)
 	}
 	if *floor < 0 || *floor > 1 {
 		return fmt.Errorf("floor %v out of [0,1]", *floor)
@@ -135,51 +147,95 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}(i)
 	}
 
-	// Open-loop arrivals: a single goroutine draws Poisson interarrivals
-	// and fires one worker per request, never waiting for responses.
-	arr := root.Child(1)
-	svc := rng.NewStream(*seed).Child(2)
-	var svcMu sync.Mutex // service draws happen on worker goroutines
 	var workers sync.WaitGroup
-	deadline := time.NewTimer(*duration)
-	defer deadline.Stop()
 	interrupted := false
-
-arrivals:
-	for {
-		wait := time.Duration(arr.Exp(float64(time.Second) / *rate))
-		select {
-		case <-ctx.Done():
-			interrupted = true
-			break arrivals
-		case <-deadline.C:
-			break arrivals
-		case <-time.After(wait):
+	if *closed {
+		// Closed-loop mode: each worker keeps exactly one request in
+		// flight — decide, "execute" by holding the site's outstanding
+		// count for a service time, repeat. Offered load self-regulates
+		// with server latency, the way the paper's closed terminals do.
+		loopCtx, cancelLoop := context.WithTimeout(ctx, *duration)
+		defer cancelLoop()
+		for i := 0; i < *workersN; i++ {
+			workers.Add(1)
+			go func(id int) {
+				defer workers.Done()
+				r := root.Child(uint64(10 + id))
+				for loopCtx.Err() == nil {
+					class := r.Intn(*classes)
+					home := r.Intn(*sites)
+					site, ok := postDecide(client, *url, class, home, *sites, *deadlineMS, tl)
+					if !ok {
+						// Back off briefly so a dead or shedding server
+						// does not turn the loop into a busy spin.
+						select {
+						case <-loopCtx.Done():
+						case <-time.After(5 * time.Millisecond):
+						}
+						continue
+					}
+					ctr := &states[site].numCPU
+					if class%2 == 0 {
+						ctr = &states[site].numIO
+					}
+					ctr.Add(1)
+					hold := time.Duration(r.Exp(float64(*svcMean)))
+					select {
+					case <-loopCtx.Done():
+					case <-time.After(hold):
+					}
+					ctr.Add(-1)
+				}
+			}(i)
 		}
-		class := arr.Intn(*classes)
-		home := arr.Intn(*sites)
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			site, ok := postDecide(client, *url, class, home, *sites, *deadlineMS, tl)
-			if !ok {
-				return
-			}
-			// The routed query "executes": bump the site's outstanding
-			// count, then release it after an exponential service time.
-			ctr := &states[site].numCPU
-			if class%2 == 0 {
-				ctr = &states[site].numIO
-			}
-			ctr.Add(1)
-			svcMu.Lock()
-			hold := time.Duration(svc.Exp(float64(*svcMean)))
-			svcMu.Unlock()
-			time.AfterFunc(hold, func() { ctr.Add(-1) })
-		}()
-	}
+		workers.Wait()
+		interrupted = ctx.Err() != nil
+	} else {
+		// Open-loop arrivals: a single goroutine draws Poisson
+		// interarrivals and fires one worker per request, never waiting
+		// for responses.
+		arr := root.Child(1)
+		svc := rng.NewStream(*seed).Child(2)
+		var svcMu sync.Mutex // service draws happen on worker goroutines
+		deadline := time.NewTimer(*duration)
+		defer deadline.Stop()
 
-	workers.Wait()
+	arrivals:
+		for {
+			wait := time.Duration(arr.Exp(float64(time.Second) / *rate))
+			select {
+			case <-ctx.Done():
+				interrupted = true
+				break arrivals
+			case <-deadline.C:
+				break arrivals
+			case <-time.After(wait):
+			}
+			class := arr.Intn(*classes)
+			home := arr.Intn(*sites)
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				site, ok := postDecide(client, *url, class, home, *sites, *deadlineMS, tl)
+				if !ok {
+					return
+				}
+				// The routed query "executes": bump the site's outstanding
+				// count, then release it after an exponential service time.
+				ctr := &states[site].numCPU
+				if class%2 == 0 {
+					ctr = &states[site].numIO
+				}
+				ctr.Add(1)
+				svcMu.Lock()
+				hold := time.Duration(svc.Exp(float64(*svcMean)))
+				svcMu.Unlock()
+				time.AfterFunc(hold, func() { ctr.Add(-1) })
+			}()
+		}
+
+		workers.Wait()
+	}
 	cancelRun()
 	reporters.Wait()
 

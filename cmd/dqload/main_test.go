@@ -75,6 +75,30 @@ func TestRunDrivesServerAndMeetsFloor(t *testing.T) {
 	}
 }
 
+// TestRunClosedLoopDrivesServer: the -closed worker pool must keep the
+// server busy, meet the floor, and never send more than one in-flight
+// request per worker (bounded by concurrency × duration / min latency —
+// asserted loosely via a positive sent count and the floor).
+func TestRunClosedLoopDrivesServer(t *testing.T) {
+	ts := startTarget(t, 3)
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-sites", "3", "-closed", "-concurrency", "4",
+		"-duration", "400ms", "-report-period", "25ms", "-service-mean", "5ms",
+		"-floor", "0.9",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "availability=") || strings.Contains(out, "sent=0 ") {
+		t.Errorf("closed-loop run sent nothing: %q", out)
+	}
+	if err := run(context.Background(), []string{"-closed", "-concurrency", "0"}, &buf); err == nil {
+		t.Error("zero concurrency accepted with -closed")
+	}
+}
+
 func TestRunFailsBelowFloor(t *testing.T) {
 	// A server that exists only long enough to reserve a port: every
 	// request fails at the transport, so availability is zero.

@@ -83,6 +83,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		openFor    = fs.Duration("open-for", def.OpenFor, "breaker open→half-open cooldown")
 		probes     = fs.Int("half-open-probes", def.HalfOpenProbes, "probe decisions allowed while half-open")
 		rejects    = fs.Int("reject-threshold", def.RejectThreshold, "consecutive rejecting reports to open a breaker")
+		slowLat    = fs.Duration("slow-latency", def.SlowLatency, "report latency_ms above this demotes the site to half-open probation (0 = off)")
 		admitMax   = fs.Int("admit-max", 0, "per-site committed-query cap (0 = unbounded)")
 		queueBound = fs.Int("queue-bound", def.QueueBound, "decision queue bound (beyond it requests are shed)")
 		deadline   = fs.Duration("deadline", def.DefaultDeadline, "default per-request decision deadline")
@@ -113,6 +114,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	cfg.OpenFor = *openFor
 	cfg.HalfOpenProbes = *probes
 	cfg.RejectThreshold = *rejects
+	cfg.SlowLatency = *slowLat
 	cfg.AdmitMax = *admitMax
 	cfg.QueueBound = *queueBound
 	cfg.DefaultDeadline = *deadline

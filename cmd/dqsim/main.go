@@ -17,6 +17,7 @@ import (
 
 	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/replica"
@@ -55,6 +56,16 @@ func run(args []string, w io.Writer) error {
 		netDelay   = fs.Float64("net-delay", 0, "mean extra ring transmission delay")
 		faultTO    = fs.Float64("fault-timeout", 0, "watchdog detection timeout (0 = fault default)")
 		faultTries = fs.Int("fault-retries", -1, "max query retries after loss (-1 = fault default)")
+		slowMTTF   = fs.Float64("slow-mttf", 0, "mean time between per-site fail-slow onsets (0 = off)")
+		slowMTTR   = fs.Float64("slow-mttr", 800, "mean fail-slow episode duration for -slow-mttf")
+		slowFactor = fs.Float64("slow-factor", 10, "service-time multiplier during a fail-slow episode")
+		slowDisk   = fs.Float64("slow-disk", 0, "disk multiplier during fail-slow (0 = follow -slow-factor)")
+		brownMTTF  = fs.Float64("brownout-mttf", 0, "mean time between ring brownout onsets (0 = off)")
+		brownMTTR  = fs.Float64("brownout-mttr", 500, "mean brownout episode duration for -brownout-mttf")
+		brownFact  = fs.Float64("brownout-factor", 4, "ring transmission multiplier during a brownout")
+		suspect    = fs.Bool("suspect", false, "enable the gray-failure suspicion detector")
+		susRatio   = fs.Float64("suspect-ratio", 0, "suspect a site past this multiple of the median slowdown (0 = detector default)")
+		susPenalty = fs.Float64("suspect-penalty", -1, "cost surcharge on suspect sites (-1 = detector default)")
 		audit      = fs.Bool("audit", false, "run invariant auditors and fail on any violation")
 		schedName  = fs.String("sched", "calendar", "event scheduler: calendar (default) or heap (reference; identical results)")
 
@@ -124,7 +135,7 @@ func run(args []string, w io.Writer) error {
 	if cfg.Scheduler, err = sim.ParseImpl(*schedName); err != nil {
 		return err
 	}
-	if *mttf > 0 || *drop > 0 || *netDelay > 0 {
+	if *mttf > 0 || *drop > 0 || *netDelay > 0 || *slowMTTF > 0 || *brownMTTF > 0 {
 		fc := fault.Default()
 		fc.MTTF = math.Inf(1) // crashes off unless -mttf is given
 		if *mttf > 0 {
@@ -141,7 +152,30 @@ func run(args []string, w io.Writer) error {
 		if *faultTries >= 0 {
 			fc.MaxRetries = *faultTries
 		}
+		if *slowMTTF > 0 {
+			fc.SlowMTTF = *slowMTTF
+			fc.SlowMTTR = *slowMTTR
+			fc.SlowFactor = *slowFactor
+			fc.SlowDiskFactor = *slowDisk
+		}
+		if *brownMTTF > 0 {
+			fc.BrownoutMTTF = *brownMTTF
+			fc.BrownoutMTTR = *brownMTTR
+			fc.BrownoutFactor = *brownFact
+		}
 		cfg.Fault = fc
+	}
+	if *suspect {
+		sc := loadinfo.DefaultSuspect()
+		if *susRatio > 0 {
+			sc.Ratio = *susRatio
+		}
+		if *susPenalty >= 0 {
+			sc.Penalty = *susPenalty
+		}
+		cfg.Suspect = sc
+	} else if *susRatio != 0 || *susPenalty >= 0 {
+		return fmt.Errorf("-suspect-ratio/-suspect-penalty require -suspect")
 	}
 	if *estNoise < 0 {
 		return fmt.Errorf("-est-noise %v is negative", *estNoise)
@@ -328,6 +362,18 @@ func printResults(w io.Writer, r system.Results) {
 		fmt.Fprintf(w, "  avail. response    %10.3f\n", r.AvailResponse)
 		fmt.Fprintf(w, "  crashes=%d lost=%d retried=%d rejected=%d\n",
 			r.SiteCrashes, r.QueriesLost, r.QueriesRetried, r.QueriesRejected)
+	}
+	if r.SlowEpisodes > 0 || r.Brownouts > 0 {
+		var degraded float64
+		for _, d := range r.DegradedTime {
+			degraded += d
+		}
+		fmt.Fprintf(w, "  fail-slow: episodes=%d degraded=%.1f brownouts=%d (net %.1f)\n",
+			r.SlowEpisodes, degraded, r.Brownouts, r.BrownoutTime)
+	}
+	if r.SuspectTransfers > 0 || r.SuspectSites > 0 || r.HedgeWinsVsSlow > 0 {
+		fmt.Fprintf(w, "  suspicion: transfers=%d suspects=%d hedge-wins-vs-slow=%d\n",
+			r.SuspectTransfers, r.SuspectSites, r.HedgeWinsVsSlow)
 	}
 	if r.ParallelQueries > 0 {
 		var wide uint64

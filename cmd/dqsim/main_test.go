@@ -370,6 +370,96 @@ func TestRunParallelGoldenJSON(t *testing.T) {
 	checkGolden(t, "results_parallel_json.golden", buf.Bytes())
 }
 
+func TestRunWithSlowFaultFlags(t *testing.T) {
+	// Fail-slow episodes alone, audited (conservation through the
+	// rate-scaling path).
+	err := run([]string{
+		"-policy", "LERT", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "3000",
+		"-slow-mttf", "800", "-slow-mttr", "300",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full gray-failure stack: CPU-only fail-slow, ring brownouts,
+	// the suspicion detector and straggler hedging, plus crashes.
+	err = run([]string{
+		"-policy", "BNQ", "-sites", "3", "-mpl", "5",
+		"-warmup", "200", "-measure", "3000",
+		"-slow-mttf", "800", "-slow-mttr", "300", "-slow-factor", "6", "-slow-disk", "1",
+		"-brownout-mttf", "1000", "-brownout-mttr", "200", "-brownout-factor", "3",
+		"-suspect", "-suspect-ratio", "2.5", "-suspect-penalty", "500",
+		"-hedge-quantile", "0.9",
+		"-mttf", "2000", "-mttr", "300",
+		"-audit",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][]string{
+		"slow factor below one":     {"-slow-mttf", "800", "-slow-factor", "0.5"},
+		"slow disk below one":       {"-slow-mttf", "800", "-slow-disk", "0.5"},
+		"brownout factor below one": {"-brownout-mttf", "800", "-brownout-factor", "0.5"},
+		"suspect ratio w/o detect":  {"-suspect-ratio", "2.5"},
+		"penalty w/o detect":        {"-suspect-penalty", "10"},
+		"suspect ratio below clear": {"-suspect", "-suspect-ratio", "1.2"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("%s: args %v accepted", name, args)
+		}
+	}
+}
+
+// grayGoldenArgs is a deterministic fail-slow run with the detection
+// stack on, pinning the gray-failure output surface.
+func grayGoldenArgs(jsonOut bool) []string {
+	args := []string{
+		"-policy", "LERT", "-sites", "3", "-mpl", "5", "-seed", "3",
+		"-think", "600", "-warmup", "300", "-measure", "8000",
+		"-slow-mttf", "1500", "-slow-mttr", "500", "-slow-factor", "10",
+		"-brownout-mttf", "2000", "-brownout-mttr", "300",
+		"-suspect", "-hedge-quantile", "0.9",
+		"-audit",
+	}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	return args
+}
+
+func TestRunGrayGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(grayGoldenArgs(false), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fail-slow: episodes=", "suspicion: transfers="} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("gray-failure output missing %q:\n%s", want, buf.Bytes())
+		}
+	}
+	checkGolden(t, "results_gray.golden", buf.Bytes())
+}
+
+func TestRunGrayGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(grayGoldenArgs(true), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	for _, field := range []string{
+		"SlowEpisodes", "DegradedTime", "Brownouts", "SuspectTransfers",
+	} {
+		if _, ok := parsed[0][field]; !ok {
+			t.Errorf("JSON result missing field %q", field)
+		}
+	}
+	checkGolden(t, "results_gray_json.golden", buf.Bytes())
+}
+
 func TestRunGoldenJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(goldenArgs(true), &buf); err != nil {

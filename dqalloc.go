@@ -35,6 +35,7 @@ import (
 
 	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/sim"
@@ -63,6 +64,10 @@ type (
 	// Config.Fault to enable site crashes, lossy messaging, and the
 	// timeout/retry failover).
 	FaultConfig = fault.Config
+	// SuspectConfig parameterizes the gray-failure suspicion detector
+	// (set Config.Suspect to score each site's realized slowdown against
+	// the population and route queries around fail-slow sites).
+	SuspectConfig = loadinfo.SuspectConfig
 	// NoiseConfig parameterizes the estimation-error injector (set
 	// Config.Noise to make allocators decide on perturbed demand
 	// estimates while execution consumes the true demands).
@@ -173,6 +178,19 @@ const (
 // moderate failure rates (MTTF 10000, MTTR 500, no message loss) and
 // the default watchdog settings. Assign it to Config.Fault and adjust.
 func DefaultFaultConfig() FaultConfig { return fault.Default() }
+
+// DefaultSlowFaultConfig returns a pure gray-failure fault
+// configuration: sites never crash but suffer 10× fail-slow episodes
+// every 4000 time units lasting 800 on average, while still answering
+// queries and broadcasting load reports. Assign it to Config.Fault and
+// adjust; pair with DefaultSuspectConfig to route around the episodes.
+func DefaultSlowFaultConfig() FaultConfig { return fault.DefaultSlow() }
+
+// DefaultSuspectConfig returns an enabled gray-failure detector:
+// suspect a site once its slowdown EWMA exceeds 3× the population
+// median (clearing at 1.5×), with a 500-unit probation. Assign it to
+// Config.Suspect and adjust.
+func DefaultSuspectConfig() SuspectConfig { return loadinfo.DefaultSuspect() }
 
 // DefaultNoiseConfig returns an enabled estimation-error configuration:
 // mean-preserving lognormal noise with sigma 0.5 on both demand

@@ -65,6 +65,30 @@ func TestRunFacadeWithFaults(t *testing.T) {
 	}
 }
 
+func TestRunFacadeGrayFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Warmup = 500
+	cfg.Measure = 5000
+	cfg.Audit = true
+	cfg.Fault = DefaultSlowFaultConfig()
+	cfg.Fault.SlowMTTF = 1000
+	cfg.Fault.SlowMTTR = 300
+	cfg.Suspect = DefaultSuspectConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowEpisodes == 0 {
+		t.Error("no fail-slow episodes with SlowMTTF 1000")
+	}
+	if res.SiteCrashes != 0 {
+		t.Errorf("%d crashes in a pure gray-failure config", res.SiteCrashes)
+	}
+	if res.SuspectTransfers == 0 {
+		t.Error("detector never steered a query off a suspect site")
+	}
+}
+
 func TestRunFacadeImperfectInformation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PolicyKind = BNQ

@@ -654,3 +654,83 @@ func (r *ReplicationConservation) check(t float64) {
 			t, st.BadExec)
 	}
 }
+
+// SlowTotals is the fail-slow layer's episode ledger, read by the
+// slow-fault-conservation auditor through a closure so the auditor stays
+// decoupled from the fault package.
+type SlowTotals struct {
+	// Episodes and Recoveries count fail-slow onsets and completed
+	// recoveries; Degraded counts sites currently inside an episode.
+	Episodes, Recoveries uint64
+	Degraded             int
+	// Brownouts and BrownoutEnds count ring-brownout onsets and ends;
+	// BrownoutActive reports whether one is open now.
+	Brownouts, BrownoutEnds uint64
+	BrownoutActive          bool
+}
+
+// SlowFaultConservation audits the fail-slow episode accounting between
+// every pair of events: every onset must be recovered or still open —
+// episodes == recoveries + degraded — with the open count bounded by the
+// site count, and symmetrically for the single ring brownout process.
+// An imbalance means a site was left degraded (or restored) without its
+// ledger knowing, which would silently corrupt every degraded-time and
+// suspicion statistic built on it.
+type SlowFaultConservation struct {
+	violation
+	numSites int
+	totals   func() SlowTotals
+}
+
+// NewSlowFaultConservation builds the auditor. numSites bounds the
+// number of concurrently degraded sites; totals reads the fail-slow
+// ledger.
+func NewSlowFaultConservation(numSites int, totals func() SlowTotals) *SlowFaultConservation {
+	if numSites < 1 {
+		panic("check: slow-fault-conservation needs at least one site")
+	}
+	if totals == nil {
+		panic("check: nil slow totals")
+	}
+	return &SlowFaultConservation{numSites: numSites, totals: totals}
+}
+
+// Name implements Auditor.
+func (s *SlowFaultConservation) Name() string { return "slow-fault-conservation" }
+
+// EventFired implements EventObserver: the ledger identity must hold
+// whenever the model is quiescent.
+func (s *SlowFaultConservation) EventFired(e *sim.Event) {
+	if s.err == nil {
+		s.check(e.Time())
+	}
+}
+
+// Finalize implements Finalizer, re-checking at measurement end.
+func (s *SlowFaultConservation) Finalize(fin Final) {
+	if s.err == nil {
+		s.check(fin.End)
+	}
+}
+
+func (s *SlowFaultConservation) check(t float64) {
+	tot := s.totals()
+	if tot.Degraded < 0 || tot.Degraded > s.numSites {
+		s.failf("check: slow-fault-conservation: t=%v: degraded count %d outside [0,%d]",
+			t, tot.Degraded, s.numSites)
+		return
+	}
+	if tot.Episodes != tot.Recoveries+uint64(tot.Degraded) {
+		s.failf("check: slow-fault-conservation: t=%v: %d episodes != %d recoveries + %d degraded",
+			t, tot.Episodes, tot.Recoveries, tot.Degraded)
+		return
+	}
+	open := uint64(0)
+	if tot.BrownoutActive {
+		open = 1
+	}
+	if tot.Brownouts != tot.BrownoutEnds+open {
+		s.failf("check: slow-fault-conservation: t=%v: %d brownouts != %d ends + %d open",
+			t, tot.Brownouts, tot.BrownoutEnds, open)
+	}
+}

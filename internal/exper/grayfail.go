@@ -1,0 +1,179 @@
+package exper
+
+import (
+	"fmt"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// GrayFailureRow is one cell of the gray-failure study: one allocation
+// policy at one fail-slow severity, measured three ways — clean (no
+// fail-slow), blind (fail-slow, no defenses), and aware (fail-slow with
+// the suspicion detector and straggler hedging on) — all averaged over
+// the runner's replications with common random numbers.
+type GrayFailureRow struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Factor is the fail-slow severity (service-time multiplier).
+	Factor float64
+	// CleanResponse, BlindResponse, and AwareResponse are the mean
+	// response times of the three legs.
+	CleanResponse float64
+	BlindResponse float64
+	AwareResponse float64
+	// Recovery is the fraction of the gray-failure degradation the
+	// defenses clawed back: (Blind − Aware) / (Blind − Clean). Zero when
+	// the episodes did not degrade the blind run at all; negative means
+	// the defenses hurt.
+	Recovery float64
+	// SlowEpisodes is the total fail-slow episodes across the blind
+	// replications (the aware legs see the same episode schedule —
+	// injection draws from a dedicated stream).
+	SlowEpisodes uint64
+	// DegradedFrac is the mean fraction of site-time spent degraded in
+	// the blind legs.
+	DegradedFrac float64
+	// SuspectTransfers, Hedged, HedgeWins, and HedgeWinsVsSlow total the
+	// defense activity across the aware replications.
+	SuspectTransfers uint64
+	Hedged           uint64
+	HedgeWins        uint64
+	HedgeWinsVsSlow  uint64
+	// Completed and Lost are totals across the aware replications.
+	Completed uint64
+	Lost      uint64
+}
+
+// GrayFailureSweep measures how much of a fail-slow (gray failure)
+// response-time hit the detection stack recovers, per policy and
+// severity. fcfg supplies the episode schedule (SlowMTTF/SlowMTTR and,
+// optionally, crashes and brownouts); its SlowFactor is overridden per
+// severity level, and the clean leg zeroes SlowMTTF so the same seeds
+// run without episodes. Every replication of every leg is fully audited:
+// the rate-scaling and suspicion paths are exactly where conservation
+// bugs would hide.
+//
+// The study behind the paper's resilience conjecture, extended to
+// failures the crash detector cannot see: a gray site keeps answering
+// and keeps broadcasting load reports, so only realized-slowdown
+// evidence (the suspicion scorer) or racing clones (hedging) can route
+// around it. LOCAL shows the cleanest contrast — it never reads the
+// load table, so without the detector every home query crawls through
+// every episode — while cost-based policies already dodge partially via
+// the victim's growing backlog.
+// Additional opts mutate each cell's configuration before it runs (all
+// three legs identically) — typically easing ThinkTime toward moderate
+// load: at the Table-7 default the 10× site saturates, which both
+// starves the detector of completion samples and leaves the survivors
+// no headroom to absorb the displaced stream, so the saturated regime
+// caps how much any detector can recover.
+func GrayFailureSweep(r Runner, kinds []policy.Kind, factors []float64, fcfg fault.Config, opts ...func(*system.Config)) ([]GrayFailureRow, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("exper: gray-failure sweep: no severity levels")
+	}
+	if !fcfg.SlowFaults() {
+		return nil, fmt.Errorf("exper: gray-failure sweep: fault config has no fail-slow episodes")
+	}
+	rows := make([]GrayFailureRow, 0, len(kinds)*len(factors))
+	for _, kind := range kinds {
+		// The clean leg is severity-independent: one set of replications
+		// per policy, reused across factors.
+		cleanCfg := r.applyHorizons(system.Default())
+		cleanCfg.PolicyKind = kind
+		cleanCfg.Audit = true
+		cleanCfg.Fault = fcfg
+		cleanCfg.Fault.SlowMTTF = 0 // no episodes; everything else identical
+		for _, opt := range opts {
+			opt(&cleanCfg)
+		}
+		clean, err := grayLeg(r, cleanCfg, "clean", nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, factor := range factors {
+			blindCfg := r.applyHorizons(system.Default())
+			blindCfg.PolicyKind = kind
+			blindCfg.Audit = true
+			blindCfg.Fault = fcfg
+			blindCfg.Fault.SlowFactor = factor
+			for _, opt := range opts {
+				opt(&blindCfg)
+			}
+
+			awareCfg := blindCfg
+			awareCfg.Suspect = loadinfo.DefaultSuspect()
+			awareCfg.Hedge = system.DefaultHedge()
+
+			row := GrayFailureRow{Policy: kind.String(), Factor: factor}
+			blind, err := grayLeg(r, blindCfg, "blind", func(res *system.Results) {
+				row.SlowEpisodes += res.SlowEpisodes
+				var degraded float64
+				for _, d := range res.DegradedTime {
+					degraded += d
+				}
+				if res.MeasuredTime > 0 {
+					row.DegradedFrac += degraded /
+						(float64(len(res.DegradedTime)) * res.MeasuredTime)
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			aware, err := grayLeg(r, awareCfg, "aware", func(res *system.Results) {
+				row.SuspectTransfers += res.SuspectTransfers
+				row.Hedged += res.Hedged
+				row.HedgeWins += res.HedgeWins
+				row.HedgeWinsVsSlow += res.HedgeWinsVsSlow
+				row.Completed += res.Completed
+				row.Lost += res.QueriesLost
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.CleanResponse = clean
+			row.BlindResponse = blind
+			row.AwareResponse = aware
+			row.DegradedFrac /= float64(r.Reps)
+			if hit := blind - clean; hit > 0 {
+				row.Recovery = (blind - aware) / hit
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// grayLeg runs one audited leg of the sweep and returns its mean
+// response time, feeding each replication's results to collect when set.
+func grayLeg(r Runner, cfg system.Config, leg string, collect func(*system.Results)) (float64, error) {
+	var mean float64
+	for rep := 0; rep < r.Reps; rep++ {
+		cfg.Seed = r.BaseSeed + uint64(rep)
+		sys, err := newSystem(cfg)
+		if err != nil {
+			return 0, fmt.Errorf("exper: gray-failure sweep %s %s: %w", cfg.PolicyName(), leg, err)
+		}
+		res := sys.Run()
+		if err := sys.Audit(); err != nil {
+			return 0, fmt.Errorf("exper: gray-failure sweep %s %s seed %d: %w",
+				cfg.PolicyName(), leg, cfg.Seed, err)
+		}
+		mean += res.MeanResponse
+		if collect != nil {
+			collect(&res)
+		}
+	}
+	return mean / float64(r.Reps), nil
+}
+
+// DefaultGrayFactors returns the severity ladder used in EXPERIMENTS.md:
+// mild, painful, and crippling service-time multipliers.
+func DefaultGrayFactors() []float64 {
+	return []float64{4, 10, 25}
+}

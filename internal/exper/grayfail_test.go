@@ -1,0 +1,101 @@
+package exper
+
+import (
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/policy"
+	"dqalloc/internal/system"
+)
+
+// grayFaultConfig returns the episode schedule used by the sweep tests:
+// no crashes, long gray episodes (the realistic regime — fail-slow
+// faults in the wild persist for minutes to hours against query times
+// of milliseconds), with an episode usually in progress somewhere.
+func grayFaultConfig() fault.Config {
+	fcfg := fault.DefaultSlow()
+	fcfg.SlowMTTF = 6000
+	fcfg.SlowMTTR = 2000
+	return fcfg
+}
+
+// TestGrayFailureSweep pins the headline claim of the gray-failure
+// study: at severity 10×, suspicion-based routing plus straggler
+// hedging recovers at least half of the mean-response degradation on at
+// least one policy (LOCAL, which has everything to gain — it never
+// reads the load table).
+func TestGrayFailureSweep(t *testing.T) {
+	r := Runner{Reps: 3, BaseSeed: 1, Warmup: 1000, Measure: 16000}
+	kinds := []policy.Kind{policy.Local, policy.LERT}
+	factors := []float64{10}
+	// Moderate load: at the Table-7 default think time the 10× site
+	// saturates, starving the detector of completion samples (see the
+	// GrayFailureSweep doc comment).
+	moderate := func(cfg *system.Config) { cfg.ThinkTime = 600 }
+	rows, err := GrayFailureSweep(r, kinds, factors, grayFaultConfig(), moderate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kinds)*len(factors) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(kinds)*len(factors))
+	}
+	best := -1.0
+	for _, row := range rows {
+		if row.SlowEpisodes == 0 {
+			t.Errorf("%s factor %v: no fail-slow episodes", row.Policy, row.Factor)
+		}
+		if row.DegradedFrac <= 0 || row.DegradedFrac >= 1 {
+			t.Errorf("%s factor %v: degraded fraction %v outside (0,1)", row.Policy, row.Factor, row.DegradedFrac)
+		}
+		if row.BlindResponse <= row.CleanResponse {
+			t.Errorf("%s factor %v: blind response %v not above clean %v",
+				row.Policy, row.Factor, row.BlindResponse, row.CleanResponse)
+		}
+		if row.SuspectTransfers == 0 {
+			t.Errorf("%s factor %v: detector never steered a query", row.Policy, row.Factor)
+		}
+		if row.Lost != 0 {
+			t.Errorf("%s factor %v: %d queries lost under fail-slow", row.Policy, row.Factor, row.Lost)
+		}
+		if row.Recovery > best {
+			best = row.Recovery
+		}
+		t.Logf("%s factor %v: clean %.2f blind %.2f aware %.2f recovery %.0f%% (transfers %d, hedges %d, wins-vs-slow %d)",
+			row.Policy, row.Factor, row.CleanResponse, row.BlindResponse, row.AwareResponse,
+			row.Recovery*100, row.SuspectTransfers, row.Hedged, row.HedgeWinsVsSlow)
+	}
+	if best < 0.5 {
+		t.Errorf("no policy recovered >= 50%% of the 10x degradation (best %.0f%%)", best*100)
+	}
+}
+
+// TestGrayFailureSweepRejectsBadInput: empty severity lists and
+// episode-free fault configs are configuration errors, not silent
+// no-op sweeps.
+func TestGrayFailureSweepRejectsBadInput(t *testing.T) {
+	r := Runner{Reps: 1, BaseSeed: 1, Warmup: 100, Measure: 500}
+	if _, err := GrayFailureSweep(r, []policy.Kind{policy.Local}, nil, grayFaultConfig()); err == nil {
+		t.Error("empty factor list accepted")
+	}
+	if _, err := GrayFailureSweep(r, []policy.Kind{policy.Local}, []float64{10}, fault.Default()); err == nil {
+		t.Error("fault config without fail-slow episodes accepted")
+	}
+	if _, err := GrayFailureSweep(Runner{}, []policy.Kind{policy.Local}, []float64{10}, grayFaultConfig()); err == nil {
+		t.Error("invalid runner accepted")
+	}
+}
+
+func TestDefaultGrayFactors(t *testing.T) {
+	fs := DefaultGrayFactors()
+	if len(fs) == 0 {
+		t.Fatal("empty default severity ladder")
+	}
+	for i, f := range fs {
+		if f <= 1 {
+			t.Errorf("factor %v is not a slowdown", f)
+		}
+		if i > 0 && fs[i] <= fs[i-1] {
+			t.Errorf("ladder not increasing at %d", i)
+		}
+	}
+}

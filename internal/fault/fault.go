@@ -56,6 +56,32 @@ type Config struct {
 	// losing more than MaxRetries attempts is rejected (counted, never
 	// silently dropped).
 	MaxRetries int
+
+	// SlowMTTF is each site's mean time between fail-slow onsets
+	// (exponential). 0 or +Inf disables fail-slow episodes. Unlike a
+	// crash, a fail-slow site keeps executing and keeps broadcasting
+	// load reports — it just runs SlowFactor× slower.
+	SlowMTTF float64
+	// SlowMTTR is each fail-slow episode's mean duration (exponential).
+	SlowMTTR float64
+	// SlowFactor multiplies CPU (and, unless overridden, disk) service
+	// times while a site is in a fail-slow episode; must be ≥ 1.
+	SlowFactor float64
+	// SlowDiskFactor optionally overrides the disk multiplier during a
+	// fail-slow episode. 0 means "follow SlowFactor"; any other value
+	// must be ≥ 1. Set it to 1 for a CPU-only gray failure.
+	SlowDiskFactor float64
+
+	// BrownoutMTTF is the mean time between ring brownout onsets
+	// (exponential). 0 or +Inf disables brownouts. A brownout is a
+	// network-wide gray failure: every transmission starting during the
+	// episode takes BrownoutFactor× longer.
+	BrownoutMTTF float64
+	// BrownoutMTTR is each brownout episode's mean duration (exponential).
+	BrownoutMTTR float64
+	// BrownoutFactor multiplies ring transmission times during a
+	// brownout; must be ≥ 1.
+	BrownoutFactor float64
 }
 
 // Default returns a moderate-failure configuration: site failures every
@@ -73,6 +99,19 @@ func Default() Config {
 		RetryBackoff:  10,
 		MaxRetries:    8,
 	}
+}
+
+// DefaultSlow returns a pure gray-failure configuration: sites never
+// crash but suffer 10× fail-slow episodes every 4000 time units lasting
+// 800 on average (both CPU and disk), with the reliable network and
+// default watchdog settings. Assign it to Config.Fault and adjust.
+func DefaultSlow() Config {
+	c := Default()
+	c.MTTF = math.Inf(1)
+	c.SlowMTTF = 4000
+	c.SlowMTTR = 800
+	c.SlowFactor = 10
+	return c
 }
 
 // Validate reports a configuration error, if any. A disabled config is
@@ -96,6 +135,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fault: RetryBackoff %v must be positive and finite", c.RetryBackoff)
 	case c.MaxRetries < 0:
 		return fmt.Errorf("fault: MaxRetries %d must be non-negative", c.MaxRetries)
+	case math.IsNaN(c.SlowMTTF) || c.SlowMTTF < 0:
+		return fmt.Errorf("fault: SlowMTTF %v must be non-negative (0 or +Inf for no fail-slow)", c.SlowMTTF)
+	case c.SlowFaults() && !(c.SlowMTTR > 0 && !math.IsInf(c.SlowMTTR, 1)):
+		return fmt.Errorf("fault: SlowMTTR %v must be positive and finite", c.SlowMTTR)
+	case c.SlowFaults() && !(c.SlowFactor >= 1 && !math.IsInf(c.SlowFactor, 1)):
+		return fmt.Errorf("fault: SlowFactor %v must be ≥ 1 and finite", c.SlowFactor)
+	case c.SlowFaults() && c.SlowDiskFactor != 0 && !(c.SlowDiskFactor >= 1 && !math.IsInf(c.SlowDiskFactor, 1)):
+		return fmt.Errorf("fault: SlowDiskFactor %v must be 0 (follow SlowFactor) or ≥ 1 and finite", c.SlowDiskFactor)
+	case !c.SlowFaults() && (math.IsNaN(c.SlowMTTR) || c.SlowMTTR < 0 || math.IsNaN(c.SlowFactor) || c.SlowFactor < 0 || math.IsNaN(c.SlowDiskFactor) || c.SlowDiskFactor < 0):
+		return fmt.Errorf("fault: negative or NaN fail-slow parameter with fail-slow disabled")
+	case math.IsNaN(c.BrownoutMTTF) || c.BrownoutMTTF < 0:
+		return fmt.Errorf("fault: BrownoutMTTF %v must be non-negative (0 or +Inf for no brownouts)", c.BrownoutMTTF)
+	case c.Brownouts() && !(c.BrownoutMTTR > 0 && !math.IsInf(c.BrownoutMTTR, 1)):
+		return fmt.Errorf("fault: BrownoutMTTR %v must be positive and finite", c.BrownoutMTTR)
+	case c.Brownouts() && !(c.BrownoutFactor >= 1 && !math.IsInf(c.BrownoutFactor, 1)):
+		return fmt.Errorf("fault: BrownoutFactor %v must be ≥ 1 and finite", c.BrownoutFactor)
+	case !c.Brownouts() && (math.IsNaN(c.BrownoutMTTR) || c.BrownoutMTTR < 0 || math.IsNaN(c.BrownoutFactor) || c.BrownoutFactor < 0):
+		return fmt.Errorf("fault: negative or NaN brownout parameter with brownouts disabled")
 	}
 	return nil
 }
@@ -106,6 +163,29 @@ func (c Config) SiteFailures() bool { return c.Enabled && !math.IsInf(c.MTTF, 1)
 // NetworkFaults reports whether the config perturbs the network or the
 // load broadcasts.
 func (c Config) NetworkFaults() bool { return c.Enabled && (c.DropProb > 0 || c.DelayMean > 0) }
+
+// SlowFaults reports whether the config makes sites fail slow at all.
+func (c Config) SlowFaults() bool {
+	return c.Enabled && c.SlowMTTF > 0 && !math.IsInf(c.SlowMTTF, 1)
+}
+
+// Brownouts reports whether the config browns out the ring at all.
+func (c Config) Brownouts() bool {
+	return c.Enabled && c.BrownoutMTTF > 0 && !math.IsInf(c.BrownoutMTTF, 1)
+}
+
+// SlowCPUFactor returns the CPU service-time multiplier of a fail-slow
+// episode.
+func (c Config) SlowCPUFactor() float64 { return c.SlowFactor }
+
+// SlowDiskMult returns the disk service-time multiplier of a fail-slow
+// episode: SlowDiskFactor, or SlowFactor when unset.
+func (c Config) SlowDiskMult() float64 {
+	if c.SlowDiskFactor != 0 {
+		return c.SlowDiskFactor
+	}
+	return c.SlowFactor
+}
 
 // Scheduler event kinds for the trace digest (see sim.Event.Kind).
 const (

@@ -1,0 +1,174 @@
+package fault_test
+
+import (
+	"math"
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/system"
+)
+
+// clampF folds an arbitrary fuzzed float into [lo, hi], mapping NaN and
+// infinities to lo.
+func clampF(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	v = math.Abs(v)
+	return lo + math.Mod(v, hi-lo)
+}
+
+// FuzzFaultConfig hammers the fault-injection configuration surface:
+//
+//  1. Validate must never panic, and a config it accepts must honor the
+//     documented field contracts — no NaN anywhere, probabilities in
+//     [0,1], degradation factors ≥ 1 when their episodes are live.
+//  2. Any sanitized in-range config must drive a short fully-audited
+//     run without tripping a conservation auditor.
+//  3. An enabled config whose every fault process is off (no crashes,
+//     no loss, no delay, no fail-slow, no brownouts) must be a true
+//     noop: its event-stream digest matches a disabled config bit for
+//     bit, whatever the inert watchdog knobs are set to.
+func FuzzFaultConfig(f *testing.F) {
+	f.Add(uint64(1), 10000.0, 500.0, 0.0, 0.0, 150.0, 10.0, 8, 4000.0, 800.0, 10.0, 0.0, 2000.0, 300.0, 4.0)
+	f.Add(uint64(2), math.Inf(1), 0.0, 0.05, 2.0, 50.0, 5.0, 3, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(3), math.NaN(), -1.0, 1.5, math.Inf(1), 0.0, -3.0, -1, -5.0, math.NaN(), 0.5, 0.5, -1.0, 0.0, 0.9)
+	f.Add(uint64(4), 800.0, 200.0, 0.3, 5.0, 80.0, 2.0, 1, 600.0, 150.0, 3.0, 1.0, 900.0, 100.0, 2.0)
+	f.Fuzz(func(t *testing.T, seed uint64,
+		mttf, mttr, drop, delay, detect, backoff float64, retries int,
+		slowMTTF, slowMTTR, slowFactor, slowDisk, brMTTF, brMTTR, brFactor float64) {
+
+		raw := fault.Config{
+			Enabled:        true,
+			MTTF:           mttf,
+			MTTR:           mttr,
+			DropProb:       drop,
+			DelayMean:      delay,
+			DetectTimeout:  detect,
+			RetryBackoff:   backoff,
+			MaxRetries:     retries,
+			SlowMTTF:       slowMTTF,
+			SlowMTTR:       slowMTTR,
+			SlowFactor:     slowFactor,
+			SlowDiskFactor: slowDisk,
+			BrownoutMTTF:   brMTTF,
+			BrownoutMTTR:   brMTTR,
+			BrownoutFactor: brFactor,
+		}
+		err := raw.Validate() // must never panic
+		off := raw
+		off.Enabled = false
+		if off.Validate() != nil {
+			t.Fatal("disabled config rejected")
+		}
+		if err == nil {
+			// Contract of an accepted config: every field is a usable
+			// number in its documented range.
+			for name, v := range map[string]float64{
+				"MTTF": raw.MTTF, "MTTR": raw.MTTR, "DropProb": raw.DropProb,
+				"DelayMean": raw.DelayMean, "DetectTimeout": raw.DetectTimeout,
+				"RetryBackoff": raw.RetryBackoff,
+				"SlowMTTF":     raw.SlowMTTF, "SlowMTTR": raw.SlowMTTR,
+				"SlowFactor": raw.SlowFactor, "SlowDiskFactor": raw.SlowDiskFactor,
+				"BrownoutMTTF": raw.BrownoutMTTF, "BrownoutMTTR": raw.BrownoutMTTR,
+				"BrownoutFactor": raw.BrownoutFactor,
+			} {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("Validate accepted %s = %v", name, v)
+				}
+			}
+			if raw.DropProb > 1 {
+				t.Fatalf("Validate accepted DropProb %v", raw.DropProb)
+			}
+			if raw.SlowFaults() && (raw.SlowFactor < 1 || (raw.SlowDiskFactor != 0 && raw.SlowDiskFactor < 1)) {
+				t.Fatalf("Validate accepted sub-1 degradation factors: %+v", raw)
+			}
+			if raw.Brownouts() && raw.BrownoutFactor < 1 {
+				t.Fatalf("Validate accepted brownout factor %v", raw.BrownoutFactor)
+			}
+			if raw.MaxRetries < 0 {
+				t.Fatalf("Validate accepted MaxRetries %d", raw.MaxRetries)
+			}
+		}
+
+		// A sanitized in-range sibling of the fuzz point must survive a
+		// short run with every auditor armed.
+		sane := fault.Config{
+			Enabled:        true,
+			MTTF:           clampF(mttf, 500, 5000),
+			MTTR:           clampF(mttr, 50, 500),
+			DropProb:       clampF(drop, 0, 0.2),
+			DelayMean:      clampF(delay, 0, 5),
+			DetectTimeout:  clampF(detect, 50, 300),
+			RetryBackoff:   clampF(backoff, 1, 50),
+			MaxRetries:     1 + (retries&0x7f+128)%8,
+			SlowMTTF:       clampF(slowMTTF, 200, 2000),
+			SlowMTTR:       clampF(slowMTTR, 50, 500),
+			SlowFactor:     clampF(slowFactor, 1, 20),
+			SlowDiskFactor: clampF(slowDisk, 1, 20),
+			BrownoutMTTF:   clampF(brMTTF, 200, 2000),
+			BrownoutMTTR:   clampF(brMTTR, 50, 500),
+			BrownoutFactor: clampF(brFactor, 1, 10),
+		}
+		cfg := system.Default()
+		cfg.NumSites = 3
+		cfg.MPL = 3
+		cfg.Warmup = 50
+		cfg.Measure = 400
+		cfg.Seed = seed%1024 + 1
+		cfg.Audit = true
+		cfg.Fault = sane
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("sanitized config rejected: %v", err)
+		}
+		s, err := system.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		if err := s.Audit(); err != nil {
+			t.Fatalf("auditor violation: %v", err)
+		}
+
+		// Enabled-noop identity for the gray-failure extension: with
+		// SlowMTTF and BrownoutMTTF zero the slow injector must not
+		// exist, so the leftover fuzzed episode parameters — factors,
+		// durations — must not change the crash-only event stream by a
+		// single bit. The gate is the predicate, not field presence.
+		crashOnly := sane
+		crashOnly.SlowMTTF = 0
+		crashOnly.SlowMTTR = 0
+		crashOnly.SlowFactor = 0
+		crashOnly.SlowDiskFactor = 0
+		crashOnly.BrownoutMTTF = 0
+		crashOnly.BrownoutMTTR = 0
+		crashOnly.BrownoutFactor = 0
+		inert := sane
+		inert.SlowMTTF = 0     // off, but SlowMTTR/factors keep fuzzed values
+		inert.BrownoutMTTF = 0 // off, but BrownoutMTTR/factor keep fuzzed values
+		base := cfg
+		base.Fault = crashOnly
+		base.TraceDigest = true
+		inertCfg := cfg
+		inertCfg.Fault = inert
+		inertCfg.TraceDigest = true
+		want := digestOf(t, base)
+		got := digestOf(t, inertCfg)
+		if got != want {
+			t.Fatalf("inert fail-slow fields changed the event stream: %#x != %#x", got, want)
+		}
+	})
+}
+
+func digestOf(t *testing.T, cfg system.Config) uint64 {
+	t.Helper()
+	s, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	return r.TraceDigest
+}

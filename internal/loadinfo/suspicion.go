@@ -1,0 +1,213 @@
+package loadinfo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the gray-failure detector of the fail-slow extension: a
+// per-site slowdown score fed by completed queries, compared against the
+// population median so that a site running much slower than its peers —
+// while still up and still broadcasting load reports — is marked suspect.
+// Policies read the mask through policy.Env and route around suspects;
+// the mask clears with hysteresis once the site recovers.
+
+// SuspectConfig parameterizes the gray-failure suspicion scorer. The zero
+// value (Enabled == false) disables it.
+type SuspectConfig struct {
+	// Enabled turns suspicion scoring on.
+	Enabled bool
+	// Alpha is the EWMA weight given to each new slowdown sample
+	// (0 < Alpha <= 1). Larger reacts faster but is noisier.
+	Alpha float64
+	// Ratio marks a site suspect when its slowdown EWMA exceeds Ratio ×
+	// the population median. Must exceed Clear.
+	Ratio float64
+	// Clear releases a suspect site once its EWMA falls back below
+	// Clear × the population median (hysteresis). Must be >= 1.
+	Clear float64
+	// MinSamples is the number of completions a site must contribute
+	// before it can be marked suspect, so one slow query during warmup
+	// does not condemn a healthy site.
+	MinSamples int
+	// Probation bounds how long a suspect verdict may stand without
+	// fresh evidence: after Probation time units the site is released
+	// with its score reseeded to the population median, so probe
+	// traffic re-decides it. Without this, routing around a suspect
+	// site starves it of samples and the verdict freezes forever —
+	// even after the gray failure heals.
+	Probation float64
+	// Penalty is the cost surcharge (in the policies' response-time cost
+	// units) added to a suspect site's score, steering cost-based
+	// policies away without forbidding the site outright.
+	Penalty float64
+}
+
+// DefaultSuspect returns a moderate detector: EWMA weight 0.5 (about two
+// clearly-degraded completions to condemn — samples from a gray site are
+// rationed by its own slowness, so a sluggish EWMA pays for its smoothing
+// in detection lag), suspect at 3× the population median slowdown, clear
+// at 1.5×, after 8 samples, with a surcharge of 1000 cost units.
+func DefaultSuspect() SuspectConfig {
+	return SuspectConfig{
+		Enabled:    true,
+		Alpha:      0.5,
+		Ratio:      3,
+		Clear:      1.5,
+		MinSamples: 8,
+		Probation:  500,
+		Penalty:    1000,
+	}
+}
+
+// Validate reports the first configuration error, if any.
+func (c SuspectConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("loadinfo: suspect Alpha %v outside (0,1]", c.Alpha)
+	case math.IsNaN(c.Ratio) || c.Ratio <= 1 || math.IsInf(c.Ratio, 0):
+		return fmt.Errorf("loadinfo: suspect Ratio %v must be finite and > 1", c.Ratio)
+	case math.IsNaN(c.Clear) || c.Clear < 1 || c.Clear >= c.Ratio:
+		return fmt.Errorf("loadinfo: suspect Clear %v outside [1, Ratio)", c.Clear)
+	case c.MinSamples < 1:
+		return fmt.Errorf("loadinfo: suspect MinSamples %d < 1", c.MinSamples)
+	case math.IsNaN(c.Probation) || math.IsInf(c.Probation, 0) || c.Probation <= 0:
+		return fmt.Errorf("loadinfo: suspect Probation %v must be positive and finite", c.Probation)
+	case math.IsNaN(c.Penalty) || math.IsInf(c.Penalty, 0) || c.Penalty < 0:
+		return fmt.Errorf("loadinfo: suspect Penalty %v must be finite and non-negative", c.Penalty)
+	}
+	return nil
+}
+
+// Suspicion tracks a slowdown EWMA per site and maintains the suspect
+// mask. Observe feeds it one sample per completed query: the ratio of
+// the query's wall response time at its execution site to its nominal
+// sampled service demand, which is ≈ 1 + queueing on a healthy site and
+// ≈ the degradation factor + queueing on a fail-slow one.
+type Suspicion struct {
+	cfg      SuspectConfig
+	ewma     []float64
+	count    []int
+	suspect  []bool
+	markedAt []float64 // verdict instant, valid while suspect
+	scratch  []float64
+}
+
+// NewSuspicion returns a detector over numSites sites with everything
+// clean. The config must be enabled and valid.
+func NewSuspicion(numSites int, cfg SuspectConfig) (*Suspicion, error) {
+	if !cfg.Enabled {
+		return nil, fmt.Errorf("loadinfo: suspicion scorer built from disabled config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numSites < 1 {
+		return nil, fmt.Errorf("loadinfo: suspicion needs at least one site")
+	}
+	return &Suspicion{
+		cfg:      cfg,
+		ewma:     make([]float64, numSites),
+		count:    make([]int, numSites),
+		suspect:  make([]bool, numSites),
+		markedAt: make([]float64, numSites),
+		scratch:  make([]float64, 0, numSites),
+	}, nil
+}
+
+// Mask returns the live suspect mask. Observe updates it in place, so a
+// consumer (policy.Env) holding the slice always sees the current
+// verdicts without re-fetching.
+func (u *Suspicion) Mask() []bool { return u.suspect }
+
+// Suspected reports whether site is currently suspect.
+func (u *Suspicion) Suspected(site int) bool { return u.suspect[site] }
+
+// Penalty returns the cost surcharge for site: cfg.Penalty while the
+// site is suspect, zero otherwise.
+func (u *Suspicion) Penalty(site int) float64 {
+	if u.suspect[site] {
+		return u.cfg.Penalty
+	}
+	return 0
+}
+
+// Score returns site's current slowdown EWMA (zero before any sample).
+func (u *Suspicion) Score(site int) float64 { return u.ewma[site] }
+
+// Samples returns how many slowdown samples site has contributed.
+func (u *Suspicion) Samples(site int) int { return u.count[site] }
+
+// Observe feeds one slowdown sample for site at simulation time now and
+// refreshes the verdicts. Non-positive and non-finite samples are
+// ignored (a zero-service query carries no signal).
+func (u *Suspicion) Observe(site int, slowdown, now float64) {
+	if math.IsNaN(slowdown) || math.IsInf(slowdown, 0) || slowdown <= 0 {
+		return
+	}
+	if u.count[site] == 0 {
+		u.ewma[site] = slowdown
+	} else {
+		u.ewma[site] += u.cfg.Alpha * (slowdown - u.ewma[site])
+	}
+	u.count[site]++
+	u.refresh(now)
+}
+
+// refresh recomputes the population median over sites with at least one
+// sample and re-derives every site's verdict with hysteresis, releasing
+// suspects whose probation expired.
+func (u *Suspicion) refresh(now float64) {
+	u.scratch = u.scratch[:0]
+	for s, n := range u.count {
+		if n > 0 {
+			u.scratch = append(u.scratch, u.ewma[s])
+		}
+	}
+	if len(u.scratch) < 2 {
+		return // no population to compare against
+	}
+	sort.Float64s(u.scratch)
+	median := u.scratch[len(u.scratch)/2]
+	if len(u.scratch)%2 == 0 {
+		median = (median + u.scratch[len(u.scratch)/2-1]) / 2
+	}
+	if median <= 0 {
+		return
+	}
+	for s := range u.suspect {
+		if u.count[s] < u.cfg.MinSamples {
+			continue
+		}
+		if u.suspect[s] {
+			if now-u.markedAt[s] >= u.cfg.Probation {
+				// Probation over: the verdict starved the site of samples,
+				// so release it with a neutral score and let probe traffic
+				// re-decide. A still-degraded site re-condemns itself in a
+				// couple of samples; a healed one stays clean.
+				u.suspect[s] = false
+				u.ewma[s] = median
+			} else if u.ewma[s] < u.cfg.Clear*median {
+				u.suspect[s] = false
+			}
+		} else if u.ewma[s] > u.cfg.Ratio*median {
+			u.suspect[s] = true
+			u.markedAt[s] = now
+		}
+	}
+}
+
+// SuspectCount returns the number of currently suspect sites.
+func (u *Suspicion) SuspectCount() int {
+	n := 0
+	for _, v := range u.suspect {
+		if v {
+			n++
+		}
+	}
+	return n
+}

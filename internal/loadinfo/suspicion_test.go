@@ -1,0 +1,135 @@
+package loadinfo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuspectConfigValidate(t *testing.T) {
+	if err := (SuspectConfig{}).Validate(); err != nil {
+		t.Fatalf("disabled config invalid: %v", err)
+	}
+	if err := DefaultSuspect().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []SuspectConfig{
+		{Enabled: true, Alpha: 0, Ratio: 3, Clear: 1.5, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 1.5, Ratio: 3, Clear: 1.5, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: math.NaN(), Ratio: 3, Clear: 1.5, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: 1, Clear: 1, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: math.Inf(1), Clear: 1.5, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: 3, Clear: 0.5, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: 3, Clear: 3, MinSamples: 8, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: 3, Clear: 1.5, MinSamples: 0, Penalty: 1},
+		{Enabled: true, Alpha: 0.2, Ratio: 3, Clear: 1.5, MinSamples: 8, Penalty: -1},
+		{Enabled: true, Alpha: 0.2, Ratio: 3, Clear: 1.5, MinSamples: 8, Penalty: math.Inf(1)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly valid", i, c)
+		}
+	}
+}
+
+// A site running 10× slower than its peers must become suspect once it
+// has MinSamples, and must clear after recovering.
+func TestSuspicionMarkAndClear(t *testing.T) {
+	cfg := DefaultSuspect()
+	u, err := NewSuspicion(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := u.Mask()
+	now := 0.0
+	for i := 0; i < 20; i++ {
+		now += 10
+		for s := 0; s < 3; s++ {
+			u.Observe(s, 1.2, now) // healthy: response ≈ service
+		}
+		u.Observe(3, 12, now) // gray: 10× degraded
+	}
+	if !u.Suspected(3) {
+		t.Fatalf("degraded site not suspect; score %v", u.Score(3))
+	}
+	for s := 0; s < 3; s++ {
+		if u.Suspected(s) {
+			t.Fatalf("healthy site %d suspect", s)
+		}
+	}
+	if !mask[3] {
+		t.Fatal("mask not updated in place")
+	}
+	if u.Penalty(3) != cfg.Penalty {
+		t.Fatalf("suspect penalty %v, want %v", u.Penalty(3), cfg.Penalty)
+	}
+	if u.Penalty(0) != 0 {
+		t.Fatalf("clean penalty %v, want 0", u.Penalty(0))
+	}
+	if u.SuspectCount() != 1 {
+		t.Fatalf("SuspectCount %d, want 1", u.SuspectCount())
+	}
+	// Recovery: the EWMA decays back toward healthy; hysteresis clears.
+	for i := 0; i < 50; i++ {
+		now += 10
+		for s := 0; s < 4; s++ {
+			u.Observe(s, 1.2, now)
+		}
+	}
+	if u.Suspected(3) {
+		t.Fatalf("recovered site still suspect; score %v", u.Score(3))
+	}
+}
+
+// Before MinSamples a site must never be condemned, however slow.
+func TestSuspicionMinSamples(t *testing.T) {
+	u, err := NewSuspicion(3, DefaultSuspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 20; i++ {
+		now += 1
+		u.Observe(0, 1, now)
+		u.Observe(1, 1, now)
+	}
+	for i := 0; i < 7; i++ { // MinSamples is 8
+		now += 1
+		u.Observe(2, 100, now)
+	}
+	if u.Suspected(2) {
+		t.Fatal("site suspect before MinSamples")
+	}
+	u.Observe(2, 100, now+1)
+	if !u.Suspected(2) {
+		t.Fatal("site not suspect at MinSamples")
+	}
+}
+
+// Garbage samples must be ignored, not poison the EWMA.
+func TestSuspicionIgnoresGarbage(t *testing.T) {
+	u, err := NewSuspicion(2, DefaultSuspect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Observe(0, math.NaN(), 1)
+	u.Observe(0, math.Inf(1), 2)
+	u.Observe(0, -1, 3)
+	u.Observe(0, 0, 4)
+	if u.Samples(0) != 0 {
+		t.Fatalf("garbage samples counted: %d", u.Samples(0))
+	}
+}
+
+func TestNewSuspicionRejects(t *testing.T) {
+	if _, err := NewSuspicion(3, SuspectConfig{}); err == nil {
+		t.Fatal("disabled config accepted")
+	}
+	if _, err := NewSuspicion(0, DefaultSuspect()); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	bad := DefaultSuspect()
+	bad.Alpha = -1
+	if _, err := NewSuspicion(3, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

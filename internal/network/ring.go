@@ -64,6 +64,12 @@ type Ring struct {
 	// in transmission order, keeping runs deterministic.
 	fault func() (drop bool, delay float64)
 
+	// stretch, when non-nil, returns the current transmission-time
+	// multiplier (brownout extension). Consulted exactly once per
+	// transmission, at its start; a message already in flight when a
+	// brownout opens or closes keeps its original timing.
+	stretch func() float64
+
 	// sent, totalDelivered and totalDropped are lifetime counters (never
 	// reset by ResetStats) backing the message-conservation invariant
 	// sent == totalDelivered + totalDropped + pending audited by
@@ -108,6 +114,13 @@ func (r *Ring) TransmitTime(size float64) float64 { return size * r.perByte }
 // lossless subnet; this hook is the fault-injection extension. Install
 // before the first Send; pass nil to restore reliable delivery.
 func (r *Ring) SetFault(fn func() (drop bool, delay float64)) { r.fault = fn }
+
+// SetStretch installs a transmission-time multiplier consulted once at
+// each transmission's start (brownout extension): a factor of k makes
+// every transmission beginning while it returns k take k× as long,
+// modeling a network-wide gray failure. In-flight messages are
+// unaffected. Pass nil to restore nominal timing.
+func (r *Ring) SetStretch(fn func() float64) { r.stretch = fn }
 
 // Send places a message in the sender's outgoing queue. Delivery happens
 // after the ring polls the sender and transmits the message.
@@ -208,6 +221,9 @@ func (r *Ring) transmit(m Message) {
 	r.util.Set(now, 1)
 	r.waits.Add(now - m.enqueuedAt)
 	hold := r.TransmitTime(m.Size)
+	if r.stretch != nil {
+		hold *= r.stretch()
+	}
 	dropped := false
 	if r.fault != nil {
 		var extra float64

@@ -51,6 +51,14 @@ type Env struct {
 	// count-based LOCAL and RANDOM policies ignore it — they never
 	// compare costs.
 	Penalty func(site int) float64
+	// Suspect marks sites under gray-failure suspicion (fail-slow
+	// detection extension): up, reporting, but responding anomalously
+	// slowly. nil means no detector is running. Unlike Up, suspicion is
+	// advisory — cost-based policies price it through Penalty, while
+	// LOCAL and RANDOM (which never compare costs) prefer unsuspected
+	// sites and fall back to a suspect one only when every alternative
+	// is suspect or down. The mask is updated in place by the detector.
+	Suspect []bool
 }
 
 // NoSite is returned by Select when no candidate site may execute the
@@ -91,6 +99,10 @@ func (e *Env) penalty(site int) float64 {
 	}
 	return e.Penalty(site)
 }
+
+// suspect reports whether the site is under gray-failure suspicion
+// (always false without a detector).
+func (e *Env) suspect(site int) bool { return e.Suspect != nil && e.Suspect[site] }
 
 // allowed reports whether site may execute the query: it must hold a
 // copy and be up.
@@ -166,7 +178,7 @@ func New(kind Kind, numSites int, stream *rng.Stream) (Policy, error) {
 	}
 	switch kind {
 	case Local:
-		return localPolicy{}, nil
+		return &localPolicy{}, nil
 	case Random:
 		if stream == nil {
 			return nil, fmt.Errorf("policy: RANDOM needs a random stream")
@@ -185,22 +197,80 @@ func New(kind Kind, numSites int, stream *rng.Stream) (Policy, error) {
 	}
 }
 
-// localPolicy keeps every query at its arrival site.
-type localPolicy struct{}
+// localPolicy keeps every query at its arrival site. The cursor spreads
+// suspicion-displaced traffic: when a home site is marked gray, its
+// whole arrival stream must land elsewhere, and nearest-downstream would
+// dump all of it on one neighbor — doubling that site's load and buying
+// back with queueing much of what rerouting saved. Round-robin over the
+// clean sites splits the displaced stream evenly instead. The cursor
+// only moves on the suspicion path, so runs without a detector are
+// bit-identical to the stateless policy.
+type localPolicy struct {
+	rr int
+}
 
-func (localPolicy) Name() string { return "LOCAL" }
+func (*localPolicy) Name() string { return "LOCAL" }
 
-func (localPolicy) Select(_ *workload.Query, arrival int, env *Env) int {
-	if env.allowed(arrival) {
+func (p *localPolicy) Select(_ *workload.Query, arrival int, env *Env) int {
+	if env.allowed(arrival) && !env.suspect(arrival) {
 		return arrival
 	}
-	// The home site may hold no copy (partial replication) or be down
-	// (fault injection); the "local" behavior degrades to the nearest
-	// live downstream copy holder, which spreads no-copy traffic evenly
-	// without load information. NoSite when every copy holder is down.
+	if env.suspect(arrival) {
+		// Suspicion displacement: spread over the clean live sites.
+		if best := p.cleanSpread(arrival, env); best != NoSite {
+			return best
+		}
+	} else if best := localFallback(arrival, env, true); best != NoSite {
+		// The home site holds no copy (partial replication) or is down
+		// (fault injection); "local" degrades to the nearest unsuspected
+		// live downstream copy holder, which spreads the traffic evenly
+		// without load information (each home has its own neighbor).
+		return best
+	}
+	if env.allowed(arrival) {
+		// Every alternative is suspect or down too; a suspect home beats
+		// a suspect remote (no message cost), so stay.
+		return arrival
+	}
+	// NoSite when every copy holder is down.
+	return localFallback(arrival, env, false)
+}
+
+// cleanSpread picks the next unsuspected live site after the cursor,
+// advancing it on success.
+func (p *localPolicy) cleanSpread(arrival int, env *Env) int {
+	ok := func(s int) bool {
+		return s != arrival && env.allowed(s) && !env.suspect(s)
+	}
+	if env.Candidates == nil {
+		n := env.NumSites
+		for i := 0; i < n-1; i++ {
+			if s := (arrival + 1 + (p.rr+i)%(n-1)) % n; ok(s) {
+				p.rr++
+				return s
+			}
+		}
+		return NoSite
+	}
+	m := len(env.Candidates)
+	for i := 0; i < m; i++ {
+		if s := env.Candidates[(p.rr+i)%m]; ok(s) {
+			p.rr++
+			return s
+		}
+	}
+	return NoSite
+}
+
+// localFallback returns the nearest ring-downstream allowed site other
+// than arrival; wantClean additionally excludes suspected sites.
+func localFallback(arrival int, env *Env, wantClean bool) int {
+	ok := func(s int) bool {
+		return s != arrival && env.allowed(s) && !(wantClean && env.suspect(s))
+	}
 	if env.Candidates == nil {
 		for d := 1; d < env.NumSites; d++ {
-			if s := (arrival + d) % env.NumSites; env.allowed(s) {
+			if s := (arrival + d) % env.NumSites; ok(s) {
 				return s
 			}
 		}
@@ -208,7 +278,7 @@ func (localPolicy) Select(_ *workload.Query, arrival int, env *Env) int {
 	}
 	best, bestDist := NoSite, env.NumSites
 	for _, s := range env.Candidates {
-		if !env.allowed(s) {
+		if !ok(s) {
 			continue
 		}
 		if d := (s - arrival + env.NumSites) % env.NumSites; d < bestDist {
@@ -226,27 +296,42 @@ type randomPolicy struct {
 func (p *randomPolicy) Name() string { return "RANDOM" }
 
 func (p *randomPolicy) Select(_ *workload.Query, _ int, env *Env) int {
-	// The Up == nil paths consume exactly one draw over the full set,
-	// preserving the no-fault random sequence bit for bit.
+	// The Up == nil, Suspect == nil paths consume exactly one draw over
+	// the full set, preserving the no-fault random sequence bit for bit.
 	if env.Candidates != nil {
 		if len(env.Candidates) == 0 {
 			return NoSite
 		}
-		if env.Up == nil {
+		if env.Up == nil && env.Suspect == nil {
 			return env.Candidates[p.stream.Intn(len(env.Candidates))]
 		}
 		return pickUniform(p.stream, env, env.Candidates...)
 	}
-	if env.Up == nil {
+	if env.Up == nil && env.Suspect == nil {
 		return p.stream.Intn(env.NumSites)
 	}
 	return pickUniform(p.stream, env)
 }
 
 // pickUniform draws uniformly among the live members of set (or of all
-// sites when set is empty), returning NoSite — without consuming a draw
-// — when none is live.
+// sites when set is empty), preferring unsuspected ones: the draw is
+// over the live-and-clean subset when it is non-empty, over all live
+// members otherwise. NoSite — without consuming a draw — when none is
+// live.
 func pickUniform(stream *rng.Stream, env *Env, set ...int) int {
+	if env.Suspect != nil {
+		clean := func(s int) bool { return env.siteUp(s) && !env.Suspect[s] }
+		if s := pickWhere(stream, env, clean, set); s != NoSite {
+			return s
+		}
+	}
+	return pickWhere(stream, env, env.siteUp, set)
+}
+
+// pickWhere draws uniformly among the members of set (or of all sites
+// when set is nil) satisfying ok, returning NoSite — without consuming
+// a draw — when none does.
+func pickWhere(stream *rng.Stream, env *Env, ok func(int) bool, set []int) int {
 	n := env.NumSites
 	if set != nil {
 		n = len(set)
@@ -257,18 +342,18 @@ func pickUniform(stream *rng.Stream, env *Env, set ...int) int {
 		}
 		return i
 	}
-	live := 0
+	eligible := 0
 	for i := 0; i < n; i++ {
-		if env.siteUp(nth(i)) {
-			live++
+		if ok(nth(i)) {
+			eligible++
 		}
 	}
-	if live == 0 {
+	if eligible == 0 {
 		return NoSite
 	}
-	k := stream.Intn(live)
+	k := stream.Intn(eligible)
 	for i := 0; i < n; i++ {
-		if !env.siteUp(nth(i)) {
+		if !ok(nth(i)) {
 			continue
 		}
 		if k == 0 {

@@ -85,6 +85,14 @@ func (d *DiskArray[T]) RemoveFunc(match func(T) bool) (T, bool) {
 	return zero, false
 }
 
+// SetRate changes every disk's speed; in-service reads are re-timed so
+// only their remaining work stretches. See FCFS.SetRate.
+func (d *DiskArray[T]) SetRate(rate float64) {
+	for _, disk := range d.disks {
+		disk.SetRate(rate)
+	}
+}
+
 // NumDisks returns the number of disks in the array.
 func (d *DiskArray[T]) NumDisks() int { return len(d.disks) }
 

@@ -37,6 +37,14 @@ type FCFS[T any] struct {
 	util   stats.TimeWeighted
 	qlen   stats.TimeWeighted
 	served uint64
+	// rate is the server's speed. It stays exactly 1 unless SetRate is
+	// called (fail-slow episodes), so the no-fault arithmetic is
+	// bit-identical (y/1.0 == y). remaining and rateSince track the
+	// in-service job's unfinished work so a mid-service rate change
+	// stretches exactly the work not yet done.
+	rate      float64
+	remaining float64
+	rateSince float64
 }
 
 type fcfsEntry[T any] struct {
@@ -50,9 +58,37 @@ func NewFCFS[T any](sched *sim.Scheduler, done func(T)) *FCFS[T] {
 	if done == nil {
 		panic("queue: nil completion callback")
 	}
-	f := &FCFS[T]{sched: sched, done: done}
+	f := &FCFS[T]{sched: sched, done: done, rate: 1}
 	f.finishFn = f.finish
 	return f
+}
+
+// Rate returns the server's current speed (1 unless degraded).
+func (f *FCFS[T]) Rate() float64 { return f.rate }
+
+// SetRate changes the server's speed: the in-service job's completion is
+// re-timed so work already done at the old rate counts and only the
+// remaining work stretches (or shrinks). This is the fail-slow hook — a
+// rate of 1/k stretches service times by k. rate must be positive.
+func (f *FCFS[T]) SetRate(rate float64) {
+	if !(rate > 0) {
+		panic("queue: non-positive FCFS rate")
+	}
+	if rate == f.rate {
+		return
+	}
+	if f.busy {
+		now := f.sched.Now()
+		f.remaining -= (now - f.rateSince) * f.rate
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.rateSince = now
+		f.sched.Cancel(f.next)
+		f.next = f.sched.After(f.remaining/rate, f.finishFn)
+		f.next.SetKind(EventKindFCFS)
+	}
+	f.rate = rate
 }
 
 // Enqueue adds a job requiring the given service time. Service starts
@@ -157,7 +193,9 @@ func (f *FCFS[T]) startNext() {
 	f.busy = true
 	f.util.Set(now, 1)
 	head := f.queue[0]
-	f.next = f.sched.After(head.service, f.finishFn)
+	f.remaining = head.service
+	f.rateSince = now
+	f.next = f.sched.After(head.service/f.rate, f.finishFn)
 	f.next.SetKind(EventKindFCFS)
 }
 

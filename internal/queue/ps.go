@@ -33,6 +33,10 @@ type PS[T any] struct {
 	util       stats.TimeWeighted
 	load       stats.TimeWeighted
 	served     uint64
+	// rate is the server's speed: work is consumed at rate/n per job.
+	// Stays exactly 1 unless SetRate is called (fail-slow episodes), so
+	// the no-fault arithmetic is bit-identical (x·1.0 == x, y/1.0 == y).
+	rate float64
 }
 
 type psJob[T any] struct {
@@ -46,9 +50,28 @@ func NewPS[T any](sched *sim.Scheduler, done func(T)) *PS[T] {
 	if done == nil {
 		panic("queue: nil completion callback")
 	}
-	p := &PS[T]{sched: sched, done: done}
+	p := &PS[T]{sched: sched, done: done, rate: 1}
 	p.departFn = p.depart
 	return p
+}
+
+// Rate returns the server's current speed (1 unless degraded).
+func (p *PS[T]) Rate() float64 { return p.rate }
+
+// SetRate changes the server's speed: elapsed sharing is applied at the
+// old rate, then the next departure is rescheduled at the new one. This
+// is the fail-slow hook — a rate of 1/f stretches all in-progress and
+// future work by f. rate must be positive.
+func (p *PS[T]) SetRate(rate float64) {
+	if !(rate > 0) {
+		panic("queue: non-positive PS rate")
+	}
+	if rate == p.rate {
+		return
+	}
+	p.advance()
+	p.rate = rate
+	p.reschedule()
 }
 
 // Enqueue adds a job with the given total service requirement. The job
@@ -140,7 +163,7 @@ func (p *PS[T]) advance() {
 	now := p.sched.Now()
 	n := len(p.jobs)
 	if n > 0 && now > p.lastUpdate {
-		each := (now - p.lastUpdate) / float64(n)
+		each := (now - p.lastUpdate) * p.rate / float64(n)
 		for i := range p.jobs {
 			p.jobs[i].remaining -= each
 			if p.jobs[i].remaining < 0 {
@@ -165,7 +188,7 @@ func (p *PS[T]) reschedule() {
 			minRemaining = p.jobs[i].remaining
 		}
 	}
-	delay := minRemaining * float64(len(p.jobs))
+	delay := minRemaining * float64(len(p.jobs)) / p.rate
 	if delay < 0 {
 		delay = 0
 	}

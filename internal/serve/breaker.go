@@ -42,11 +42,18 @@ func (s BreakerState) String() string {
 //   - Rejection feedback. RejectThreshold consecutive reports carrying
 //     Rejected > 0 trip to open; the site is alive but shedding, so
 //     routing more work there only feeds the overload.
+//   - Latency feedback. A report carrying LatencyMS above the SlowLatency
+//     threshold marks the site slow-but-reporting — a gray failure the
+//     gap detector can never see, because the site keeps talking. Such a
+//     report does NOT close the breaker: a closed breaker demotes to
+//     half-open probation, and a half-open one has its probe budget
+//     refreshed, so the slow site receives a bounded probe trickle while
+//     the bulk of traffic routes around it until a fast report closes it.
 //
 // open → half-open after the OpenFor cooldown; half-open admits up to
 // HalfOpenProbes routed decisions, then re-opens (restarting the
-// cooldown) unless a clean report (Rejected == 0) arrives, which closes
-// the breaker from any state.
+// cooldown) unless a clean report (Rejected == 0 and latency under the
+// threshold) arrives, which closes the breaker from any state.
 //
 // OnReport is called from handler goroutines and CanRoute/RoutedProbe
 // from the decision loop; one mutex guards the set.
@@ -56,6 +63,7 @@ type breakerSet struct {
 	openFor   time.Duration
 	threshold int
 	probes    int
+	slowMS    float64 // SlowLatency in milliseconds; 0 disables
 
 	state      []BreakerState
 	openedAt   []time.Time
@@ -63,6 +71,7 @@ type breakerSet struct {
 	probesLeft []int
 	last       []time.Time
 	opens      uint64
+	slowTrips  uint64
 }
 
 func newBreakerSet(numSites int, cfg Config) *breakerSet {
@@ -71,6 +80,7 @@ func newBreakerSet(numSites int, cfg Config) *breakerSet {
 		openFor:    cfg.OpenFor,
 		threshold:  cfg.RejectThreshold,
 		probes:     cfg.HalfOpenProbes,
+		slowMS:     float64(cfg.SlowLatency) / float64(time.Millisecond),
 		state:      make([]BreakerState, numSites),
 		openedAt:   make([]time.Time, numSites),
 		rejects:    make([]int, numSites),
@@ -87,9 +97,9 @@ func (b *breakerSet) toOpen(site int, now time.Time) {
 	b.opens++
 }
 
-// OnReport feeds one report's liveness and rejection feedback into
-// site's breaker.
-func (b *breakerSet) OnReport(site, rejected int, now time.Time) {
+// OnReport feeds one report's liveness, rejection, and latency feedback
+// into site's breaker.
+func (b *breakerSet) OnReport(site, rejected int, latencyMS float64, now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.last[site] = now
@@ -108,6 +118,21 @@ func (b *breakerSet) OnReport(site, rejected int, now time.Time) {
 		return
 	}
 	b.rejects[site] = 0
+	if b.slowMS > 0 && latencyMS > b.slowMS {
+		// Slow-but-reporting: the site is alive (the gap detector stays
+		// quiet) yet degraded. Probation, not closure: a closed breaker
+		// demotes to half-open, a half-open one gets a fresh probe
+		// budget, and an open one keeps its cooldown.
+		switch b.state[site] {
+		case BreakerClosed:
+			b.state[site] = BreakerHalfOpen
+			b.probesLeft[site] = b.probes
+			b.slowTrips++
+		case BreakerHalfOpen:
+			b.probesLeft[site] = b.probes
+		}
+		return
+	}
 	b.state[site] = BreakerClosed // a clean report closes from any state
 }
 
@@ -172,6 +197,14 @@ func (b *breakerSet) Opens() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.opens
+}
+
+// SlowTrips returns how many closed→half-open probation demotions
+// latency feedback has caused since start.
+func (b *breakerSet) SlowTrips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.slowTrips
 }
 
 // AnyRoutable reports whether any site would pass CanRoute, without

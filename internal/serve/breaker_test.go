@@ -26,7 +26,7 @@ func TestBreakerStartsOpenUntilFirstReport(t *testing.T) {
 	if b.AnyRoutable(clk.Now()) {
 		t.Fatal("AnyRoutable true with no reports")
 	}
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 	if !b.CanRoute(0, clk.Now()) {
 		t.Fatal("reported site not routable")
 	}
@@ -39,7 +39,7 @@ func TestBreakerGapOpensThenHalfOpenProbes(t *testing.T) {
 	clk := newFakeClock()
 	cfg := breakerConfig()
 	b := newBreakerSet(1, cfg)
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 
 	// Within the gap: routable.
 	clk.Advance(250 * time.Millisecond)
@@ -56,7 +56,7 @@ func TestBreakerGapOpensThenHalfOpenProbes(t *testing.T) {
 	}
 
 	// The site resumes reporting but the breaker is cooling down.
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 	// A clean report closes immediately — recovery needs no cooldown.
 	if !b.CanRoute(0, clk.Now()) {
 		t.Fatal("clean report did not close the breaker")
@@ -67,16 +67,16 @@ func TestBreakerRejectFeedbackAndProbeBudget(t *testing.T) {
 	clk := newFakeClock()
 	cfg := breakerConfig()
 	b := newBreakerSet(1, cfg)
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 
 	// Two rejecting reports: still closed (threshold 3).
-	b.OnReport(0, 5, clk.Now())
-	b.OnReport(0, 2, clk.Now())
+	b.OnReport(0, 5, 0, clk.Now())
+	b.OnReport(0, 2, 0, clk.Now())
 	if !b.CanRoute(0, clk.Now()) {
 		t.Fatal("breaker opened below the reject threshold")
 	}
 	// Third consecutive rejection: open.
-	b.OnReport(0, 1, clk.Now())
+	b.OnReport(0, 1, 0, clk.Now())
 	if b.CanRoute(0, clk.Now()) {
 		t.Fatal("breaker closed after threshold rejections")
 	}
@@ -84,12 +84,12 @@ func TestBreakerRejectFeedbackAndProbeBudget(t *testing.T) {
 	// Cooldown elapses; reports keep arriving (still rejecting would
 	// restart the cooldown, so send none and rely on the last stamp).
 	clk.Advance(cfg.OpenFor)
-	b.OnReport(0, 1, clk.Now()) // still rejecting: cooldown restarts
+	b.OnReport(0, 1, 0, clk.Now()) // still rejecting: cooldown restarts
 	if b.CanRoute(0, clk.Now()) {
 		t.Fatal("rejecting site routable after cooldown restart")
 	}
 	clk.Advance(cfg.OpenFor)
-	b.OnReport(0, 1, clk.Now())
+	b.OnReport(0, 1, 0, clk.Now())
 	clk.Advance(cfg.OpenFor - 50*time.Millisecond)
 	// Keep the report stamp fresh enough to pass the gap check but keep
 	// the rejection count out of it (a clean report would close).
@@ -105,7 +105,7 @@ func TestBreakerRejectFeedbackAndProbeBudget(t *testing.T) {
 
 	// Now a recovering site: clean report closes everything, then trip
 	// it open via gap and walk the half-open path with fresh reports...
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 	if !b.CanRoute(0, clk.Now()) {
 		t.Fatal("clean report did not close")
 	}
@@ -116,8 +116,8 @@ func TestBreakerHalfOpenProbeExhaustionReopens(t *testing.T) {
 	cfg := breakerConfig()
 	cfg.RejectThreshold = 1
 	b := newBreakerSet(1, cfg)
-	b.OnReport(0, 0, clk.Now())
-	b.OnReport(0, 1, clk.Now()) // threshold 1: open
+	b.OnReport(0, 0, 0, clk.Now())
+	b.OnReport(0, 1, 0, clk.Now()) // threshold 1: open
 	if b.CanRoute(0, clk.Now()) {
 		t.Fatal("breaker closed after rejection")
 	}
@@ -141,12 +141,84 @@ func TestBreakerHalfOpenProbeExhaustionReopens(t *testing.T) {
 		t.Fatal("probe budget exhausted but still routable")
 	}
 	// A clean report ends the probation.
-	b.OnReport(0, 0, clk.Now())
+	b.OnReport(0, 0, 0, clk.Now())
 	if !b.CanRoute(0, clk.Now()) {
 		t.Fatal("clean report did not close half-open breaker")
 	}
 	states := b.States()
 	if states[0] != "closed" {
 		t.Errorf("state = %q, want closed", states[0])
+	}
+}
+
+// A slow-but-reporting site (gray failure) must be demoted to half-open
+// probation — a bounded probe trickle — rather than closed by its
+// on-time reports, and a fast report must close it from any state.
+func TestBreakerLatencyProbation(t *testing.T) {
+	clk := newFakeClock()
+	cfg := breakerConfig() // SlowLatency 250ms from Default
+	b := newBreakerSet(1, cfg)
+	b.OnReport(0, 0, 45, clk.Now()) // fast clean report: closed
+	if !b.CanRoute(0, clk.Now()) {
+		t.Fatal("fast report did not close the breaker")
+	}
+
+	// Slow report: closed → half-open probation, not open, not closed.
+	b.OnReport(0, 0, 450, clk.Now())
+	if got := b.States()[0]; got != "half-open" {
+		t.Fatalf("state after slow report = %q, want half-open", got)
+	}
+	if got := b.SlowTrips(); got != 1 {
+		t.Fatalf("slow trips = %d, want 1", got)
+	}
+
+	// Probation is bounded: the probe budget (2) gates routing.
+	b.RoutedProbe(0, clk.Now())
+	if !b.CanRoute(0, clk.Now()) {
+		t.Fatal("half-open refused with probes remaining")
+	}
+	// Another slow report refreshes the budget instead of closing.
+	b.OnReport(0, 0, 450, clk.Now())
+	if got := b.States()[0]; got != "half-open" {
+		t.Fatalf("state after budget refresh = %q, want half-open", got)
+	}
+	if !b.CanRoute(0, clk.Now()) {
+		t.Fatal("refreshed probe budget not routable")
+	}
+	if got := b.SlowTrips(); got != 1 {
+		t.Fatalf("slow trips after refresh = %d, want 1 (no re-demotion)", got)
+	}
+
+	// Exhausting the budget without a fast report re-opens; a slow
+	// report while open must not close it.
+	b.RoutedProbe(0, clk.Now())
+	b.RoutedProbe(0, clk.Now())
+	if b.CanRoute(0, clk.Now()) {
+		t.Fatal("probe budget exhausted but still routable")
+	}
+	b.OnReport(0, 0, 450, clk.Now())
+	if got := b.States()[0]; got != "open" {
+		t.Fatalf("slow report changed open breaker to %q", got)
+	}
+
+	// A fast report closes from any state.
+	b.OnReport(0, 0, 45, clk.Now())
+	if got := b.States()[0]; got != "closed" {
+		t.Fatalf("fast report left breaker %q, want closed", got)
+	}
+}
+
+// SlowLatency zero disables latency-driven breaking entirely.
+func TestBreakerLatencyDisabled(t *testing.T) {
+	clk := newFakeClock()
+	cfg := breakerConfig()
+	cfg.SlowLatency = 0
+	b := newBreakerSet(1, cfg)
+	b.OnReport(0, 0, 1e6, clk.Now()) // absurdly slow, but the knob is off
+	if got := b.States()[0]; got != "closed" {
+		t.Fatalf("state = %q with latency breaking disabled, want closed", got)
+	}
+	if got := b.SlowTrips(); got != 0 {
+		t.Fatalf("slow trips = %d with latency breaking disabled", got)
 	}
 }

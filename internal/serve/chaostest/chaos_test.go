@@ -144,6 +144,64 @@ func TestChaosBlackoutDegradesInOrder(t *testing.T) {
 	}
 }
 
+// TestChaosBrownoutProbation: a site that keeps reporting on schedule
+// but runs 10× slow — the gray failure the gap detector can never see —
+// must be caught by latency-driven breaking: probation demotions
+// observed, less traffic routed to it than with the knob off, and once
+// the brownout ends its fast reports must close the breaker again.
+func TestChaosBrownoutProbation(t *testing.T) {
+	sc := baseline()
+	sc.Steps = 3000
+	sc.SlowFactor = 10
+	sc.SlowSite = 2
+	sc.SlowStart = 10
+	sc.SlowRounds = 60
+
+	res, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("outcome counts do not conserve: %+v", res)
+	}
+	if res.SlowProbations == 0 {
+		t.Error("brownout never demoted the slow site into probation")
+	}
+	if a := res.Availability(); a < 0.99 {
+		t.Errorf("availability %.4f under brownout, want >= 0.99 (%+v)", a, res)
+	}
+	for s, st := range res.FinalBreakers {
+		if st != "closed" {
+			t.Errorf("site %d breaker %q after brownout healed, want closed", s, st)
+		}
+	}
+
+	// The same brownout with latency breaking disabled: no probations,
+	// and at least as much traffic lands on the slow site.
+	off := chaosConfig()
+	off.SlowLatency = 0
+	resOff, err := Run(off, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOff.SlowProbations != 0 {
+		t.Errorf("%d probations with latency breaking disabled", resOff.SlowProbations)
+	}
+	if res.SlowSiteDecisions > resOff.SlowSiteDecisions {
+		t.Errorf("probation routed MORE to the slow site: %d on vs %d off",
+			res.SlowSiteDecisions, resOff.SlowSiteDecisions)
+	}
+
+	// Determinism holds under brownouts too.
+	again, err := Run(chaosConfig(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != res.Digest || again.SlowProbations != res.SlowProbations {
+		t.Errorf("brownout scenario diverged: %+v vs %+v", res, again)
+	}
+}
+
 // TestHTTPChaosSmoke runs the real HTTP server under concurrent chaos —
 // lossy reporters, mixed clients including slow ones with hopeless
 // deadlines — then drains and asserts the service-level invariants:
@@ -253,6 +311,20 @@ func TestHTTPChaosSmoke(t *testing.T) {
 	}
 	if st.LatencyP99US > 2e6 {
 		t.Errorf("p99 decision latency %.0fus unbounded (> 2s)", st.LatencyP99US)
+	}
+	// Per-outcome latency lanes: every routed request must be accounted
+	// in the decided/fallback lanes, and lane counts must match the
+	// resolution counters.
+	var laneRouted uint64
+	for _, name := range []string{"decided", "fallback"} {
+		laneRouted += st.LatencyByOutcome[name].Count
+	}
+	if laneRouted != st.Decided+st.Fallback {
+		t.Errorf("latency lanes hold %d routed decisions, counters say %d",
+			laneRouted, st.Decided+st.Fallback)
+	}
+	if q := st.LatencyByOutcome["decided"]; q.Count > 0 && (q.P50US <= 0 || q.P99US < q.P50US) {
+		t.Errorf("decided latency quantiles inconsistent: %+v", q)
 	}
 
 	ts.Close()

@@ -74,6 +74,15 @@ type Scenario struct {
 	// serving but stops reporting, as in a partition or agent crash.
 	ChurnPeriod  int
 	ChurnSilence int
+	// SlowFactor, when > 1, opens a fail-slow brownout at SlowSite: from
+	// round SlowStart for SlowRounds rounds the site's synthetic
+	// completions take SlowFactor× longer and its reports carry the
+	// inflated latency — the site keeps reporting on time, so only
+	// latency-driven breaking can catch it.
+	SlowFactor float64
+	SlowSite   int
+	SlowStart  int
+	SlowRounds int
 	// Seed drives every random draw in the scenario.
 	Seed uint64
 }
@@ -88,6 +97,11 @@ type Result struct {
 	NoSites    int
 	// BreakerOpens counts breaker open transitions over the run.
 	BreakerOpens uint64
+	// SlowProbations counts latency-driven closed→half-open demotions.
+	SlowProbations uint64
+	// SlowSiteDecisions counts decisions routed to the scenario's
+	// SlowSite while its brownout was active.
+	SlowSiteDecisions int
 	// Digest is an FNV-1a fold of the (site, outcome) decision stream;
 	// equal scenarios yield equal digests.
 	Digest uint64
@@ -115,6 +129,7 @@ type pendingReport struct {
 	due                 int // step index at which it arrives
 	site, numIO, numCPU int
 	cpuWork, ioWork     float64
+	latencyMS           float64
 }
 
 // completion releases one synthetic outstanding query.
@@ -161,7 +176,7 @@ func Run(cfg serve.Config, sc Scenario) (Result, error) {
 				kept = append(kept, pr)
 				continue
 			}
-			if err := core.Report(pr.site, pr.numIO, pr.numCPU, pr.cpuWork, pr.ioWork, 0, clk.Now()); err != nil {
+			if err := core.Report(pr.site, pr.numIO, pr.numCPU, pr.cpuWork, pr.ioWork, 0, pr.latencyMS, clk.Now()); err != nil {
 				return Result{}, err
 			}
 		}
@@ -182,13 +197,22 @@ func Run(cfg serve.Config, sc Scenario) (Result, error) {
 		}
 		completions = keptC
 
-		// Report round: churn, loss, and delay apply per site.
+		// Brownout window: the slow site serves and reports normally on
+		// schedule, but everything it touches takes SlowFactor× longer.
+		slowActive := sc.SlowFactor > 1 &&
+			round >= sc.SlowStart && round < sc.SlowStart+sc.SlowRounds
+
+		// Report round: churn, loss, delay, and brownout latency apply
+		// per site.
 		if step%sc.ReportEvery == 0 {
 			faulty := round >= sc.FirstCleanRounds
 			if faulty && sc.ChurnPeriod > 0 && round%sc.ChurnPeriod == 0 {
 				s := churnRng.Intn(cfg.NumSites)
 				silentUntil[s] = round + sc.ChurnSilence
 			}
+			// Mean synthetic service is ~4.5 steps; reports carry it as
+			// the site's observed latency, inflated during a brownout.
+			baseLatMS := 4.5 * float64(sc.StepDt) / float64(time.Millisecond)
 			for s := 0; s < cfg.NumSites; s++ {
 				if faulty && round < silentUntil[s] {
 					continue // churned away: the site reports nothing
@@ -200,10 +224,15 @@ func Run(cfg serve.Config, sc Scenario) (Result, error) {
 				if sc.MaxDelaySteps > 0 {
 					delay = delayRng.Intn(sc.MaxDelaySteps + 1)
 				}
+				lat := baseLatMS
+				if slowActive && s == sc.SlowSite {
+					lat *= sc.SlowFactor
+				}
 				inFlight = append(inFlight, pendingReport{
 					due: step + delay, site: s,
 					numIO: numIO[s], numCPU: numCPU[s],
 					cpuWork: float64(numCPU[s]), ioWork: float64(numIO[s]),
+					latencyMS: lat,
 				})
 			}
 			round++
@@ -239,8 +268,13 @@ func Run(cfg serve.Config, sc Scenario) (Result, error) {
 			} else {
 				numCPU[site]++
 			}
+			svc := 1 + svcRng.Intn(8)
+			if slowActive && site == sc.SlowSite {
+				svc = int(float64(svc) * sc.SlowFactor)
+				res.SlowSiteDecisions++
+			}
 			completions = append(completions, completion{
-				due: step + 1 + svcRng.Intn(8), site: site, io: io,
+				due: step + svc, site: site, io: io,
 			})
 		}
 
@@ -248,6 +282,7 @@ func Run(cfg serve.Config, sc Scenario) (Result, error) {
 	}
 
 	res.BreakerOpens = core.BreakerOpens()
+	res.SlowProbations = core.SlowProbations()
 	res.FinalBreakers = core.Breakers()
 	return res, nil
 }

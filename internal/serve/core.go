@@ -116,17 +116,22 @@ func (c *Core) Breakers() []string { return c.breakers.States() }
 // BreakerOpens returns the cumulative count of breaker open transitions.
 func (c *Core) BreakerOpens() uint64 { return c.breakers.Opens() }
 
+// SlowProbations returns how many times latency feedback demoted a
+// closed breaker into half-open probation (gray-failure detections).
+func (c *Core) SlowProbations() uint64 { return c.breakers.SlowTrips() }
+
 // Ready reports whether at least one site is currently routable.
 func (c *Core) Ready(now time.Time) bool { return c.breakers.AnyRoutable(now) }
 
 // Report ingests one site's load report: table entry, freshness stamp,
-// and breaker feedback. Safe for concurrent use.
-func (c *Core) Report(site, numIO, numCPU int, cpuWork, ioWork float64, rejected int, now time.Time) error {
+// and breaker feedback (rejections and observed latency). Safe for
+// concurrent use. latencyMS zero means "not measured".
+func (c *Core) Report(site, numIO, numCPU int, cpuWork, ioWork float64, rejected int, latencyMS float64, now time.Time) error {
 	if site < 0 || site >= c.cfg.NumSites {
 		return fmt.Errorf("serve: site %d out of range [0,%d)", site, c.cfg.NumSites)
 	}
 	c.table.Ingest(site, numIO, numCPU, cpuWork, ioWork, now)
-	c.breakers.OnReport(site, rejected, now)
+	c.breakers.OnReport(site, rejected, latencyMS, now)
 	return nil
 }
 

@@ -23,7 +23,7 @@ func coreConfig(clk *fakeClock) Config {
 func reportAll(t *testing.T, c *Core, now time.Time) {
 	t.Helper()
 	for s := 0; s < c.cfg.NumSites; s++ {
-		if err := c.Report(s, 0, 0, 0, 0, 0, now); err != nil {
+		if err := c.Report(s, 0, 0, 0, 0, 0, 0, now); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,7 +114,7 @@ func TestCoreFallbackRoundRobinWhenAllViewsExpire(t *testing.T) {
 	}
 
 	// One site recovers: decisions flow there.
-	if err := c.Report(2, 0, 0, 0, 0, 0, clk.Now()); err != nil {
+	if err := c.Report(2, 0, 0, 0, 0, 0, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
@@ -140,7 +140,7 @@ func TestCoreFallbackRespectsAdmissionCap(t *testing.T) {
 		if s == 1 {
 			n = cfg.AdmitMax
 		}
-		if err := c.Report(s, n, 0, 0, 0, 0, clk.Now()); err != nil {
+		if err := c.Report(s, n, 0, 0, 0, 0, 0, clk.Now()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func TestCoreAdmissionCap(t *testing.T) {
 	// Both sites already report 3 committed queries: every decision is
 	// at the cap.
 	for s := 0; s < 2; s++ {
-		if err := c.Report(s, 3, 0, 0, 0, 0, clk.Now()); err != nil {
+		if err := c.Report(s, 3, 0, 0, 0, 0, 0, clk.Now()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -184,7 +184,7 @@ func TestCoreAdmissionCap(t *testing.T) {
 		t.Fatalf("outcome %v, want no-capacity", out)
 	}
 	// Capacity opens up at one site.
-	if err := c.Report(0, 1, 0, 0, 0, 0, clk.Now()); err != nil {
+	if err := c.Report(0, 1, 0, 0, 0, 0, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	site, out := c.Decide(newQuery(cfg, 0, 0), clk.Now())
@@ -200,7 +200,7 @@ func TestCoreAdmissionCap(t *testing.T) {
 	if _, out = c.Decide(newQuery(cfg, 0, 0), clk.Now()); out != OutcomeNoCapacity {
 		t.Fatalf("outcome %v, want no-capacity at the cap", out)
 	}
-	if err := c.Report(99, 0, 0, 0, 0, 0, clk.Now()); err == nil {
+	if err := c.Report(99, 0, 0, 0, 0, 0, 0, clk.Now()); err == nil {
 		t.Error("out-of-range report site accepted")
 	}
 }

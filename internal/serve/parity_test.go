@@ -123,7 +123,7 @@ func runParity(t *testing.T, cfg Config, steps int) (coreDigest, simDigest uint6
 			numIO, numCPU := driver.Intn(16), driver.Intn(16)
 			cpuW := float64(driver.Intn(400)) / 8
 			ioW := float64(driver.Intn(400)) / 8
-			if err := core.Report(s, numIO, numCPU, cpuW, ioW, 0, clk.Now()); err != nil {
+			if err := core.Report(s, numIO, numCPU, cpuW, ioW, 0, 0, clk.Now()); err != nil {
 				t.Fatal(err)
 			}
 			mirror.set(s, numIO, numCPU, cpuW, ioW)

@@ -60,6 +60,12 @@ type ReportRequest struct {
 	// Rejected is how many queries the site refused since its last
 	// report — the rejection feedback that trips circuit breakers.
 	Rejected int `json:"rejected,omitempty"`
+	// LatencyMS is the site's recent mean query latency in milliseconds;
+	// a value above the server's SlowLatency threshold marks the site
+	// slow-but-reporting (gray failure) and moves its breaker into
+	// half-open probation instead of closing it. Zero means "not
+	// measured" and never trips anything.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -144,6 +150,9 @@ func DecodeReportRequest(data []byte, numSites int) (ReportRequest, error) {
 		return ReportRequest{}, err
 	}
 	if err := finiteNonNeg("io_work", rep.IOWork); err != nil {
+		return ReportRequest{}, err
+	}
+	if err := finiteNonNeg("latency_ms", rep.LatencyMS); err != nil {
 		return ReportRequest{}, err
 	}
 	return rep, nil

@@ -74,6 +74,12 @@ type Config struct {
 	// HalfOpenProbes is how many decisions may be routed to a half-open
 	// site before it re-opens (absent a clean report closing it).
 	HalfOpenProbes int
+	// SlowLatency is the gray-failure threshold: a report whose
+	// latency_ms exceeds it marks the site slow-but-reporting, and the
+	// site's breaker enters half-open probation instead of closing — a
+	// bounded probe trickle keeps testing it while the bulk of traffic
+	// routes elsewhere. Zero disables latency-driven breaking.
+	SlowLatency time.Duration
 
 	// AdmitMax caps the committed query count per site (0 = unbounded):
 	// a decision whose chosen site is at the cap is rejected with 429,
@@ -116,6 +122,7 @@ func Default() Config {
 		RejectThreshold: 3,
 		OpenFor:         2 * time.Second,
 		HalfOpenProbes:  4,
+		SlowLatency:     250 * time.Millisecond,
 
 		QueueBound:      1024,
 		DefaultDeadline: 50 * time.Millisecond,
@@ -148,6 +155,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: OpenFor %v must be positive", c.OpenFor)
 	case c.HalfOpenProbes < 1:
 		return fmt.Errorf("serve: HalfOpenProbes %d < 1", c.HalfOpenProbes)
+	case c.SlowLatency < 0:
+		return fmt.Errorf("serve: negative SlowLatency %v", c.SlowLatency)
 	case c.AdmitMax < 0:
 		return fmt.Errorf("serve: negative AdmitMax %d", c.AdmitMax)
 	case c.QueueBound < 1:

@@ -61,12 +61,45 @@ type Stats struct {
 	BreakerOpens uint64   `json:"breaker_opens"`
 	Breakers     []string `json:"breakers"`
 
+	// SlowProbations counts closed→half-open breaker demotions driven by
+	// latency feedback (gray-failure detections).
+	SlowProbations uint64 `json:"slow_probations"`
+
 	QueueDepth int `json:"queue_depth"`
 
 	// Decision latency quantiles in microseconds (enqueue → resolve),
 	// from a log-bucketed histogram (≤2% relative error).
 	LatencyP50US float64 `json:"latency_p50_us"`
 	LatencyP99US float64 `json:"latency_p99_us"`
+
+	// LatencyByOutcome breaks the decision latency down per resolution
+	// outcome, so a tail inflated by expiries is distinguishable from
+	// slow successful decisions. Only outcomes observed at least once
+	// appear.
+	LatencyByOutcome map[string]LatencyQuantiles `json:"latency_by_outcome,omitempty"`
+}
+
+// LatencyQuantiles summarizes one outcome's decision-latency
+// distribution in microseconds.
+type LatencyQuantiles struct {
+	Count uint64  `json:"count"`
+	P50US float64 `json:"p50_us"`
+	P99US float64 `json:"p99_us"`
+}
+
+// histogram outcome lanes; each resolution path records into exactly one.
+const (
+	laneDecided = iota
+	laneFallback
+	laneNoCapacity
+	laneUnavailable
+	laneExpired
+	numLanes
+)
+
+// laneNames maps histogram lanes to their stats keys.
+var laneNames = [numLanes]string{
+	"decided", "fallback", "no_capacity", "unavailable", "expired",
 }
 
 // Server is the dqserve HTTP layer: handlers decode and enqueue, a
@@ -83,9 +116,10 @@ type Server struct {
 	draining atomic.Bool
 	closed   atomic.Bool
 
-	mu   sync.Mutex
-	st   Stats
-	hist *stats.LogHistogram
+	mu    sync.Mutex
+	st    Stats
+	hist  *stats.LogHistogram
+	lanes [numLanes]*stats.LogHistogram
 }
 
 // NewServer builds the service and starts its decision loop. Callers
@@ -101,9 +135,8 @@ func NewServer(cfg Config) (*Server, error) {
 		clock:    cfg.clock(),
 		queue:    make(chan *decideReq, cfg.QueueBound),
 		loopDone: make(chan struct{}),
-		// 1µs–60s decision latencies at ≤2% relative error.
-		hist: stats.NewLogHistogram(1, 60e6, 0.02),
 	}
+	s.initLatencyHists()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
@@ -164,7 +197,7 @@ func (s *Server) loop() {
 		// without deciding — its handler may have already resolved it.
 		if req.ctx.Err() != nil {
 			if req.resolved.CompareAndSwap(resolvePending, resolveExpired) {
-				s.note(&s.st.Expired, req)
+				s.note(&s.st.Expired, laneExpired, req)
 			}
 			continue
 		}
@@ -172,13 +205,13 @@ func (s *Server) loop() {
 		if req.resolved.CompareAndSwap(resolvePending, resolveDecided) {
 			switch out {
 			case OutcomeDecided:
-				s.note(&s.st.Decided, req)
+				s.note(&s.st.Decided, laneDecided, req)
 			case OutcomeFallback:
-				s.note(&s.st.Fallback, req)
+				s.note(&s.st.Fallback, laneFallback, req)
 			case OutcomeNoCapacity:
-				s.note(&s.st.NoCapacity, req)
+				s.note(&s.st.NoCapacity, laneNoCapacity, req)
 			case OutcomeNoSites:
-				s.note(&s.st.Unavailable, req)
+				s.note(&s.st.Unavailable, laneUnavailable, req)
 			}
 			req.done <- decideResult{site, out}
 		} else {
@@ -217,13 +250,24 @@ func (s *Server) enqueue(req *decideReq) int {
 	}
 }
 
+// initLatencyHists builds the global and per-outcome latency histograms:
+// 1µs–60s decision latencies at ≤2% relative error.
+func (s *Server) initLatencyHists() {
+	s.hist = stats.NewLogHistogram(1, 60e6, 0.02)
+	for i := range s.lanes {
+		s.lanes[i] = stats.NewLogHistogram(1, 60e6, 0.02)
+	}
+}
+
 // note bumps one resolution counter and records the request's
-// enqueue→resolve latency.
-func (s *Server) note(counter *uint64, req *decideReq) {
+// enqueue→resolve latency, globally and in the outcome's lane.
+func (s *Server) note(counter *uint64, lane int, req *decideReq) {
 	lat := s.clock().Sub(req.enqueued)
+	us := float64(lat.Microseconds()) + 1 // keep zero out of the log buckets
 	s.mu.Lock()
 	*counter++
-	s.hist.Add(float64(lat.Microseconds()) + 1) // keep zero out of the log buckets
+	s.hist.Add(us)
+	s.lanes[lane].Add(us)
 	s.mu.Unlock()
 }
 
@@ -317,7 +361,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeDecision(w, res)
 	case <-ctx.Done():
 		if req.resolved.CompareAndSwap(resolvePending, resolveExpired) {
-			s.note(&s.st.Expired, req)
+			s.note(&s.st.Expired, laneExpired, req)
 			writeError(w, http.StatusGatewayTimeout, "decision deadline exceeded")
 			return
 		}
@@ -368,7 +412,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.core.Report(rep.Site, rep.NumIO, rep.NumCPU, rep.CPUWork, rep.IOWork, rep.Rejected, s.clock()); err != nil {
+	if err := s.core.Report(rep.Site, rep.NumIO, rep.NumCPU, rep.CPUWork, rep.IOWork, rep.Rejected, rep.LatencyMS, s.clock()); err != nil {
 		s.bump(&s.st.BadReports)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -383,9 +427,23 @@ func (s *Server) Stats() Stats {
 	st := s.st
 	st.LatencyP50US = s.hist.Quantile(0.5)
 	st.LatencyP99US = s.hist.Quantile(0.99)
+	for lane, h := range s.lanes {
+		if h.Count() == 0 {
+			continue
+		}
+		if st.LatencyByOutcome == nil {
+			st.LatencyByOutcome = make(map[string]LatencyQuantiles, numLanes)
+		}
+		st.LatencyByOutcome[laneNames[lane]] = LatencyQuantiles{
+			Count: h.Count(),
+			P50US: h.Quantile(0.5),
+			P99US: h.Quantile(0.99),
+		}
+	}
 	s.mu.Unlock()
 	st.Breakers = s.core.Breakers()
 	st.BreakerOpens = s.core.BreakerOpens()
+	st.SlowProbations = s.core.SlowProbations()
 	st.QueueDepth = len(s.queue)
 	return st
 }

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"dqalloc/internal/policy"
-	"dqalloc/internal/stats"
 )
 
 // startServer builds a server on a fake clock and wraps it in httptest.
@@ -200,8 +199,8 @@ func TestServerBackpressureSheds(t *testing.T) {
 		clock:    time.Now,
 		queue:    make(chan *decideReq, cfg.QueueBound),
 		loopDone: make(chan struct{}),
-		hist:     stats.NewLogHistogram(1, 60e6, 0.02),
 	}
+	s.initLatencyHists()
 	// First request occupies the only queue slot and times out there.
 	first := make(chan int, 1)
 	go func() {
@@ -258,8 +257,8 @@ func TestServerHandlerDoesNotHangWhenLoopExpiresRequest(t *testing.T) {
 		clock:    time.Now,
 		queue:    make(chan *decideReq, cfg.QueueBound),
 		loopDone: make(chan struct{}),
-		hist:     stats.NewLogHistogram(1, 60e6, 0.02),
 	}
+	s.initLatencyHists()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	r := httptest.NewRequest(http.MethodPost, "/v1/decide",

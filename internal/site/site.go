@@ -201,6 +201,16 @@ func (s *Site) Abort(q *workload.Query) bool {
 	return false
 }
 
+// SetCPURate scales the CPU's live service rate (fail-slow extension):
+// in-progress sharing is settled at the old rate, then every present and
+// future burst proceeds at the new one. 1 restores full speed.
+func (s *Site) SetCPURate(rate float64) { s.cpu.SetRate(rate) }
+
+// SetDiskRate scales every disk's live service rate (fail-slow
+// extension); the in-service read keeps its completed work and only the
+// remainder stretches. 1 restores full speed.
+func (s *Site) SetDiskRate(rate float64) { s.disks.SetRate(rate) }
+
 // CPUUtilization returns the CPU busy fraction over the stats window
 // ending at t.
 func (s *Site) CPUUtilization(t float64) float64 { return s.cpu.Utilization(t) }

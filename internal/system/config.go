@@ -12,6 +12,7 @@ import (
 
 	"dqalloc/internal/arrival"
 	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
 	"dqalloc/internal/noise"
 	"dqalloc/internal/policy"
 	"dqalloc/internal/queue"
@@ -146,6 +147,17 @@ type Config struct {
 	// by default; a disabled run is event-for-event identical to one
 	// built without the subsystem.
 	Fault fault.Config
+
+	// Suspect configures the gray-failure suspicion detector: each
+	// completed query feeds its execution site's realized-slowdown EWMA,
+	// sites far above the population median are marked suspect, and the
+	// allocation policies route around them (cost policies via a
+	// surcharge, LOCAL/RANDOM via clean-site preference). Disabled (the
+	// zero value) by default; a disabled run is event-for-event identical
+	// to one built without the subsystem. Usually combined with
+	// Fault.SlowMTTF — but it works against any slowness source, e.g.
+	// heterogeneous CPUSpeeds.
+	Suspect loadinfo.SuspectConfig
 
 	// Arrival replaces the closed terminals with an open arrival process
 	// — per-class Poisson or bursty 2-state MMPP sources (overload
@@ -283,6 +295,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if err := c.Suspect.Validate(); err != nil {
 		return fmt.Errorf("system: %w", err)
 	}
 	if err := c.Noise.Validate(); err != nil {

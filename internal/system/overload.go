@@ -437,11 +437,16 @@ func (s *System) cancelAttempt(q *workload.Query) {
 }
 
 // hedgeArm schedules the hedge decision for a newly dispatched remote
-// query. Local executions are not hedged (there is no straggling network
-// leg to race), and a query re-dispatched by the fault layer keeps its
-// original race.
+// query. Local executions are normally not hedged (there is no
+// straggling network leg to race) — unless the gray-failure detector
+// suspects the home site, in which case a stuck local query is exactly
+// the straggler hedging exists for. A query re-dispatched by the fault
+// layer keeps its original race.
 func (s *System) hedgeArm(q *workload.Query) {
-	if s.hedge == nil || q.Exec == q.Home {
+	if s.hedge == nil {
+		return
+	}
+	if q.Exec == q.Home && !s.suspected(q.Exec) {
 		return
 	}
 	if _, ok := s.hedge.races[q]; ok {
@@ -537,6 +542,11 @@ func (s *System) hedgeResolve(q *workload.Query) *workload.Query {
 		s.hedge.activeClones--
 		s.hedge.wins++
 		primary := race.primary
+		if s.slow != nil && !race.primaryDead && s.slow.inj.Slowed(primary.Exec) {
+			// The loser was stuck at a site mid-fail-slow-episode: this
+			// hedge demonstrably beat a gray failure.
+			s.slow.hedgeWinsVsSlow++
+		}
 		delete(s.hedge.races, primary)
 		if !race.primaryDead {
 			s.cancelAttempt(primary)

@@ -197,6 +197,29 @@ type Results struct {
 	OpCPUBusy  float64 `json:",omitempty"`
 	OpDiskBusy float64 `json:",omitempty"`
 	OpNetBusy  float64 `json:",omitempty"`
+	// SlowEpisodes counts fail-slow onsets over the run's lifetime and
+	// DegradedTime is each site's fail-slow time inside the measured
+	// window (nil without fail-slow injection). Unlike a crash, a
+	// degraded site loses no queries — it just serves them slower. The
+	// json omitempty tags keep disabled-run JSON output byte-identical
+	// to builds without the subsystem.
+	SlowEpisodes uint64    `json:",omitempty"`
+	DegradedTime []float64 `json:",omitempty"`
+	// Brownouts counts ring-brownout onsets (lifetime) and BrownoutTime
+	// the browned-out ring time inside the measured window.
+	Brownouts    uint64  `json:",omitempty"`
+	BrownoutTime float64 `json:",omitempty"`
+	// SuspectTransfers counts measured allocations the gray-failure
+	// detector steered off a suspect home site; SuspectSites is the
+	// number of sites under suspicion at measurement end. Zero without
+	// the detector.
+	SuspectTransfers uint64 `json:",omitempty"`
+	SuspectSites     int    `json:",omitempty"`
+	// HedgeWinsVsSlow counts hedge races the clone won while the
+	// primary's site was inside a fail-slow episode — straggler hedges
+	// that demonstrably beat a gray failure (lifetime; zero without
+	// hedging or fail-slow).
+	HedgeWinsVsSlow uint64 `json:",omitempty"`
 	// TraceDigest is the scheduler's running event-stream hash (zero
 	// unless Config.TraceDigest was set). Equal digests mean the two runs
 	// fired identical event sequences.

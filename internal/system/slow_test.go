@@ -1,0 +1,221 @@
+package system
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dqalloc/internal/fault"
+	"dqalloc/internal/loadinfo"
+	"dqalloc/internal/policy"
+)
+
+// slowConfig returns a short audited run with aggressive fail-slow
+// injection: 10× gray episodes every ~2000 time units lasting ~500, no
+// crashes, reliable network.
+func slowConfig(kind policy.Kind, seed uint64) Config {
+	cfg := Default()
+	cfg.PolicyKind = kind
+	cfg.Seed = seed
+	cfg.Warmup = 500
+	cfg.Measure = 8000
+	cfg.Audit = true
+	cfg.TraceDigest = true
+	cfg.Fault = fault.DefaultSlow()
+	cfg.Fault.SlowMTTF = 2000
+	cfg.Fault.SlowMTTR = 500
+	return cfg
+}
+
+// TestSlowFaultSmoke: a heavily gray-failed run must stay audit-clean,
+// actually open episodes, accumulate degraded time, and keep completing
+// queries (nothing is ever lost to a fail-slow site).
+func TestSlowFaultSmoke(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.BNQ, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			r := runCfg(t, slowConfig(kind, 3))
+			if r.SlowEpisodes == 0 {
+				t.Error("no fail-slow episodes over ~4 MTTFs per site")
+			}
+			if r.Completed == 0 {
+				t.Error("no completions")
+			}
+			if r.QueriesLost != 0 {
+				t.Errorf("%d queries lost: fail-slow must never lose work", r.QueriesLost)
+			}
+			var degraded float64
+			for s, d := range r.DegradedTime {
+				if d < 0 || d > r.MeasuredTime {
+					t.Errorf("site %d degraded time %v outside [0, %v]", s, d, r.MeasuredTime)
+				}
+				degraded += d
+			}
+			if degraded == 0 {
+				t.Error("no degraded time recorded despite episodes")
+			}
+			// Gray failures must hurt: the same run without them is faster.
+			clean := slowConfig(kind, 3)
+			clean.Fault = fault.Config{}
+			if base := runCfg(t, clean); r.MeanResponse <= base.MeanResponse {
+				t.Errorf("degraded response %v not above clean %v", r.MeanResponse, base.MeanResponse)
+			}
+		})
+	}
+}
+
+// TestSlowDigestDeterministic: same seed, same episodes → identical
+// event stream; a different seed must differ.
+func TestSlowDigestDeterministic(t *testing.T) {
+	a := runCfg(t, slowConfig(policy.LERT, 3))
+	b := runCfg(t, slowConfig(policy.LERT, 3))
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("same seed digests differ: %x vs %x", a.TraceDigest, b.TraceDigest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed results differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if c := runCfg(t, slowConfig(policy.LERT, 4)); c.TraceDigest == a.TraceDigest {
+		t.Errorf("different seeds share digest %x", a.TraceDigest)
+	}
+}
+
+// TestSlowFactorOneMatchesCrashConfig: fail-slow episodes with factor 1
+// fire onset/recovery events but must not move a single measurement —
+// the rate hooks at rate 1 are exact no-ops. This pins the bit-identity
+// of the queue rate-scaling refactor under live episode traffic.
+func TestSlowFactorOneMatchesCrashConfig(t *testing.T) {
+	for _, kind := range []policy.Kind{policy.Local, policy.Random, policy.LERT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			base := faultyConfig(kind, 7)
+			noop := faultyConfig(kind, 7)
+			noop.Fault.SlowMTTF = 2000
+			noop.Fault.SlowMTTR = 500
+			noop.Fault.SlowFactor = 1
+
+			a := runCfg(t, base)
+			b := runCfg(t, noop)
+			if b.SlowEpisodes == 0 {
+				t.Fatal("no episodes fired in the factor-1 run")
+			}
+			// The episode events themselves legitimately change the digest
+			// and event count, and the slow ledger fields are new; every
+			// model measurement must be untouched.
+			a.TraceDigest, b.TraceDigest = 0, 0
+			a.EventsFired, b.EventsFired = 0, 0
+			b.SlowEpisodes, b.DegradedTime = 0, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("factor-1 run differs from crash-only run:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestSuspicionRoutesAroundGraySite: with the detector on, allocation
+// must demonstrably steer queries off suspect homes and recover real
+// response time. LOCAL is the policy with everything to gain: it never
+// reads the load table, so without the detector its queries crawl
+// through every 10× episode at their home site. (Cost-based policies
+// already route around gray sites partially — the victim's backlog
+// shows up in their load view.)
+func TestSuspicionRoutesAroundGraySite(t *testing.T) {
+	blind := slowConfig(policy.Local, 5)
+	aware := slowConfig(policy.Local, 5)
+	aware.Suspect = loadinfo.DefaultSuspect()
+
+	rb := runCfg(t, blind)
+	ra := runCfg(t, aware)
+	if ra.SuspectTransfers == 0 {
+		t.Error("detector never steered a query off a suspect home")
+	}
+	if ra.MeanResponse >= rb.MeanResponse {
+		t.Errorf("detection-on response %v not below detection-off %v",
+			ra.MeanResponse, rb.MeanResponse)
+	}
+}
+
+// TestStragglerHedging: with hedging and the detector on, local queries
+// stuck at a suspect site must be raced by clones, and some races must
+// be won against a live fail-slow episode.
+func TestStragglerHedging(t *testing.T) {
+	cfg := slowConfig(policy.LERT, 6)
+	cfg.Suspect = loadinfo.DefaultSuspect()
+	cfg.Hedge = DefaultHedge()
+	r := runCfg(t, cfg)
+	if r.Hedged == 0 {
+		t.Fatal("no hedges launched under gray failures")
+	}
+	if r.HedgeWins == 0 {
+		t.Error("no hedge wins under 10× gray failures")
+	}
+	if r.HedgeWinsVsSlow == 0 {
+		t.Error("no hedge wins against a live fail-slow episode")
+	}
+	if r.HedgeWinsVsSlow > r.HedgeWins {
+		t.Errorf("HedgeWinsVsSlow %d exceeds HedgeWins %d", r.HedgeWinsVsSlow, r.HedgeWins)
+	}
+}
+
+// TestBrownoutSmoke: ring brownouts must open, accumulate browned-out
+// time, and stretch transmissions enough to slow remote-heavy policies.
+func TestBrownoutSmoke(t *testing.T) {
+	cfg := Default()
+	cfg.PolicyKind = policy.Random // plenty of ring traffic
+	cfg.Seed = 3
+	cfg.Warmup = 500
+	cfg.Measure = 8000
+	cfg.Audit = true
+	cfg.TraceDigest = true
+	cfg.Fault = fault.Default()
+	cfg.Fault.MTTF = math.Inf(1)
+	cfg.Fault.BrownoutMTTF = 1500
+	cfg.Fault.BrownoutMTTR = 500
+	cfg.Fault.BrownoutFactor = 8
+
+	r := runCfg(t, cfg)
+	if r.Brownouts == 0 {
+		t.Fatal("no brownouts over ~5 MTTFs")
+	}
+	if r.BrownoutTime <= 0 || r.BrownoutTime > r.MeasuredTime {
+		t.Errorf("brownout time %v outside (0, %v]", r.BrownoutTime, r.MeasuredTime)
+	}
+	if r.SlowEpisodes != 0 {
+		t.Errorf("%d fail-slow episodes in a brownout-only run", r.SlowEpisodes)
+	}
+	clean := cfg
+	clean.Fault = fault.Config{}
+	base := runCfg(t, clean)
+	if r.SubnetUtil <= base.SubnetUtil {
+		t.Errorf("browned-out subnet utilization %v not above clean %v", r.SubnetUtil, base.SubnetUtil)
+	}
+	if r.MeanResponse <= base.MeanResponse {
+		t.Errorf("browned-out response %v not above clean %v", r.MeanResponse, base.MeanResponse)
+	}
+}
+
+// TestSlowDisabledBitIdentical: explicitly zeroed fail-slow fields on an
+// enabled crash config must reproduce the crash-only digest bit for bit
+// — the gate is the predicate, not field presence.
+func TestSlowDisabledBitIdentical(t *testing.T) {
+	a := runCfg(t, faultyConfig(policy.LERT, 3))
+	cfg := faultyConfig(policy.LERT, 3)
+	cfg.Fault.SlowMTTF = 0
+	cfg.Fault.BrownoutMTTF = math.Inf(1)
+	b := runCfg(t, cfg)
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("zeroed slow fields changed the digest: %x vs %x", a.TraceDigest, b.TraceDigest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("zeroed slow fields changed the results")
+	}
+}
+
+// TestSuspectConfigValidation: invalid detector settings must be
+// rejected at Config.Validate.
+func TestSuspectConfigValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Suspect = loadinfo.DefaultSuspect()
+	cfg.Suspect.Ratio = 0.5
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid suspect config accepted")
+	}
+}

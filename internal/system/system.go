@@ -62,6 +62,9 @@ type System struct {
 	faults   *faultRuntime // fault-injection state, nil when disabled
 	rejected uint64        // queries given up on (no allowed site / retries exhausted / shed)
 
+	slow *slowRuntime      // fail-slow injection state, nil when disabled
+	susp *suspicionRuntime // gray-failure detector, nil when disabled
+
 	repl  *replRuntime // self-healing replica manager, nil when disabled
 	avail *fragAvail   // fragment reachability tracker, nil unless a placement runs under site failures
 
@@ -197,6 +200,18 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("system: %w", err)
 		}
 	}
+	if cfg.Fault.SlowFaults() || cfg.Fault.Brownouts() {
+		// Child 13 is the fail-slow injector's dedicated stream, so
+		// crash-only fault runs never perturb their streams.
+		if err := s.setupSlow(root.Child(13)); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	if cfg.Suspect.Enabled {
+		if err := s.setupSuspicion(); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
 	if cfg.Replication.Enabled {
 		// Child 11 is the replica manager's dedicated stream
 		// (donor/target/drop-victim picks), so a manager-off run's
@@ -256,6 +271,9 @@ func New(cfg Config) (*System, error) {
 		}
 		if s.faults != nil {
 			auditors = append(auditors, check.NewFaultConservation(capacity, s.faults.totals))
+		}
+		if s.slow != nil {
+			auditors = append(auditors, check.NewSlowFaultConservation(cfg.NumSites, s.slow.totals))
 		}
 		if s.adm != nil {
 			auditors = append(auditors, check.NewAdmissionConservation(capacity, s.adm.totals))
@@ -332,6 +350,9 @@ func (s *System) beginMeasurement() {
 	s.ring.ResetStats(now)
 	if s.faults != nil {
 		s.faults.inj.ResetStats(now)
+	}
+	if s.slow != nil {
+		s.slow.inj.ResetStats(now)
 	}
 	if s.avail != nil {
 		s.availReset(now)
@@ -422,6 +443,10 @@ func (s *System) recordAlloc(q *workload.Query, exec int) {
 		// or noise-misled) view contradicted the ground-truth table.
 		if s.table.NumQueries(exec) > s.table.NumQueries(q.Home) {
 			s.herd++
+		}
+		if s.susp != nil && s.susp.det.Suspected(q.Home) {
+			// The detector steered the query off its suspect home.
+			s.susp.suspectTransfers++
 		}
 	}
 	// Realized relative estimation error: what the policy believed vs the
@@ -522,6 +547,9 @@ func (s *System) onExecDone(q *workload.Query) {
 // and deadline all settle against the logical query.
 func (s *System) complete(q *workload.Query) {
 	now := s.sched.Now()
+	// The finishing attempt's realized slowdown feeds the gray-failure
+	// detector, attributed to the site that executed it.
+	s.suspectObserve(q)
 	key := q
 	if s.hedge != nil {
 		key = s.hedgeResolve(q)
@@ -659,6 +687,21 @@ func (s *System) collect(end float64) Results {
 		if r.Availability > 0 {
 			r.AvailResponse = r.MeanResponse / r.Availability
 		}
+	}
+	if s.slow != nil {
+		tot := s.slow.inj.Totals()
+		r.SlowEpisodes = tot.Episodes
+		r.Brownouts = tot.Brownouts
+		r.BrownoutTime = s.slow.inj.BrownoutTime(end)
+		r.DegradedTime = make([]float64, len(s.sites))
+		for i := range s.sites {
+			r.DegradedTime[i] = s.slow.inj.DegradedTime(i, end)
+		}
+		r.HedgeWinsVsSlow = s.slow.hedgeWinsVsSlow
+	}
+	if s.susp != nil {
+		r.SuspectTransfers = s.susp.suspectTransfers
+		r.SuspectSites = s.susp.det.SuspectCount()
 	}
 	if s.cfg.Placement != nil {
 		r.FragAvailability, r.MinFragAvailability = 1, 1
